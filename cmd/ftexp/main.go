@@ -1,0 +1,197 @@
+// Command ftexp regenerates the paper's evaluation: Figures 1-4 and Table 1.
+//
+// Usage:
+//
+//	ftexp -fig 1                 # Figure 1 (ε=1, m=20): bounds, crash, overhead panels
+//	ftexp -fig 3 -graphs 20      # Figure 3 with a reduced batch for quick runs
+//	ftexp -fig 2 -format csv     # CSV instead of the ASCII tables
+//	ftexp -table 1               # Table 1 running-time comparison
+//	ftexp -table 1 -maxtasks 2000
+//
+// Output goes to stdout; each panel is prefixed with a '#' title line, so the
+// whole output is valid gnuplot/CSV input after splitting on blank lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ftsched/internal/expt"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "paper figure to regenerate (1-4)")
+		table    = flag.Int("table", 0, "paper table to regenerate (1)")
+		x4       = flag.Bool("x4", false, "run experiment X4 (MC-FTSA strict starvation, finding F1)")
+		x5       = flag.Bool("x5", false, "run experiment X5 (structured-family comparison)")
+		x6       = flag.Bool("x6", false, "run experiment X6 (one-port/multi-port comm models, §7 conjecture)")
+		graphs   = flag.Int("graphs", 0, "override graphs per point (paper: 60)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		format   = flag.String("format", "ascii", "output format: ascii, csv or svg")
+		out      = flag.String("out", ".", "output directory for -format svg")
+		maxTasks = flag.Int("maxtasks", 5000, "largest task count for -table 1")
+	)
+	flag.Parse()
+
+	switch {
+	case *fig >= 1 && *fig <= 4:
+		if err := runFigure(*fig, *graphs, *seed, *format, *out); err != nil {
+			fatal(err)
+		}
+	case *table == 1:
+		if err := runTable1(*seed, *maxTasks); err != nil {
+			fatal(err)
+		}
+	case *x4:
+		if err := runX4(*seed, *graphs, *format); err != nil {
+			fatal(err)
+		}
+	case *x5:
+		cfg := expt.DefaultFamiliesConfig()
+		cfg.Seed = *seed
+		rows, err := expt.RunFamilies(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# X5: structured families, ε=%d, m=%d, normalized latency\n", cfg.Epsilon, cfg.Procs)
+		if err := expt.WriteFamilies(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	case *x6:
+		cfg := expt.DefaultCommModelsConfig()
+		cfg.Seed = *seed
+		if *graphs > 0 {
+			cfg.GraphsPerPoint = *graphs
+		}
+		f, err := expt.RunCommModels(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit := expt.WriteASCII
+		if *format == "csv" {
+			emit = expt.WriteCSV
+		}
+		if err := emit(os.Stdout, f); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runX4(seed int64, graphs int, format string) error {
+	cfg := expt.DefaultStarvationConfig()
+	cfg.Seed = seed
+	if graphs > 0 {
+		cfg.GraphsPerPoint = graphs
+	}
+	f, err := expt.RunStarvation(cfg)
+	if err != nil {
+		return err
+	}
+	emit := expt.WriteASCII
+	if format == "csv" {
+		emit = expt.WriteCSV
+	}
+	return emit(os.Stdout, f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftexp:", err)
+	os.Exit(1)
+}
+
+func runFigure(fig, graphs int, seed int64, format, outDir string) error {
+	cfg, err := expt.FigureConfig(fig)
+	if err != nil {
+		return err
+	}
+	cfg.Seed = seed
+	if graphs > 0 {
+		cfg.GraphsPerPoint = graphs
+	}
+	var set *expt.FigureSet
+	if fig == 4 {
+		set, err = expt.RunFigure4(cfg)
+	} else {
+		set, err = expt.Run(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	panels := []struct {
+		name, suffix string
+		f            *expt.Figure
+	}{
+		{fmt.Sprintf("Figure %d(a)", fig), "a", set.Bounds},
+		{fmt.Sprintf("Figure %d(b)", fig), "b", set.Crash},
+		{fmt.Sprintf("Figure %d(c)", fig), "c", set.Overhead},
+	}
+	if fig == 4 {
+		panels = panels[1:]
+		panels[0].name, panels[0].suffix = "Figure 4(a)", "a"
+		panels[1].name, panels[1].suffix = "Figure 4(b)", "b"
+	}
+	if format == "svg" {
+		for _, p := range panels {
+			if p.f == nil {
+				continue
+			}
+			path := filepath.Join(outDir, fmt.Sprintf("figure%d%s.svg", fig, p.suffix))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := expt.WriteSVG(f, p.f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+		return nil
+	}
+	emit := expt.WriteASCII
+	if format == "csv" {
+		emit = expt.WriteCSV
+	}
+	first := true
+	for _, p := range panels {
+		if p.f == nil {
+			continue
+		}
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		fmt.Printf("# %s\n", p.name)
+		if err := emit(os.Stdout, p.f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runTable1(seed int64, maxTasks int) error {
+	cfg := expt.DefaultTable1Config()
+	cfg.Seed = seed
+	var counts []int
+	for _, v := range cfg.TaskCounts {
+		if v <= maxTasks {
+			counts = append(counts, v)
+		}
+	}
+	cfg.TaskCounts = counts
+	rows, err := expt.RunTable1(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Table 1: running times in seconds (this host)")
+	return expt.WriteTable1(os.Stdout, rows)
+}

@@ -1,0 +1,273 @@
+// Command ftsched schedules a task graph from JSON files (as produced by
+// daggen) and reports the schedule, its latency bounds and, optionally, the
+// simulated latency under crashes.
+//
+// Usage:
+//
+//	ftsched -dir work -algo ftsa -eps 2
+//	ftsched -dir work -algo mcftsa -eps 2 -crash 2 -trials 10
+//	ftsched -dir work -algo ftbar -eps 1 -v
+//	ftsched -dir work -eps 2 -latency 5000     # feasibility with deadlines
+//	ftsched -dir work -maxeps -latency 5000    # maximize tolerated failures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ftsched/internal/core"
+	"ftsched/internal/dag"
+	"ftsched/internal/ftbar"
+	"ftsched/internal/heft"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+	"ftsched/internal/sim"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", ".", "directory with graph.json, platform.json, costs.json")
+		algo    = flag.String("algo", "ftsa", "scheduler: ftsa, mcftsa or ftbar")
+		eps     = flag.Int("eps", 1, "number of tolerated failures ε")
+		seed    = flag.Int64("seed", 1, "random seed for tie-breaking and crash draws")
+		crash   = flag.Int("crash", -1, "simulate this many uniform crashes (-1: no simulation)")
+		trials  = flag.Int("trials", 1, "crash simulation trials")
+		latency = flag.Float64("latency", 0, "latency budget (with -maxeps or as deadline check)")
+		maxEps  = flag.Bool("maxeps", false, "maximize ε under the -latency budget")
+		verbose = flag.Bool("v", false, "print the full placement")
+		gantt   = flag.Bool("gantt", false, "render an ASCII Gantt chart")
+		metrics = flag.Bool("metrics", false, "print schedule metrics (utilization, comm volume)")
+		trace   = flag.Bool("trace", false, "print the event trace of each crash simulation")
+		saveTo  = flag.String("save", "", "write the computed schedule to this JSON file")
+		loadFrm = flag.String("load", "", "load a schedule from this JSON file instead of computing one")
+		compare = flag.Bool("compare", false, "run FTSA, MC-FTSA, FTBAR and HEFT side by side and exit")
+	)
+	flag.Parse()
+
+	g, p, cm, err := load(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *maxEps {
+		if *latency <= 0 {
+			fatal(fmt.Errorf("-maxeps needs a positive -latency"))
+		}
+		best, s, err := core.MaxToleratedFailures(p.NumProcs(), *latency,
+			core.FTSAScheduler(g, p, cm, core.Options{Rng: rng}))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("maximum tolerated failures within latency %.4g: ε = %d (guaranteed %.4g)\n",
+			*latency, best, s.UpperBound())
+		return
+	}
+
+	if *compare {
+		if err := runCompare(g, p, cm, *eps, rng); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var s *sched.Schedule
+	if *loadFrm != "" {
+		f, ferr := os.Open(*loadFrm)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		s, err = sched.ReadSchedule(f, g, p, cm)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		*eps = s.Epsilon
+	}
+	switch {
+	case s != nil:
+		// loaded above
+	case *algo == "ftsa":
+		if *latency > 0 {
+			s, err = core.ScheduleWithDeadlines(g, p, cm, core.Options{Epsilon: *eps, Rng: rng}, *latency)
+		} else {
+			s, err = core.FTSA(g, p, cm, core.Options{Epsilon: *eps, Rng: rng})
+		}
+	case *algo == "mcftsa":
+		s, err = core.MCFTSA(g, p, cm, core.MCFTSAOptions{Options: core.Options{Epsilon: *eps, Rng: rng}})
+	case *algo == "ftbar":
+		s, err = ftbar.Schedule(g, p, cm, ftbar.Options{Npf: *eps, Rng: rng})
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		fatal(fmt.Errorf("generated schedule failed validation: %w", err))
+	}
+	if *saveTo != "" {
+		f, ferr := os.Create(*saveTo)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if _, err := s.WriteTo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("saved schedule to", *saveTo)
+	}
+
+	fmt.Printf("%s schedule: %d tasks on %d processors, ε=%d, pattern=%s\n",
+		s.Algorithm, g.NumTasks(), p.NumProcs(), *eps, s.CommPattern)
+	fmt.Printf("  lower bound (no failure):      %.4g\n", s.LowerBound())
+	fmt.Printf("  upper bound (ε failures):      %.4g\n", s.UpperBound())
+	fmt.Printf("  inter-processor messages:      %d\n", s.MessageCount())
+
+	if *verbose {
+		printPlacement(s, g)
+	}
+	if *metrics {
+		m, err := s.ComputeMetrics()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  replicas: %d (replication factor %.2f)\n", m.Replicas, m.ReplicationFactor)
+		fmt.Printf("  communication volume crossing processors: %.4g\n", m.CommVolume)
+		fmt.Printf("  utilization mean/min/max: %.1f%% / %.1f%% / %.1f%%\n",
+			100*m.MeanUtilization, 100*m.MinUtilization, 100*m.MaxUtilization)
+	}
+	if *gantt {
+		if err := s.WriteGantt(os.Stdout, sched.GanttOptions{Width: 100}); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *crash >= 0 {
+		for trial := 0; trial < *trials; trial++ {
+			sc, err := sim.UniformCrashes(rng, p.NumProcs(), *crash)
+			if err != nil {
+				fatal(err)
+			}
+			opts := sim.Options{}
+			if *trace {
+				opts.Trace = &sim.Trace{}
+			}
+			res, err := sim.RunWithOptions(s, sc, opts)
+			if err != nil {
+				fmt.Printf("  crash trial %d: FAILED (%v)\n", trial, err)
+				continue
+			}
+			fmt.Printf("  crash trial %d (%d crashes): latency %.4g\n", trial, *crash, res.Latency)
+			if *trace {
+				if err := opts.Trace.Write(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// runCompare schedules the instance with every algorithm (HEFT without
+// replication as the non-fault-tolerant reference) and prints a comparison.
+func runCompare(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, eps int, rng *rand.Rand) error {
+	type row struct {
+		name string
+		s    *sched.Schedule
+		took time.Duration
+	}
+	var rows []row
+	add := func(name string, run func() (*sched.Schedule, error)) error {
+		start := time.Now()
+		s, err := run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, row{name: name, s: s, took: time.Since(start)})
+		return nil
+	}
+	if err := add("FTSA", func() (*sched.Schedule, error) {
+		return core.FTSA(g, p, cm, core.Options{Epsilon: eps, Rng: rng})
+	}); err != nil {
+		return err
+	}
+	if err := add("MC-FTSA", func() (*sched.Schedule, error) {
+		return core.MCFTSA(g, p, cm, core.MCFTSAOptions{Options: core.Options{Epsilon: eps, Rng: rng}})
+	}); err != nil {
+		return err
+	}
+	if err := add("FTBAR", func() (*sched.Schedule, error) {
+		return ftbar.Schedule(g, p, cm, ftbar.Options{Npf: eps, Rng: rng})
+	}); err != nil {
+		return err
+	}
+	if err := add("HEFT(ε=0)", func() (*sched.Schedule, error) {
+		return heft.Schedule(g, p, cm, heft.Options{})
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("%d tasks, %d edges on %d processors, ε=%d\n\n", g.NumTasks(), g.NumEdges(), p.NumProcs(), eps)
+	fmt.Printf("%-10s %12s %12s %10s %10s %12s\n", "algorithm", "lower bound", "upper bound", "messages", "quality", "time")
+	for _, r := range rows {
+		q, err := r.s.QualityRatio()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %12.4g %12.4g %10d %9.2fx %12s\n",
+			r.name, r.s.LowerBound(), r.s.UpperBound(), r.s.MessageCount(), q, r.took.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func printPlacement(s *sched.Schedule, g *dag.Graph) {
+	for t := 0; t < g.NumTasks(); t++ {
+		fmt.Printf("  task %4d:", t)
+		for _, r := range s.Replicas(dag.TaskID(t)) {
+			fmt.Printf("  P%-3d[%.4g,%.4g)", r.Proc, r.StartMin, r.FinishMin)
+		}
+		fmt.Println()
+	}
+}
+
+func load(dir string) (*dag.Graph, *platform.Platform, *platform.CostModel, error) {
+	gf, err := os.Open(filepath.Join(dir, "graph.json"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer gf.Close()
+	g, err := dag.Read(gf)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("graph.json: %w", err)
+	}
+	pf, err := os.Open(filepath.Join(dir, "platform.json"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer pf.Close()
+	p, err := platform.Read(pf)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("platform.json: %w", err)
+	}
+	cf, err := os.Open(filepath.Join(dir, "costs.json"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer cf.Close()
+	cm, err := platform.ReadCostModel(cf)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("costs.json: %w", err)
+	}
+	return g, p, cm, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftsched:", err)
+	os.Exit(1)
+}

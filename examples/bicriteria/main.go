@@ -1,0 +1,68 @@
+// Bi-criteria trade-off exploration (Section 4.3 of the paper): given a
+// latency budget, how many processor failures can a workload tolerate? And
+// given both a budget and ε, detect infeasible combinations early via task
+// deadlines.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ftsched"
+	"ftsched/internal/core"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	inst, err := ftsched.NewInstance(rng, ftsched.DefaultPaperConfig(0.8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := inst.Platform.NumProcs()
+
+	// Reference points: the fault-free latency and the guarantee at maximum
+	// replication.
+	ff, err := ftsched.FTSA(inst.Graph, inst.Platform, inst.Costs, ftsched.Options{Epsilon: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := ftsched.FTSA(inst.Graph, inst.Platform, inst.Costs, ftsched.Options{Epsilon: m - 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free latency %.0f; all-processors replication guarantees %.0f\n\n",
+		ff.LowerBound(), full.UpperBound())
+
+	// Sweep latency budgets between the two and binary-search the maximum
+	// tolerated ε for each (the paper's first bi-criteria driver).
+	fmt.Printf("%-14s %8s %14s\n", "budget", "max ε", "guaranteed")
+	sched := ftsched.FTSAScheduler(inst.Graph, inst.Platform, inst.Costs, ftsched.Options{})
+	for f := 1.0; f <= 3.0; f += 0.25 {
+		budget := ff.LowerBound() * f
+		eps, s, err := ftsched.MaxToleratedFailures(m, budget, sched)
+		if err != nil {
+			fmt.Printf("%-14.0f %8s %14s\n", budget, "-", "unachievable")
+			continue
+		}
+		fmt.Printf("%-14.0f %8d %14.0f\n", budget, eps, s.UpperBound())
+	}
+
+	// Second driver: both criteria fixed, feasibility detected during
+	// scheduling via per-task deadlines.
+	fmt.Println("\njoint feasibility (ε=2, deadline-checked):")
+	for _, f := range []float64{0.5, 1.5, 4.0} {
+		budget := ff.LowerBound() * f
+		_, err := ftsched.ScheduleWithDeadlines(inst.Graph, inst.Platform, inst.Costs,
+			ftsched.Options{Epsilon: 2}, budget)
+		switch {
+		case err == nil:
+			fmt.Printf("  L=%.0f: feasible\n", budget)
+		case errors.Is(err, core.ErrDeadline):
+			fmt.Printf("  L=%.0f: infeasible, detected mid-schedule (%v)\n", budget, err)
+		default:
+			log.Fatal(err)
+		}
+	}
+}

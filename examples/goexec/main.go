@@ -1,0 +1,83 @@
+// Fault-tolerant execution of real Go functions: build a wavefront
+// computation as a DAG, schedule it with FTSA (ε=1), then run it on actual
+// goroutine workers — killing two processors mid-run and still collecting
+// every result, byte-identical to a crash-free run.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ftsched"
+	"ftsched/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(9))
+
+	// A 6x6 wavefront: task (i,j) combines its north and west neighbours.
+	const rows, cols = 6, 6
+	g, err := workload.Stencil(rows, cols, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ftsched.DefaultPaperConfig(1.0)
+	cfg.Procs = 6
+	inst, err := ftsched.NewInstanceForGraph(rng, g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const epsilon = 2
+	s, err := ftsched.FTSA(inst.Graph, inst.Platform, inst.Costs,
+		ftsched.Options{Epsilon: epsilon, Rng: rng})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s.Summary())
+
+	// Real task functions: cell (i,j) holds 1 + north + west, i.e. the
+	// number of lattice paths — Pascal's triangle on its side.
+	fns := make([]ftsched.TaskFunc, g.NumTasks())
+	for t := 0; t < g.NumTasks(); t++ {
+		fns[t] = func(inputs []ftsched.TaskPayload) (ftsched.TaskPayload, error) {
+			total := uint64(1)
+			if len(inputs) > 0 {
+				total = 0
+				for _, in := range inputs {
+					total += binary.LittleEndian.Uint64(in)
+				}
+			}
+			out := make(ftsched.TaskPayload, 8)
+			binary.LittleEndian.PutUint64(out, total)
+			return out, nil
+		}
+	}
+
+	// Crash-free reference run.
+	clean, err := ftsched.Execute(s, fns, ftsched.ExecConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Now kill P1 before it does anything and P3 after three replicas.
+	crashed, err := ftsched.Execute(s, fns, ftsched.ExecConfig{
+		CrashAfter: map[ftsched.ProcID]int{1: 0, 3: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	corner := g.NumTasks() - 1
+	cleanV := binary.LittleEndian.Uint64(clean.Output[corner])
+	crashV := binary.LittleEndian.Uint64(crashed.Output[corner])
+	fmt.Printf("corner value crash-free: %d\n", cleanV)
+	fmt.Printf("corner value with P1 dead and P3 dying mid-run: %d\n", crashV)
+	if cleanV != crashV {
+		log.Fatal("results diverged!")
+	}
+	fmt.Printf("(%d messages clean, %d under crashes — the protocol absorbed both failures)\n",
+		clean.MessagesSent, crashed.MessagesSent)
+}

@@ -1,0 +1,81 @@
+// Observability: everything the library tells you about a schedule beyond
+// the two latency numbers — Gantt chart, resource metrics, theoretical
+// quality bounds, and a complete execution trace of a crash scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"ftsched"
+	"ftsched/internal/sched"
+	"ftsched/internal/sim"
+	"ftsched/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	// A tiled Cholesky factorization on 6 processors, ε=1.
+	g, err := workload.Cholesky(5, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ftsched.DefaultPaperConfig(1.0)
+	cfg.Procs = 6
+	inst, err := ftsched.NewInstanceForGraph(rng, g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := ftsched.FTSA(inst.Graph, inst.Platform, inst.Costs,
+		ftsched.Options{Epsilon: 1, Rng: rng})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(s.Summary())
+	fmt.Println()
+
+	// The Gantt chart: who computes what, when.
+	if err := s.WriteGantt(os.Stdout, sched.GanttOptions{Width: 90}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Resource metrics.
+	m, err := s.ComputeMetrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replicas %d (factor %.2f), comm volume %.0f over %d messages\n",
+		m.Replicas, m.ReplicationFactor, m.CommVolume, m.Messages)
+	fmt.Printf("utilization mean %.0f%% (min %.0f%%, max %.0f%%)\n",
+		100*m.MeanUtilization, 100*m.MinUtilization, 100*m.MaxUtilization)
+
+	// How far from optimal? Compare against machine-independent bounds.
+	q, err := s.QualityRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free latency is %.2fx the theoretical lower bound\n\n", q)
+
+	// Kill one processor halfway through and watch the replay, event by
+	// event (output truncated to the interesting part).
+	sc := ftsched.NoFailures(6)
+	if err := sc.Crash(2, s.LowerBound()/2); err != nil {
+		log.Fatal(err)
+	}
+	tr := &sim.Trace{}
+	res, err := sim.RunWithOptions(s, sc, sim.Options{Trace: tr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P2 dies at %.0f; application still finishes at %.0f (bound %.0f)\n",
+		s.LowerBound()/2, res.Latency, s.UpperBound())
+	killed := tr.Filter(sim.EventKilled)
+	skipped := tr.Filter(sim.EventSkip)
+	fmt.Printf("%d replica(s) cut mid-execution, %d starved and skipped, %d completed\n",
+		len(killed), len(skipped), len(tr.Filter(sim.EventFinish)))
+}

@@ -1,0 +1,61 @@
+// Reliability analysis (the paper's future-work failure model): an FFT
+// signal-processing pipeline runs on processors whose lifetimes follow an
+// exponential law. How does the replication degree ε trade latency against
+// the probability of delivering a result?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ftsched"
+	"ftsched/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Radix-2 FFT on 32 points: 192 butterfly tasks.
+	g, err := workload.FFT(5, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ftsched.DefaultPaperConfig(1.2)
+	cfg.Procs = 16
+	inst, err := ftsched.NewInstanceForGraph(rng, g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FFT pipeline: %d tasks, %d edges on %d processors\n\n",
+		g.NumTasks(), g.NumEdges(), cfg.Procs)
+
+	// Failure rate: a processor has roughly a 10% chance of dying during
+	// one fault-free execution of the pipeline.
+	base, err := ftsched.FTSA(inst.Graph, inst.Platform, inst.Costs, ftsched.Options{Epsilon: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	law := ftsched.Exponential{Lambda: 0.1 / base.LowerBound()}
+
+	fmt.Printf("%4s %12s %12s %16s %14s\n",
+		"ε", "latency", "guarantee", "P(survive) ≥", "Monte-Carlo")
+	for eps := 0; eps <= 4; eps++ {
+		s, err := ftsched.FTSA(inst.Graph, inst.Platform, inst.Costs,
+			ftsched.Options{Epsilon: eps, Rng: rng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound, err := ftsched.SurvivalLowerBound(law, cfg.Procs, eps, s.UpperBound())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc, err := ftsched.MonteCarloReliability(rand.New(rand.NewSource(99)), s, law, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %12.1f %12.1f %16.4f %14.4f\n",
+			eps, s.LowerBound(), s.UpperBound(), bound, mc.Success)
+	}
+	fmt.Println("\nreplication buys reliability; the latency column shows its price.")
+}

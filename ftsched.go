@@ -1,0 +1,238 @@
+// Package ftsched is a fault-tolerant scheduler for precedence task graphs
+// on heterogeneous platforms, reproducing Benoit, Hakem and Robert, "Fault
+// Tolerant Scheduling of Precedence Task Graphs on Heterogeneous Platforms"
+// (INRIA RR-6418 / IPDPS 2008).
+//
+// The package maps a weighted DAG of tasks onto m fully connected
+// heterogeneous processors so that the application still completes if up to
+// ε processors fail-stop, using active replication: every task runs on ε+1
+// distinct processors. Three schedulers are provided:
+//
+//   - FTSA — the paper's main algorithm: greedy list scheduling by task
+//     criticalness with earliest-finish-time processor selection;
+//   - MCFTSA — the Minimum Communications variant, cutting the message count
+//     per precedence edge from (ε+1)² to ε+1 with a robust bipartite
+//     matching;
+//   - FTBAR — the re-implemented comparison baseline of Girault et al.
+//
+// Every schedule carries a lower bound (latency with no failure) and an
+// upper bound (latency guaranteed under any ε failures). The sim
+// subpackage replays schedules under failure scenarios; the reliability
+// subpackage quantifies survival probabilities under exponential failure
+// laws; the workload subpackage generates the paper's random task graphs and
+// the classic structured families.
+//
+// Quick start:
+//
+//	rng := rand.New(rand.NewSource(1))
+//	inst, _ := ftsched.NewInstance(rng, ftsched.DefaultPaperConfig(1.0))
+//	s, _ := ftsched.FTSA(inst.Graph, inst.Platform, inst.Costs, ftsched.Options{Epsilon: 2})
+//	fmt.Println(s.LowerBound(), s.UpperBound())
+package ftsched
+
+import (
+	"math/rand"
+
+	"ftsched/internal/core"
+	"ftsched/internal/dag"
+	"ftsched/internal/exec"
+	"ftsched/internal/ftbar"
+	"ftsched/internal/platform"
+	"ftsched/internal/reliability"
+	"ftsched/internal/sched"
+	"ftsched/internal/sim"
+	"ftsched/internal/workload"
+)
+
+// Task-graph model (see internal/dag).
+type (
+	// Graph is a weighted directed acyclic task graph.
+	Graph = dag.Graph
+	// TaskID identifies a task of a Graph.
+	TaskID = dag.TaskID
+	// Edge is one precedence edge with its data volume.
+	Edge = dag.Edge
+)
+
+// Platform model (see internal/platform).
+type (
+	// Platform is a fully connected heterogeneous processor set with a
+	// unit-data delay matrix.
+	Platform = platform.Platform
+	// ProcID identifies a processor.
+	ProcID = platform.ProcID
+	// CostModel is the task × processor execution-time matrix E(t,Pk).
+	CostModel = platform.CostModel
+)
+
+// Schedules (see internal/sched).
+type (
+	// Schedule is a complete fault-tolerant mapping with latency bounds.
+	Schedule = sched.Schedule
+	// Replica is one of the ε+1 copies of a task.
+	Replica = sched.Replica
+)
+
+// Scheduler options (see internal/core and internal/ftbar).
+type (
+	// Options configures FTSA (ε, tie-breaking RNG, optional deadlines).
+	Options = core.Options
+	// MCFTSAOptions adds the matching policy for MCFTSA.
+	MCFTSAOptions = core.MCFTSAOptions
+	// FTBAROptions configures the FTBAR baseline.
+	FTBAROptions = ftbar.Options
+	// MatchPolicy selects greedy or bottleneck-optimal matching in MCFTSA.
+	MatchPolicy = core.MatchPolicy
+)
+
+// Matching policies for MCFTSA.
+const (
+	MatchGreedy     = core.MatchGreedy
+	MatchBottleneck = core.MatchBottleneck
+)
+
+// Workload generation (see internal/workload).
+type (
+	// Instance bundles a graph, a platform and a cost model.
+	Instance = workload.Instance
+	// PaperConfig holds the generation parameters of the paper's Section 6.
+	PaperConfig = workload.PaperConfig
+	// RandomDAGConfig parameterizes the layered random DAG generator.
+	RandomDAGConfig = workload.RandomDAGConfig
+)
+
+// Simulation (see internal/sim).
+type (
+	// Scenario assigns a crash time to every processor.
+	Scenario = sim.Scenario
+	// SimResult reports one simulated execution.
+	SimResult = sim.Result
+	// CommModel computes message delivery times.
+	CommModel = sim.CommModel
+)
+
+// Reliability (see internal/reliability).
+type (
+	// Exponential models i.i.d. exponential processor lifetimes.
+	Exponential = reliability.Exponential
+	// MonteCarloResult summarizes a sampled reliability estimate.
+	MonteCarloResult = reliability.MonteCarloResult
+)
+
+// FTSA runs the paper's Fault Tolerant Scheduling Algorithm (Algorithm 4.1).
+func FTSA(g *Graph, p *Platform, cm *CostModel, opt Options) (*Schedule, error) {
+	return core.FTSA(g, p, cm, opt)
+}
+
+// MCFTSA runs the Minimum Communications variant (Section 4.2).
+func MCFTSA(g *Graph, p *Platform, cm *CostModel, opt MCFTSAOptions) (*Schedule, error) {
+	return core.MCFTSA(g, p, cm, opt)
+}
+
+// FTBAR runs the re-implemented baseline of Girault et al. (Section 5).
+func FTBAR(g *Graph, p *Platform, cm *CostModel, opt FTBAROptions) (*Schedule, error) {
+	return ftbar.Schedule(g, p, cm, opt)
+}
+
+// MaxToleratedFailures finds, by binary search, the largest ε whose
+// guaranteed latency fits the budget (Section 4.3). The scheduler argument
+// is typically FTSAScheduler or MCFTSAScheduler.
+func MaxToleratedFailures(maxProcs int, latency float64, s core.Scheduler) (int, *Schedule, error) {
+	return core.MaxToleratedFailures(maxProcs, latency, s)
+}
+
+// FTSAScheduler adapts FTSA for MaxToleratedFailures.
+func FTSAScheduler(g *Graph, p *Platform, cm *CostModel, opt Options) core.Scheduler {
+	return core.FTSAScheduler(g, p, cm, opt)
+}
+
+// MCFTSAScheduler adapts MCFTSA for MaxToleratedFailures.
+func MCFTSAScheduler(g *Graph, p *Platform, cm *CostModel, opt MCFTSAOptions) core.Scheduler {
+	return core.MCFTSAScheduler(g, p, cm, opt)
+}
+
+// ScheduleWithDeadlines schedules under both a latency budget and ε,
+// aborting early when the combination is infeasible (Section 4.3).
+func ScheduleWithDeadlines(g *Graph, p *Platform, cm *CostModel, opt Options, latency float64) (*Schedule, error) {
+	return core.ScheduleWithDeadlines(g, p, cm, opt, latency)
+}
+
+// NewInstance draws one full scheduling problem per the paper's generation
+// parameters.
+func NewInstance(rng *rand.Rand, cfg PaperConfig) (*Instance, error) {
+	return workload.NewInstance(rng, cfg)
+}
+
+// NewInstanceForGraph builds platform and costs for an existing graph.
+func NewInstanceForGraph(rng *rand.Rand, g *Graph, cfg PaperConfig) (*Instance, error) {
+	return workload.NewInstanceForGraph(rng, g, cfg)
+}
+
+// DefaultPaperConfig returns the Figures 1-3 generation parameters with the
+// given target granularity.
+func DefaultPaperConfig(granularity float64) PaperConfig {
+	return workload.DefaultPaperConfig(granularity)
+}
+
+// Simulate replays a schedule under a failure scenario with the paper's
+// contention-free communication model.
+func Simulate(s *Schedule, sc Scenario) (*SimResult, error) {
+	return sim.Run(s, sc, nil)
+}
+
+// SimulateWithModel replays a schedule under a failure scenario with a
+// custom communication model (one-port, bounded multi-port).
+func SimulateWithModel(s *Schedule, sc Scenario, model CommModel) (*SimResult, error) {
+	return sim.Run(s, sc, model)
+}
+
+// NoFailures returns the all-alive scenario for m processors.
+func NoFailures(m int) Scenario { return sim.NoFailures(m) }
+
+// CrashAtZero crashes the listed processors before they do any work.
+func CrashAtZero(m int, procs ...ProcID) (Scenario, error) {
+	return sim.CrashAtZero(m, procs...)
+}
+
+// UniformCrashes crashes n uniformly drawn processors at time zero.
+func UniformCrashes(rng *rand.Rand, m, n int) (Scenario, error) {
+	return sim.UniformCrashes(rng, m, n)
+}
+
+// SurvivalLowerBound bounds the probability a schedule tolerating epsilon
+// failures survives the mission (at most ε of m processors fail).
+func SurvivalLowerBound(e Exponential, m, epsilon int, mission float64) (float64, error) {
+	return reliability.SurvivalLowerBound(e, m, epsilon, mission)
+}
+
+// MonteCarloReliability estimates the survival probability by sampling crash
+// scenarios and replaying the schedule.
+func MonteCarloReliability(rng *rand.Rand, s *Schedule, e Exponential, trials int) (*MonteCarloResult, error) {
+	return reliability.MonteCarlo(rng, s, e, trials)
+}
+
+// Granularity computes g(G,P), the paper's computation/communication ratio.
+func Granularity(g *Graph, cm *CostModel, p *Platform) (float64, error) {
+	return platform.Granularity(g, cm, p)
+}
+
+// Concurrent execution (see internal/exec): run a schedule with real
+// goroutine workers and channel links.
+type (
+	// TaskFunc is the user function executed by every replica of a task.
+	TaskFunc = exec.Task
+	// TaskPayload is the opaque data tasks exchange.
+	TaskPayload = exec.Payload
+	// ExecConfig tunes an execution (deterministic crash injection).
+	ExecConfig = exec.Config
+	// ExecReport summarizes a concurrent execution.
+	ExecReport = exec.Report
+)
+
+// Execute runs the schedule with one goroutine per processor, applying the
+// paper's active-replication protocol (first input wins) to the user's task
+// functions. Up to ε processor crashes (ExecConfig.CrashAfter) are
+// tolerated by construction.
+func Execute(s *Schedule, fns []TaskFunc, cfg ExecConfig) (*ExecReport, error) {
+	return exec.Run(s, fns, cfg)
+}

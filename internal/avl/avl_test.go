@@ -1,0 +1,217 @@
+package avl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int] { return New(func(a, b int) bool { return a < b }) }
+
+func TestInsertDeleteContains(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{5, 3, 8, 1, 4, 7, 9, 2, 6} {
+		if !tr.Insert(k) {
+			t.Fatalf("Insert(%d) = false", k)
+		}
+	}
+	if tr.Insert(5) {
+		t.Error("duplicate insert accepted")
+	}
+	if tr.Len() != 9 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for k := 1; k <= 9; k++ {
+		if !tr.Contains(k) {
+			t.Errorf("Contains(%d) = false", k)
+		}
+	}
+	if tr.Contains(10) {
+		t.Error("Contains(10) = true")
+	}
+	if !tr.Delete(5) {
+		t.Error("Delete(5) = false")
+	}
+	if tr.Delete(5) {
+		t.Error("second Delete(5) = true")
+	}
+	if tr.Contains(5) {
+		t.Error("5 still present after delete")
+	}
+	if !tr.CheckInvariants() {
+		t.Error("invariants violated")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := intTree()
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree")
+	}
+	for _, k := range []int{42, 17, 99, 3} {
+		tr.Insert(k)
+	}
+	if min, _ := tr.Min(); min != 3 {
+		t.Errorf("Min = %d", min)
+	}
+	if max, _ := tr.Max(); max != 99 {
+		t.Errorf("Max = %d", max)
+	}
+	if k, ok := tr.DeleteMin(); !ok || k != 3 {
+		t.Errorf("DeleteMin = %d, %v", k, ok)
+	}
+	if k, ok := tr.DeleteMax(); !ok || k != 99 {
+		t.Errorf("DeleteMax = %d, %v", k, ok)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	tr := intTree()
+	rng := rand.New(rand.NewSource(1))
+	want := rng.Perm(500)
+	for _, k := range want {
+		tr.Insert(k)
+	}
+	keys := tr.Keys()
+	if !sort.IntsAreSorted(keys) {
+		t.Error("Keys not sorted")
+	}
+	if len(keys) != 500 {
+		t.Errorf("len(Keys) = %d", len(keys))
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for k := 0; k < 10; k++ {
+		tr.Insert(k)
+	}
+	count := 0
+	tr.Ascend(func(int) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Errorf("visited %d keys, want 4", count)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := intTree()
+	// Insert in sorted order — the adversarial case for naive BSTs.
+	const n = 1 << 12
+	for k := 0; k < n; k++ {
+		tr.Insert(k)
+	}
+	// AVL height bound: 1.44 log2(n+2).
+	if h := tr.Height(); h > 18 {
+		t.Errorf("height %d too large for %d sorted inserts", h, n)
+	}
+	if !tr.CheckInvariants() {
+		t.Error("invariants violated after sorted inserts")
+	}
+	for k := 0; k < n; k += 2 {
+		tr.Delete(k)
+	}
+	if !tr.CheckInvariants() {
+		t.Error("invariants violated after deletes")
+	}
+	if tr.Len() != n/2 {
+		t.Errorf("Len = %d, want %d", tr.Len(), n/2)
+	}
+}
+
+func TestPropInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := intTree()
+		present := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			k := rng.Intn(100)
+			if rng.Float64() < 0.6 {
+				ins := tr.Insert(k)
+				if ins == present[k] {
+					return false // Insert must succeed iff absent
+				}
+				present[k] = true
+			} else {
+				del := tr.Delete(k)
+				if del != present[k] {
+					return false // Delete must succeed iff present
+				}
+				delete(present, k)
+			}
+		}
+		if tr.Len() != len(present) {
+			return false
+		}
+		return tr.CheckInvariants()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeListPriorityOrder(t *testing.T) {
+	l := NewFreeList()
+	if _, ok := l.Head(); ok {
+		t.Error("Head on empty list")
+	}
+	l.Push(Entry{Priority: 5, ID: 1})
+	l.Push(Entry{Priority: 9, ID: 2})
+	l.Push(Entry{Priority: 7, ID: 3})
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if h, _ := l.Head(); h.ID != 2 {
+		t.Errorf("Head ID = %d, want 2 (highest priority)", h.ID)
+	}
+	h, ok := l.PopHead()
+	if !ok || h.Priority != 9 {
+		t.Errorf("PopHead = %+v", h)
+	}
+	if h, _ := l.PopHead(); h.ID != 3 {
+		t.Errorf("second PopHead ID = %d, want 3", h.ID)
+	}
+	if !l.CheckInvariants() {
+		t.Error("invariants violated")
+	}
+}
+
+func TestFreeListTieBreaking(t *testing.T) {
+	l := NewFreeList()
+	// Equal priorities: the larger tie wins; equal ties fall back to ID.
+	l.Push(Entry{Priority: 5, Tie: 1, ID: 1})
+	l.Push(Entry{Priority: 5, Tie: 9, ID: 2})
+	l.Push(Entry{Priority: 5, Tie: 9, ID: 3})
+	if h, _ := l.Head(); h.ID != 3 {
+		t.Errorf("Head = %+v, want ID 3", h)
+	}
+	if !l.Remove(Entry{Priority: 5, Tie: 9, ID: 3}) {
+		t.Error("Remove failed")
+	}
+	if h, _ := l.Head(); h.ID != 2 {
+		t.Errorf("Head after remove = %+v, want ID 2", h)
+	}
+	if l.Remove(Entry{Priority: 5, Tie: 9, ID: 3}) {
+		t.Error("Remove of absent entry succeeded")
+	}
+}
+
+func TestFreeListHeightBound(t *testing.T) {
+	l := NewFreeList()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1024; i++ {
+		l.Push(Entry{Priority: rng.Float64(), Tie: rng.Uint64(), ID: i})
+	}
+	if h := l.Height(); h > 16 {
+		t.Errorf("height %d exceeds AVL bound for 1024 entries", h)
+	}
+}

@@ -1,0 +1,39 @@
+package avl_test
+
+import (
+	"fmt"
+
+	"ftsched/internal/avl"
+)
+
+// ExampleTree shows the generic ordered tree.
+func ExampleTree() {
+	tr := avl.New(func(a, b string) bool { return a < b })
+	for _, s := range []string{"pear", "apple", "plum", "fig"} {
+		tr.Insert(s)
+	}
+	tr.Delete("plum")
+	min, _ := tr.Min()
+	max, _ := tr.Max()
+	fmt.Println(tr.Len(), min, max)
+	// Output:
+	// 3 apple pear
+}
+
+// ExampleFreeList demonstrates the scheduler's priority list α: H(α) always
+// returns the highest-priority free task.
+func ExampleFreeList() {
+	l := avl.NewFreeList()
+	l.Push(avl.Entry{Priority: 41.5, ID: 7})
+	l.Push(avl.Entry{Priority: 99.0, ID: 2})
+	l.Push(avl.Entry{Priority: 63.2, ID: 5})
+
+	for l.Len() > 0 {
+		e, _ := l.PopHead()
+		fmt.Printf("task %d (priority %.1f)\n", e.ID, e.Priority)
+	}
+	// Output:
+	// task 2 (priority 99.0)
+	// task 5 (priority 63.2)
+	// task 7 (priority 41.5)
+}

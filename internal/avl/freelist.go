@@ -1,0 +1,55 @@
+package avl
+
+// Entry is one element of a FreeList: an integer task ID with a scheduling
+// priority. Ties between equal priorities are broken by a caller-supplied
+// tie value (the schedulers draw it at random, matching the paper's "ties
+// are broken randomly"); remaining ties fall back to the task ID so the
+// ordering is total.
+type Entry struct {
+	Priority float64
+	Tie      uint64
+	ID       int
+}
+
+// FreeList is the priority list α of Section 4.1: a balanced search tree of
+// free tasks from which H(α), the highest-priority task, is repeatedly
+// extracted. All operations are O(log n).
+type FreeList struct {
+	tree *Tree[Entry]
+}
+
+// NewFreeList returns an empty priority list.
+func NewFreeList() *FreeList {
+	return &FreeList{tree: New(func(a, b Entry) bool {
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+		if a.Tie != b.Tie {
+			return a.Tie < b.Tie
+		}
+		return a.ID < b.ID
+	})}
+}
+
+// Len returns |α|.
+func (l *FreeList) Len() int { return l.tree.Len() }
+
+// Push inserts an entry; it reports false if an identical entry is present.
+func (l *FreeList) Push(e Entry) bool { return l.tree.Insert(e) }
+
+// Remove deletes an entry previously pushed; it reports whether it existed.
+func (l *FreeList) Remove(e Entry) bool { return l.tree.Delete(e) }
+
+// Head returns H(α), the entry with the highest priority, without removing
+// it; ok is false when the list is empty.
+func (l *FreeList) Head() (Entry, bool) { return l.tree.Max() }
+
+// PopHead removes and returns H(α).
+func (l *FreeList) PopHead() (Entry, bool) { return l.tree.DeleteMax() }
+
+// Height exposes the underlying tree height, for tests asserting the
+// O(log ω) bound.
+func (l *FreeList) Height() int { return l.tree.Height() }
+
+// CheckInvariants verifies the underlying AVL invariants (tests only).
+func (l *FreeList) CheckInvariants() bool { return l.tree.CheckInvariants() }

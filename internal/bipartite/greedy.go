@@ -1,0 +1,28 @@
+package bipartite
+
+// GreedyOrderedMatching scans edge indices in the given order and keeps an
+// edge exactly when it saturates a previously unmatched left vertex and a
+// previously unmatched right vertex. This is the greedy edge-selection rule
+// of Section 4.2: the caller encodes the policy (internal communications
+// first, then non-decreasing weight) in the order.
+//
+// The returned matching may be imperfect if the greedy order dead-ends; the
+// boolean reports whether every left vertex was saturated. For the replica
+// graphs built by MC-FTSA the greedy order always completes (forced internal
+// edges are vertex-disjoint and the residual graph is complete bipartite),
+// but callers should still check ok.
+func (g *Graph) GreedyOrderedMatching(order []int) (Matching, bool) {
+	matchL := make(Matching, g.nLeft)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	usedR := make([]bool, g.nRight)
+	for _, ei := range order {
+		e := g.edges[ei]
+		if matchL[e.L] == -1 && !usedR[e.R] {
+			matchL[e.L] = e.R
+			usedR[e.R] = true
+		}
+	}
+	return matchL, matchL.Size() == g.nLeft
+}

@@ -1,0 +1,267 @@
+// Package core implements the paper's primary contribution: FTSA (Fault
+// Tolerant Scheduling Algorithm, Algorithm 4.1) and its communication-
+// minimizing variant MC-FTSA (Section 4.2), together with the bi-criteria
+// drivers of Section 4.3 (maximize tolerated failures under a latency
+// budget, and joint feasibility detection via task deadlines).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ftsched/internal/avl"
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+)
+
+// Scheduling errors.
+var (
+	// ErrDeadline is returned by the deadline-checked variant when, at some
+	// step, even the best ε+1 processors cannot meet the task's deadline —
+	// the latency/ε combination is infeasible (Section 4.3).
+	ErrDeadline = errors.New("core: failed to satisfy both latency and failure criteria simultaneously")
+	// ErrTooManyFailures is returned when ε+1 exceeds the processor count:
+	// active replication needs ε+1 distinct processors per task.
+	ErrTooManyFailures = errors.New("core: ε+1 replicas need more processors than the platform has")
+)
+
+// Options configures an FTSA/MC-FTSA run.
+type Options struct {
+	// Epsilon is ε, the number of fail-stop processor failures to tolerate;
+	// every task gets ε+1 replicas. Zero yields the fault-free schedule.
+	Epsilon int
+	// Rng breaks priority ties randomly, as the paper specifies. A nil Rng
+	// makes tie-breaking deterministic (by task ID), which is convenient in
+	// tests.
+	Rng *rand.Rand
+	// Deadlines, when non-nil, must hold one deadline per task (see
+	// sched.Deadlines); scheduling fails with ErrDeadline as soon as a
+	// task's worst selected finish time exceeds its deadline.
+	Deadlines []float64
+}
+
+// FTSA runs Algorithm 4.1: list scheduling by task criticalness
+// (tℓ(t)+bℓ(t)) with an AVL-backed free list, mapping every task onto the
+// ε+1 processors that minimize its finish time (equation 1), and recording
+// the pessimistic window (equation 3) alongside. The resulting schedule uses
+// the full communication pattern (every predecessor replica sends to every
+// successor replica).
+func FTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options) (*sched.Schedule, error) {
+	st, err := newState(g, p, cm, opt, sched.PatternAll, "FTSA")
+	if err != nil {
+		return nil, err
+	}
+	for st.free.Len() > 0 {
+		t := st.pop()
+		win, err := st.placeBestEFT(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.commit(t, win, nil); err != nil {
+			return nil, err
+		}
+	}
+	return st.finish()
+}
+
+// state carries the incremental data of one scheduling run.
+type state struct {
+	g   *dag.Graph
+	p   *platform.Platform
+	cm  *platform.CostModel
+	opt Options
+	s   *sched.Schedule
+
+	bl []float64 // static bottom levels
+	tl []float64 // dynamic top levels, updated as predecessors are mapped
+
+	unschedPreds []int
+	free         *avl.FreeList
+
+	readyMin, readyMax []float64 // r(Pj), optimistic and pessimistic
+
+	// scratch buffers reused across steps to keep the loop allocation-free.
+	arrMin, arrMax []float64
+	cands          []candidate
+}
+
+type candidate struct {
+	proc platform.ProcID
+	fMin float64
+}
+
+// placement describes the ε+1 processors selected for a task with their
+// computed windows, before ready times are committed.
+type placement struct {
+	reps []sched.Replica
+}
+
+func newState(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options, pattern sched.Pattern, algo string) (*state, error) {
+	if opt.Epsilon < 0 || opt.Epsilon+1 > p.NumProcs() {
+		return nil, fmt.Errorf("%w: ε=%d, m=%d", ErrTooManyFailures, opt.Epsilon, p.NumProcs())
+	}
+	if opt.Deadlines != nil && len(opt.Deadlines) != g.NumTasks() {
+		return nil, fmt.Errorf("core: %d deadlines for %d tasks", len(opt.Deadlines), g.NumTasks())
+	}
+	s, err := sched.New(g, p, cm, opt.Epsilon, pattern, algo)
+	if err != nil {
+		return nil, err
+	}
+	bl, err := sched.AvgBottomLevels(g, cm, p)
+	if err != nil {
+		return nil, err
+	}
+	m := p.NumProcs()
+	st := &state{
+		g: g, p: p, cm: cm, opt: opt, s: s,
+		bl:           bl,
+		tl:           make([]float64, g.NumTasks()),
+		unschedPreds: make([]int, g.NumTasks()),
+		free:         avl.NewFreeList(),
+		readyMin:     make([]float64, m),
+		readyMax:     make([]float64, m),
+		arrMin:       make([]float64, m),
+		arrMax:       make([]float64, m),
+		cands:        make([]candidate, 0, m),
+	}
+	for t := 0; t < g.NumTasks(); t++ {
+		st.unschedPreds[t] = g.InDegree(dag.TaskID(t))
+		if st.unschedPreds[t] == 0 {
+			st.push(dag.TaskID(t))
+		}
+	}
+	return st, nil
+}
+
+func (st *state) tie() uint64 {
+	if st.opt.Rng == nil {
+		return 0
+	}
+	return st.opt.Rng.Uint64()
+}
+
+func (st *state) push(t dag.TaskID) {
+	st.free.Push(avl.Entry{Priority: st.tl[t] + st.bl[t], Tie: st.tie(), ID: int(t)})
+}
+
+func (st *state) pop() dag.TaskID {
+	e, _ := st.free.PopHead()
+	return dag.TaskID(e.ID)
+}
+
+// computeArrivals fills arrMin/arrMax with, for every processor Pj, the
+// earliest (equation 1) and latest (equation 3) time all predecessor data
+// can be available on Pj.
+func (st *state) computeArrivals(t dag.TaskID) {
+	for j := range st.arrMin {
+		st.arrMin[j], st.arrMax[j] = 0, 0
+	}
+	for _, pe := range st.g.Preds(t) {
+		srcReps := st.s.Replicas(pe.To)
+		for j := 0; j < st.p.NumProcs(); j++ {
+			eMin, eMax := sched.ArrivalWindow(st.p, srcReps, pe.Volume, platform.ProcID(j))
+			if eMin > st.arrMin[j] {
+				st.arrMin[j] = eMin
+			}
+			if eMax > st.arrMax[j] {
+				st.arrMax[j] = eMax
+			}
+		}
+	}
+}
+
+// placeBestEFT computes equation (1) on every processor and selects the ε+1
+// distinct processors with minimum finish time, breaking ties toward lower
+// processor indices. The replicas are ordered by increasing optimistic
+// finish time.
+func (st *state) placeBestEFT(t dag.TaskID) (*placement, error) {
+	st.computeArrivals(t)
+	st.cands = st.cands[:0]
+	for j := 0; j < st.p.NumProcs(); j++ {
+		pj := platform.ProcID(j)
+		sMin := math.Max(st.arrMin[j], st.readyMin[j])
+		st.cands = append(st.cands, candidate{proc: pj, fMin: sMin + st.cm.Cost(t, pj)})
+	}
+	sort.Slice(st.cands, func(a, b int) bool {
+		if st.cands[a].fMin != st.cands[b].fMin {
+			return st.cands[a].fMin < st.cands[b].fMin
+		}
+		return st.cands[a].proc < st.cands[b].proc
+	})
+	k := st.opt.Epsilon + 1
+	reps := make([]sched.Replica, 0, k)
+	for i := 0; i < k; i++ {
+		pj := st.cands[i].proc
+		e := st.cm.Cost(t, pj)
+		sMin := math.Max(st.arrMin[pj], st.readyMin[pj])
+		sMax := math.Max(st.arrMax[pj], st.readyMax[pj])
+		reps = append(reps, sched.Replica{
+			Task: t, Copy: i, Proc: pj,
+			StartMin: sMin, FinishMin: sMin + e,
+			StartMax: sMax, FinishMax: sMax + e,
+		})
+	}
+	return &placement{reps: reps}, nil
+}
+
+// commit checks the deadline (Section 4.3), records the replicas (and the
+// matched sources under PatternMatched), advances processor ready times and
+// releases newly free successors.
+func (st *state) commit(t dag.TaskID, win *placement, matched [][]int) error {
+	if st.opt.Deadlines != nil {
+		worst := 0.0
+		for _, r := range win.reps {
+			if r.FinishMin > worst {
+				worst = r.FinishMin
+			}
+		}
+		if worst > st.opt.Deadlines[t]+1e-9 {
+			return fmt.Errorf("%w: task %d finishes at %.4g after deadline %.4g",
+				ErrDeadline, t, worst, st.opt.Deadlines[t])
+		}
+	}
+	if err := st.s.Place(t, win.reps); err != nil {
+		return err
+	}
+	if matched != nil {
+		if err := st.s.SetMatchedSources(t, matched); err != nil {
+			return err
+		}
+	}
+	for _, r := range win.reps {
+		st.readyMin[r.Proc] = r.FinishMin
+		st.readyMax[r.Proc] = r.FinishMax
+	}
+	// Update the dynamic top level of successors (Section 4.1, adapted to
+	// replication: the data of t is available once its earliest replica
+	// finishes, and we charge the worst-case outgoing delay from that
+	// replica's processor since the successor's mapping is unknown).
+	for _, se := range st.g.Succs(t) {
+		contrib := math.Inf(1)
+		for _, r := range win.reps {
+			c := r.FinishMin + se.Volume*st.p.MaxDelayFrom(r.Proc)
+			if c < contrib {
+				contrib = c
+			}
+		}
+		if contrib > st.tl[se.To] {
+			st.tl[se.To] = contrib
+		}
+		st.unschedPreds[se.To]--
+		if st.unschedPreds[se.To] == 0 {
+			st.push(se.To)
+		}
+	}
+	return nil
+}
+
+func (st *state) finish() (*sched.Schedule, error) {
+	if !st.s.Complete() {
+		return nil, dag.ErrCycle
+	}
+	return st.s, nil
+}

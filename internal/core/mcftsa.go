@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ftsched/internal/bipartite"
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+)
+
+// MatchPolicy selects how MC-FTSA extracts the robust communication set from
+// each precedence edge's bipartite replica graph (Section 4.2 proposes both).
+type MatchPolicy int
+
+const (
+	// MatchGreedy gives priority to internal (same-processor)
+	// communications, then selects edges in non-decreasing weight order.
+	// This is the policy used in the paper's experiments.
+	MatchGreedy MatchPolicy = iota
+	// MatchBottleneck minimizes the largest retained edge weight via binary
+	// search over edge weights plus maximum bipartite matching — the
+	// polynomial exact method of Section 4.2.
+	MatchBottleneck
+)
+
+// String implements fmt.Stringer.
+func (mp MatchPolicy) String() string {
+	switch mp {
+	case MatchGreedy:
+		return "greedy"
+	case MatchBottleneck:
+		return "bottleneck"
+	default:
+		return fmt.Sprintf("MatchPolicy(%d)", int(mp))
+	}
+}
+
+// ErrNoRobustMatching indicates the bipartite replica graph had no perfect
+// matching. For graphs built per Section 4.2 this cannot happen (forced
+// internal edges are vertex-disjoint and the residual graph is complete
+// bipartite); seeing this error means the schedule state is corrupted.
+var ErrNoRobustMatching = errors.New("core: no robust communication matching")
+
+// MCFTSAOptions extends Options with the matching policy.
+type MCFTSAOptions struct {
+	Options
+	Policy MatchPolicy
+}
+
+// MCFTSA runs the Minimum-Communications variant of FTSA (Section 4.2).
+// Processor selection is identical to FTSA (equation 1), but instead of
+// every predecessor replica sending to every replica of the task, each
+// precedence edge retains exactly ε+1 replica-to-replica communications,
+// chosen as a perfect matching of the bipartite graph whose left nodes are
+// the predecessor's replicas and right nodes the task's replicas:
+//
+//   - a left node whose processor also hosts a replica of the task has a
+//     single outgoing edge, to that co-located replica (Proposition 4.3:
+//     enforcing internal communications is what makes the set robust);
+//   - any other left node connects to every right node;
+//   - the weight of an edge is the time-step at which the task's replica
+//     could finish if that predecessor replica were its only input:
+//     max(F(t′,Pi) + W(t′,t), r(Pj)) + E(t,Pj).
+//
+// The schedule's replica windows are then computed against the single
+// matched source per predecessor, which is why MC-FTSA's upper bound stays
+// close to its lower bound.
+func MCFTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt MCFTSAOptions) (*sched.Schedule, error) {
+	st, err := newState(g, p, cm, opt.Options, sched.PatternMatched, "MC-FTSA")
+	if err != nil {
+		return nil, err
+	}
+	for st.free.Len() > 0 {
+		t := st.pop()
+		win, err := st.placeBestEFT(t) // A(t) per equation (1), as in FTSA
+		if err != nil {
+			return nil, err
+		}
+		matched, err := st.matchCommunications(t, win, opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		recomputeMatchedWindows(st, t, win, matched)
+		if err := st.commit(t, win, matched); err != nil {
+			return nil, err
+		}
+	}
+	return st.finish()
+}
+
+// matchCommunications builds, for every predecessor of t, the bipartite
+// replica graph of Section 4.2 and extracts a robust perfect matching under
+// the requested policy. The result is receiver-indexed:
+// matched[copy][predIdx] = predecessor copy feeding that replica.
+func (st *state) matchCommunications(t dag.TaskID, win *placement, policy MatchPolicy) ([][]int, error) {
+	k := len(win.reps)
+	preds := st.g.Preds(t)
+	matched := make([][]int, k)
+	for c := range matched {
+		matched[c] = make([]int, len(preds))
+	}
+	// Processor -> right (replica of t) index, for the forced internal edges.
+	procToCopy := make(map[platform.ProcID]int, k)
+	for c, r := range win.reps {
+		procToCopy[r.Proc] = c
+	}
+	for predIdx, pe := range preds {
+		srcReps := st.s.Replicas(pe.To)
+		bg := bipartite.New(len(srcReps), k)
+		internal := make([]bool, 0, len(srcReps)*k)
+		for i, sr := range srcReps {
+			if c, ok := procToCopy[sr.Proc]; ok {
+				// Case (i): Pi ∈ A(t) — single internal edge.
+				w := st.edgeWeight(t, sr, pe.Volume, win.reps[c].Proc)
+				if err := bg.AddEdge(i, c, w); err != nil {
+					return nil, err
+				}
+				internal = append(internal, true)
+				continue
+			}
+			// Case (ii): edges to every replica of t.
+			for c := 0; c < k; c++ {
+				w := st.edgeWeight(t, sr, pe.Volume, win.reps[c].Proc)
+				if err := bg.AddEdge(i, c, w); err != nil {
+					return nil, err
+				}
+				internal = append(internal, false)
+			}
+		}
+		var m bipartite.Matching
+		switch policy {
+		case MatchGreedy:
+			order := greedyOrder(bg, internal)
+			var ok bool
+			m, ok = bg.GreedyOrderedMatching(order)
+			if !ok {
+				// The greedy order cannot dead-end on these graphs, but
+				// fall back to the exact method defensively.
+				var bok bool
+				m, _, bok = bg.BottleneckPerfectMatching()
+				if !bok {
+					return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNoRobustMatching, pe.To, t)
+				}
+			}
+		case MatchBottleneck:
+			var ok bool
+			m, _, ok = bg.BottleneckPerfectMatching()
+			if !ok {
+				return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNoRobustMatching, pe.To, t)
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown match policy %v", policy)
+		}
+		// Invert: m maps left (src copy) -> right (dst copy).
+		for i, c := range m {
+			if c < 0 {
+				return nil, fmt.Errorf("%w: unmatched source copy %d on edge (%d,%d)", ErrNoRobustMatching, i, pe.To, t)
+			}
+			matched[c][predIdx] = i
+		}
+	}
+	return matched, nil
+}
+
+// edgeWeight is the bipartite edge weight of Section 4.2:
+// max(F(t′,Pi) + W(t′,t), r(Pj)) + E(t,Pj), with W = 0 when Pi = Pj.
+func (st *state) edgeWeight(t dag.TaskID, sr sched.Replica, volume float64, pj platform.ProcID) float64 {
+	arr := sr.FinishMin + volume*st.p.Delay(sr.Proc, pj)
+	return math.Max(arr, st.readyMin[pj]) + st.cm.Cost(t, pj)
+}
+
+// greedyOrder returns edge indices with internal edges first, then the rest
+// by non-decreasing weight (ties by insertion order for determinism).
+func greedyOrder(bg *bipartite.Graph, internal []bool) []int {
+	order := make([]int, bg.NumEdges())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := internal[order[a]], internal[order[b]]
+		if ia != ib {
+			return ia
+		}
+		return bg.Edge(order[a]).W < bg.Edge(order[b]).W
+	})
+	return order
+}
+
+// recomputeMatchedWindows replaces the full-pattern windows of the selected
+// replicas with the matched-pattern ones: each replica now waits for exactly
+// one message per predecessor, so its optimistic window uses the matched
+// source's optimistic finish and its pessimistic window the same source's
+// pessimistic finish.
+func recomputeMatchedWindows(st *state, t dag.TaskID, win *placement, matched [][]int) {
+	preds := st.g.Preds(t)
+	for c := range win.reps {
+		r := &win.reps[c]
+		arrMin, arrMax := 0.0, 0.0
+		for predIdx, pe := range preds {
+			sr := st.s.Replicas(pe.To)[matched[c][predIdx]]
+			d := st.p.Delay(sr.Proc, r.Proc)
+			if a := sr.FinishMin + pe.Volume*d; a > arrMin {
+				arrMin = a
+			}
+			if a := sr.FinishMax + pe.Volume*d; a > arrMax {
+				arrMax = a
+			}
+		}
+		e := st.cm.Cost(t, r.Proc)
+		r.StartMin = math.Max(arrMin, st.readyMin[r.Proc])
+		r.FinishMin = r.StartMin + e
+		r.StartMax = math.Max(arrMax, st.readyMax[r.Proc])
+		r.FinishMax = r.StartMax + e
+	}
+}

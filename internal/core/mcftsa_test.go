@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/sched"
+)
+
+func TestMCFTSAValidatesAndBoundsMessages(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, eps := range []int{0, 1, 2, 5} {
+			for _, policy := range []MatchPolicy{MatchGreedy, MatchBottleneck} {
+				inst := testInstance(t, seed, 1.0, 20)
+				s, err := MCFTSA(inst.Graph, inst.Platform, inst.Costs, MCFTSAOptions{
+					Options: Options{Epsilon: eps, Rng: rand.New(rand.NewSource(seed))},
+					Policy:  policy,
+				})
+				if err != nil {
+					t.Fatalf("seed %d ε=%d %v: MCFTSA: %v", seed, eps, policy, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("seed %d ε=%d %v: Validate: %v", seed, eps, policy, err)
+				}
+				// Linear message bound: at most e(ε+1) inter-processor
+				// messages (Section 4.2), versus e(ε+1)² for FTSA.
+				if max := inst.Graph.NumEdges() * (eps + 1); s.MessageCount() > max {
+					t.Fatalf("seed %d ε=%d %v: %d messages exceed e(ε+1)=%d",
+						seed, eps, policy, s.MessageCount(), max)
+				}
+				if lb, ub := s.LowerBound(), s.UpperBound(); ub < lb-1e-9 {
+					t.Fatalf("seed %d ε=%d %v: bounds inverted (%g > %g)", seed, eps, policy, lb, ub)
+				}
+			}
+		}
+	}
+}
+
+func TestMCFTSAReducesMessagesVersusFTSA(t *testing.T) {
+	inst := testInstance(t, 42, 1.0, 20)
+	const eps = 2
+	ftsa, err := FTSA(inst.Graph, inst.Platform, inst.Costs, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MCFTSA(inst.Graph, inst.Platform, inst.Costs, MCFTSAOptions{Options: Options{Epsilon: eps}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.MessageCount() >= ftsa.MessageCount() {
+		t.Errorf("MC-FTSA should cut communications: %d vs FTSA %d", mc.MessageCount(), ftsa.MessageCount())
+	}
+}
+
+func TestMCFTSALowerBoundNotBelowFTSAOnAverage(t *testing.T) {
+	// The paper: "the lower bound of MC-FTSA is slightly higher than that of
+	// FTSA". This holds on batch averages, not per instance: the matched
+	// windows shift ready times, so the greedy trajectory diverges and can
+	// occasionally land on a better schedule than FTSA's.
+	var ftsaSum, mcSum float64
+	for seed := int64(1); seed <= 12; seed++ {
+		inst := testInstance(t, seed, 1.0, 20)
+		ftsa, err := FTSA(inst.Graph, inst.Platform, inst.Costs, Options{Epsilon: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := MCFTSA(inst.Graph, inst.Platform, inst.Costs, MCFTSAOptions{Options: Options{Epsilon: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftsaSum += ftsa.LowerBound()
+		mcSum += mc.LowerBound()
+	}
+	if mcSum < ftsaSum {
+		t.Errorf("MC-FTSA mean lower bound %g below FTSA mean %g", mcSum/12, ftsaSum/12)
+	}
+	// And it should stay "slightly" higher, not explode.
+	if mcSum > ftsaSum*1.6 {
+		t.Errorf("MC-FTSA mean lower bound %g more than 60%% above FTSA mean %g", mcSum/12, ftsaSum/12)
+	}
+}
+
+func TestMCFTSAUpperCloseToLower(t *testing.T) {
+	// "its upper bound is close to the lower bound since we keep only the
+	// best communication edges": with a single retained source per edge the
+	// only Min/Max divergence comes through processor ready times. Check
+	// the MC-FTSA gap is much smaller than the FTSA gap.
+	var mcGap, ftsaGap float64
+	for seed := int64(1); seed <= 10; seed++ {
+		inst := testInstance(t, seed, 1.0, 20)
+		f, err := FTSA(inst.Graph, inst.Platform, inst.Costs, Options{Epsilon: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := MCFTSA(inst.Graph, inst.Platform, inst.Costs, MCFTSAOptions{Options: Options{Epsilon: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftsaGap += f.UpperBound() - f.LowerBound()
+		mcGap += m.UpperBound() - m.LowerBound()
+	}
+	if mcGap >= ftsaGap {
+		t.Errorf("MC-FTSA bound gap %g should be below FTSA gap %g", mcGap, ftsaGap)
+	}
+}
+
+func TestMCFTSAInternalEdgesForced(t *testing.T) {
+	// Proposition 4.3: whenever a predecessor replica shares a processor
+	// with a replica of the task, the matching must route it to itself.
+	// Schedule.Validate checks this; here we additionally verify the
+	// matched sources are a bijection per edge.
+	inst := testInstance(t, 9, 0.6, 10)
+	const eps = 3
+	s, err := MCFTSA(inst.Graph, inst.Platform, inst.Costs, MCFTSAOptions{Options: Options{Epsilon: eps}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Graph
+	for tsk := 0; tsk < g.NumTasks(); tsk++ {
+		tid := dag.TaskID(tsk)
+		for predIdx := range g.Preds(tid) {
+			seen := map[int]bool{}
+			for c := 0; c <= eps; c++ {
+				k, err := s.MatchedSource(tid, c, predIdx)
+				if err != nil {
+					t.Fatalf("MatchedSource(%d,%d,%d): %v", tid, c, predIdx, err)
+				}
+				if seen[k] {
+					t.Fatalf("task %d pred %d: source copy %d reused", tid, predIdx, k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestMCFTSAPatternRecorded(t *testing.T) {
+	inst := testInstance(t, 2, 1.0, 8)
+	s, err := MCFTSA(inst.Graph, inst.Platform, inst.Costs, MCFTSAOptions{Options: Options{Epsilon: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CommPattern != sched.PatternMatched {
+		t.Errorf("pattern = %v, want matched", s.CommPattern)
+	}
+	if s.Algorithm != "MC-FTSA" {
+		t.Errorf("algorithm = %q", s.Algorithm)
+	}
+}

@@ -1,0 +1,44 @@
+package dag
+
+import "testing"
+
+func benchDAG(b *testing.B, n int) *Graph {
+	b.Helper()
+	g := randomDAG(42, n)
+	if g.NumTasks() < 2 {
+		b.Fatal("degenerate graph")
+	}
+	return g
+}
+
+func BenchmarkTopologicalOrder(b *testing.B) {
+	g := benchDAG(b, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopologicalOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBottomLevels(b *testing.B) {
+	g := benchDAG(b, 40)
+	node := func(TaskID) float64 { return 1 }
+	edge := func(_, _ TaskID, v float64) float64 { return v }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.BottomLevels(node, edge); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWidth(b *testing.B) {
+	g := benchDAG(b, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Width(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

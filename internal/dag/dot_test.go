@@ -1,0 +1,97 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := buildDiamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "diamond"`,
+		"t0 -> t1 [label=\"10\"]",
+		"t2 -> t3 [label=\"40\"]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := g.WriteDOT(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := buildDiamond(t)
+	st, err := g.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 4 || st.Edges != 4 {
+		t.Errorf("tasks/edges %d/%d", st.Tasks, st.Edges)
+	}
+	if st.Entries != 1 || st.Exits != 1 {
+		t.Errorf("entries/exits %d/%d", st.Entries, st.Exits)
+	}
+	if st.Levels != 3 || st.Width != 2 {
+		t.Errorf("levels/width %d/%d", st.Levels, st.Width)
+	}
+	if st.MaxInDegree != 2 || st.MaxOutDegree != 2 {
+		t.Errorf("degrees %d/%d", st.MaxInDegree, st.MaxOutDegree)
+	}
+	if st.TotalVolume != 100 {
+		t.Errorf("volume %g", st.TotalVolume)
+	}
+	if st.CriticalPathHops != 3 {
+		t.Errorf("hops %d", st.CriticalPathHops)
+	}
+	if st.String() == "" {
+		t.Error("empty String()")
+	}
+	empty := New("e")
+	est, err := empty.ComputeStats()
+	if err != nil || est.Tasks != 0 {
+		t.Errorf("empty stats: %v %v", est, err)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := buildDiamond(t)
+	sub, orig, err := g.Subgraph([]TaskID{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumTasks() != 3 {
+		t.Fatalf("tasks = %d", sub.NumTasks())
+	}
+	// Edges 0->1 and 1->3 survive (as 0->1, 1->2); 0->2, 2->3 dropped.
+	if sub.NumEdges() != 2 {
+		t.Errorf("edges = %d", sub.NumEdges())
+	}
+	if v, err := sub.Volume(0, 1); err != nil || v != 10 {
+		t.Errorf("volume(0,1) = %g, %v", v, err)
+	}
+	if v, err := sub.Volume(1, 2); err != nil || v != 30 {
+		t.Errorf("volume(1,2) = %g, %v", v, err)
+	}
+	if orig[2] != 3 {
+		t.Errorf("orig mapping %v", orig)
+	}
+	if _, _, err := g.Subgraph([]TaskID{0, 0}); err == nil {
+		t.Error("duplicate selection accepted")
+	}
+	if _, _, err := g.Subgraph([]TaskID{9}); err == nil {
+		t.Error("invalid task accepted")
+	}
+}

@@ -1,0 +1,335 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := NewWithTasks("diamond", 4)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(0, 2, 20)
+	g.MustAddEdge(1, 3, 30)
+	g.MustAddEdge(2, 3, 40)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := buildDiamond(t)
+	if g.NumTasks() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d", got)
+	}
+	if got := g.InDegree(3); got != 2 {
+		t.Errorf("InDegree(3) = %d", got)
+	}
+	v, err := g.Volume(0, 2)
+	if err != nil || v != 20 {
+		t.Errorf("Volume(0,2) = %g, %v", v, err)
+	}
+	if _, err := g.Volume(1, 2); !errors.Is(err, ErrNoSuchEdge) {
+		t.Errorf("Volume(1,2) error = %v, want ErrNoSuchEdge", err)
+	}
+	if ents := g.Entries(); len(ents) != 1 || ents[0] != 0 {
+		t.Errorf("Entries = %v", ents)
+	}
+	if exits := g.Exits(); len(exits) != 1 || exits[0] != 3 {
+		t.Errorf("Exits = %v", exits)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if g.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := NewWithTasks("g", 2)
+	if err := g.AddEdge(0, 0, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: %v", err)
+	}
+	if err := g.AddEdge(0, 5, 1); !errors.Is(err, ErrNoSuchTask) {
+		t.Errorf("bad task: %v", err)
+	}
+	if err := g.AddEdge(0, 1, -1); !errors.Is(err, ErrNegVolume) {
+		t.Errorf("neg volume: %v", err)
+	}
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(0, 1, 2); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestSetVolumeAndScale(t *testing.T) {
+	g := buildDiamond(t)
+	if err := g.SetVolume(0, 1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.Volume(0, 1); v != 99 {
+		t.Errorf("Volume = %g, want 99", v)
+	}
+	if err := g.SetVolume(1, 2, 5); !errors.Is(err, ErrNoSuchEdge) {
+		t.Errorf("SetVolume missing edge: %v", err)
+	}
+	if err := g.SetVolume(0, 1, -1); !errors.Is(err, ErrNegVolume) {
+		t.Errorf("SetVolume negative: %v", err)
+	}
+	if err := g.ScaleVolumes(2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.Volume(0, 1); v != 198 {
+		t.Errorf("scaled volume = %g, want 198", v)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate after scaling: %v", err)
+	}
+	if tot := g.TotalVolume(); tot != 198+40+60+80 {
+		t.Errorf("TotalVolume = %g", tot)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildDiamond(t)
+	c := g.Clone()
+	if err := c.SetVolume(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.Volume(0, 1); v != 10 {
+		t.Errorf("clone mutation leaked into original: %g", v)
+	}
+	if c.NumTasks() != g.NumTasks() || c.NumEdges() != g.NumEdges() {
+		t.Error("clone shape mismatch")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := buildDiamond(t)
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsTopologicalOrder(order) {
+		t.Errorf("order %v is not topological", order)
+	}
+	rev, err := g.ReverseTopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev[0] != order[len(order)-1] {
+		t.Errorf("reverse order mismatch: %v vs %v", rev, order)
+	}
+	if g.IsTopologicalOrder([]TaskID{3, 2, 1, 0}) {
+		t.Error("reversed order accepted as topological")
+	}
+	if g.IsTopologicalOrder([]TaskID{0, 1, 2}) {
+		t.Error("short order accepted")
+	}
+	if g.IsTopologicalOrder([]TaskID{0, 0, 1, 2}) {
+		t.Error("duplicate order accepted")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := NewWithTasks("cyc", 3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 0, 1)
+	if _, err := g.TopologicalOrder(); !errors.Is(err, ErrCycle) {
+		t.Errorf("TopologicalOrder on cycle: %v", err)
+	}
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("Validate on cycle: %v", err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := buildDiamond(t)
+	levels, n, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("level count = %d, want 3", n)
+	}
+	want := []int{0, 1, 1, 2}
+	for i, l := range levels {
+		if l != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, l, want[i])
+		}
+	}
+}
+
+func TestDescendantsAncestors(t *testing.T) {
+	g := buildDiamond(t)
+	d := g.Descendants(0)
+	for _, tsk := range []TaskID{1, 2, 3} {
+		if !d[tsk] {
+			t.Errorf("task %d should be a descendant of 0", tsk)
+		}
+	}
+	if d[0] {
+		t.Error("task 0 should not be its own descendant")
+	}
+	a := g.Ancestors(3)
+	for _, tsk := range []TaskID{0, 1, 2} {
+		if !a[tsk] {
+			t.Errorf("task %d should be an ancestor of 3", tsk)
+		}
+	}
+}
+
+func TestBottomAndTopLevels(t *testing.T) {
+	g := buildDiamond(t)
+	node := func(TaskID) float64 { return 1 }
+	edge := func(_, _ TaskID, v float64) float64 { return v }
+	bl, err := g.BottomLevels(node, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bl(3)=1; bl(1)=1+30+1=32; bl(2)=1+40+1=42; bl(0)=1+max(10+32,20+42)=63.
+	want := []float64{63, 32, 42, 1}
+	for i, b := range bl {
+		if b != want[i] {
+			t.Errorf("bl[%d] = %g, want %g", i, b, want[i])
+		}
+	}
+	tl, err := g.TopLevels(node, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tl(0)=0; tl(1)=0+1+10=11; tl(2)=21; tl(3)=max(11+1+30,21+1+40)=62.
+	wantTL := []float64{0, 11, 21, 62}
+	for i, v := range tl {
+		if v != wantTL[i] {
+			t.Errorf("tl[%d] = %g, want %g", i, v, wantTL[i])
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := buildDiamond(t)
+	node := func(TaskID) float64 { return 1 }
+	edge := func(_, _ TaskID, v float64) float64 { return v }
+	path, length, err := g.CriticalPath(node, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 63 {
+		t.Errorf("critical length = %g, want 63", length)
+	}
+	want := []TaskID{0, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if l, err := g.LongestPathLength(node, edge); err != nil || l != 63 {
+		t.Errorf("LongestPathLength = %g, %v", l, err)
+	}
+}
+
+func TestCriticalPathEmptyGraph(t *testing.T) {
+	g := New("empty")
+	path, length, err := g.CriticalPath(UnitNodeCost, ZeroEdgeCost)
+	if err != nil || path != nil || length != 0 {
+		t.Errorf("empty graph: %v %g %v", path, length, err)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+		want  int
+	}{
+		{"diamond", func() *Graph { return buildDiamond(t) }, 2},
+		{"chain", func() *Graph {
+			g := NewWithTasks("chain", 5)
+			for i := 0; i < 4; i++ {
+				g.MustAddEdge(TaskID(i), TaskID(i+1), 1)
+			}
+			return g
+		}, 1},
+		{"independent", func() *Graph { return NewWithTasks("ind", 7) }, 7},
+		{"empty", func() *Graph { return New("e") }, 0},
+		{"fork", func() *Graph {
+			g := NewWithTasks("fork", 5)
+			for i := 1; i < 5; i++ {
+				g.MustAddEdge(0, TaskID(i), 1)
+			}
+			return g
+		}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := tc.build().Width()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w != tc.want {
+				t.Errorf("width = %d, want %d", w, tc.want)
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildDiamond(t)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != g.Name() || back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %v vs %v", back, g)
+	}
+	for _, e := range g.Edges() {
+		v, err := back.Volume(e.Src, e.Dst)
+		if err != nil || v != e.Volume {
+			t.Errorf("edge (%d,%d): %g, %v", e.Src, e.Dst, v, err)
+		}
+	}
+}
+
+func TestJSONRejectsBadGraphs(t *testing.T) {
+	cases := []string{
+		`{"name":"x","tasks":-1,"edges":[]}`,
+		`{"name":"x","tasks":2,"edges":[{"src":0,"dst":0,"volume":1}]}`,
+		`{"name":"x","tasks":2,"edges":[{"src":0,"dst":5,"volume":1}]}`,
+		`{"name":"x","tasks":2,"edges":[{"src":0,"dst":1,"volume":1},{"src":1,"dst":0,"volume":1}]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Errorf("case %d: bad graph accepted", i)
+		}
+	}
+}
+
+func TestSortedSuccs(t *testing.T) {
+	g := NewWithTasks("s", 4)
+	g.MustAddEdge(0, 3, 1)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	ss := g.SortedSuccs(0)
+	for i := 1; i < len(ss); i++ {
+		if ss[i-1].To >= ss[i].To {
+			t.Fatalf("not sorted: %v", ss)
+		}
+	}
+}

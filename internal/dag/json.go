@@ -1,0 +1,75 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the on-disk representation: a task count plus an edge list.
+// Task labels are implicit (dense IDs), matching the paper's anonymous random
+// graphs.
+type graphJSON struct {
+	Name  string     `json:"name"`
+	Tasks int        `json:"tasks"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type edgeJSON struct {
+	Src    TaskID  `json:"src"`
+	Dst    TaskID  `json:"dst"`
+	Volume float64 `json:"volume"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := graphJSON{Name: g.name, Tasks: g.NumTasks(), Edges: make([]edgeJSON, 0, g.e)}
+	for t := 0; t < g.NumTasks(); t++ {
+		for _, a := range g.SortedSuccs(TaskID(t)) {
+			out.Edges = append(out.Edges, edgeJSON{Src: TaskID(t), Dst: a.To, Volume: a.Volume})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded graph.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("dag: decoding graph: %w", err)
+	}
+	if in.Tasks < 0 {
+		return fmt.Errorf("dag: negative task count %d", in.Tasks)
+	}
+	ng := NewWithTasks(in.Name, in.Tasks)
+	for _, e := range in.Edges {
+		if err := ng.AddEdge(e.Src, e.Dst, e.Volume); err != nil {
+			return err
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// WriteTo serializes g as indented JSON.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// Read decodes a graph from JSON produced by WriteTo / MarshalJSON.
+func Read(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,164 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random DAG from a seed: forward edges only, so it is
+// acyclic by construction.
+func randomDAG(seed int64, maxN int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN-1)
+	g := NewWithTasks("prop", n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				g.MustAddEdge(TaskID(i), TaskID(j), float64(1+rng.Intn(100)))
+			}
+		}
+	}
+	return g
+}
+
+func TestPropTopologicalOrderAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 40)
+		order, err := g.TopologicalOrder()
+		if err != nil {
+			return false
+		}
+		return g.IsTopologicalOrder(order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropValidateAcceptsGeneratedGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		return randomDAG(seed, 40).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropWidthBounds(t *testing.T) {
+	// 1 <= width <= v, and width >= number of entry tasks (entries form an
+	// antichain), width >= number of exits.
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 25)
+		w, err := g.Width()
+		if err != nil {
+			return false
+		}
+		if w < 1 || w > g.NumTasks() {
+			return false
+		}
+		return w >= len(g.Entries()) && w >= len(g.Exits())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBottomLevelDominatesSuccessors(t *testing.T) {
+	// bl(t) >= node(t) + edge(t,s) + bl(s) is an equality for the max
+	// successor and >= for the rest; and bl(t) >= node(t) always.
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 30)
+		node := func(TaskID) float64 { return 3 }
+		edge := func(_, _ TaskID, v float64) float64 { return v }
+		bl, err := g.BottomLevels(node, edge)
+		if err != nil {
+			return false
+		}
+		for tsk := 0; tsk < g.NumTasks(); tsk++ {
+			tid := TaskID(tsk)
+			if bl[tid] < node(tid) {
+				return false
+			}
+			for _, a := range g.Succs(tid) {
+				if bl[tid] < node(tid)+edge(tid, a.To, a.Volume)+bl[a.To]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCriticalPathIsPathAndLongest(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 25)
+		node := UnitNodeCost
+		edge := func(_, _ TaskID, v float64) float64 { return v }
+		path, length, err := g.CriticalPath(node, edge)
+		if err != nil || len(path) == 0 {
+			return false
+		}
+		// Consecutive path entries must be edges, and the path length must
+		// re-add to the reported value.
+		sum := node(path[0])
+		for i := 1; i < len(path); i++ {
+			v, err := g.Volume(path[i-1], path[i])
+			if err != nil {
+				return false
+			}
+			sum += edge(path[i-1], path[i], v) + node(path[i])
+		}
+		if diff := sum - length; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		// No bottom level may exceed the critical length.
+		bl, err := g.BottomLevels(node, edge)
+		if err != nil {
+			return false
+		}
+		tl, err := g.TopLevels(node, edge)
+		if err != nil {
+			return false
+		}
+		for tsk := range bl {
+			if tl[tsk]+bl[tsk] > length+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 20)
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := back.UnmarshalJSON(data); err != nil {
+			return false
+		}
+		if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			v, err := back.Volume(e.Src, e.Dst)
+			if err != nil || v != e.Volume {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package exec executes a fault-tolerant schedule with real concurrency:
+// one goroutine per processor, buffered channels as links, user-supplied Go
+// functions as tasks. It is the runtime counterpart of the paper's
+// protocol — active replication where a replica consumes the *first*
+// arriving copy of each input and ignores the rest — and the strongest
+// validation of Theorem 4.1 in this repository: with up to ε processors
+// killed, every task's result is still produced, by actual message-passing
+// workers.
+//
+// Crash injection is deterministic (a processor completes a fixed number of
+// replicas and then dies), so executor tests are free of timing races.
+// Progress is guaranteed by sender reference-counting: every replica either
+// delivers its output to its consumers' mailboxes or retracts itself from
+// them; a mailbox whose senders have all retracted is closed, so a starving
+// receiver unblocks instead of deadlocking.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+)
+
+// Payload is the opaque data a task produces and its successors consume.
+type Payload []byte
+
+// Task is the user function for one task: it receives one payload per
+// predecessor (indexed like Graph.Preds) and returns the task's output.
+// All replicas of a task run the same function; it must be safe for
+// concurrent invocation and deterministic if exactly-same outputs across
+// replicas matter to the application.
+type Task func(inputs []Payload) (Payload, error)
+
+// Config tunes an execution.
+type Config struct {
+	// CrashAfter maps a processor to the number of replicas it completes
+	// before failing silently. 0 means the processor does nothing at all;
+	// processors absent from the map never fail.
+	CrashAfter map[platform.ProcID]int
+}
+
+// Report summarizes an execution.
+type Report struct {
+	// Output[t] is the payload of the earliest completed replica of task t
+	// (nil if no replica completed).
+	Output []Payload
+	// CompletedCopies[t] counts the replicas of t that ran to completion.
+	CompletedCopies []int
+	// MessagesSent counts inter-processor payload transfers.
+	MessagesSent int
+	// Starved counts replicas skipped because no copy of some input could
+	// ever arrive.
+	Starved int
+	// TaskErrors counts replicas whose task function returned an error
+	// (treated as a fail-silent fault of that replica alone).
+	TaskErrors int
+}
+
+// Execution errors.
+var (
+	ErrTaskCount  = errors.New("exec: task function count does not match graph")
+	ErrIncomplete = errors.New("exec: some task produced no result")
+)
+
+// box is one (replica, predecessor) input slot. Capacity covers every
+// allowed sender, so sends never block; senders is decremented when a
+// sender retracts, and the channel is closed at zero so receivers unblock.
+type box struct {
+	ch      chan Payload
+	mu      sync.Mutex
+	senders int
+}
+
+func (b *box) send(p Payload) { b.ch <- p }
+
+func (b *box) retract() {
+	b.mu.Lock()
+	b.senders--
+	if b.senders == 0 {
+		close(b.ch)
+	}
+	b.mu.Unlock()
+}
+
+// route identifies a destination input slot of a replica's output.
+type route struct {
+	dst     dag.TaskID
+	dstCopy int
+	predIdx int
+}
+
+// replicaJob is one queued execution on a processor.
+type replicaJob struct {
+	task dag.TaskID
+	copy int
+}
+
+// Run executes the schedule. fns must contain one function per task of the
+// schedule's graph. The call returns once every processor goroutine has
+// drained its queue or died.
+func Run(s *sched.Schedule, fns []Task, cfg Config) (*Report, error) {
+	g := s.Graph
+	if len(fns) != g.NumTasks() {
+		return nil, fmt.Errorf("%w: %d functions for %d tasks", ErrTaskCount, len(fns), g.NumTasks())
+	}
+	for p, n := range cfg.CrashAfter {
+		if !s.Platform.Valid(p) {
+			return nil, fmt.Errorf("exec: crash on invalid processor %d", p)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("exec: negative crash count %d for P%d", n, p)
+		}
+	}
+	if !s.Complete() {
+		return nil, fmt.Errorf("exec: incomplete schedule")
+	}
+
+	// Build mailboxes and routing tables.
+	boxes := make([][][]*box, g.NumTasks())
+	routes := make([][][]route, g.NumTasks())
+	for t := 0; t < g.NumTasks(); t++ {
+		tid := dag.TaskID(t)
+		reps := s.Replicas(tid)
+		boxes[t] = make([][]*box, len(reps))
+		routes[t] = make([][]route, len(reps))
+		for c := range reps {
+			boxes[t][c] = make([]*box, g.InDegree(tid))
+		}
+	}
+	for t := 0; t < g.NumTasks(); t++ {
+		tid := dag.TaskID(t)
+		for predIdx, pe := range g.Preds(tid) {
+			srcReps := s.Replicas(pe.To)
+			for c := range s.Replicas(tid) {
+				var senders []int
+				switch s.CommPattern {
+				case sched.PatternMatched:
+					k, err := s.MatchedSource(tid, c, predIdx)
+					if err != nil {
+						return nil, err
+					}
+					senders = []int{k}
+				default:
+					senders = make([]int, len(srcReps))
+					for k := range srcReps {
+						senders[k] = k
+					}
+				}
+				b := &box{ch: make(chan Payload, len(senders)), senders: len(senders)}
+				boxes[t][c][predIdx] = b
+				for _, k := range senders {
+					routes[pe.To][k] = append(routes[pe.To][k], route{dst: tid, dstCopy: c, predIdx: predIdx})
+				}
+			}
+		}
+	}
+
+	// Per-processor job queues in the schedule's execution order.
+	m := s.Platform.NumProcs()
+	queues := make([][]replicaJob, m)
+	for _, t := range s.MappingOrder() {
+		for _, r := range s.Replicas(t) {
+			queues[r.Proc] = append(queues[r.Proc], replicaJob{task: t, copy: r.Copy})
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		completed = make([]int, g.NumTasks())
+		outputs   = make([]Payload, g.NumTasks())
+		rep       = &Report{}
+		wg        sync.WaitGroup
+	)
+
+	// retractJob withdraws a replica that will never send.
+	retractJob := func(job replicaJob) {
+		for _, rt := range routes[job.task][job.copy] {
+			boxes[rt.dst][rt.dstCopy][rt.predIdx].retract()
+		}
+	}
+
+	worker := func(p platform.ProcID, jobs []replicaJob) {
+		defer wg.Done()
+		budget, limited := cfg.CrashAfter[p]
+		done := 0
+		for i, job := range jobs {
+			if limited && done >= budget {
+				// The processor dies; everything still queued is lost.
+				for _, rest := range jobs[i:] {
+					retractJob(rest)
+				}
+				return
+			}
+			// Gather one payload per predecessor; first message wins.
+			inputs := make([]Payload, g.InDegree(job.task))
+			starved := false
+			for pi := range inputs {
+				payload, ok := <-boxes[job.task][job.copy][pi].ch
+				if !ok {
+					starved = true
+					break
+				}
+				inputs[pi] = payload
+			}
+			if starved {
+				mu.Lock()
+				rep.Starved++
+				mu.Unlock()
+				retractJob(job)
+				continue
+			}
+			out, err := fns[job.task](inputs)
+			if err != nil {
+				mu.Lock()
+				rep.TaskErrors++
+				mu.Unlock()
+				retractJob(job)
+				continue
+			}
+			done++
+			mu.Lock()
+			if completed[job.task] == 0 {
+				outputs[job.task] = out
+			}
+			completed[job.task]++
+			mu.Unlock()
+			srcProc := s.Replicas(job.task)[job.copy].Proc
+			cross := 0
+			for _, rt := range routes[job.task][job.copy] {
+				boxes[rt.dst][rt.dstCopy][rt.predIdx].send(out)
+				if s.Replicas(rt.dst)[rt.dstCopy].Proc != srcProc {
+					cross++
+				}
+			}
+			if cross > 0 {
+				mu.Lock()
+				rep.MessagesSent += cross
+				mu.Unlock()
+			}
+		}
+	}
+
+	for p := 0; p < m; p++ {
+		wg.Add(1)
+		go worker(platform.ProcID(p), queues[p])
+	}
+	wg.Wait()
+
+	rep.Output = outputs
+	rep.CompletedCopies = completed
+	for t := 0; t < g.NumTasks(); t++ {
+		if completed[t] == 0 {
+			return rep, fmt.Errorf("%w: task %d", ErrIncomplete, t)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,268 @@
+package exec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+	"ftsched/internal/workload"
+)
+
+// sumTasks builds deterministic task functions: each task outputs the sum
+// of its inputs plus its own ID, so the exit values have a unique correct
+// answer computable by a sequential reference sweep.
+func sumTasks(g *dag.Graph) []Task {
+	fns := make([]Task, g.NumTasks())
+	for t := 0; t < g.NumTasks(); t++ {
+		t := t
+		fns[t] = func(inputs []Payload) (Payload, error) {
+			sum := uint64(t)
+			for _, in := range inputs {
+				sum += binary.LittleEndian.Uint64(in)
+			}
+			out := make(Payload, 8)
+			binary.LittleEndian.PutUint64(out, sum)
+			return out, nil
+		}
+	}
+	return fns
+}
+
+// reference computes the expected per-task values sequentially.
+func reference(g *dag.Graph) []uint64 {
+	order, _ := g.TopologicalOrder()
+	val := make([]uint64, g.NumTasks())
+	for _, t := range order {
+		sum := uint64(t)
+		for _, pe := range g.Preds(t) {
+			sum += val[pe.To]
+		}
+		val[t] = sum
+	}
+	return val
+}
+
+func buildInstance(t *testing.T, seed int64, procs int) *workload.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.DefaultPaperConfig(1.0)
+	cfg.Procs = procs
+	cfg.DAG.MinTasks, cfg.DAG.MaxTasks = 25, 40
+	inst, err := workload.NewInstance(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func checkOutputs(t *testing.T, g *dag.Graph, rep *Report) {
+	t.Helper()
+	want := reference(g)
+	for tsk := 0; tsk < g.NumTasks(); tsk++ {
+		if rep.Output[tsk] == nil {
+			t.Fatalf("task %d has no output", tsk)
+		}
+		got := binary.LittleEndian.Uint64(rep.Output[tsk])
+		if got != want[tsk] {
+			t.Fatalf("task %d output %d, want %d", tsk, got, want[tsk])
+		}
+	}
+}
+
+func TestExecutorFailureFree(t *testing.T) {
+	inst := buildInstance(t, 1, 6)
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(s, sumTasks(inst.Graph), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, inst.Graph, rep)
+	// Every replica completes without failures.
+	for tsk, n := range rep.CompletedCopies {
+		if n != 3 {
+			t.Errorf("task %d completed %d copies, want 3", tsk, n)
+		}
+	}
+	if rep.Starved != 0 || rep.TaskErrors != 0 {
+		t.Errorf("unexpected starvation/errors: %+v", rep)
+	}
+}
+
+func TestExecutorSurvivesCrashAtStart(t *testing.T) {
+	// Theorem 4.1 with real goroutines: kill every pair of processors
+	// (crash-after-0) and verify all outputs are still produced and equal
+	// the sequential reference.
+	inst := buildInstance(t, 2, 5)
+	const eps = 2
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := sumTasks(inst.Graph)
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			rep, err := Run(s, fns, Config{CrashAfter: map[platform.ProcID]int{
+				platform.ProcID(a): 0,
+				platform.ProcID(b): 0,
+			}})
+			if err != nil {
+				t.Fatalf("crash {%d,%d}: %v", a, b, err)
+			}
+			checkOutputs(t, inst.Graph, rep)
+		}
+	}
+}
+
+func TestExecutorMidQueueCrashes(t *testing.T) {
+	// Processors die after finishing part of their queue: earlier work is
+	// delivered, later work is lost; outputs must still be complete with
+	// ε=2 and two failed processors.
+	inst := buildInstance(t, 3, 6)
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(s, sumTasks(inst.Graph), Config{CrashAfter: map[platform.ProcID]int{
+		0: 3,
+		4: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, inst.Graph, rep)
+}
+
+func TestExecutorMatchedPatternFailureFree(t *testing.T) {
+	inst := buildInstance(t, 4, 6)
+	s, err := core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
+		core.MCFTSAOptions{Options: core.Options{Epsilon: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(s, sumTasks(inst.Graph), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, inst.Graph, rep)
+	// The matched pattern sends at most e(ε+1) messages.
+	if max := inst.Graph.NumEdges() * 3; rep.MessagesSent > max {
+		t.Errorf("messages %d exceed e(ε+1)=%d", rep.MessagesSent, max)
+	}
+}
+
+func TestExecutorDemonstratesStrictStarvation(t *testing.T) {
+	// Finding F1 with real concurrency: the executor implements the strict
+	// matched protocol (no rerouting), so an MC-FTSA schedule of a deep
+	// graph starves under a single crash — while FTSA's full pattern
+	// survives the same crash. The executor must terminate cleanly (no
+	// deadlock) either way, thanks to sender retraction.
+	inst := buildInstance(t, 5, 6)
+	const eps = 2
+	mc, err := core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
+		core.MCFTSAOptions{Options: core.Options{Epsilon: eps}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftsa, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := sumTasks(inst.Graph)
+	starvedSomewhere := false
+	for p := 0; p < 6; p++ {
+		crash := Config{CrashAfter: map[platform.ProcID]int{platform.ProcID(p): 0}}
+		if _, err := Run(mc, fns, crash); err != nil {
+			if !errors.Is(err, ErrIncomplete) {
+				t.Fatalf("crash P%d: unexpected error %v", p, err)
+			}
+			starvedSomewhere = true
+		}
+		rep, err := Run(ftsa, fns, crash)
+		if err != nil {
+			t.Fatalf("FTSA crash P%d: %v", p, err)
+		}
+		checkOutputs(t, inst.Graph, rep)
+	}
+	if !starvedSomewhere {
+		t.Log("note: instance happened to be strictly robust under single crashes")
+	}
+}
+
+func TestExecutorTaskErrorIsReplicaFault(t *testing.T) {
+	// One replica's function fails (simulated transient fault); the other
+	// replicas still deliver the result.
+	inst := buildInstance(t, 6, 6)
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := sumTasks(inst.Graph)
+	var mu sync.Mutex
+	failOnce := true
+	orig := fns[0]
+	fns[0] = func(inputs []Payload) (Payload, error) {
+		mu.Lock()
+		fail := failOnce
+		failOnce = false
+		mu.Unlock()
+		if fail {
+			return nil, fmt.Errorf("injected fault")
+		}
+		return orig(inputs)
+	}
+	rep, err := Run(s, fns, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, inst.Graph, rep)
+	if rep.TaskErrors != 1 {
+		t.Errorf("TaskErrors = %d, want 1", rep.TaskErrors)
+	}
+}
+
+func TestExecutorConfigValidation(t *testing.T) {
+	inst := buildInstance(t, 7, 4)
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, nil, Config{}); !errors.Is(err, ErrTaskCount) {
+		t.Errorf("nil functions: %v", err)
+	}
+	fns := sumTasks(inst.Graph)
+	if _, err := Run(s, fns, Config{CrashAfter: map[platform.ProcID]int{9: 0}}); err == nil {
+		t.Error("invalid processor accepted")
+	}
+	if _, err := Run(s, fns, Config{CrashAfter: map[platform.ProcID]int{0: -1}}); err == nil {
+		t.Error("negative crash budget accepted")
+	}
+	empty, err := sched.New(inst.Graph, inst.Platform, inst.Costs, 1, sched.PatternAll, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(empty, fns, Config{}); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+}
+
+func TestExecutorAllProcessorsDead(t *testing.T) {
+	inst := buildInstance(t, 8, 3)
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := map[platform.ProcID]int{0: 0, 1: 0, 2: 0}
+	if _, err := Run(s, sumTasks(inst.Graph), Config{CrashAfter: crash}); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("all-dead execution: %v", err)
+	}
+}

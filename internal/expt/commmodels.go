@@ -1,0 +1,140 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftsched/internal/core"
+	"ftsched/internal/ftbar"
+	"ftsched/internal/sched"
+	"ftsched/internal/sim"
+	"ftsched/internal/stats"
+	"ftsched/internal/workload"
+)
+
+// Experiment X6 (ours): the paper's conclusion conjectures that under
+// contention-limited communication models (one-port, bounded multi-port)
+// MC-FTSA should beat the other schedulers, "since it already accounts for
+// reduced communications". This experiment replays the three schedulers'
+// schedules under those models and measures the conjecture.
+
+// CommModelsConfig parameterizes X6.
+type CommModelsConfig struct {
+	Epsilon        int
+	Procs          int
+	Granularities  []float64
+	GraphsPerPoint int
+	TasksMin       int
+	TasksMax       int
+	Seed           int64
+	// Ports is the multi-port degree for the bounded model (K=1 is the
+	// one-port model and is always included).
+	Ports int
+}
+
+// DefaultCommModelsConfig returns the X6 setup.
+func DefaultCommModelsConfig() CommModelsConfig {
+	return CommModelsConfig{
+		Epsilon:        2,
+		Procs:          20,
+		Granularities:  PaperGranularities(),
+		GraphsPerPoint: 20,
+		TasksMin:       100,
+		TasksMax:       150,
+		Seed:           1,
+		Ports:          4,
+	}
+}
+
+// RunCommModels executes X6: failure-free replays of FTSA, MC-FTSA and
+// FTBAR schedules under the contention-free, one-port and K-port models.
+func RunCommModels(cfg CommModelsConfig) (*Figure, error) {
+	if cfg.Epsilon < 0 || cfg.Epsilon+1 > cfg.Procs {
+		return nil, fmt.Errorf("expt: ε=%d needs more processors than %d", cfg.Epsilon, cfg.Procs)
+	}
+	if cfg.Ports < 2 {
+		return nil, fmt.Errorf("expt: multi-port degree %d must be >= 2", cfg.Ports)
+	}
+	if len(cfg.Granularities) == 0 || cfg.GraphsPerPoint < 1 {
+		return nil, fmt.Errorf("expt: empty X6 sweep")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fig := &Figure{
+		Title:  fmt.Sprintf("X6: latency under contention-limited links, ε=%d, m=%d", cfg.Epsilon, cfg.Procs),
+		XLabel: "Granularity", YLabel: "Normalized Latency",
+	}
+	get := func(name string) *stats.Series {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				return s
+			}
+		}
+		s := stats.NewSeries(name)
+		fig.Series = append(fig.Series, s)
+		return s
+	}
+	for _, g := range cfg.Granularities {
+		for i := 0; i < cfg.GraphsPerPoint; i++ {
+			wcfg := workload.PaperConfig{
+				DAG: workload.RandomDAGConfig{
+					MinTasks: cfg.TasksMin, MaxTasks: cfg.TasksMax,
+					MinVolume: 50, MaxVolume: 150,
+					ShapeFactor: 1.0, EdgeDensity: 0.25,
+				},
+				Procs:    cfg.Procs,
+				MinDelay: 0.5, MaxDelay: 1.0,
+				MinCost: 10, MaxCost: 100,
+				Granularity: g,
+			}
+			inst, err := workload.NewInstance(rng, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			norm := normalizer(inst)
+			ftsaS, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: cfg.Epsilon, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			mcS, err := core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
+				core.MCFTSAOptions{Options: core.Options{Epsilon: cfg.Epsilon, Rng: rng}})
+			if err != nil {
+				return nil, err
+			}
+			barS, err := ftbar.Schedule(inst.Graph, inst.Platform, inst.Costs, ftbar.Options{Npf: cfg.Epsilon, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			multi, err := sim.NewBoundedMultiPort(cfg.Procs, cfg.Ports)
+			if err != nil {
+				return nil, err
+			}
+			models := []struct {
+				tag   string
+				model sim.CommModel
+			}{
+				{"free", sim.ContentionFree{}},
+				{"1-port", sim.NewOnePort(cfg.Procs)},
+				{fmt.Sprintf("%d-port", cfg.Ports), multi},
+			}
+			algos := []struct {
+				tag string
+				s   *sched.Schedule
+			}{
+				{"FTSA", ftsaS},
+				{"MC-FTSA", mcS},
+				{"FTBAR", barS},
+			}
+			for _, mm := range models {
+				for _, a := range algos {
+					mm.model.Reset(cfg.Procs)
+					res, err := sim.Run(a.s, sim.NoFailures(cfg.Procs), mm.model)
+					if err != nil {
+						return nil, fmt.Errorf("expt: %s under %s: %w", a.tag, mm.tag, err)
+					}
+					get(fmt.Sprintf("%s (%s)", a.tag, mm.tag)).At(g).Add(res.Latency / norm)
+				}
+			}
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,248 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallConfig shrinks the paper configuration so the full pipeline runs in
+// test time while preserving every code path.
+func smallConfig(figure int, t *testing.T) Config {
+	t.Helper()
+	cfg, err := FigureConfig(figure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Granularities = []float64{0.4, 1.0, 2.0}
+	cfg.GraphsPerPoint = 4
+	cfg.TasksMin, cfg.TasksMax = 40, 60
+	return cfg
+}
+
+func TestFigureConfigs(t *testing.T) {
+	for fig := 1; fig <= 4; fig++ {
+		cfg, err := FigureConfig(fig)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+	}
+	if _, err := FigureConfig(9); err == nil {
+		t.Error("want error for unknown figure")
+	}
+	if got := len(PaperGranularities()); got != 10 {
+		t.Errorf("granularity sweep has %d points, want 10", got)
+	}
+}
+
+func TestRunProducesAllSeries(t *testing.T) {
+	cfg := smallConfig(1, t)
+	set, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBounds := []string{
+		"FTSA-LowerBound", "FTSA-UpperBound",
+		"FTBAR-LowerBound", "FTBAR-UpperBound",
+		"MC-FTSA-LowerBound", "MC-FTSA-UpperBound",
+		"FaultFree-FTSA", "FaultFree-FTBAR",
+	}
+	names := map[string]bool{}
+	for _, s := range set.Bounds.Series {
+		names[s.Name] = true
+		if s.Len() != len(cfg.Granularities) {
+			t.Errorf("series %q has %d points, want %d", s.Name, s.Len(), len(cfg.Granularities))
+		}
+		for _, p := range s.Points {
+			if p.N() != cfg.GraphsPerPoint {
+				t.Errorf("series %q point has %d samples, want %d", s.Name, p.N(), cfg.GraphsPerPoint)
+			}
+		}
+	}
+	for _, w := range wantBounds {
+		if !names[w] {
+			t.Errorf("missing bounds series %q", w)
+		}
+	}
+	if len(set.Crash.Series) < 5 {
+		t.Errorf("crash panel has %d series, want >= 5", len(set.Crash.Series))
+	}
+	if len(set.Overhead.Series) < 4 {
+		t.Errorf("overhead panel has %d series, want >= 4", len(set.Overhead.Series))
+	}
+}
+
+func TestRunQualitativeShape(t *testing.T) {
+	// The paper's qualitative claims, checked on sweep averages:
+	//  1. FTSA's lower bound beats FTBAR's lower bound;
+	//  2. FTSA's lower bound is close to (and above) the fault-free latency;
+	//  3. MC-FTSA's bound gap is smaller than FTSA's;
+	//  4. normalized latency increases with granularity.
+	cfg := smallConfig(1, t)
+	cfg.GraphsPerPoint = 8
+	set, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(name string) float64 {
+		for _, s := range set.Bounds.Series {
+			if s.Name == name {
+				tot, n := 0.0, 0
+				for _, p := range s.Points {
+					tot += p.Mean()
+					n++
+				}
+				return tot / float64(n)
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return 0
+	}
+	ftsaLB, ftbarLB := mean("FTSA-LowerBound"), mean("FTBAR-LowerBound")
+	if ftsaLB >= ftbarLB {
+		t.Errorf("FTSA LB %.3f should beat FTBAR LB %.3f", ftsaLB, ftbarLB)
+	}
+	// "FTSA achieves a really good lower bound, which is very close to the
+	// fault free version" — within 20% either way. (It can dip *below* the
+	// fault-free latency: equation (1) lets a replica use the earliest of
+	// ε+1 predecessor copies, an option the single-copy schedule lacks.)
+	ff := mean("FaultFree-FTSA")
+	if ratio := ftsaLB / ff; ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("FTSA LB %.3f not close to fault-free %.3f (ratio %.2f)", ftsaLB, ff, ratio)
+	}
+	if gap := mean("MC-FTSA-UpperBound") - mean("MC-FTSA-LowerBound"); gap >= mean("FTSA-UpperBound")-mean("FTSA-LowerBound") {
+		t.Errorf("MC-FTSA gap %.3f not below FTSA gap", gap)
+	}
+	// Latency grows with granularity for the FTSA lower bound.
+	for _, s := range set.Bounds.Series {
+		if s.Name != "FTSA-LowerBound" {
+			continue
+		}
+		first, last := s.Points[0].Mean(), s.Points[len(s.Points)-1].Mean()
+		if last <= first {
+			t.Errorf("normalized latency should grow with granularity: %.3f -> %.3f", first, last)
+		}
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	cfg := smallConfig(4, t)
+	set, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Crash == nil || set.Overhead == nil {
+		t.Fatal("missing panels")
+	}
+	// Expect FTSA with 0..2 crashes plus the fault-free curve.
+	if got := len(set.Crash.Series); got != 4 {
+		t.Errorf("crash panel has %d series, want 4", got)
+	}
+	// More crashes cannot decrease latency on average (sweep-aggregate).
+	means := map[string]float64{}
+	for _, s := range set.Crash.Series {
+		tot := 0.0
+		for _, p := range s.Points {
+			tot += p.Mean()
+		}
+		means[s.Name] = tot / float64(s.Len())
+	}
+	if means["FTSA with 2 Crash"] < means["FTSA with 0 Crash"]-1e-9 {
+		t.Errorf("2-crash latency %.3f below 0-crash %.3f", means["FTSA with 2 Crash"], means["FTSA with 0 Crash"])
+	}
+}
+
+func TestEmitters(t *testing.T) {
+	cfg := smallConfig(1, t)
+	cfg.GraphsPerPoint = 2
+	set, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ascii, csv bytes.Buffer
+	if err := WriteASCII(&ascii, set.Bounds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "FTSA-LowerBound") {
+		t.Error("ASCII output missing header")
+	}
+	if err := WriteCSV(&csv, set.Crash); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(cfg.Granularities) {
+		t.Errorf("CSV has %d lines, want %d", len(lines), 1+len(cfg.Granularities))
+	}
+	if err := WriteASCII(&ascii, nil); err == nil {
+		t.Error("want error for nil figure")
+	}
+	var stats bytes.Buffer
+	if err := WriteASCIIStats(&stats, set.Bounds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats.String(), "±") {
+		t.Error("stats output missing confidence intervals")
+	}
+	if err := WriteASCIIStats(&stats, nil); err == nil {
+		t.Error("want error for nil figure")
+	}
+	var svg bytes.Buffer
+	if err := WriteSVG(&svg, set.Bounds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("SVG output missing root element")
+	}
+	if err := WriteSVG(&svg, nil); err == nil {
+		t.Error("want error for nil figure in SVG")
+	}
+}
+
+func TestRunTable1Small(t *testing.T) {
+	cfg := Table1Config{TaskCounts: []int{50, 150}, Procs: 20, Epsilon: 2, Seed: 1}
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FTSA <= 0 || r.MCFTSA <= 0 || r.FTBAR <= 0 {
+			t.Errorf("non-positive timing in row %+v", r)
+		}
+	}
+	// FTBAR should already be slower at 150 tasks.
+	if rows[1].FTBAR < rows[1].FTSA {
+		t.Logf("note: FTBAR faster than FTSA at v=150 (%.4fs vs %.4fs); scaling shows at larger v",
+			rows[1].FTBAR, rows[1].FTSA)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Number of tasks") {
+		t.Error("table output missing header")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := smallConfig(1, t)
+	cfg.Epsilon = cfg.Procs
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for ε >= m")
+	}
+	cfg = smallConfig(1, t)
+	cfg.Granularities = nil
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for empty sweep")
+	}
+	cfg = smallConfig(2, t)
+	cfg.ExtraCrashCounts = []int{5}
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for crash count beyond ε")
+	}
+}

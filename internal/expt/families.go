@@ -1,0 +1,121 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ftsched/internal/core"
+	"ftsched/internal/dag"
+	"ftsched/internal/ftbar"
+	"ftsched/internal/workload"
+)
+
+// Experiment X5 (ours): the three schedulers on the classic structured
+// task-graph families, complementing the paper's purely random workloads.
+// Latencies are normalized per instance like the figures.
+
+// FamilyRow is one line of the structured-family comparison.
+type FamilyRow struct {
+	Family       string
+	Tasks, Edges int
+	// Normalized lower/upper bounds per scheduler.
+	FTSALB, FTSAUB float64
+	MCLB, MCUB     float64
+	BARLB, BARUB   float64
+	// Inter-processor message counts for the two FTSA variants.
+	FTSAMsgs, MCMsgs int
+}
+
+// FamiliesConfig parameterizes X5.
+type FamiliesConfig struct {
+	Epsilon int
+	Procs   int
+	Seed    int64
+}
+
+// DefaultFamiliesConfig returns the X5 setup.
+func DefaultFamiliesConfig() FamiliesConfig {
+	return FamiliesConfig{Epsilon: 2, Procs: 16, Seed: 1}
+}
+
+// familyBuilders enumerates the structured workloads, sized to a few
+// hundred tasks each.
+var familyBuilders = []struct {
+	name  string
+	build func() (*dag.Graph, error)
+}{
+	{"gauss-16", func() (*dag.Graph, error) { return workload.GaussianElimination(16, 100) }},
+	{"fft-64", func() (*dag.Graph, error) { return workload.FFT(6, 100) }},
+	{"cholesky-8", func() (*dag.Graph, error) { return workload.Cholesky(8, 100) }},
+	{"lu-6", func() (*dag.Graph, error) { return workload.LU(6, 100) }},
+	{"stencil-12x12", func() (*dag.Graph, error) { return workload.Stencil(12, 12, 100) }},
+	{"forkjoin-10x5", func() (*dag.Graph, error) { return workload.ForkJoin(10, 5, 100) }},
+	{"pipeline-10x4", func() (*dag.Graph, error) { return workload.Pipeline(10, 4, 100) }},
+	{"intree-2^7", func() (*dag.Graph, error) { return workload.InTree(2, 7, 100) }},
+}
+
+// RunFamilies executes X5 and returns one row per family.
+func RunFamilies(cfg FamiliesConfig) ([]FamilyRow, error) {
+	if cfg.Epsilon < 0 || cfg.Epsilon+1 > cfg.Procs {
+		return nil, fmt.Errorf("expt: ε=%d needs more processors than %d", cfg.Epsilon, cfg.Procs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := make([]FamilyRow, 0, len(familyBuilders))
+	for _, fb := range familyBuilders {
+		g, err := fb.build()
+		if err != nil {
+			return nil, err
+		}
+		wcfg := workload.DefaultPaperConfig(1.0)
+		wcfg.Procs = cfg.Procs
+		inst, err := workload.NewInstanceForGraph(rng, g, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		norm := normalizer(inst)
+		row := FamilyRow{Family: fb.name, Tasks: g.NumTasks(), Edges: g.NumEdges()}
+
+		f, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: cfg.Epsilon, Rng: rng})
+		if err != nil {
+			return nil, err
+		}
+		row.FTSALB, row.FTSAUB = f.LowerBound()/norm, f.UpperBound()/norm
+		row.FTSAMsgs = f.MessageCount()
+
+		mc, err := core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
+			core.MCFTSAOptions{Options: core.Options{Epsilon: cfg.Epsilon, Rng: rng}})
+		if err != nil {
+			return nil, err
+		}
+		row.MCLB, row.MCUB = mc.LowerBound()/norm, mc.UpperBound()/norm
+		row.MCMsgs = mc.MessageCount()
+
+		bar, err := ftbar.Schedule(inst.Graph, inst.Platform, inst.Costs, ftbar.Options{Npf: cfg.Epsilon, Rng: rng})
+		if err != nil {
+			return nil, err
+		}
+		row.BARLB, row.BARUB = bar.LowerBound()/norm, bar.UpperBound()/norm
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteFamilies renders the X5 table.
+func WriteFamilies(w io.Writer, rows []FamilyRow) error {
+	if _, err := fmt.Fprintf(w, "%-14s %6s %6s | %9s %9s | %9s %9s | %9s %9s | %8s %8s\n",
+		"family", "tasks", "edges",
+		"FTSA lb", "ub", "MC lb", "ub", "FTBAR lb", "ub",
+		"FTSAmsg", "MCmsg"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-14s %6d %6d | %9.2f %9.2f | %9.2f %9.2f | %9.2f %9.2f | %8d %8d\n",
+			r.Family, r.Tasks, r.Edges,
+			r.FTSALB, r.FTSAUB, r.MCLB, r.MCUB, r.BARLB, r.BARUB,
+			r.FTSAMsgs, r.MCMsgs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFamilies(t *testing.T) {
+	cfg := DefaultFamiliesConfig()
+	rows, err := RunFamilies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tasks <= 0 || r.Edges <= 0 {
+			t.Errorf("%s: degenerate shape %d/%d", r.Family, r.Tasks, r.Edges)
+		}
+		if r.FTSALB <= 0 || r.FTSAUB < r.FTSALB {
+			t.Errorf("%s: FTSA bounds %g/%g", r.Family, r.FTSALB, r.FTSAUB)
+		}
+		if r.MCLB <= 0 || r.MCUB < r.MCLB-1e-9 {
+			t.Errorf("%s: MC bounds %g/%g", r.Family, r.MCLB, r.MCUB)
+		}
+		// The linear message bound is structural: MC messages <= e(ε+1),
+		// FTSA messages <= e(ε+1)².
+		if r.MCMsgs > r.Edges*(cfg.Epsilon+1) {
+			t.Errorf("%s: MC messages %d exceed e(ε+1)", r.Family, r.MCMsgs)
+		}
+		if r.FTSAMsgs < r.MCMsgs {
+			t.Errorf("%s: FTSA messages %d below MC %d", r.Family, r.FTSAMsgs, r.MCMsgs)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFamilies(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cholesky-8") {
+		t.Error("table missing cholesky row")
+	}
+}
+
+func TestRunFamiliesValidation(t *testing.T) {
+	cfg := DefaultFamiliesConfig()
+	cfg.Epsilon = cfg.Procs
+	if _, err := RunFamilies(cfg); err == nil {
+		t.Error("ε >= m accepted")
+	}
+}

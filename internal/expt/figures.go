@@ -1,0 +1,376 @@
+// Package expt reproduces the paper's evaluation (Section 6): Figures 1-3
+// (bounds, crash latencies and overheads for ε = 1, 2, 5 on 20 processors),
+// Figure 4 (5 processors, ε = 2) and Table 1 (running times for v up to
+// 5000 tasks on 50 processors). Each figure point averages the metric over a
+// batch of random task graphs (60 in the paper), with granularity swept from
+// 0.2 to 2.0.
+//
+// Latencies are reported normalized by the platform-average execution time
+// of one task (the paper plots "normalized latency" without defining the
+// normalizer; this choice reproduces the reported magnitudes and, being a
+// per-instance constant, cannot change which algorithm wins).
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftsched/internal/core"
+	"ftsched/internal/ftbar"
+	"ftsched/internal/sim"
+	"ftsched/internal/stats"
+	"ftsched/internal/workload"
+)
+
+// Config parameterizes one figure-style experiment.
+type Config struct {
+	// Epsilon is ε, the number of tolerated failures (1, 2, 5 in Figures
+	// 1-3; 2 in Figure 4).
+	Epsilon int
+	// Procs is the platform size (20 in Figures 1-3, 5 in Figure 4).
+	Procs int
+	// Granularities lists the x-axis sweep; the paper uses 0.2..2.0 in 0.2
+	// steps.
+	Granularities []float64
+	// GraphsPerPoint is the batch size per granularity (60 in the paper).
+	GraphsPerPoint int
+	// TasksMin and TasksMax bound the task count ([100,150] in the paper).
+	TasksMin, TasksMax int
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// ExtraCrashCounts adds "FTSA with k crash" series beyond the headline
+	// k = ε one (Figure 2 adds k=1, Figure 3 adds k=2).
+	ExtraCrashCounts []int
+}
+
+// normalizer returns the latency normalization constant for an instance: the
+// mean communication cost of one edge (mean volume × mean unit delay).
+// Unlike task execution costs, communication costs are *not* rescaled by the
+// granularity sweep, so this normalizer is constant across a figure's x-axis
+// and reproduces the paper's increasing normalized-latency curves (the paper
+// never defines its normalizer; any per-instance constant preserves the
+// relative positions of the curves, which is what the reproduction targets).
+func normalizer(inst *workload.Instance) float64 {
+	e := inst.Graph.NumEdges()
+	if e == 0 {
+		return inst.Costs.MeanOverTasks()
+	}
+	return inst.Graph.TotalVolume() / float64(e) * inst.Platform.MeanDelay()
+}
+
+// PaperGranularities returns the paper's sweep 0.2, 0.4, ..., 2.0.
+func PaperGranularities() []float64 {
+	out := make([]float64, 0, 10)
+	for i := 1; i <= 10; i++ {
+		out = append(out, float64(i)*0.2)
+	}
+	return out
+}
+
+// FigureConfig returns the configuration of paper Figure 1, 2 or 3 (ε = 1,
+// 2, 5 on 20 processors) or Figure 4 (5 processors, ε = 2).
+func FigureConfig(figure int) (Config, error) {
+	base := Config{
+		Procs:          20,
+		Granularities:  PaperGranularities(),
+		GraphsPerPoint: 60,
+		TasksMin:       100,
+		TasksMax:       150,
+		Seed:           1,
+	}
+	switch figure {
+	case 1:
+		base.Epsilon = 1
+	case 2:
+		base.Epsilon = 2
+		base.ExtraCrashCounts = []int{1}
+	case 3:
+		base.Epsilon = 5
+		base.ExtraCrashCounts = []int{2}
+	case 4:
+		base.Epsilon = 2
+		base.Procs = 5
+		base.ExtraCrashCounts = []int{1}
+	default:
+		return Config{}, fmt.Errorf("expt: no figure %d in the paper", figure)
+	}
+	return base, nil
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Epsilon < 0 || c.Epsilon+1 > c.Procs {
+		return fmt.Errorf("expt: ε=%d needs more processors than %d", c.Epsilon, c.Procs)
+	}
+	if len(c.Granularities) == 0 {
+		return fmt.Errorf("expt: empty granularity sweep")
+	}
+	if c.GraphsPerPoint < 1 {
+		return fmt.Errorf("expt: need at least one graph per point")
+	}
+	if c.TasksMin < 1 || c.TasksMax < c.TasksMin {
+		return fmt.Errorf("expt: invalid task range [%d,%d]", c.TasksMin, c.TasksMax)
+	}
+	for _, k := range c.ExtraCrashCounts {
+		if k < 0 || k > c.Epsilon {
+			return fmt.Errorf("expt: crash count %d outside [0,ε=%d]", k, c.Epsilon)
+		}
+	}
+	return nil
+}
+
+// Figure is the output of one sub-figure: named series over the granularity
+// sweep.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*stats.Series
+}
+
+// FigureSet bundles the (a) bounds, (b) crash and (c) overhead sub-figures
+// the paper presents for each ε.
+type FigureSet struct {
+	Bounds   *Figure
+	Crash    *Figure
+	Overhead *Figure
+}
+
+// series names, matching the paper's legends.
+const (
+	serFTSALower   = "FTSA-LowerBound"
+	serFTSAUpper   = "FTSA-UpperBound"
+	serFTBARLower  = "FTBAR-LowerBound"
+	serFTBARUpper  = "FTBAR-UpperBound"
+	serMCLower     = "MC-FTSA-LowerBound"
+	serMCUpper     = "MC-FTSA-UpperBound"
+	serFFFTSA      = "FaultFree-FTSA"
+	serFFFTBAR     = "FaultFree-FTBAR"
+	serFaultFree   = "Fault Free FTSA"
+	serFTSA0Crash  = "FTSA with 0 Crash"
+	crashFmt       = "FTSA with %d Crash"
+	serMCCrashFmt  = "MC-FTSA with %d Crash"
+	serBARCrashFmt = "FTBAR with %d Crash"
+)
+
+// Run executes the full experiment for one configuration, producing all
+// three sub-figures in a single pass over the instances (the paper's (a),
+// (b) and (c) panels share their workloads).
+func Run(cfg Config) (*FigureSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eps := cfg.Epsilon
+
+	bounds := &Figure{
+		Title:  fmt.Sprintf("Bounds, ε=%d, m=%d", eps, cfg.Procs),
+		XLabel: "Granularity", YLabel: "Normalized Latency",
+	}
+	crash := &Figure{
+		Title:  fmt.Sprintf("Crash latencies, ε=%d, m=%d", eps, cfg.Procs),
+		XLabel: "Granularity", YLabel: "Normalized Latency",
+	}
+	overhead := &Figure{
+		Title:  fmt.Sprintf("Overhead, ε=%d, m=%d", eps, cfg.Procs),
+		XLabel: "Granularity", YLabel: "Average OverHead (%)",
+	}
+	get := func(f *Figure, name string) *stats.Series {
+		for _, s := range f.Series {
+			if s.Name == name {
+				return s
+			}
+		}
+		s := stats.NewSeries(name)
+		f.Series = append(f.Series, s)
+		return s
+	}
+
+	for _, g := range cfg.Granularities {
+		for i := 0; i < cfg.GraphsPerPoint; i++ {
+			wcfg := workload.PaperConfig{
+				DAG: workload.RandomDAGConfig{
+					MinTasks: cfg.TasksMin, MaxTasks: cfg.TasksMax,
+					MinVolume: 50, MaxVolume: 150,
+					ShapeFactor: 1.0, EdgeDensity: 0.25,
+				},
+				Procs:    cfg.Procs,
+				MinDelay: 0.5, MaxDelay: 1.0,
+				MinCost: 10, MaxCost: 100,
+				Granularity: g,
+			}
+			inst, err := workload.NewInstance(rng, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			norm := normalizer(inst)
+			if norm <= 0 {
+				return nil, fmt.Errorf("expt: degenerate instance with zero normalizer")
+			}
+
+			ftsaS, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: eps, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			mcS, err := core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
+				core.MCFTSAOptions{Options: core.Options{Epsilon: eps, Rng: rng}})
+			if err != nil {
+				return nil, err
+			}
+			barS, err := ftbar.Schedule(inst.Graph, inst.Platform, inst.Costs, ftbar.Options{Npf: eps, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			ffFTSA, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 0, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			ffBAR, err := ftbar.Schedule(inst.Graph, inst.Platform, inst.Costs, ftbar.Options{Npf: 0, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+
+			// (a) bounds.
+			get(bounds, serFTSALower).At(g).Add(ftsaS.LowerBound() / norm)
+			get(bounds, serFTSAUpper).At(g).Add(ftsaS.UpperBound() / norm)
+			get(bounds, serFTBARLower).At(g).Add(barS.LowerBound() / norm)
+			get(bounds, serFTBARUpper).At(g).Add(barS.UpperBound() / norm)
+			get(bounds, serMCLower).At(g).Add(mcS.LowerBound() / norm)
+			get(bounds, serMCUpper).At(g).Add(mcS.UpperBound() / norm)
+			get(bounds, serFFFTSA).At(g).Add(ffFTSA.LowerBound() / norm)
+			get(bounds, serFFFTBAR).At(g).Add(ffBAR.LowerBound() / norm)
+
+			// (b) crash latencies: one uniformly drawn crash set of size ε
+			// per instance, shared by all algorithms for a fair comparison.
+			scenario, err := sim.UniformCrashes(rng, cfg.Procs, eps)
+			if err != nil {
+				return nil, err
+			}
+			ffLatency := ffFTSA.LowerBound()
+			ftsaCrash, err := sim.Run(ftsaS, scenario, nil)
+			if err != nil {
+				return nil, fmt.Errorf("expt: FTSA crash run: %w", err)
+			}
+			mcCrash, err := sim.Run(mcS, scenario, nil)
+			if err != nil {
+				return nil, fmt.Errorf("expt: MC-FTSA crash run: %w", err)
+			}
+			barCrash, err := sim.Run(barS, scenario, nil)
+			if err != nil {
+				return nil, fmt.Errorf("expt: FTBAR crash run: %w", err)
+			}
+			name := fmt.Sprintf(crashFmt, eps)
+			get(crash, name).At(g).Add(ftsaCrash.Latency / norm)
+			get(crash, fmt.Sprintf(serMCCrashFmt, eps)).At(g).Add(mcCrash.Latency / norm)
+			get(crash, fmt.Sprintf(serBARCrashFmt, eps)).At(g).Add(barCrash.Latency / norm)
+			get(crash, serFTSA0Crash).At(g).Add(ftsaS.LowerBound() / norm)
+			get(crash, serFaultFree).At(g).Add(ffLatency / norm)
+			for _, k := range cfg.ExtraCrashCounts {
+				sck, err := sim.UniformCrashes(rng, cfg.Procs, k)
+				if err != nil {
+					return nil, err
+				}
+				resK, err := sim.Run(ftsaS, sck, nil)
+				if err != nil {
+					return nil, fmt.Errorf("expt: FTSA %d-crash run: %w", k, err)
+				}
+				get(crash, fmt.Sprintf(crashFmt, k)).At(g).Add(resK.Latency / norm)
+			}
+
+			// (c) overheads, relative to the fault-free FTSA latency
+			// (the paper's FTSA* denominator).
+			ovh := func(x float64) float64 { return 100 * (x - ffLatency) / ffLatency }
+			get(overhead, name).At(g).Add(ovh(ftsaCrash.Latency))
+			get(overhead, fmt.Sprintf(serMCCrashFmt, eps)).At(g).Add(ovh(mcCrash.Latency))
+			get(overhead, fmt.Sprintf(serBARCrashFmt, eps)).At(g).Add(ovh(barCrash.Latency))
+			get(overhead, serFTSA0Crash).At(g).Add(ovh(ftsaS.LowerBound()))
+			for _, k := range cfg.ExtraCrashCounts {
+				// Reuse the headline scenario machinery: a fresh uniform
+				// draw with k crashes.
+				sck, err := sim.UniformCrashes(rng, cfg.Procs, k)
+				if err != nil {
+					return nil, err
+				}
+				resK, err := sim.Run(ftsaS, sck, nil)
+				if err != nil {
+					return nil, err
+				}
+				get(overhead, fmt.Sprintf(crashFmt, k)).At(g).Add(ovh(resK.Latency))
+			}
+		}
+	}
+	return &FigureSet{Bounds: bounds, Crash: crash, Overhead: overhead}, nil
+}
+
+// RunFigure4 reproduces Figure 4: FTSA only, on 5 processors with ε=2,
+// comparing 0, 1 and 2 crashes (panel a: normalized latency; panel b:
+// overhead).
+func RunFigure4(cfg Config) (*FigureSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eps := cfg.Epsilon
+	crash := &Figure{
+		Title:  fmt.Sprintf("FTSA crash latencies, ε=%d, m=%d", eps, cfg.Procs),
+		XLabel: "Granularity", YLabel: "Normalized Latency",
+	}
+	overhead := &Figure{
+		Title:  fmt.Sprintf("FTSA overhead, ε=%d, m=%d", eps, cfg.Procs),
+		XLabel: "Granularity", YLabel: "Average OverHead (%)",
+	}
+	get := func(f *Figure, name string) *stats.Series {
+		for _, s := range f.Series {
+			if s.Name == name {
+				return s
+			}
+		}
+		s := stats.NewSeries(name)
+		f.Series = append(f.Series, s)
+		return s
+	}
+	for _, g := range cfg.Granularities {
+		for i := 0; i < cfg.GraphsPerPoint; i++ {
+			wcfg := workload.PaperConfig{
+				DAG: workload.RandomDAGConfig{
+					MinTasks: cfg.TasksMin, MaxTasks: cfg.TasksMax,
+					MinVolume: 50, MaxVolume: 150,
+					ShapeFactor: 1.0, EdgeDensity: 0.25,
+				},
+				Procs:    cfg.Procs,
+				MinDelay: 0.5, MaxDelay: 1.0,
+				MinCost: 10, MaxCost: 100,
+				Granularity: g,
+			}
+			inst, err := workload.NewInstance(rng, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			norm := normalizer(inst)
+			s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: eps, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			ff, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 0, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			ffLatency := ff.LowerBound()
+			ovh := func(x float64) float64 { return 100 * (x - ffLatency) / ffLatency }
+			for k := 0; k <= eps; k++ {
+				sc, err := sim.UniformCrashes(rng, cfg.Procs, k)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(s, sc, nil)
+				if err != nil {
+					return nil, err
+				}
+				get(crash, fmt.Sprintf(crashFmt, k)).At(g).Add(res.Latency / norm)
+				get(overhead, fmt.Sprintf(crashFmt, k)).At(g).Add(ovh(res.Latency))
+			}
+			get(crash, serFaultFree).At(g).Add(ffLatency / norm)
+		}
+	}
+	return &FigureSet{Crash: crash, Overhead: overhead}, nil
+}

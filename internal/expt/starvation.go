@@ -1,0 +1,121 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftsched/internal/core"
+	"ftsched/internal/platform"
+	"ftsched/internal/sim"
+	"ftsched/internal/stats"
+	"ftsched/internal/workload"
+)
+
+// StarvationConfig parameterizes experiment X4 (ours): quantifying finding
+// F1 of EXPERIMENTS.md — under strict matched-only communication, how often
+// does a *single* processor crash starve an MC-FTSA schedule, as a function
+// of graph size (and hence depth)?
+type StarvationConfig struct {
+	Epsilon        int
+	Procs          int
+	TaskCounts     []int
+	GraphsPerPoint int
+	Seed           int64
+}
+
+// DefaultStarvationConfig returns the X4 setup: ε=2 on 10 processors,
+// graph sizes from 10 to 150 tasks.
+func DefaultStarvationConfig() StarvationConfig {
+	return StarvationConfig{
+		Epsilon:        2,
+		Procs:          10,
+		TaskCounts:     []int{10, 20, 40, 80, 150},
+		GraphsPerPoint: 20,
+		Seed:           1,
+	}
+}
+
+// RunStarvation measures, per graph size:
+//
+//   - the fraction of single-crash scenarios that starve the schedule under
+//     strict matched semantics (no replica of some exit task can run);
+//   - the fraction of single-crash scenarios where the degraded-mode
+//     (rerouting) latency exceeds the schedule's upper bound — the
+//     corollary of F1 that the MC-FTSA "guarantee" is soft.
+//
+// FTSA is measured alongside as a control: its full communication pattern
+// must show zero starvation and zero bound violations.
+func RunStarvation(cfg StarvationConfig) (*Figure, error) {
+	if cfg.Epsilon < 1 || cfg.Epsilon+1 > cfg.Procs {
+		return nil, fmt.Errorf("expt: starvation needs 1 <= ε < m, got ε=%d m=%d", cfg.Epsilon, cfg.Procs)
+	}
+	if cfg.GraphsPerPoint < 1 || len(cfg.TaskCounts) == 0 {
+		return nil, fmt.Errorf("expt: empty starvation sweep")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fig := &Figure{
+		Title:  fmt.Sprintf("X4: single-crash starvation under strict matched semantics, ε=%d, m=%d", cfg.Epsilon, cfg.Procs),
+		XLabel: "Tasks", YLabel: "Rate (%)",
+	}
+	strict := stats.NewSeries("MC-FTSA strict starvation")
+	soft := stats.NewSeries("MC-FTSA degraded bound violations")
+	control := stats.NewSeries("FTSA starvation (control)")
+	fig.Series = []*stats.Series{strict, soft, control}
+
+	for _, v := range cfg.TaskCounts {
+		for i := 0; i < cfg.GraphsPerPoint; i++ {
+			wcfg := workload.PaperConfig{
+				DAG: workload.RandomDAGConfig{
+					MinTasks: v, MaxTasks: v,
+					MinVolume: 50, MaxVolume: 150,
+					ShapeFactor: 1.0, EdgeDensity: 0.25,
+				},
+				Procs:    cfg.Procs,
+				MinDelay: 0.5, MaxDelay: 1.0,
+				MinCost: 10, MaxCost: 100,
+				Granularity: 1.0,
+			}
+			inst, err := workload.NewInstance(rng, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			mc, err := core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
+				core.MCFTSAOptions{Options: core.Options{Epsilon: cfg.Epsilon, Rng: rng}})
+			if err != nil {
+				return nil, err
+			}
+			ftsa, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs,
+				core.Options{Epsilon: cfg.Epsilon, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			starved, violated, ctrl := 0, 0, 0
+			for j := 0; j < cfg.Procs; j++ {
+				sc, err := sim.CrashAtZero(cfg.Procs, platform.ProcID(j))
+				if err != nil {
+					return nil, err
+				}
+				if _, err := sim.RunWithOptions(mc, sc, sim.Options{StrictMatched: true}); err != nil {
+					starved++
+				}
+				res, err := sim.Run(mc, sc, nil)
+				if err != nil {
+					// Degraded mode cannot starve with a single crash and
+					// ε >= 1; treat a failure here as a bug.
+					return nil, fmt.Errorf("expt: degraded MC-FTSA failed: %w", err)
+				}
+				if res.Latency > mc.UpperBound()+1e-7 {
+					violated++
+				}
+				if _, err := sim.Run(ftsa, sc, nil); err != nil {
+					ctrl++
+				}
+			}
+			x := float64(v)
+			strict.At(x).Add(100 * float64(starved) / float64(cfg.Procs))
+			soft.At(x).Add(100 * float64(violated) / float64(cfg.Procs))
+			control.At(x).Add(100 * float64(ctrl) / float64(cfg.Procs))
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"testing"
+)
+
+func TestRunStarvation(t *testing.T) {
+	cfg := StarvationConfig{
+		Epsilon:        2,
+		Procs:          8,
+		TaskCounts:     []int{10, 60},
+		GraphsPerPoint: 4,
+		Seed:           1,
+	}
+	fig, err := RunStarvation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	var strict, control *seriesView
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "MC-FTSA strict starvation":
+			strict = &seriesView{means: s.Means(), xs: s.Xs}
+		case "FTSA starvation (control)":
+			control = &seriesView{means: s.Means()}
+		}
+	}
+	if strict == nil || control == nil {
+		t.Fatal("missing series")
+	}
+	// The control must be identically zero (Theorem 4.1).
+	for i, m := range control.means {
+		if m != 0 {
+			t.Errorf("FTSA starved at point %d: %g%%", i, m)
+		}
+	}
+	// Starvation must grow with graph size and be severe for deep graphs.
+	if strict.means[len(strict.means)-1] < strict.means[0] {
+		t.Errorf("starvation not growing with size: %v", strict.means)
+	}
+	if strict.means[len(strict.means)-1] < 50 {
+		t.Errorf("expected severe starvation at v=60, got %.1f%%", strict.means[len(strict.means)-1])
+	}
+}
+
+type seriesView struct {
+	means []float64
+	xs    []float64
+}
+
+func TestRunStarvationValidation(t *testing.T) {
+	cfg := DefaultStarvationConfig()
+	cfg.Epsilon = 0
+	if _, err := RunStarvation(cfg); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	cfg = DefaultStarvationConfig()
+	cfg.TaskCounts = nil
+	if _, err := RunStarvation(cfg); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}

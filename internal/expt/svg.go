@@ -1,0 +1,32 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"ftsched/internal/plot"
+)
+
+// ToChart converts a figure into a renderable chart (mean per point).
+func ToChart(f *Figure) (*plot.Chart, error) {
+	if f == nil || len(f.Series) == 0 {
+		return nil, fmt.Errorf("expt: empty figure")
+	}
+	c := &plot.Chart{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		if err := c.Add(s.Name, s.Xs, s.Means()); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WriteSVG renders a figure as a standalone SVG line chart — the visual
+// counterpart of the paper's plots.
+func WriteSVG(w io.Writer, f *Figure) error {
+	c, err := ToChart(f)
+	if err != nil {
+		return err
+	}
+	return c.WriteSVG(w)
+}

@@ -1,0 +1,95 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ftsched/internal/core"
+	"ftsched/internal/ftbar"
+	"ftsched/internal/workload"
+)
+
+// Table1Config parameterizes the running-time comparison of Table 1: 50
+// processors, ε = 5, task counts from 100 to 5000.
+type Table1Config struct {
+	TaskCounts []int
+	Procs      int
+	Epsilon    int
+	Seed       int64
+}
+
+// DefaultTable1Config returns the paper's Table 1 setup.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{
+		TaskCounts: []int{100, 500, 1000, 2000, 3000, 5000},
+		Procs:      50,
+		Epsilon:    5,
+		Seed:       1,
+	}
+}
+
+// Table1Row is one line of the table: wall-clock seconds per algorithm.
+type Table1Row struct {
+	Tasks   int
+	FTSA    float64
+	MCFTSA  float64
+	FTBAR   float64
+	RatioBF float64 // FTBAR / FTSA, the headline scaling gap
+}
+
+// RunTable1 generates one instance per task count and times the three
+// schedulers on it. Absolute values depend on the host (the paper used a C
+// program on a 1.66 GHz Core 2 Duo); the reproduced claim is the scaling
+// shape — FTBAR's running time growing orders of magnitude faster than
+// FTSA's and MC-FTSA's.
+func RunTable1(cfg Table1Config) ([]Table1Row, error) {
+	if cfg.Procs < cfg.Epsilon+1 {
+		return nil, fmt.Errorf("expt: ε=%d needs more than %d processors", cfg.Epsilon, cfg.Procs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := make([]Table1Row, 0, len(cfg.TaskCounts))
+	for _, v := range cfg.TaskCounts {
+		wcfg := workload.PaperConfig{
+			DAG: workload.RandomDAGConfig{
+				MinTasks: v, MaxTasks: v,
+				MinVolume: 50, MaxVolume: 150,
+				ShapeFactor: 1.0, EdgeDensity: 0.25,
+			},
+			Procs:    cfg.Procs,
+			MinDelay: 0.5, MaxDelay: 1.0,
+			MinCost: 10, MaxCost: 100,
+			Granularity: 1.0,
+		}
+		inst, err := workload.NewInstance(rng, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Tasks: v}
+
+		start := time.Now()
+		if _, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: cfg.Epsilon}); err != nil {
+			return nil, err
+		}
+		row.FTSA = time.Since(start).Seconds()
+
+		start = time.Now()
+		if _, err := core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
+			core.MCFTSAOptions{Options: core.Options{Epsilon: cfg.Epsilon}}); err != nil {
+			return nil, err
+		}
+		row.MCFTSA = time.Since(start).Seconds()
+
+		start = time.Now()
+		if _, err := ftbar.Schedule(inst.Graph, inst.Platform, inst.Costs, ftbar.Options{Npf: cfg.Epsilon}); err != nil {
+			return nil, err
+		}
+		row.FTBAR = time.Since(start).Seconds()
+
+		if row.FTSA > 0 {
+			row.RatioBF = row.FTBAR / row.FTSA
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,136 @@
+// Package heft implements HEFT (Heterogeneous Earliest Finish Time;
+// Topcuoglu, Hariri, Wu 2002), the standard non-fault-tolerant reference
+// heuristic for DAG scheduling on heterogeneous platforms. The paper's
+// fault-free FTSA run (ε = 0) is an EFT list scheduler of the same family;
+// HEFT differs in two ways — static upward-rank priorities instead of the
+// dynamic criticalness, and *insertion-based* processor slots (a task may
+// fill an idle gap between two already-scheduled tasks). Having the
+// canonical baseline in-tree lets the test suite anchor FTSA's fault-free
+// quality against the literature's reference point.
+//
+// HEFT schedules are analysis artifacts: they carry no replication
+// (ε = 0), and because of insertion their per-processor execution order is
+// not the mapping order, so they are meant for bound comparisons rather
+// than for the crash simulator.
+package heft
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+)
+
+// Options configures a HEFT run.
+type Options struct {
+	// NoInsertion disables the insertion policy, reducing HEFT to plain
+	// append-only EFT list scheduling (ablation knob).
+	NoInsertion bool
+}
+
+// slot is one busy interval on a processor, kept sorted by start.
+type slot struct{ start, finish float64 }
+
+// Schedule runs HEFT and returns an ε=0 schedule.
+func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options) (*sched.Schedule, error) {
+	s, err := sched.New(g, p, cm, 0, sched.PatternAll, "HEFT")
+	if err != nil {
+		return nil, err
+	}
+	// Upward ranks: bottom levels with mean execution and communication
+	// costs — identical averaging to the paper's bℓ.
+	rank, err := sched.AvgBottomLevels(g, cm, p)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]dag.TaskID, g.NumTasks())
+	for i := range order {
+		order[i] = dag.TaskID(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if rank[order[a]] != rank[order[b]] {
+			return rank[order[a]] > rank[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	m := p.NumProcs()
+	busy := make([][]slot, m)
+	finish := make([]float64, g.NumTasks())
+	proc := make([]platform.ProcID, g.NumTasks())
+
+	for _, t := range order {
+		bestProc := platform.ProcID(-1)
+		bestStart, bestFinish := 0.0, math.Inf(1)
+		for j := 0; j < m; j++ {
+			pj := platform.ProcID(j)
+			ready := 0.0
+			for _, pe := range g.Preds(t) {
+				arr := finish[pe.To] + pe.Volume*p.Delay(proc[pe.To], pj)
+				if arr > ready {
+					ready = arr
+				}
+			}
+			e := cm.Cost(t, pj)
+			start := placeIn(busy[j], ready, e, opt.NoInsertion)
+			if start+e < bestFinish {
+				bestProc, bestStart, bestFinish = pj, start, start+e
+			}
+		}
+		if bestProc < 0 {
+			return nil, fmt.Errorf("heft: no processor for task %d", t)
+		}
+		insertSlot(&busy[bestProc], slot{bestStart, bestFinish})
+		finish[t] = bestFinish
+		proc[t] = bestProc
+		if err := s.Place(t, []sched.Replica{{
+			Task: t, Copy: 0, Proc: bestProc,
+			StartMin: bestStart, FinishMin: bestFinish,
+			StartMax: bestStart, FinishMax: bestFinish,
+		}}); err != nil {
+			return nil, err
+		}
+	}
+	if !s.Complete() {
+		return nil, dag.ErrCycle
+	}
+	return s, nil
+}
+
+// placeIn returns the earliest start >= ready where a task of duration e
+// fits on the processor. With insertion enabled it scans the gaps between
+// busy slots; otherwise it appends after the last slot.
+func placeIn(busy []slot, ready, e float64, noInsertion bool) float64 {
+	if len(busy) == 0 {
+		return ready
+	}
+	if noInsertion {
+		last := busy[len(busy)-1].finish
+		if last > ready {
+			return last
+		}
+		return ready
+	}
+	// Gap before the first slot.
+	if ready+e <= busy[0].start {
+		return ready
+	}
+	for i := 0; i+1 < len(busy); i++ {
+		gapStart := math.Max(ready, busy[i].finish)
+		if gapStart+e <= busy[i+1].start {
+			return gapStart
+		}
+	}
+	return math.Max(ready, busy[len(busy)-1].finish)
+}
+
+// insertSlot keeps the busy list sorted by start time.
+func insertSlot(busy *[]slot, s slot) {
+	i := sort.Search(len(*busy), func(i int) bool { return (*busy)[i].start >= s.start })
+	*busy = append(*busy, slot{})
+	copy((*busy)[i+1:], (*busy)[i:])
+	(*busy)[i] = s
+}

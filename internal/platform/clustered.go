@@ -1,0 +1,49 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NewClustered builds a two-level platform: racks of perRack processors
+// with fast intra-rack links and slower inter-rack links (both drawn
+// uniformly from their ranges, symmetric). Processor p belongs to rack
+// p / perRack; combined with sim.GroupCrash this models whole-rack
+// failures, the correlated-failure scenario the paper's independent-crash
+// model does not cover.
+func NewClustered(rng *rand.Rand, racks, perRack int, intraMin, intraMax, interMin, interMax float64) (*Platform, error) {
+	if racks < 1 || perRack < 1 {
+		return nil, fmt.Errorf("%w: %d racks × %d", ErrBadSize, racks, perRack)
+	}
+	if intraMin < 0 || intraMax < intraMin || interMin < 0 || interMax < interMin {
+		return nil, fmt.Errorf("%w: intra [%g,%g], inter [%g,%g]", ErrBadDelay, intraMin, intraMax, interMin, interMax)
+	}
+	m := racks * perRack
+	p := &Platform{m: m, delay: make([][]float64, m)}
+	for k := 0; k < m; k++ {
+		p.delay[k] = make([]float64, m)
+	}
+	draw := func(lo, hi float64) float64 {
+		if hi == lo {
+			return lo
+		}
+		return lo + rng.Float64()*(hi-lo)
+	}
+	for k := 0; k < m; k++ {
+		for h := k + 1; h < m; h++ {
+			var d float64
+			if k/perRack == h/perRack {
+				d = draw(intraMin, intraMax)
+			} else {
+				d = draw(interMin, interMax)
+			}
+			p.delay[k][h] = d
+			p.delay[h][k] = d
+		}
+	}
+	return p, nil
+}
+
+// Rack returns the rack index of a processor for a clustered platform built
+// with the given rack size.
+func Rack(p ProcID, perRack int) int { return int(p) / perRack }

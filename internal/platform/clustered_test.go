@@ -1,0 +1,72 @@
+package platform
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := NewClustered(rng, 3, 4, 0.1, 0.2, 1.0, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumProcs() != 12 {
+		t.Fatalf("procs = %d", p.NumProcs())
+	}
+	for k := 0; k < 12; k++ {
+		for h := 0; h < 12; h++ {
+			d := p.Delay(ProcID(k), ProcID(h))
+			switch {
+			case k == h:
+				if d != 0 {
+					t.Fatalf("diagonal %g", d)
+				}
+			case k/4 == h/4: // same rack
+				if d < 0.1 || d >= 0.2 {
+					t.Fatalf("intra-rack d(%d,%d)=%g outside [0.1,0.2)", k, h, d)
+				}
+			default:
+				if d < 1.0 || d >= 2.0 {
+					t.Fatalf("inter-rack d(%d,%d)=%g outside [1,2)", k, h, d)
+				}
+			}
+			if d != p.Delay(ProcID(h), ProcID(k)) {
+				t.Fatalf("asymmetric link %d-%d", k, h)
+			}
+		}
+	}
+	if Rack(5, 4) != 1 || Rack(11, 4) != 2 {
+		t.Error("Rack mapping wrong")
+	}
+}
+
+func TestNewClusteredErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewClustered(rng, 0, 4, 0, 1, 1, 2); err == nil {
+		t.Error("0 racks accepted")
+	}
+	if _, err := NewClustered(rng, 2, 0, 0, 1, 1, 2); err == nil {
+		t.Error("empty racks accepted")
+	}
+	if _, err := NewClustered(rng, 2, 2, 1, 0.5, 1, 2); err == nil {
+		t.Error("inverted intra range accepted")
+	}
+	if _, err := NewClustered(rng, 2, 2, 0, 1, -1, 2); err == nil {
+		t.Error("negative inter delay accepted")
+	}
+}
+
+func TestClusteredDegenerateRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := NewClustered(rng, 2, 2, 0.5, 0.5, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Delay(0, 1); d != 0.5 {
+		t.Errorf("fixed intra delay %g", d)
+	}
+	if d := p.Delay(0, 2); d != 3 {
+		t.Errorf("fixed inter delay %g", d)
+	}
+}

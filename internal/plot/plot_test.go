@@ -1,0 +1,122 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleChart() *Chart {
+	c := &Chart{Title: "t", XLabel: "x", YLabel: "y"}
+	_ = c.Add("a", []float64{0, 1, 2}, []float64{1, 4, 9})
+	_ = c.Add("b", []float64{0, 1, 2}, []float64{2, 3, 5})
+	return c
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be well-formed XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	for _, want := range []string{">a</text>", ">b</text>", ">t</text>", ">x</text>", ">y</text>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Chart{}
+	if err := c.WriteSVG(&buf); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty chart: %v", err)
+	}
+	if err := c.Add("bad", []float64{1}, []float64{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("shape mismatch: %v", err)
+	}
+}
+
+func TestDegenerateExtents(t *testing.T) {
+	c := &Chart{Title: "flat"}
+	if err := c.Add("const", []float64{1, 1, 1}, []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Error("degenerate chart produced non-finite coordinates")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 5)
+	if len(ticks) < 3 || len(ticks) > 8 {
+		t.Errorf("ticks %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Errorf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 10+1e-9 {
+		t.Errorf("ticks outside range: %v", ticks)
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate ticks %v", got)
+	}
+}
+
+func TestPropTicksCoverRange(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e12 || math.Abs(b) > 1e12 {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if hi-lo < 1e-9 {
+			return true
+		}
+		ticks := niceTicks(lo, hi, 6)
+		if len(ticks) == 0 || len(ticks) > 20 {
+			return false
+		}
+		for _, tk := range ticks {
+			if tk < lo-(hi-lo)*1e-6 || tk > hi+(hi-lo)*1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("escape = %q", got)
+	}
+}

@@ -1,0 +1,137 @@
+// Package reliability implements the failure-probability extension sketched
+// in the paper's conclusion ("we want to study a more complex failure model,
+// in which we would also account for the failure probability of the
+// application"): processors fail independently following exponential laws,
+// and we quantify the probability that a fault-tolerant schedule delivers a
+// result.
+//
+// Two estimators are provided:
+//
+//   - an exact combinatorial bound: a schedule tolerating ε crash-at-start
+//     failures survives every scenario with at most ε failed processors, so
+//     P(survival) >= P(at most ε of m processors fail during the mission);
+//   - a Monte-Carlo estimator that samples crash times and replays the
+//     schedule through the simulator, capturing mid-execution crashes and
+//     the exact communication pattern.
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftsched/internal/sched"
+	"ftsched/internal/sim"
+)
+
+// Exponential describes i.i.d. exponential processor lifetimes with the
+// given failure rate λ (failures per unit time).
+type Exponential struct {
+	Lambda float64
+}
+
+// ErrBadRate reports a non-positive failure rate.
+var ErrBadRate = errors.New("reliability: failure rate must be positive")
+
+// ProcAlive returns the probability a processor survives past time t.
+func (e Exponential) ProcAlive(t float64) float64 {
+	return math.Exp(-e.Lambda * t)
+}
+
+// Sample draws one crash time.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Lambda
+}
+
+// SurvivalLowerBound returns the probability that at most epsilon of m
+// processors fail within the mission time — a lower bound on the schedule's
+// success probability, by Theorem 4.1. It sums the binomial tail
+// Σ_{k=0..ε} C(m,k) p^k (1−p)^(m−k) with p = 1 − exp(−λ·mission).
+func SurvivalLowerBound(e Exponential, m, epsilon int, mission float64) (float64, error) {
+	if e.Lambda <= 0 {
+		return 0, ErrBadRate
+	}
+	if m <= 0 || epsilon < 0 || mission < 0 {
+		return 0, fmt.Errorf("reliability: invalid parameters m=%d ε=%d mission=%g", m, epsilon, mission)
+	}
+	p := 1 - math.Exp(-e.Lambda*mission)
+	total := 0.0
+	for k := 0; k <= epsilon && k <= m; k++ {
+		total += binomPMF(m, k, p)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// binomPMF computes C(n,k) p^k (1-p)^(n-k) in log space for stability.
+func binomPMF(n, k int, p float64) float64 {
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lg)
+}
+
+func lchoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// MonteCarloResult summarizes a sampled reliability estimate.
+type MonteCarloResult struct {
+	// Success is the fraction of sampled failure scenarios in which the
+	// schedule delivered a result.
+	Success float64
+	// MeanLatency averages the achieved latency over successful runs.
+	MeanLatency float64
+	// Trials is the sample count.
+	Trials int
+}
+
+// MonteCarlo estimates the schedule's success probability by sampling crash
+// times for every processor from the exponential law and replaying the
+// schedule through the simulator. Unlike SurvivalLowerBound it credits runs
+// where more than ε processors fail but only after their work is done, and
+// debits nothing (crash-at-work is simulated exactly).
+func MonteCarlo(rng *rand.Rand, s *sched.Schedule, e Exponential, trials int) (*MonteCarloResult, error) {
+	if e.Lambda <= 0 {
+		return nil, ErrBadRate
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("reliability: need at least one trial, got %d", trials)
+	}
+	m := s.Platform.NumProcs()
+	success := 0
+	latSum := 0.0
+	for i := 0; i < trials; i++ {
+		sc := sim.NoFailures(m)
+		for p := 0; p < m; p++ {
+			sc.CrashTime[p] = e.Sample(rng)
+		}
+		res, err := sim.Run(s, sc, nil)
+		if err != nil {
+			continue
+		}
+		success++
+		latSum += res.Latency
+	}
+	out := &MonteCarloResult{Success: float64(success) / float64(trials), Trials: trials}
+	if success > 0 {
+		out.MeanLatency = latSum / float64(success)
+	}
+	return out, nil
+}

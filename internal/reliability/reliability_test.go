@@ -1,0 +1,152 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/core"
+	"ftsched/internal/workload"
+)
+
+func TestSurvivalLowerBoundBasics(t *testing.T) {
+	e := Exponential{Lambda: 0.01}
+	// Zero mission time: nothing fails.
+	p, err := SurvivalLowerBound(e, 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("mission 0: survival %g, want 1", p)
+	}
+	// ε = m: every scenario tolerated.
+	p, err = SurvivalLowerBound(e, 5, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-12 {
+		t.Errorf("ε=m: survival %g, want 1", p)
+	}
+	// Monotone in ε.
+	prev := -1.0
+	for eps := 0; eps <= 10; eps++ {
+		p, err := SurvivalLowerBound(e, 10, eps, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Errorf("survival not monotone in ε: %g after %g", p, prev)
+		}
+		prev = p
+	}
+	// Monotone decreasing in mission time.
+	prevT := 2.0
+	for _, mission := range []float64{0, 10, 100, 1000} {
+		p, err := SurvivalLowerBound(e, 10, 2, mission)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prevT {
+			t.Errorf("survival not decreasing in mission time: %g then %g", prevT, p)
+		}
+		prevT = p
+	}
+}
+
+func TestSurvivalLowerBoundMatchesHandComputation(t *testing.T) {
+	// m=2, ε=1, p = 1−exp(−λT): survival = 1 − p².
+	e := Exponential{Lambda: 0.1}
+	mission := 5.0
+	pFail := 1 - math.Exp(-e.Lambda*mission)
+	want := 1 - pFail*pFail
+	got, err := SurvivalLowerBound(e, 2, 1, mission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("survival = %g, want %g", got, want)
+	}
+}
+
+func TestSurvivalLowerBoundErrors(t *testing.T) {
+	if _, err := SurvivalLowerBound(Exponential{Lambda: 0}, 5, 1, 10); err == nil {
+		t.Error("want error for λ=0")
+	}
+	if _, err := SurvivalLowerBound(Exponential{Lambda: 1}, 0, 1, 10); err == nil {
+		t.Error("want error for m=0")
+	}
+}
+
+func TestMonteCarloAgreesWithBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := workload.DefaultPaperConfig(1.0)
+	cfg.Procs = 8
+	cfg.DAG.MinTasks, cfg.DAG.MaxTasks = 25, 35
+	inst, err := workload.NewInstance(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 2
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure rate chosen so failures during the mission are common enough
+	// to exercise both outcomes.
+	e := Exponential{Lambda: 0.5 / s.UpperBound()}
+	mc, err := MonteCarlo(rng, s, e, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, err := SurvivalLowerBound(e, 8, eps, s.UpperBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte-Carlo success can only exceed the combinatorial lower bound
+	// (mid-run crashes after useful work still succeed); allow sampling
+	// noise of a few percent.
+	if mc.Success < lower-0.06 {
+		t.Errorf("Monte-Carlo success %g below lower bound %g", mc.Success, lower)
+	}
+	if mc.Success > 0 && mc.MeanLatency <= 0 {
+		t.Errorf("successful runs must report positive latency, got %g", mc.MeanLatency)
+	}
+}
+
+func TestMonteCarlohigherEpsilonMoreReliable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := workload.DefaultPaperConfig(1.0)
+	cfg.Procs = 10
+	cfg.DAG.MinTasks, cfg.DAG.MaxTasks = 25, 35
+	inst, err := workload.NewInstance(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Exponential{Lambda: 1.0 / s3.UpperBound()}
+	mc0, err := MonteCarlo(rand.New(rand.NewSource(7)), s0, e, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc3, err := MonteCarlo(rand.New(rand.NewSource(7)), s3, e, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc3.Success <= mc0.Success {
+		t.Errorf("ε=3 success %g should beat ε=0 success %g", mc3.Success, mc0.Success)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarlo(rng, nil, Exponential{Lambda: 0}, 10); err == nil {
+		t.Error("want error for λ=0")
+	}
+}

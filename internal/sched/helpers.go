@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+// ArrivalWindow returns the earliest and latest possible arrival on proc of
+// the data produced by the given replica set of a predecessor task:
+//
+//   - earliest: min over copies of FinishMin + V·d(copy proc, proc) — the
+//     "first message wins" semantics of equation (1);
+//   - latest: max over copies of FinishMax + V·d — the all-copies semantics
+//     of equation (3).
+//
+// Intra-processor transfers have zero delay (d(P,P) = 0).
+func ArrivalWindow(p *platform.Platform, srcReps []Replica, volume float64, proc platform.ProcID) (earliest, latest float64) {
+	earliest = math.Inf(1)
+	for _, sr := range srcReps {
+		d := p.Delay(sr.Proc, proc)
+		if a := sr.FinishMin + volume*d; a < earliest {
+			earliest = a
+		}
+		if a := sr.FinishMax + volume*d; a > latest {
+			latest = a
+		}
+	}
+	return earliest, latest
+}
+
+// AddDuplicate appends an extra replica of an already-placed task (used by
+// FTBAR's Minimize-Start-Time duplication). The copy index is assigned
+// automatically.
+func (s *Schedule) AddDuplicate(t dag.TaskID, r Replica) error {
+	if s.replicas[t] == nil {
+		return fmt.Errorf("%w: task %d", ErrNotScheduled, t)
+	}
+	if r.Task != t {
+		return fmt.Errorf("sched: duplicate mislabeled (task=%d, want %d)", r.Task, t)
+	}
+	if !s.Platform.Valid(r.Proc) {
+		return fmt.Errorf("sched: duplicate of task %d on invalid processor %d", t, r.Proc)
+	}
+	r.Copy = len(s.replicas[t])
+	s.replicas[t] = append(s.replicas[t], r)
+	return nil
+}
+
+// AvgBottomLevels computes the static bottom levels bℓ(t) of Section 4.1:
+// node costs are the platform-average execution times E̅(t) and edge costs
+// the average communication costs W̅(ti,tj) = V(ti,tj)·d̅.
+func AvgBottomLevels(g *dag.Graph, cm *platform.CostModel, p *platform.Platform) ([]float64, error) {
+	meanD := p.MeanDelay()
+	return g.BottomLevels(
+		func(t dag.TaskID) float64 { return cm.Mean(t) },
+		func(_, _ dag.TaskID, v float64) float64 { return v * meanD },
+	)
+}
+
+// Deadlines assigns the per-task deadlines of Section 4.3 for a target
+// latency L, in reverse topological order:
+//
+//	d(ti) = L                                     if Γ+(ti) = ∅
+//	d(ti) = min over tj in Γ+(ti) of
+//	          d(tj) − E̅(tj) − W̅(ti,tj)           otherwise
+//
+// where E̅(tj) is the average execution time of tj on the ε+1 fastest
+// processors and W̅ uses the average delay of the ε+1 fastest links.
+func Deadlines(g *dag.Graph, cm *platform.CostModel, p *platform.Platform, epsilon int, latency float64) ([]float64, error) {
+	rev, err := g.ReverseTopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	fastD := p.MeanDelayFastestLinks(epsilon + 1)
+	d := make([]float64, g.NumTasks())
+	for _, t := range rev {
+		if g.OutDegree(t) == 0 {
+			d[t] = latency
+			continue
+		}
+		best := math.Inf(1)
+		for _, se := range g.Succs(t) {
+			v := d[se.To] - cm.MeanFastest(se.To, epsilon+1) - se.Volume*fastD
+			if v < best {
+				best = v
+			}
+		}
+		d[t] = best
+	}
+	return d, nil
+}

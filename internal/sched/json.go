@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+// scheduleJSON is the wire format of a complete schedule. It references its
+// problem (graph/platform/costs) only implicitly: loading requires the same
+// instance files, and the loader re-validates the schedule against them, so
+// a mismatched instance is rejected rather than silently mis-simulated.
+type scheduleJSON struct {
+	Algorithm    string          `json:"algorithm"`
+	Epsilon      int             `json:"epsilon"`
+	Pattern      Pattern         `json:"pattern"`
+	MappingOrder []dag.TaskID    `json:"mapping_order"`
+	Replicas     [][]replicaJSON `json:"replicas"`
+	Matched      [][][]int       `json:"matched,omitempty"`
+}
+
+type replicaJSON struct {
+	Proc      platform.ProcID `json:"proc"`
+	StartMin  float64         `json:"start_min"`
+	FinishMin float64         `json:"finish_min"`
+	StartMax  float64         `json:"start_max"`
+	FinishMax float64         `json:"finish_max"`
+}
+
+// WriteTo serializes the schedule as indented JSON.
+func (s *Schedule) WriteTo(w io.Writer) (int64, error) {
+	out := scheduleJSON{
+		Algorithm:    s.Algorithm,
+		Epsilon:      s.Epsilon,
+		Pattern:      s.CommPattern,
+		MappingOrder: s.mappingOrder,
+		Replicas:     make([][]replicaJSON, len(s.replicas)),
+	}
+	for t, reps := range s.replicas {
+		out.Replicas[t] = make([]replicaJSON, len(reps))
+		for c, r := range reps {
+			out.Replicas[t][c] = replicaJSON{
+				Proc:     r.Proc,
+				StartMin: r.StartMin, FinishMin: r.FinishMin,
+				StartMax: r.StartMax, FinishMax: r.FinishMax,
+			}
+		}
+	}
+	if s.CommPattern == PatternMatched {
+		out.Matched = s.matchedFrom
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadSchedule deserializes a schedule saved by WriteTo, binds it to the
+// given problem instance and validates it fully (structure, precedence,
+// overlap, matching) before returning.
+func ReadSchedule(r io.Reader, g *dag.Graph, p *platform.Platform, cm *platform.CostModel) (*Schedule, error) {
+	var in scheduleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sched: decoding schedule: %w", err)
+	}
+	if len(in.Replicas) != g.NumTasks() {
+		return nil, fmt.Errorf("sched: schedule covers %d tasks, graph has %d", len(in.Replicas), g.NumTasks())
+	}
+	s, err := New(g, p, cm, in.Epsilon, in.Pattern, in.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.MappingOrder) != g.NumTasks() {
+		return nil, fmt.Errorf("sched: mapping order covers %d of %d tasks", len(in.MappingOrder), g.NumTasks())
+	}
+	for _, t := range in.MappingOrder {
+		if !g.Valid(t) {
+			return nil, fmt.Errorf("%w: mapping order entry %d", dag.ErrNoSuchTask, t)
+		}
+		reps := make([]Replica, len(in.Replicas[t]))
+		for c, rj := range in.Replicas[t] {
+			reps[c] = Replica{
+				Task: t, Copy: c, Proc: rj.Proc,
+				StartMin: rj.StartMin, FinishMin: rj.FinishMin,
+				StartMax: rj.StartMax, FinishMax: rj.FinishMax,
+			}
+		}
+		if err := s.Place(t, reps); err != nil {
+			return nil, err
+		}
+	}
+	if in.Pattern == PatternMatched {
+		if len(in.Matched) != g.NumTasks() {
+			return nil, fmt.Errorf("%w: matching covers %d of %d tasks", ErrMatching, len(in.Matched), g.NumTasks())
+		}
+		for t := range in.Matched {
+			if err := s.SetMatchedSources(dag.TaskID(t), in.Matched[t]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: loaded schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"math"
+
+	"ftsched/internal/dag"
+)
+
+// Metrics aggregates quantitative properties of a schedule beyond the two
+// latency bounds — the numbers a capacity planner or a paper reviewer asks
+// for.
+type Metrics struct {
+	// LowerBound and UpperBound restate equations (2) and (4).
+	LowerBound, UpperBound float64
+	// TotalWork is the summed optimistic execution time over all replicas.
+	TotalWork float64
+	// Replicas counts all placed replicas (v·(ε+1) plus FTBAR duplicates).
+	Replicas int
+	// Messages counts inter-processor messages (MessageCount).
+	Messages int
+	// CommVolume is the total data volume crossing processor boundaries.
+	CommVolume float64
+	// Horizon is the latest optimistic finish over all replicas — the point
+	// at which every processor is done. It can exceed LowerBound, which
+	// only tracks the *earliest* copy of each exit task.
+	Horizon float64
+	// MeanUtilization is the average over processors of busy time divided
+	// by the horizon; MinUtilization/MaxUtilization are the extremes.
+	MeanUtilization, MinUtilization, MaxUtilization float64
+	// ReplicationFactor is total work divided by the work of one copy of
+	// each task on its fastest assigned processor — the raw cost of the
+	// active replication scheme.
+	ReplicationFactor float64
+}
+
+// ComputeMetrics derives the metrics of a complete schedule.
+func (s *Schedule) ComputeMetrics() (*Metrics, error) {
+	if !s.Complete() {
+		return nil, ErrIncomplete
+	}
+	m := &Metrics{
+		LowerBound: s.LowerBound(),
+		UpperBound: s.UpperBound(),
+	}
+	nProcs := s.Platform.NumProcs()
+	busy := make([]float64, nProcs)
+	primaryWork := 0.0
+	for t := range s.replicas {
+		best := math.Inf(1)
+		for _, r := range s.replicas[t] {
+			d := r.FinishMin - r.StartMin
+			m.TotalWork += d
+			busy[r.Proc] += d
+			m.Replicas++
+			if d < best {
+				best = d
+			}
+			if r.FinishMin > m.Horizon {
+				m.Horizon = r.FinishMin
+			}
+		}
+		primaryWork += best
+	}
+	m.Messages = s.MessageCount()
+	// Communication volume across processor boundaries, per the schedule's
+	// pattern.
+	for t := 0; t < s.Graph.NumTasks(); t++ {
+		tid := dag.TaskID(t)
+		for predIdx, pe := range s.Graph.Preds(tid) {
+			srcReps := s.replicas[pe.To]
+			for c, dr := range s.replicas[tid] {
+				switch s.CommPattern {
+				case PatternMatched:
+					k, err := s.MatchedSource(tid, c, predIdx)
+					if err != nil {
+						return nil, err
+					}
+					if srcReps[k].Proc != dr.Proc {
+						m.CommVolume += pe.Volume
+					}
+				default:
+					for _, sr := range srcReps {
+						if sr.Proc != dr.Proc {
+							m.CommVolume += pe.Volume
+						}
+					}
+				}
+			}
+		}
+	}
+	if m.Horizon > 0 && !math.IsInf(m.Horizon, 1) {
+		m.MinUtilization = math.Inf(1)
+		sum := 0.0
+		for _, b := range busy {
+			u := b / m.Horizon
+			sum += u
+			if u < m.MinUtilization {
+				m.MinUtilization = u
+			}
+			if u > m.MaxUtilization {
+				m.MaxUtilization = u
+			}
+		}
+		m.MeanUtilization = sum / float64(nProcs)
+	}
+	if primaryWork > 0 {
+		m.ReplicationFactor = m.TotalWork / primaryWork
+	}
+	return m, nil
+}

@@ -1,0 +1,338 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+func fixture(t *testing.T) (*dag.Graph, *platform.Platform, *platform.CostModel) {
+	t.Helper()
+	g := dag.NewWithTasks("pair", 2)
+	g.MustAddEdge(0, 1, 10)
+	p, err := platform.New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := platform.NewCostModelFromMatrix([][]float64{{4, 4, 4}, {6, 6, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p, cm
+}
+
+func TestNewSchedule(t *testing.T) {
+	g, p, cm := fixture(t)
+	if _, err := New(g, p, cm, -1, PatternAll, "x"); !errors.Is(err, ErrEpsilon) {
+		t.Errorf("negative ε: %v", err)
+	}
+	if _, err := New(g, p, cm, 3, PatternAll, "x"); !errors.Is(err, ErrEpsilon) {
+		t.Errorf("ε=m: %v", err)
+	}
+	s, err := New(g, p, cm, 1, PatternAll, "FTSA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Complete() {
+		t.Error("empty schedule reported complete")
+	}
+	if lb := s.LowerBound(); !math.IsInf(lb, 1) {
+		t.Errorf("incomplete LowerBound = %g, want +Inf", lb)
+	}
+}
+
+// placePair builds a valid hand-crafted ε=1 schedule of the fixture.
+func placePair(t *testing.T, s *Schedule) {
+	t.Helper()
+	if err := s.Place(0, []Replica{
+		{Task: 0, Copy: 0, Proc: 0, StartMin: 0, FinishMin: 4, StartMax: 0, FinishMax: 4},
+		{Task: 0, Copy: 1, Proc: 1, StartMin: 0, FinishMin: 4, StartMax: 0, FinishMax: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 on P0 and P1: optimistic start 4 (local copy), pessimistic
+	// start 14 (remote copy: 4 + 10·1).
+	if err := s.Place(1, []Replica{
+		{Task: 1, Copy: 0, Proc: 0, StartMin: 4, FinishMin: 10, StartMax: 14, FinishMax: 20},
+		{Task: 1, Copy: 1, Proc: 1, StartMin: 4, FinishMin: 10, StartMax: 14, FinishMax: 20},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleValidateAccepts(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, err := New(g, p, cm, 1, PatternAll, "hand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	placePair(t, s)
+	if !s.Complete() {
+		t.Error("complete schedule reported incomplete")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if lb := s.LowerBound(); lb != 10 {
+		t.Errorf("LowerBound = %g", lb)
+	}
+	if ub := s.UpperBound(); ub != 20 {
+		t.Errorf("UpperBound = %g", ub)
+	}
+	if mc := s.MessageCount(); mc != 2 {
+		// P0->P1 and P1->P0 are the only inter-processor messages.
+		t.Errorf("MessageCount = %d, want 2", mc)
+	}
+	tl := s.ProcTimelines()
+	if len(tl[0]) != 2 || len(tl[1]) != 2 || len(tl[2]) != 0 {
+		t.Errorf("timelines %v", tl)
+	}
+	if tl[0][0].Task != 0 || tl[0][1].Task != 1 {
+		t.Errorf("P0 order wrong: %v", tl[0])
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, _ := New(g, p, cm, 1, PatternAll, "x")
+	if err := s.Place(5, nil); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := s.Place(0, nil); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("empty replicas: %v", err)
+	}
+	if err := s.Place(0, []Replica{{Task: 1, Copy: 0, Proc: 0}}); err == nil {
+		t.Error("mislabeled replica accepted")
+	}
+	if err := s.Place(0, []Replica{{Task: 0, Copy: 0, Proc: 9}}); err == nil {
+		t.Error("invalid processor accepted")
+	}
+	if err := s.Place(0, []Replica{{Task: 0, Copy: 0, Proc: 0, FinishMin: 4, FinishMax: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(0, []Replica{{Task: 0, Copy: 0, Proc: 1, FinishMin: 4, FinishMax: 4}}); err == nil {
+		t.Error("double placement accepted")
+	}
+}
+
+func TestValidateCatchesSharedProcessor(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, _ := New(g, p, cm, 1, PatternAll, "bad")
+	// Both copies of task 0 on P0 — violates Proposition 4.1. Offset the
+	// second copy to keep the timeline overlap check out of the way.
+	if err := s.Place(0, []Replica{
+		{Task: 0, Copy: 0, Proc: 0, StartMin: 0, FinishMin: 4, StartMax: 0, FinishMax: 4},
+		{Task: 0, Copy: 1, Proc: 0, StartMin: 4, FinishMin: 8, StartMax: 4, FinishMax: 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(1, []Replica{
+		{Task: 1, Copy: 0, Proc: 1, StartMin: 14, FinishMin: 20, StartMax: 18, FinishMax: 24},
+		{Task: 1, Copy: 1, Proc: 2, StartMin: 14, FinishMin: 20, StartMax: 18, FinishMax: 24},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); !errors.Is(err, ErrSpace) {
+		t.Errorf("want ErrSpace, got %v", err)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, _ := New(g, p, cm, 1, PatternAll, "bad")
+	if err := s.Place(0, []Replica{
+		{Task: 0, Copy: 0, Proc: 0, StartMin: 0, FinishMin: 4, StartMax: 0, FinishMax: 4},
+		{Task: 0, Copy: 1, Proc: 1, StartMin: 0, FinishMin: 4, StartMax: 0, FinishMax: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 overlaps task 0 on P0 in the Min window.
+	if err := s.Place(1, []Replica{
+		{Task: 1, Copy: 0, Proc: 0, StartMin: 2, FinishMin: 8, StartMax: 14, FinishMax: 20},
+		{Task: 1, Copy: 1, Proc: 1, StartMin: 4, FinishMin: 10, StartMax: 14, FinishMax: 20},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Validate()
+	if !errors.Is(err, ErrOverlap) && !errors.Is(err, ErrPrecedence) {
+		t.Errorf("want overlap/precedence error, got %v", err)
+	}
+}
+
+func TestValidateCatchesPrecedenceViolation(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, _ := New(g, p, cm, 0, PatternAll, "bad")
+	if err := s.Place(0, []Replica{
+		{Task: 0, Copy: 0, Proc: 0, StartMin: 0, FinishMin: 4, StartMax: 0, FinishMax: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 on P1 starting at 5 < arrival 4 + 10 = 14.
+	if err := s.Place(1, []Replica{
+		{Task: 1, Copy: 0, Proc: 1, StartMin: 5, FinishMin: 11, StartMax: 5, FinishMax: 11},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); !errors.Is(err, ErrPrecedence) {
+		t.Errorf("want ErrPrecedence, got %v", err)
+	}
+}
+
+func TestValidateMatchedPattern(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, err := New(g, p, cm, 1, PatternMatched, "mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	placePair(t, s)
+	// Internal matching: copy 0 of task 1 (P0) receives from copy 0 of
+	// task 0 (P0); copy 1 (P1) from copy 1 (P1). Pessimistic starts may be
+	// recomputed accordingly, but placePair's looser windows stay valid.
+	if err := s.SetMatchedSources(1, [][]int{{0}, {1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMatchedSources(0, [][]int{{}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if mc := s.MessageCount(); mc != 0 {
+		t.Errorf("MessageCount = %d, want 0 (both transfers internal)", mc)
+	}
+	k, err := s.MatchedSource(1, 0, 0)
+	if err != nil || k != 0 {
+		t.Errorf("MatchedSource = %d, %v", k, err)
+	}
+}
+
+func TestValidateMatchedRejectsCrossedInternal(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, _ := New(g, p, cm, 1, PatternMatched, "mc")
+	placePair(t, s)
+	// Crossed matching P0->P1 / P1->P0 violates Proposition 4.3: the
+	// co-located source must self-match.
+	if err := s.SetMatchedSources(1, [][]int{{1}, {0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMatchedSources(0, [][]int{{}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Validate()
+	if !errors.Is(err, ErrMatching) && !errors.Is(err, ErrPrecedence) {
+		t.Errorf("want matching/precedence error, got %v", err)
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, _ := New(g, p, cm, 0, PatternAll, "dup")
+	if err := s.AddDuplicate(0, Replica{Task: 0, Proc: 1}); !errors.Is(err, ErrNotScheduled) {
+		t.Errorf("duplicate before placement: %v", err)
+	}
+	if err := s.Place(0, []Replica{{Task: 0, Copy: 0, Proc: 0, FinishMin: 4, FinishMax: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDuplicate(0, Replica{Task: 0, Proc: 1, StartMin: 0, FinishMin: 4, StartMax: 0, FinishMax: 4}); err != nil {
+		t.Fatal(err)
+	}
+	reps := s.Replicas(0)
+	if len(reps) != 2 || reps[1].Copy != 1 {
+		t.Errorf("replicas after duplicate: %+v", reps)
+	}
+	if err := s.AddDuplicate(0, Replica{Task: 1, Proc: 1}); err == nil {
+		t.Error("mislabeled duplicate accepted")
+	}
+}
+
+func TestDeadlines(t *testing.T) {
+	// Chain 0 -> 1 -> 2 with volume 10, uniform delays 1, costs 5 on both
+	// of 2 processors, ε=1: d(2)=L; d(1)=L−5−10; d(0)=L−2·15.
+	g := dag.NewWithTasks("chain3", 3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 10)
+	p, err := platform.New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := platform.NewCostModelFromMatrix([][]float64{{5, 5}, {5, 5}, {5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deadlines(g, cm, p, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{70, 85, 100}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-9 {
+			t.Errorf("d(%d) = %g, want %g", i, d[i], want[i])
+		}
+	}
+	// Deadlines must be non-decreasing along every edge.
+	for _, e := range g.Edges() {
+		if d[e.Src] > d[e.Dst] {
+			t.Errorf("deadline inversion on edge %v", e)
+		}
+	}
+}
+
+func TestArrivalWindow(t *testing.T) {
+	p, err := platform.New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := []Replica{
+		{Task: 0, Copy: 0, Proc: 0, FinishMin: 10, FinishMax: 12},
+		{Task: 0, Copy: 1, Proc: 1, FinishMin: 11, FinishMax: 15},
+	}
+	// On P0: local copy arrives at 10 (min) / remote pessimistic 15+10·2=35.
+	early, late := ArrivalWindow(p, reps, 5, 0)
+	if early != 10 {
+		t.Errorf("earliest = %g, want 10", early)
+	}
+	if late != 25 {
+		// max(12 + 0, 15 + 5*2) = 25.
+		t.Errorf("latest = %g, want 25", late)
+	}
+	// On P2 both are remote: earliest = min(10,11)+5·2 = 20.
+	early, _ = ArrivalWindow(p, reps, 5, 2)
+	if early != 20 {
+		t.Errorf("earliest on P2 = %g, want 20", early)
+	}
+}
+
+func TestAvgBottomLevels(t *testing.T) {
+	g, p, cm := fixture(t)
+	bl, err := AvgBottomLevels(g, cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean delay is 1 (uniform), mean costs 4 and 6: bl(1)=6; bl(0)=4+10+6=20.
+	if bl[1] != 6 || bl[0] != 20 {
+		t.Errorf("bl = %v", bl)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if PatternAll.String() != "all" || PatternMatched.String() != "matched" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(9).String() == "" {
+		t.Error("unknown pattern empty")
+	}
+}
+
+func TestMappingOrderIsCopied(t *testing.T) {
+	g, p, cm := fixture(t)
+	s, _ := New(g, p, cm, 1, PatternAll, "x")
+	placePair(t, s)
+	mo := s.MappingOrder()
+	mo[0] = 99
+	if s.MappingOrder()[0] == 99 {
+		t.Error("MappingOrder leaked internal slice")
+	}
+}

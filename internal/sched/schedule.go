@@ -1,0 +1,297 @@
+// Package sched defines the fault-tolerant schedule representation shared by
+// the FTSA, MC-FTSA and FTBAR schedulers: replica placements with optimistic
+// (equation 1) and pessimistic (equation 3) time windows, per-processor
+// timelines, the retained communication pattern, the latency bounds of
+// equations (2) and (4), and structural validation of the fault-tolerance
+// guarantees (Propositions 4.1 and 4.3).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+// Replica is one of the ε+1 copies of a task placed on a processor.
+//
+// Two time windows are tracked. The Min window follows equation (1): the
+// replica starts as soon as the *earliest* copy of each predecessor has
+// delivered its data ("the task is executed and ignores later incoming
+// data"); the schedule latency derived from Min windows is the lower bound
+// M* of equation (2), achieved when no processor fails. The Max window
+// follows equation (3): the replica waits for the *latest* copy of each
+// predecessor; the latency derived from Max windows is the upper bound M of
+// equation (4), guaranteed under any ε failures.
+type Replica struct {
+	Task dag.TaskID
+	// Copy indexes the replica within its task, in [0, ε+1) for the plain
+	// schedulers; FTBAR's Minimize-Start-Time duplication may add more.
+	Copy int
+	Proc platform.ProcID
+
+	StartMin, FinishMin float64
+	StartMax, FinishMax float64
+}
+
+// Pattern identifies which communications the schedule retains.
+type Pattern int
+
+const (
+	// PatternAll: every replica of a predecessor sends to every replica of
+	// its successor — FTSA, up to e(ε+1)² messages.
+	PatternAll Pattern = iota
+	// PatternMatched: each predecessor replica sends to exactly one
+	// successor replica per precedence edge — MC-FTSA, e(ε+1) messages.
+	PatternMatched
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case PatternAll:
+		return "all"
+	case PatternMatched:
+		return "matched"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Schedule is a complete fault-tolerant mapping of a DAG onto a platform.
+type Schedule struct {
+	Graph    *dag.Graph
+	Platform *platform.Platform
+	Costs    *platform.CostModel
+	// Epsilon is the number of fail-stop processor failures the schedule
+	// tolerates; every task carries at least ε+1 replicas on distinct
+	// processors.
+	Epsilon int
+	// CommPattern records the retained communications.
+	CommPattern Pattern
+	// Algorithm names the scheduler that produced this schedule.
+	Algorithm string
+
+	replicas [][]Replica // indexed by task, then copy
+	// mappingOrder is the order in which the scheduler mapped tasks; the
+	// simulator replays per-processor queues in this order. It is a valid
+	// topological order (schedulers only map free tasks).
+	mappingOrder []dag.TaskID
+	// matchedFrom[t][copy][predIdx] is, under PatternMatched, the copy
+	// index of predecessor Graph.Preds(t)[predIdx] whose message this
+	// replica consumes. nil under PatternAll.
+	matchedFrom [][][]int
+}
+
+// Schedule construction and validation errors.
+var (
+	ErrEpsilon      = errors.New("sched: need 0 <= ε < processor count")
+	ErrIncomplete   = errors.New("sched: task has no replicas")
+	ErrReplicaCount = errors.New("sched: wrong replica count")
+	ErrSpace        = errors.New("sched: replicas of a task share a processor")
+	ErrOverlap      = errors.New("sched: overlapping executions on a processor")
+	ErrPrecedence   = errors.New("sched: precedence violation")
+	ErrMatching     = errors.New("sched: invalid communication matching")
+	ErrNotScheduled = errors.New("sched: task not scheduled")
+)
+
+// New creates an empty schedule for the given problem.
+func New(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, epsilon int, pattern Pattern, algorithm string) (*Schedule, error) {
+	if epsilon < 0 || epsilon >= p.NumProcs() {
+		return nil, fmt.Errorf("%w: ε=%d, m=%d", ErrEpsilon, epsilon, p.NumProcs())
+	}
+	if cm.NumTasks() < g.NumTasks() || cm.NumProcs() != p.NumProcs() {
+		return nil, fmt.Errorf("sched: cost model %dx%d does not cover graph (%d tasks) and platform (%d procs)",
+			cm.NumTasks(), cm.NumProcs(), g.NumTasks(), p.NumProcs())
+	}
+	s := &Schedule{
+		Graph:       g,
+		Platform:    p,
+		Costs:       cm,
+		Epsilon:     epsilon,
+		CommPattern: pattern,
+		Algorithm:   algorithm,
+		replicas:    make([][]Replica, g.NumTasks()),
+	}
+	if pattern == PatternMatched {
+		s.matchedFrom = make([][][]int, g.NumTasks())
+	}
+	return s, nil
+}
+
+// Place records the replicas of task t, in copy order, and appends t to the
+// mapping order. It must be called exactly once per task.
+func (s *Schedule) Place(t dag.TaskID, replicas []Replica) error {
+	if !s.Graph.Valid(t) {
+		return fmt.Errorf("%w: task %d", dag.ErrNoSuchTask, t)
+	}
+	if s.replicas[t] != nil {
+		return fmt.Errorf("sched: task %d placed twice", t)
+	}
+	if len(replicas) == 0 {
+		return fmt.Errorf("%w: task %d", ErrIncomplete, t)
+	}
+	for i := range replicas {
+		r := &replicas[i]
+		if r.Task != t || r.Copy != i {
+			return fmt.Errorf("sched: replica %d of task %d mislabeled (task=%d copy=%d)", i, t, r.Task, r.Copy)
+		}
+		if !s.Platform.Valid(r.Proc) {
+			return fmt.Errorf("sched: replica %d of task %d on invalid processor %d", i, t, r.Proc)
+		}
+	}
+	s.replicas[t] = append([]Replica(nil), replicas...)
+	s.mappingOrder = append(s.mappingOrder, t)
+	return nil
+}
+
+// SetMatchedSources records, under PatternMatched, the predecessor copy
+// feeding each copy of t: src[copy][predIdx] = copy index within the
+// predecessor's replicas.
+func (s *Schedule) SetMatchedSources(t dag.TaskID, src [][]int) error {
+	if s.CommPattern != PatternMatched {
+		return fmt.Errorf("%w: schedule pattern is %v", ErrMatching, s.CommPattern)
+	}
+	s.matchedFrom[t] = src
+	return nil
+}
+
+// Replicas returns the replicas of t in copy order (nil if unplaced). The
+// slice is owned by the schedule.
+func (s *Schedule) Replicas(t dag.TaskID) []Replica { return s.replicas[t] }
+
+// Replica returns copy c of task t.
+func (s *Schedule) Replica(t dag.TaskID, c int) (Replica, error) {
+	if !s.Graph.Valid(t) || s.replicas[t] == nil || c < 0 || c >= len(s.replicas[t]) {
+		return Replica{}, fmt.Errorf("%w: task %d copy %d", ErrNotScheduled, t, c)
+	}
+	return s.replicas[t][c], nil
+}
+
+// MatchedSource returns, under PatternMatched, the predecessor copy feeding
+// copy c of t for predecessor index predIdx.
+func (s *Schedule) MatchedSource(t dag.TaskID, c, predIdx int) (int, error) {
+	if s.CommPattern != PatternMatched {
+		return 0, fmt.Errorf("%w: schedule pattern is %v", ErrMatching, s.CommPattern)
+	}
+	m := s.matchedFrom[t]
+	if m == nil || c >= len(m) || predIdx >= len(m[c]) {
+		return 0, fmt.Errorf("%w: no matching recorded for task %d copy %d pred %d", ErrMatching, t, c, predIdx)
+	}
+	return m[c][predIdx], nil
+}
+
+// MappingOrder returns the order in which tasks were mapped.
+func (s *Schedule) MappingOrder() []dag.TaskID {
+	return append([]dag.TaskID(nil), s.mappingOrder...)
+}
+
+// Complete reports whether every task has been placed.
+func (s *Schedule) Complete() bool {
+	for t := range s.replicas {
+		if s.replicas[t] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// LowerBound returns M* (equation 2): the latency achieved when no processor
+// fails — the maximum over exit tasks of the earliest replica finish time.
+func (s *Schedule) LowerBound() float64 {
+	bound := 0.0
+	for _, t := range s.Graph.Exits() {
+		reps := s.replicas[t]
+		if len(reps) == 0 {
+			return math.Inf(1)
+		}
+		first := math.Inf(1)
+		for _, r := range reps {
+			if r.FinishMin < first {
+				first = r.FinishMin
+			}
+		}
+		if first > bound {
+			bound = first
+		}
+	}
+	return bound
+}
+
+// UpperBound returns M (equation 4): the latency guaranteed under any ε
+// failures — the maximum over exit tasks of the latest replica finish time,
+// with finish times computed pessimistically (equation 3).
+func (s *Schedule) UpperBound() float64 {
+	bound := 0.0
+	for _, t := range s.Graph.Exits() {
+		reps := s.replicas[t]
+		if len(reps) == 0 {
+			return math.Inf(1)
+		}
+		for _, r := range reps {
+			if r.FinishMax > bound {
+				bound = r.FinishMax
+			}
+		}
+	}
+	return bound
+}
+
+// ProcTimelines returns, for each processor, its replicas ordered by
+// optimistic start time (the order the processor executes them; duplicates
+// added out of mapping order are interleaved correctly).
+func (s *Schedule) ProcTimelines() [][]Replica {
+	out := make([][]Replica, s.Platform.NumProcs())
+	for _, t := range s.mappingOrder {
+		for _, r := range s.replicas[t] {
+			out[r.Proc] = append(out[r.Proc], r)
+		}
+	}
+	for p := range out {
+		sort.Slice(out[p], func(i, j int) bool {
+			if out[p][i].StartMin != out[p][j].StartMin {
+				return out[p][i].StartMin < out[p][j].StartMin
+			}
+			return out[p][i].Task < out[p][j].Task
+		})
+	}
+	return out
+}
+
+// MessageCount returns the number of *inter-processor* messages the schedule
+// requires (intra-processor transfers are free and not counted, matching the
+// paper's remark that e(ε+1)² is only an upper bound for FTSA).
+func (s *Schedule) MessageCount() int {
+	n := 0
+	for t := 0; t < s.Graph.NumTasks(); t++ {
+		tid := dag.TaskID(t)
+		for predIdx, pe := range s.Graph.Preds(tid) {
+			srcReps := s.replicas[pe.To]
+			dstReps := s.replicas[tid]
+			switch s.CommPattern {
+			case PatternAll:
+				for _, sr := range srcReps {
+					for _, dr := range dstReps {
+						if sr.Proc != dr.Proc {
+							n++
+						}
+					}
+				}
+			case PatternMatched:
+				for c, dr := range dstReps {
+					k, err := s.MatchedSource(tid, c, predIdx)
+					if err != nil {
+						continue
+					}
+					if srcReps[k].Proc != dr.Proc {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+func TestTheoreticalBoundsHandComputed(t *testing.T) {
+	// Chain of 3 tasks, fastest costs 2/3/4, 2 processors.
+	g := dag.NewWithTasks("chain3", 3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 10)
+	p, err := platform.New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := platform.NewCostModelFromMatrix([][]float64{{2, 5}, {3, 6}, {4, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ComputeTheoreticalBounds(g, cm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.CriticalPath != 9 {
+		t.Errorf("critical path = %g, want 9", tb.CriticalPath)
+	}
+	if tb.WorkBound != 4.5 {
+		t.Errorf("work bound = %g, want 4.5", tb.WorkBound)
+	}
+	if tb.Combined != 9 {
+		t.Errorf("combined = %g, want 9", tb.Combined)
+	}
+}
+
+func TestQualityRatioAtLeastOne(t *testing.T) {
+	// Any valid schedule's fault-free latency is at least the combined
+	// theoretical bound, so the ratio is >= 1 (for ε=0; replication only
+	// adds work).
+	rng := rand.New(rand.NewSource(4))
+	g := dag.NewWithTasks("rnd", 12)
+	for i := 0; i < 11; i++ {
+		g.MustAddEdge(dag.TaskID(rng.Intn(i+1)), dag.TaskID(i+1), float64(10+rng.Intn(50)))
+	}
+	p, err := platform.NewRandom(rng, 4, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := platform.NewRandomCostModel(rng, 12, 4, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, p, cm, 0, PatternAll, "hand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial schedule on P0 — valid and clearly above the bound.
+	clock := 0.0
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tsk := range order {
+		e := cm.Cost(tsk, 0)
+		if err := s.Place(tsk, []Replica{{
+			Task: tsk, Copy: 0, Proc: 0,
+			StartMin: clock, FinishMin: clock + e,
+			StartMax: clock, FinishMax: clock + e,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		clock += e
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.QualityRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 1 {
+		t.Errorf("quality ratio %g < 1", q)
+	}
+}

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+// timeEps absorbs float rounding when comparing schedule times.
+const timeEps = 1e-7
+
+// Validate checks every structural and temporal invariant of a complete
+// fault-tolerant schedule:
+//
+//   - every task placed, with at least ε+1 replicas on ε+1 *distinct*
+//     processors (Proposition 4.1);
+//   - the mapping order is a topological order of the DAG;
+//   - per-processor executions do not overlap, in both the optimistic and
+//     the pessimistic window;
+//   - every replica starts no earlier than its data can arrive: under
+//     PatternAll the earliest predecessor copy for the Min window and the
+//     latest for the Max window (equations 1 and 3); under PatternMatched
+//     the single matched source for both windows;
+//   - under PatternMatched, each precedence edge carries a bijective
+//     replica-to-replica matching that routes shared processors to
+//     themselves (Proposition 4.3).
+func (s *Schedule) Validate() error {
+	if !s.Complete() {
+		for t := range s.replicas {
+			if s.replicas[t] == nil {
+				return fmt.Errorf("%w: task %d", ErrIncomplete, t)
+			}
+		}
+	}
+	if !s.Graph.IsTopologicalOrder(s.mappingOrder) {
+		// The mapping order includes each task once; it must respect
+		// precedence because only free tasks are mapped.
+		return fmt.Errorf("%w: mapping order is not topological", ErrPrecedence)
+	}
+	for t := range s.replicas {
+		if err := s.validateTask(dag.TaskID(t)); err != nil {
+			return err
+		}
+	}
+	if err := s.validateTimelines(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Schedule) validateTask(t dag.TaskID) error {
+	reps := s.replicas[t]
+	if len(reps) < s.Epsilon+1 {
+		return fmt.Errorf("%w: task %d has %d replicas, want >= %d", ErrReplicaCount, t, len(reps), s.Epsilon+1)
+	}
+	procs := map[int]bool{}
+	for _, r := range reps {
+		procs[int(r.Proc)] = true
+	}
+	// Proposition 4.1: ε+1 pairwise distinct processors are required. The
+	// base schedulers produce exactly ε+1 distinct ones; FTBAR duplication
+	// may add extra copies on already-used processors, which is harmless as
+	// long as ε+1 distinct processors execute the task.
+	if len(procs) < s.Epsilon+1 {
+		return fmt.Errorf("%w: task %d uses %d distinct processors, want >= %d", ErrSpace, t, len(procs), s.Epsilon+1)
+	}
+	for _, r := range reps {
+		e := s.Costs.Cost(t, r.Proc)
+		if r.FinishMin < r.StartMin-timeEps || r.FinishMax < r.StartMax-timeEps {
+			return fmt.Errorf("sched: task %d copy %d finishes before it starts", t, r.Copy)
+		}
+		if diff := r.FinishMin - r.StartMin - e; diff < -timeEps || diff > timeEps {
+			return fmt.Errorf("sched: task %d copy %d Min window duration %g != cost %g", t, r.Copy, r.FinishMin-r.StartMin, e)
+		}
+		if diff := r.FinishMax - r.StartMax - e; diff < -timeEps || diff > timeEps {
+			return fmt.Errorf("sched: task %d copy %d Max window duration %g != cost %g", t, r.Copy, r.FinishMax-r.StartMax, e)
+		}
+		if r.StartMin < -timeEps || r.StartMax < r.StartMin-timeEps {
+			return fmt.Errorf("sched: task %d copy %d has invalid starts (min=%g max=%g)", t, r.Copy, r.StartMin, r.StartMax)
+		}
+	}
+	return s.validateArrivals(t)
+}
+
+func (s *Schedule) validateArrivals(t dag.TaskID) error {
+	preds := s.Graph.Preds(t)
+	for predIdx, pe := range preds {
+		srcReps := s.replicas[pe.To]
+		if srcReps == nil {
+			return fmt.Errorf("%w: predecessor %d of %d unplaced", ErrIncomplete, pe.To, t)
+		}
+		// Equation (3)'s "max over the ε+1 replicas" is defined over the
+		// base replicas; duplicates appended later (FTBAR's Minimize-Start-
+		// Time) only ever *add* optimistic arrival options and are excluded
+		// from the pessimistic requirement — they may postdate the
+		// successor's placement.
+		baseReps := srcReps
+		if len(baseReps) > s.Epsilon+1 {
+			baseReps = baseReps[:s.Epsilon+1]
+		}
+		switch s.CommPattern {
+		case PatternAll:
+			for _, dr := range s.replicas[t] {
+				earliest, _ := arrivalRange(srcReps, pe.Volume, s, dr.Proc)
+				_, latest := arrivalRange(baseReps, pe.Volume, s, dr.Proc)
+				if dr.StartMin < earliest-timeEps {
+					return fmt.Errorf("%w: task %d copy %d starts at %g before earliest arrival %g from pred %d",
+						ErrPrecedence, t, dr.Copy, dr.StartMin, earliest, pe.To)
+				}
+				if dr.StartMax < latest-timeEps {
+					return fmt.Errorf("%w: task %d copy %d Max start %g before latest arrival %g from pred %d",
+						ErrPrecedence, t, dr.Copy, dr.StartMax, latest, pe.To)
+				}
+			}
+		case PatternMatched:
+			used := map[int]bool{}
+			for _, dr := range s.replicas[t] {
+				k, err := s.MatchedSource(t, dr.Copy, predIdx)
+				if err != nil {
+					return err
+				}
+				if k < 0 || k >= len(srcReps) {
+					return fmt.Errorf("%w: task %d copy %d pred %d matched to copy %d of %d",
+						ErrMatching, t, dr.Copy, pe.To, k, len(srcReps))
+				}
+				if used[k] {
+					return fmt.Errorf("%w: predecessor %d copy %d feeds two replicas of %d",
+						ErrMatching, pe.To, k, t)
+				}
+				used[k] = true
+				sr := srcReps[k]
+				// Proposition 4.3: shared processors must self-match.
+				if sr.Proc != dr.Proc {
+					for _, other := range srcReps {
+						if other.Proc == dr.Proc {
+							return fmt.Errorf("%w: task %d copy %d on P%d must receive from co-located pred copy, got copy on P%d",
+								ErrMatching, t, dr.Copy, dr.Proc, sr.Proc)
+						}
+					}
+				}
+				arrMin := sr.FinishMin + pe.Volume*s.Platform.Delay(sr.Proc, dr.Proc)
+				arrMax := sr.FinishMax + pe.Volume*s.Platform.Delay(sr.Proc, dr.Proc)
+				if dr.StartMin < arrMin-timeEps {
+					return fmt.Errorf("%w: task %d copy %d starts at %g before matched arrival %g",
+						ErrPrecedence, t, dr.Copy, dr.StartMin, arrMin)
+				}
+				if dr.StartMax < arrMax-timeEps {
+					return fmt.Errorf("%w: task %d copy %d Max start %g before matched Max arrival %g",
+						ErrPrecedence, t, dr.Copy, dr.StartMax, arrMax)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// arrivalRange returns the earliest (min over copies, optimistic times) and
+// latest (max over copies, pessimistic times) arrival of pred data on proc.
+func arrivalRange(srcReps []Replica, volume float64, s *Schedule, proc platform.ProcID) (earliest, latest float64) {
+	earliest = math.Inf(1)
+	for _, sr := range srcReps {
+		d := s.Platform.Delay(sr.Proc, proc)
+		if a := sr.FinishMin + volume*d; a < earliest {
+			earliest = a
+		}
+		if a := sr.FinishMax + volume*d; a > latest {
+			latest = a
+		}
+	}
+	return earliest, latest
+}
+
+func (s *Schedule) validateTimelines() error {
+	type span struct {
+		start, finish float64
+		task          dag.TaskID
+		copy          int
+	}
+	m := s.Platform.NumProcs()
+	minSpans := make([][]span, m)
+	maxSpans := make([][]span, m)
+	for t := range s.replicas {
+		for _, r := range s.replicas[t] {
+			minSpans[r.Proc] = append(minSpans[r.Proc], span{r.StartMin, r.FinishMin, dag.TaskID(t), r.Copy})
+			maxSpans[r.Proc] = append(maxSpans[r.Proc], span{r.StartMax, r.FinishMax, dag.TaskID(t), r.Copy})
+		}
+	}
+	check := func(spans [][]span, kind string) error {
+		for p := range spans {
+			ss := spans[p]
+			sort.Slice(ss, func(i, j int) bool { return ss[i].start < ss[j].start })
+			for i := 1; i < len(ss); i++ {
+				if ss[i].start < ss[i-1].finish-timeEps {
+					return fmt.Errorf("%w: P%d %s window: task %d copy %d [%g,%g) overlaps task %d copy %d [%g,%g)",
+						ErrOverlap, p, kind,
+						ss[i-1].task, ss[i-1].copy, ss[i-1].start, ss[i-1].finish,
+						ss[i].task, ss[i].copy, ss[i].start, ss[i].finish)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(minSpans, "Min"); err != nil {
+		return err
+	}
+	return check(maxSpans, "Max")
+}

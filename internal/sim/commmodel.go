@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ftsched/internal/platform"
+)
+
+// CommModel computes message delivery times. The paper's base model is
+// contention-free fully connected links; the one-port and bounded multi-port
+// models are the "more realistic communication models" its conclusion plans
+// to investigate, provided here as pluggable alternatives (ablation X2 in
+// DESIGN.md).
+//
+// Deliver returns the arrival time of a message of the given volume leaving
+// src no earlier than sendTime toward dst. Implementations may be stateful
+// (port occupancy); Reset clears state between simulations. Intra-processor
+// transfers are free and bypass the model.
+type CommModel interface {
+	Deliver(p *platform.Platform, src, dst platform.ProcID, volume, sendTime float64) float64
+	Reset(m int)
+	Name() string
+}
+
+// ContentionFree is the paper's communication model: every message occupies
+// its dedicated link only, so arrival = sendTime + V·d(src,dst).
+type ContentionFree struct{}
+
+// Deliver implements CommModel.
+func (ContentionFree) Deliver(p *platform.Platform, src, dst platform.ProcID, volume, sendTime float64) float64 {
+	return sendTime + volume*p.Delay(src, dst)
+}
+
+// Reset implements CommModel.
+func (ContentionFree) Reset(int) {}
+
+// Name implements CommModel.
+func (ContentionFree) Name() string { return "contention-free" }
+
+// OnePort serializes the outgoing messages of each processor: a sender
+// transmits one message at a time (Bhat et al. / Sinnen-Sousa one-port
+// model). Messages are charged in the order Deliver is called, which the
+// simulator arranges to be non-decreasing in send time per consumer; this is
+// a faithful greedy FIFO approximation of the model.
+type OnePort struct {
+	senderFree []float64
+}
+
+// NewOnePort returns a one-port model for an m-processor platform.
+func NewOnePort(m int) *OnePort {
+	o := &OnePort{}
+	o.Reset(m)
+	return o
+}
+
+// Deliver implements CommModel.
+func (o *OnePort) Deliver(p *platform.Platform, src, dst platform.ProcID, volume, sendTime float64) float64 {
+	if src == dst {
+		return sendTime
+	}
+	dur := volume * p.Delay(src, dst)
+	start := math.Max(sendTime, o.senderFree[src])
+	o.senderFree[src] = start + dur
+	return start + dur
+}
+
+// Reset implements CommModel.
+func (o *OnePort) Reset(m int) { o.senderFree = make([]float64, m) }
+
+// Name implements CommModel.
+func (o *OnePort) Name() string { return "one-port" }
+
+// BoundedMultiPort lets each processor drive up to K simultaneous outgoing
+// transfers (Hong-Prasanna bounded multi-port model with per-message
+// dedicated bandwidth).
+type BoundedMultiPort struct {
+	K     int
+	ports [][]float64 // ports[p][c] = time channel c of sender p frees up
+}
+
+// NewBoundedMultiPort returns a K-port model for an m-processor platform.
+func NewBoundedMultiPort(m, k int) (*BoundedMultiPort, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sim: multi-port degree must be >= 1, got %d", k)
+	}
+	b := &BoundedMultiPort{K: k}
+	b.Reset(m)
+	return b, nil
+}
+
+// Deliver implements CommModel.
+func (b *BoundedMultiPort) Deliver(p *platform.Platform, src, dst platform.ProcID, volume, sendTime float64) float64 {
+	if src == dst {
+		return sendTime
+	}
+	dur := volume * p.Delay(src, dst)
+	// Use the earliest-free channel of the sender.
+	best := 0
+	for c := 1; c < b.K; c++ {
+		if b.ports[src][c] < b.ports[src][best] {
+			best = c
+		}
+	}
+	start := math.Max(sendTime, b.ports[src][best])
+	b.ports[src][best] = start + dur
+	return start + dur
+}
+
+// Reset implements CommModel.
+func (b *BoundedMultiPort) Reset(m int) {
+	b.ports = make([][]float64, m)
+	for i := range b.ports {
+		b.ports[i] = make([]float64, b.K)
+	}
+}
+
+// Name implements CommModel.
+func (b *BoundedMultiPort) Name() string { return fmt.Sprintf("%d-port", b.K) }

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftsched/internal/platform"
+)
+
+// Correlated and staggered failure scenarios — extensions beyond the
+// paper's independent uniform crashes, for stress-testing schedules the
+// way real clusters fail (whole racks, rolling outages).
+
+// GroupCrash crashes an entire group of processors (e.g. a rack) at the
+// given time: group g covers processors [g·size, (g+1)·size) ∩ [0, m).
+func GroupCrash(m, size, group int, at float64) (Scenario, error) {
+	if size < 1 {
+		return Scenario{}, fmt.Errorf("sim: group size %d", size)
+	}
+	lo := group * size
+	hi := lo + size
+	if group < 0 || lo >= m {
+		return Scenario{}, fmt.Errorf("sim: group %d outside platform of %d processors", group, m)
+	}
+	if hi > m {
+		hi = m
+	}
+	sc := NoFailures(m)
+	for p := lo; p < hi; p++ {
+		if err := sc.Crash(platform.ProcID(p), at); err != nil {
+			return Scenario{}, err
+		}
+	}
+	return sc, nil
+}
+
+// StaggeredCrashes crashes n distinct uniformly drawn processors at evenly
+// spaced times across [0, horizon] — a rolling outage. The first crash
+// happens at horizon/(n+1), the last at n·horizon/(n+1), so no processor is
+// dead at time zero.
+func StaggeredCrashes(rng *rand.Rand, m, n int, horizon float64) (Scenario, error) {
+	if n < 0 || n > m {
+		return Scenario{}, fmt.Errorf("sim: cannot crash %d of %d processors", n, m)
+	}
+	if horizon <= 0 && n > 0 {
+		return Scenario{}, fmt.Errorf("sim: non-positive horizon %g", horizon)
+	}
+	sc := NoFailures(m)
+	perm := rng.Perm(m)
+	for i := 0; i < n; i++ {
+		at := horizon * float64(i+1) / float64(n+1)
+		if err := sc.Crash(platform.ProcID(perm[i]), at); err != nil {
+			return Scenario{}, err
+		}
+	}
+	return sc, nil
+}
+
+// ExponentialCrashes samples an independent exponential crash time with
+// rate lambda for every processor (the reliability package's failure law,
+// exposed as a scenario generator).
+func ExponentialCrashes(rng *rand.Rand, m int, lambda float64) (Scenario, error) {
+	if lambda <= 0 {
+		return Scenario{}, fmt.Errorf("sim: non-positive failure rate %g", lambda)
+	}
+	sc := NoFailures(m)
+	for p := 0; p < m; p++ {
+		if err := sc.Crash(platform.ProcID(p), rng.ExpFloat64()/lambda); err != nil {
+			return Scenario{}, err
+		}
+	}
+	return sc, nil
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/core"
+)
+
+func TestGroupCrash(t *testing.T) {
+	sc, err := GroupCrash(10, 3, 1, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 10; p++ {
+		want := math.Inf(1)
+		if p >= 3 && p < 6 {
+			want = 5.0
+		}
+		if sc.CrashTime[p] != want {
+			t.Errorf("P%d crash = %g, want %g", p, sc.CrashTime[p], want)
+		}
+	}
+	// Last group may be partial.
+	sc, err = GroupCrash(10, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumFailed() != 2 {
+		t.Errorf("partial group failed %d, want 2", sc.NumFailed())
+	}
+	if _, err := GroupCrash(10, 3, 5, 0); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if _, err := GroupCrash(10, 0, 0, 0); err == nil {
+		t.Error("zero group size accepted")
+	}
+}
+
+func TestStaggeredCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sc, err := StaggeredCrashes(rng, 8, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumFailed() != 3 {
+		t.Fatalf("failed %d, want 3", sc.NumFailed())
+	}
+	// All crash times strictly inside (0, horizon).
+	for p, ct := range sc.CrashTime {
+		if math.IsInf(ct, 1) {
+			continue
+		}
+		if ct <= 0 || ct >= 100 {
+			t.Errorf("P%d crash at %g outside (0,100)", p, ct)
+		}
+	}
+	if _, err := StaggeredCrashes(rng, 4, 5, 100); err == nil {
+		t.Error("too many crashes accepted")
+	}
+	if _, err := StaggeredCrashes(rng, 4, 2, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestExponentialCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sc, err := ExponentialCrashes(rng, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every processor gets a finite crash time; the sample mean should be
+	// near 1/λ = 10.
+	sum := 0.0
+	for _, ct := range sc.CrashTime {
+		if math.IsInf(ct, 1) {
+			t.Fatal("infinite crash time from exponential sampler")
+		}
+		sum += ct
+	}
+	mean := sum / 50
+	if mean < 5 || mean > 20 {
+		t.Errorf("sample mean %g far from 10", mean)
+	}
+	if _, err := ExponentialCrashes(rng, 5, 0); err == nil {
+		t.Error("λ=0 accepted")
+	}
+}
+
+func TestScheduleSurvivesGroupCrashWithinEpsilon(t *testing.T) {
+	// A rack of 2 dies at time zero; ε=2 must absorb it.
+	inst := instance(t, 6, 8)
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for group := 0; group < 4; group++ {
+		sc, err := GroupCrash(8, 2, group, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(s, sc, nil)
+		if err != nil {
+			t.Fatalf("group %d: %v", group, err)
+		}
+		if res.Latency > s.UpperBound()+1e-7 {
+			t.Errorf("group %d latency %g exceeds bound %g", group, res.Latency, s.UpperBound())
+		}
+	}
+}
+
+func TestStaggeredCrashesLateFailuresCheaper(t *testing.T) {
+	// Crashes late in the horizon should hurt less than crash-at-zero on
+	// average: compare the same schedule under both.
+	inst := instance(t, 7, 10)
+	const eps = 3
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early, late float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		rngE := rand.New(rand.NewSource(int64(100 + i)))
+		scE, err := UniformCrashes(rngE, 10, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resE, err := Run(s, scE, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		early += resE.Latency
+		rngL := rand.New(rand.NewSource(int64(100 + i)))
+		scL, err := StaggeredCrashes(rngL, 10, eps, s.UpperBound()*2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resL, err := Run(s, scL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		late += resL.Latency
+	}
+	if late > early*1.001 {
+		t.Errorf("staggered (mostly late) crashes %g should not exceed crash-at-zero %g", late/trials, early/trials)
+	}
+}

@@ -1,0 +1,85 @@
+// Package sim executes a fault-tolerant schedule under a fail-stop failure
+// scenario and reports the achieved latency — the "Crash" curves of
+// Figures 1(b), 2(b), 3(b) and 4(a) of the paper. Processors are fail-silent:
+// a replica whose execution completes strictly before its processor's crash
+// time has delivered its output messages; anything in flight at crash time
+// is lost. A replica consumes a predecessor's data per the schedule's
+// communication pattern: under PatternAll the earliest message from any
+// completed copy ("the task is executed and ignores later incoming data"),
+// under PatternMatched only the single matched source retained by MC-FTSA.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftsched/internal/platform"
+)
+
+// Scenario assigns a crash time to every processor; +Inf means the processor
+// never fails. A crash time of 0 models the adversarial worst case used by
+// the paper's crash experiments: the processor contributes nothing at all.
+type Scenario struct {
+	CrashTime []float64
+}
+
+// NoFailures returns a scenario where all m processors stay alive.
+func NoFailures(m int) Scenario {
+	s := Scenario{CrashTime: make([]float64, m)}
+	for i := range s.CrashTime {
+		s.CrashTime[i] = math.Inf(1)
+	}
+	return s
+}
+
+// CrashAtZero returns a scenario where the listed processors fail before
+// doing any work and the others never fail.
+func CrashAtZero(m int, procs ...platform.ProcID) (Scenario, error) {
+	s := NoFailures(m)
+	for _, p := range procs {
+		if int(p) < 0 || int(p) >= m {
+			return Scenario{}, fmt.Errorf("sim: processor %d outside platform of size %d", p, m)
+		}
+		s.CrashTime[p] = 0
+	}
+	return s, nil
+}
+
+// UniformCrashes draws n distinct processors uniformly (the paper:
+// "processors that fail during the schedule process are chosen uniformly")
+// and crashes them at time 0.
+func UniformCrashes(rng *rand.Rand, m, n int) (Scenario, error) {
+	if n < 0 || n > m {
+		return Scenario{}, fmt.Errorf("sim: cannot crash %d of %d processors", n, m)
+	}
+	perm := rng.Perm(m)
+	procs := make([]platform.ProcID, n)
+	for i := 0; i < n; i++ {
+		procs[i] = platform.ProcID(perm[i])
+	}
+	return CrashAtZero(m, procs...)
+}
+
+// Crash sets the crash time of one processor.
+func (s *Scenario) Crash(p platform.ProcID, at float64) error {
+	if int(p) < 0 || int(p) >= len(s.CrashTime) {
+		return fmt.Errorf("sim: processor %d outside platform of size %d", p, len(s.CrashTime))
+	}
+	if at < 0 {
+		return fmt.Errorf("sim: negative crash time %g", at)
+	}
+	s.CrashTime[p] = at
+	return nil
+}
+
+// NumFailed counts processors with a finite crash time.
+func (s Scenario) NumFailed() int {
+	n := 0
+	for _, c := range s.CrashTime {
+		if !math.IsInf(c, 1) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+
+	"ftsched/internal/dag"
+)
+
+// Additional dense linear-algebra kernel DAGs, the standard benchmark
+// family for heterogeneous list scheduling (tiled Cholesky and LU), plus a
+// parametric multi-stage pipeline. Tile coordinates map to task IDs in
+// creation order; each constructor documents its dependence structure.
+
+// Cholesky returns the task graph of tiled Cholesky factorization on an n×n
+// tile matrix with the classic four kernels:
+//
+//	POTRF(k)          <- TRSM(k-1,k) chain head
+//	TRSM(k,i), i>k    needs POTRF(k) and GEMM(k-1,i,k)
+//	SYRK(k,i), i>k    needs TRSM(k,i) and SYRK(k-1,i)
+//	GEMM(k,i,j)       needs TRSM(k,i), TRSM(k,j) and GEMM(k-1,i,j)
+//
+// yielding Θ(n³) tasks; n=5 gives 55 tasks, n=8 gives 204.
+func Cholesky(n int, volume float64) (*dag.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: cholesky needs n>=2, got %d", n)
+	}
+	g := dag.New(fmt.Sprintf("cholesky-%d", n))
+	potrf := make([]dag.TaskID, n)
+	trsm := make(map[[2]int]dag.TaskID) // (k,i)
+	syrk := make(map[[2]int]dag.TaskID) // (k,i)
+	gemm := make(map[[3]int]dag.TaskID) // (k,i,j), i>j>k
+	for k := 0; k < n; k++ {
+		potrf[k] = g.AddTask()
+		if k > 0 {
+			// POTRF(k) consumes the SYRK updates of column k.
+			g.MustAddEdge(syrk[[2]int{k - 1, k}], potrf[k], volume)
+		}
+		for i := k + 1; i < n; i++ {
+			trsm[[2]int{k, i}] = g.AddTask()
+			g.MustAddEdge(potrf[k], trsm[[2]int{k, i}], volume)
+			if k > 0 {
+				g.MustAddEdge(gemm[[3]int{k - 1, i, k}], trsm[[2]int{k, i}], volume)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			syrk[[2]int{k, i}] = g.AddTask()
+			g.MustAddEdge(trsm[[2]int{k, i}], syrk[[2]int{k, i}], volume)
+			if k > 0 {
+				g.MustAddEdge(syrk[[2]int{k - 1, i}], syrk[[2]int{k, i}], volume)
+			}
+			for j := k + 1; j < i; j++ {
+				gemm[[3]int{k, i, j}] = g.AddTask()
+				g.MustAddEdge(trsm[[2]int{k, i}], gemm[[3]int{k, i, j}], volume)
+				g.MustAddEdge(trsm[[2]int{k, j}], gemm[[3]int{k, i, j}], volume)
+				if k > 0 {
+					g.MustAddEdge(gemm[[3]int{k - 1, i, j}], gemm[[3]int{k, i, j}], volume)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// LU returns the task graph of tiled LU factorization without pivoting on
+// an n×n tile matrix:
+//
+//	GETRF(k); TRSM on row and column k; GEMM(k,i,j) trailing updates.
+func LU(n int, volume float64) (*dag.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: lu needs n>=2, got %d", n)
+	}
+	g := dag.New(fmt.Sprintf("lu-%d", n))
+	getrf := make([]dag.TaskID, n)
+	trsmRow := make(map[[2]int]dag.TaskID) // (k,j): row panel
+	trsmCol := make(map[[2]int]dag.TaskID) // (k,i): column panel
+	gemm := make(map[[3]int]dag.TaskID)    // (k,i,j)
+	for k := 0; k < n; k++ {
+		getrf[k] = g.AddTask()
+		if k > 0 {
+			g.MustAddEdge(gemm[[3]int{k - 1, k, k}], getrf[k], volume)
+		}
+		for j := k + 1; j < n; j++ {
+			trsmRow[[2]int{k, j}] = g.AddTask()
+			g.MustAddEdge(getrf[k], trsmRow[[2]int{k, j}], volume)
+			if k > 0 {
+				g.MustAddEdge(gemm[[3]int{k - 1, k, j}], trsmRow[[2]int{k, j}], volume)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			trsmCol[[2]int{k, i}] = g.AddTask()
+			g.MustAddEdge(getrf[k], trsmCol[[2]int{k, i}], volume)
+			if k > 0 {
+				g.MustAddEdge(gemm[[3]int{k - 1, i, k}], trsmCol[[2]int{k, i}], volume)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				gemm[[3]int{k, i, j}] = g.AddTask()
+				g.MustAddEdge(trsmCol[[2]int{k, i}], gemm[[3]int{k, i, j}], volume)
+				g.MustAddEdge(trsmRow[[2]int{k, j}], gemm[[3]int{k, i, j}], volume)
+				if k > 0 {
+					g.MustAddEdge(gemm[[3]int{k - 1, i, j}], gemm[[3]int{k, i, j}], volume)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Pipeline returns a linear pipeline of stages, each stage a layer of width
+// parallel tasks, consecutive layers fully connected — the streaming-
+// application shape (e.g. video filters) common in fault-tolerance papers.
+func Pipeline(stages, width int, volume float64) (*dag.Graph, error) {
+	if stages < 1 || width < 1 {
+		return nil, fmt.Errorf("workload: pipeline needs stages,width >= 1, got %d,%d", stages, width)
+	}
+	g := dag.New(fmt.Sprintf("pipeline-s%d-w%d", stages, width))
+	prev := make([]dag.TaskID, 0, width)
+	for s := 0; s < stages; s++ {
+		cur := make([]dag.TaskID, width)
+		for w := 0; w < width; w++ {
+			cur[w] = g.AddTask()
+			for _, p := range prev {
+				g.MustAddEdge(p, cur[w], volume)
+			}
+		}
+		prev = cur
+	}
+	return g, nil
+}

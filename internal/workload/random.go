@@ -1,0 +1,176 @@
+// Package workload generates the task graphs and platforms used by the
+// paper's evaluation (Section 6) and by the examples: layered random DAGs
+// with uniformly drawn message volumes, classic task-graph families
+// (fork-join, trees, Gaussian elimination, FFT, stencil), and the
+// granularity-scaling procedure that sweeps g(G,P) from 0.2 to 2.0.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftsched/internal/dag"
+)
+
+// RandomDAGConfig parameterizes the layered random-graph generator.
+type RandomDAGConfig struct {
+	// MinTasks and MaxTasks bound the (uniformly drawn) task count; the
+	// paper uses [100, 150].
+	MinTasks, MaxTasks int
+	// MinVolume and MaxVolume bound the uniformly drawn data volume per
+	// edge; the paper uses [50, 150].
+	MinVolume, MaxVolume float64
+	// ShapeFactor controls the layer structure: the number of layers is
+	// drawn around sqrt(v)·ShapeFactor. 1.0 gives balanced square-ish
+	// graphs; <1 gives wide/parallel graphs; >1 gives deep/serial graphs.
+	ShapeFactor float64
+	// EdgeDensity is the probability of adding each optional extra edge
+	// between tasks of consecutive layers, beyond the spanning edges that
+	// keep the graph connected. In [0,1].
+	EdgeDensity float64
+}
+
+// DefaultRandomDAGConfig returns the configuration used by the paper's
+// experiments.
+func DefaultRandomDAGConfig() RandomDAGConfig {
+	return RandomDAGConfig{
+		MinTasks:    100,
+		MaxTasks:    150,
+		MinVolume:   50,
+		MaxVolume:   150,
+		ShapeFactor: 1.0,
+		EdgeDensity: 0.25,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c RandomDAGConfig) Validate() error {
+	if c.MinTasks < 1 || c.MaxTasks < c.MinTasks {
+		return fmt.Errorf("workload: invalid task range [%d,%d]", c.MinTasks, c.MaxTasks)
+	}
+	if c.MinVolume < 0 || c.MaxVolume < c.MinVolume {
+		return fmt.Errorf("workload: invalid volume range [%g,%g]", c.MinVolume, c.MaxVolume)
+	}
+	if c.ShapeFactor <= 0 {
+		return fmt.Errorf("workload: non-positive shape factor %g", c.ShapeFactor)
+	}
+	if c.EdgeDensity < 0 || c.EdgeDensity > 1 {
+		return fmt.Errorf("workload: edge density %g outside [0,1]", c.EdgeDensity)
+	}
+	return nil
+}
+
+// RandomDAG generates a layered random DAG:
+//
+//  1. draw v uniformly from [MinTasks, MaxTasks];
+//  2. partition the v tasks into L ≈ sqrt(v)·ShapeFactor layers with random
+//     (at least one) occupancy;
+//  3. give every non-entry task at least one predecessor in the previous
+//     layer (so precedence depth equals the layer index and the graph has no
+//     isolated tasks);
+//  4. add each other previous-layer pair as an edge with probability
+//     EdgeDensity;
+//  5. draw each edge volume uniformly from [MinVolume, MaxVolume).
+//
+// The generator is deterministic given rng's state.
+func RandomDAG(rng *rand.Rand, cfg RandomDAGConfig) (*dag.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	v := cfg.MinTasks
+	if cfg.MaxTasks > cfg.MinTasks {
+		v += rng.Intn(cfg.MaxTasks - cfg.MinTasks + 1)
+	}
+	layers := layerSizes(rng, v, cfg.ShapeFactor)
+	g := dag.NewWithTasks(fmt.Sprintf("random-v%d", v), v)
+
+	vol := func() float64 {
+		if cfg.MaxVolume == cfg.MinVolume {
+			return cfg.MinVolume
+		}
+		return cfg.MinVolume + rng.Float64()*(cfg.MaxVolume-cfg.MinVolume)
+	}
+
+	// Assign dense IDs layer by layer: layer l covers [start[l], start[l+1]).
+	start := make([]int, len(layers)+1)
+	for i, sz := range layers {
+		start[i+1] = start[i] + sz
+	}
+	for l := 1; l < len(layers); l++ {
+		prevLo, prevHi := start[l-1], start[l]
+		for t := start[l]; t < start[l+1]; t++ {
+			// Spanning predecessor.
+			p := prevLo + rng.Intn(prevHi-prevLo)
+			g.MustAddEdge(dag.TaskID(p), dag.TaskID(t), vol())
+			// Optional extra edges.
+			for p2 := prevLo; p2 < prevHi; p2++ {
+				if p2 == p {
+					continue
+				}
+				if rng.Float64() < cfg.EdgeDensity {
+					g.MustAddEdge(dag.TaskID(p2), dag.TaskID(t), vol())
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// layerSizes partitions v tasks into a random positive occupancy vector with
+// about sqrt(v)*shape layers.
+func layerSizes(rng *rand.Rand, v int, shape float64) []int {
+	l := int(math.Round(math.Sqrt(float64(v)) * shape))
+	if l < 1 {
+		l = 1
+	}
+	if l > v {
+		l = v
+	}
+	sizes := make([]int, l)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	for rem := v - l; rem > 0; rem-- {
+		sizes[rng.Intn(l)]++
+	}
+	return sizes
+}
+
+// ErdosRenyiDAG generates a DAG by including each forward pair (i,j), i<j,
+// independently with probability p, then adding a spanning edge to any task
+// left with no predecessor (except task 0). Volumes are drawn uniformly from
+// [minVol, maxVol). This is the classic G(n,p) DAG model, used in tests to
+// exercise structurally different graphs than the layered generator.
+func ErdosRenyiDAG(rng *rand.Rand, n int, p, minVol, maxVol float64) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: need at least one task, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("workload: probability %g outside [0,1]", p)
+	}
+	if minVol < 0 || maxVol < minVol {
+		return nil, fmt.Errorf("workload: invalid volume range [%g,%g]", minVol, maxVol)
+	}
+	g := dag.NewWithTasks(fmt.Sprintf("gnp-n%d-p%.2f", n, p), n)
+	vol := func() float64 {
+		if maxVol == minVol {
+			return minVol
+		}
+		return minVol + rng.Float64()*(maxVol-minVol)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(dag.TaskID(i), dag.TaskID(j), vol())
+			}
+		}
+	}
+	for j := 1; j < n; j++ {
+		if g.InDegree(dag.TaskID(j)) == 0 {
+			i := rng.Intn(j)
+			g.MustAddEdge(dag.TaskID(i), dag.TaskID(j), vol())
+		}
+	}
+	return g, nil
+}
