@@ -1,6 +1,20 @@
-// Command ftexp regenerates the paper's evaluation: Figures 1-4 and Table 1.
+// Command ftexp runs the experiment layer: parallel campaigns over the
+// (scheduler, ε, granularity, family, instance) grid, plus the legacy
+// paper-figure and table modes.
 //
-// Usage:
+// Campaign mode (the primary interface — a sharded worker pool with
+// deterministic per-cell seeding, so any -parallel value yields identical
+// aggregates):
+//
+//	ftexp -campaign paper                      # Figure 1-3 sweeps in one run
+//	ftexp -campaign paper -parallel 8          # same output, 8 workers
+//	ftexp -campaign paper -format csv          # machine-readable aggregate
+//	ftexp -campaign paper -checkpoint c.jsonl  # stream cells to a JSONL file
+//	ftexp -campaign paper -checkpoint c.jsonl -resume   # continue after ^C
+//	ftexp -campaign custom -schedulers FTSA,MC-FTSA -eps 1,2 \
+//	      -gran 0.2:2:0.2 -families random,fft -instances 30
+//
+// Legacy paper modes:
 //
 //	ftexp -fig 1                 # Figure 1 (ε=1, m=20): bounds, crash, overhead panels
 //	ftexp -fig 3 -graphs 20      # Figure 3 with a reduced batch for quick runs
@@ -15,14 +29,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"ftsched/internal/expt"
 )
 
 func main() {
 	var (
+		campaign   = flag.String("campaign", "", "run a campaign: 'paper' (Figure 1-3 sweeps) or 'custom' (grid from flags)")
+		parallel   = flag.Int("parallel", 0, "campaign worker count (0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "campaign JSONL checkpoint file")
+		resume     = flag.Bool("resume", false, "resume the campaign from -checkpoint")
+		progress   = flag.Bool("progress", false, "report campaign progress on stderr")
+		schedulers = flag.String("schedulers", "FTSA,MC-FTSA,FTBAR", "campaign scheduler list")
+		epsList    = flag.String("eps", "1,2,5", "campaign ε list")
+		granRange  = flag.String("gran", "0.2:2:0.2", "campaign granularities: 'lo:hi:step' or comma list")
+		families   = flag.String("families", "random", "campaign families (see -campaign custom -families help)")
+		instances  = flag.Int("instances", 60, "campaign instances per grid point")
+		procs      = flag.Int("procs", 20, "campaign platform size")
+		tasks      = flag.String("tasks", "100:150", "campaign random-family task range 'min:max'")
+
 		fig      = flag.Int("fig", 0, "paper figure to regenerate (1-4)")
 		table    = flag.Int("table", 0, "paper table to regenerate (1)")
 		x4       = flag.Bool("x4", false, "run experiment X4 (MC-FTSA strict starvation, finding F1)")
@@ -30,18 +60,61 @@ func main() {
 		x6       = flag.Bool("x6", false, "run experiment X6 (one-port/multi-port comm models, §7 conjecture)")
 		graphs   = flag.Int("graphs", 0, "override graphs per point (paper: 60)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		format   = flag.String("format", "ascii", "output format: ascii, csv or svg")
+		format   = flag.String("format", "ascii", "output format: ascii, csv, json (campaign only) or svg")
 		out      = flag.String("out", ".", "output directory for -format svg")
 		maxTasks = flag.Int("maxtasks", 5000, "largest task count for -table 1")
 	)
 	flag.Parse()
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if *campaign == "" {
+		// Campaign-only flags are meaningless in the legacy modes; reject
+		// them instead of silently ignoring a sweep the user thinks ran.
+		for _, name := range []string{"parallel", "checkpoint", "resume", "progress",
+			"schedulers", "eps", "gran", "families", "instances", "procs", "tasks"} {
+			if setFlags[name] {
+				fatal(fmt.Errorf("-%s only applies to -campaign mode", name))
+			}
+		}
+	}
 
 	switch {
+	case *campaign != "":
+		for _, conflict := range []string{"fig", "table", "x4", "x5", "x6"} {
+			if setFlags[conflict] {
+				fatal(fmt.Errorf("-campaign and -%s are separate modes; pass one or the other", conflict))
+			}
+		}
+		cfg := campaignFlags{
+			preset: *campaign, schedulers: *schedulers, eps: *epsList,
+			gran: *granRange, families: *families, instances: *instances,
+			procs: *procs, tasks: *tasks, seed: *seed, graphs: *graphs,
+			set: setFlags,
+		}
+		eng := expt.EngineOptions{
+			Workers:    *parallel,
+			Checkpoint: *checkpoint,
+			Resume:     *resume,
+		}
+		if *progress {
+			eng.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\rftexp: %d/%d cells", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		if err := runCampaign(cfg, eng, *format, *out); err != nil {
+			fatal(err)
+		}
 	case *fig >= 1 && *fig <= 4:
 		if err := runFigure(*fig, *graphs, *seed, *format, *out); err != nil {
 			fatal(err)
 		}
 	case *table == 1:
+		if *format != "ascii" {
+			fatal(fmt.Errorf("-table 1 only supports -format ascii, got %q", *format))
+		}
 		if err := runTable1(*seed, *maxTasks); err != nil {
 			fatal(err)
 		}
@@ -50,6 +123,9 @@ func main() {
 			fatal(err)
 		}
 	case *x5:
+		if *format != "ascii" {
+			fatal(fmt.Errorf("-x5 only supports -format ascii, got %q", *format))
+		}
 		cfg := expt.DefaultFamiliesConfig()
 		cfg.Seed = *seed
 		rows, err := expt.RunFamilies(cfg)
@@ -61,6 +137,10 @@ func main() {
 			fatal(err)
 		}
 	case *x6:
+		emit, err := figureEmitter(*format)
+		if err != nil {
+			fatal(err)
+		}
 		cfg := expt.DefaultCommModelsConfig()
 		cfg.Seed = *seed
 		if *graphs > 0 {
@@ -69,10 +149,6 @@ func main() {
 		f, err := expt.RunCommModels(cfg)
 		if err != nil {
 			fatal(err)
-		}
-		emit := expt.WriteASCII
-		if *format == "csv" {
-			emit = expt.WriteCSV
 		}
 		if err := emit(os.Stdout, f); err != nil {
 			fatal(err)
@@ -89,20 +165,220 @@ func runX4(seed int64, graphs int, format string) error {
 	if graphs > 0 {
 		cfg.GraphsPerPoint = graphs
 	}
+	emit, err := figureEmitter(format)
+	if err != nil {
+		return err
+	}
 	f, err := expt.RunStarvation(cfg)
 	if err != nil {
 		return err
 	}
-	emit := expt.WriteASCII
-	if format == "csv" {
-		emit = expt.WriteCSV
-	}
 	return emit(os.Stdout, f)
+}
+
+// figureEmitter maps -format to a legacy figure writer, rejecting formats
+// those modes cannot produce instead of silently falling back to ASCII.
+func figureEmitter(format string) (func(io.Writer, *expt.Figure) error, error) {
+	switch format {
+	case "ascii":
+		return expt.WriteASCII, nil
+	case "csv":
+		return expt.WriteCSV, nil
+	default:
+		return nil, fmt.Errorf("this mode supports -format ascii or csv, got %q", format)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ftexp:", err)
 	os.Exit(1)
+}
+
+// campaignFlags carries the raw -campaign grid flags before parsing.
+type campaignFlags struct {
+	preset     string
+	schedulers string
+	eps        string
+	gran       string
+	families   string
+	instances  int
+	procs      int
+	tasks      string
+	seed       int64
+	graphs     int
+	set        map[string]bool // flags explicitly passed on the command line
+}
+
+// buildCampaign turns the flags into a Campaign spec. The "paper" preset
+// starts from the Figure 1-3 sweep and only honors -graphs and -seed
+// overrides, so its aggregate stays comparable across hosts; passing any
+// other grid flag alongside it is rejected rather than silently ignored.
+// "custom" builds the whole grid from flags.
+func buildCampaign(cfg campaignFlags) (expt.Campaign, error) {
+	if cfg.preset == "paper" {
+		for _, name := range []string{"schedulers", "eps", "gran", "families", "instances", "procs", "tasks"} {
+			if cfg.set[name] {
+				return expt.Campaign{}, fmt.Errorf(
+					"-campaign paper fixes the grid; -%s only applies to -campaign custom (use -graphs to shrink the batch)", name)
+			}
+		}
+		c := expt.PaperCampaign()
+		c.Seed = cfg.seed
+		if cfg.graphs > 0 {
+			c.Instances = cfg.graphs
+		}
+		return c, nil
+	}
+	if cfg.preset != "custom" {
+		return expt.Campaign{}, fmt.Errorf("unknown campaign %q (want 'paper' or 'custom')", cfg.preset)
+	}
+	var c expt.Campaign
+	c.Name = "custom"
+	for _, s := range strings.Split(cfg.schedulers, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			c.Schedulers = append(c.Schedulers, expt.SchedulerID(s))
+		}
+	}
+	for _, e := range strings.Split(cfg.eps, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(e))
+		if err != nil {
+			return c, fmt.Errorf("bad -eps entry %q: %w", e, err)
+		}
+		c.Epsilons = append(c.Epsilons, v)
+	}
+	gran, err := parseGranularities(cfg.gran)
+	if err != nil {
+		return c, err
+	}
+	c.Granularities = gran
+	for _, f := range strings.Split(cfg.families, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			c.Families = append(c.Families, f)
+		}
+	}
+	if cfg.set["graphs"] && cfg.set["instances"] {
+		return c, fmt.Errorf("-graphs and -instances both set the batch size; pass only one")
+	}
+	c.Instances = cfg.instances
+	if cfg.graphs > 0 {
+		c.Instances = cfg.graphs
+	}
+	c.Procs = cfg.procs
+	c.TasksMin, c.TasksMax, err = parseRange(cfg.tasks)
+	if err != nil {
+		return c, fmt.Errorf("bad -tasks: %w", err)
+	}
+	c.Seed = cfg.seed
+	return c, nil
+}
+
+// parseGranularities accepts 'lo:hi:step' or a comma-separated list.
+func parseGranularities(s string) ([]float64, error) {
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -gran %q: want lo:hi:step", s)
+		}
+		var lo, hi, step float64
+		for i, dst := range []*float64{&lo, &hi, &step} {
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -gran %q: %w", s, err)
+			}
+			*dst = v
+		}
+		if step <= 0 || hi < lo {
+			return nil, fmt.Errorf("bad -gran %q: need step > 0 and hi >= lo", s)
+		}
+		var out []float64
+		// Index-based stepping avoids drifting past hi on repeated adds.
+		for i := 0; ; i++ {
+			g := lo + float64(i)*step
+			if g > hi+1e-9 {
+				break
+			}
+			out = append(out, g)
+		}
+		return out, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -gran entry %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseRange(s string) (int, int, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("%q: want min:max", s)
+	}
+	lo, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+func runCampaign(cfg campaignFlags, eng expt.EngineOptions, format, outDir string) error {
+	// Resolve the writer before the campaign runs, so a bad format fails
+	// in milliseconds rather than after hours of compute. SVG is the one
+	// mode that writes files instead of stdout, marked by a nil writer.
+	var write func(io.Writer, *expt.CampaignResult) error
+	switch format {
+	case "ascii":
+		write = expt.WriteCampaignASCII
+	case "csv":
+		write = expt.WriteCampaignCSV
+	case "json":
+		write = expt.WriteCampaignJSON
+	case "svg":
+	default:
+		return fmt.Errorf("unknown campaign format %q (want ascii, csv, json or svg)", format)
+	}
+	c, err := buildCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := expt.RunCampaign(c, eng)
+	if err != nil {
+		return err
+	}
+	if write != nil {
+		return write(os.Stdout, res)
+	}
+	for _, fam := range c.Families {
+		for _, eps := range c.Epsilons {
+			for _, metric := range []expt.CampaignMetric{expt.MetricLower, expt.MetricCrash, expt.MetricOverhead} {
+				f, err := expt.CampaignFigure(res, fam, eps, metric)
+				if err != nil {
+					return err
+				}
+				path := filepath.Join(outDir, fmt.Sprintf("campaign-%s-eps%d-%s.svg", fam, eps, metric))
+				out, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := expt.WriteSVG(out, f); err != nil {
+					out.Close()
+					return err
+				}
+				if err := out.Close(); err != nil {
+					return err
+				}
+				fmt.Println("wrote", path)
+			}
+		}
+	}
+	return nil
 }
 
 func runFigure(fig, graphs int, seed int64, format, outDir string) error {
@@ -157,9 +433,9 @@ func runFigure(fig, graphs int, seed int64, format, outDir string) error {
 		}
 		return nil
 	}
-	emit := expt.WriteASCII
-	if format == "csv" {
-		emit = expt.WriteCSV
+	emit, err := figureEmitter(format)
+	if err != nil {
+		return err
 	}
 	first := true
 	for _, p := range panels {

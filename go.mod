@@ -1,0 +1,3 @@
+module ftsched
+
+go 1.24

@@ -10,7 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 
 	"ftsched/internal/avl"
 	"ftsched/internal/dag"
@@ -42,6 +43,15 @@ type Options struct {
 	// sched.Deadlines); scheduling fails with ErrDeadline as soon as a
 	// task's worst selected finish time exceeds its deadline.
 	Deadlines []float64
+	// BottomLevels, when non-nil, supplies the precomputed static bottom
+	// levels bℓ(t) (as returned by sched.AvgBottomLevels) instead of
+	// recomputing them. The criticalness priority is tℓ(t)+bℓ(t) and bℓ
+	// depends only on (graph, costs, platform), so callers scheduling the
+	// same instance repeatedly — the campaign engine runs FTSA, MC-FTSA and
+	// the fault-free baseline on one instance, and the bi-criteria binary
+	// search re-schedules per ε probe — compute it once and share it. The
+	// slice is read-only to the scheduler.
+	BottomLevels []float64
 }
 
 // FTSA runs Algorithm 4.1: list scheduling by task criticalness
@@ -55,6 +65,7 @@ func FTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Option
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	for st.free.Len() > 0 {
 		t := st.pop()
 		win, err := st.placeBestEFT(t)
@@ -84,14 +95,72 @@ type state struct {
 
 	readyMin, readyMax []float64 // r(Pj), optimistic and pessimistic
 
+	// maxFrom memoizes p.MaxDelayFrom per processor: the commit step charges
+	// the worst-case outgoing delay once per (successor edge × replica), and
+	// recomputing the O(m) maximum there dominated profiles of large runs.
+	maxFrom []float64
+
 	// scratch buffers reused across steps to keep the loop allocation-free.
 	arrMin, arrMax []float64
 	cands          []candidate
+	reps           []sched.Replica
+
+	ws *scratch // pooled backing storage for the slices above
 }
 
 type candidate struct {
 	proc platform.ProcID
 	fMin float64
+}
+
+// scratch is the pooled backing storage of one scheduling run. A campaign
+// schedules thousands of instances back to back; recycling these buffers
+// keeps the per-run steady-state allocation count flat instead of scaling
+// with tasks × processors.
+type scratch struct {
+	tl           []float64
+	unschedPreds []int
+	readyMin     []float64
+	readyMax     []float64
+	maxFrom      []float64
+	arrMin       []float64
+	arrMax       []float64
+	cands        []candidate
+	reps         []sched.Replica
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// growF64 returns a zeroed float64 slice of length n, reusing buf's storage
+// when it is large enough.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// release returns the state's scratch buffers to the pool. The schedule
+// handed out by finish never aliases them (sched.Place copies replicas), so
+// releasing after a run — successful or not — is always safe.
+func (st *state) release() {
+	ws := st.ws
+	if ws == nil {
+		return
+	}
+	st.ws = nil
+	ws.tl = st.tl
+	ws.unschedPreds = st.unschedPreds
+	ws.readyMin, ws.readyMax = st.readyMin, st.readyMax
+	ws.maxFrom = st.maxFrom
+	ws.arrMin, ws.arrMax = st.arrMin, st.arrMax
+	ws.cands = st.cands
+	ws.reps = st.reps
+	scratchPool.Put(ws)
 }
 
 // placement describes the ε+1 processors selected for a task with their
@@ -111,24 +180,43 @@ func newState(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 	if err != nil {
 		return nil, err
 	}
-	bl, err := sched.AvgBottomLevels(g, cm, p)
-	if err != nil {
-		return nil, err
+	bl := opt.BottomLevels
+	if bl == nil {
+		bl, err = sched.AvgBottomLevels(g, cm, p)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(bl) != g.NumTasks() {
+		return nil, fmt.Errorf("core: %d bottom levels for %d tasks", len(bl), g.NumTasks())
 	}
 	m := p.NumProcs()
+	v := g.NumTasks()
+	ws := scratchPool.Get().(*scratch)
+	unsched := ws.unschedPreds
+	if cap(unsched) < v {
+		unsched = make([]int, v)
+	} else {
+		unsched = unsched[:v]
+	}
 	st := &state{
 		g: g, p: p, cm: cm, opt: opt, s: s,
 		bl:           bl,
-		tl:           make([]float64, g.NumTasks()),
-		unschedPreds: make([]int, g.NumTasks()),
+		tl:           growF64(ws.tl, v),
+		unschedPreds: unsched,
 		free:         avl.NewFreeList(),
-		readyMin:     make([]float64, m),
-		readyMax:     make([]float64, m),
-		arrMin:       make([]float64, m),
-		arrMax:       make([]float64, m),
-		cands:        make([]candidate, 0, m),
+		readyMin:     growF64(ws.readyMin, m),
+		readyMax:     growF64(ws.readyMax, m),
+		maxFrom:      growF64(ws.maxFrom, m),
+		arrMin:       growF64(ws.arrMin, m),
+		arrMax:       growF64(ws.arrMax, m),
+		cands:        ws.cands[:0],
+		reps:         ws.reps[:0],
+		ws:           ws,
 	}
-	for t := 0; t < g.NumTasks(); t++ {
+	for j := 0; j < m; j++ {
+		st.maxFrom[j] = p.MaxDelayFrom(platform.ProcID(j))
+	}
+	for t := 0; t < v; t++ {
 		st.unschedPreds[t] = g.InDegree(dag.TaskID(t))
 		if st.unschedPreds[t] == 0 {
 			st.push(dag.TaskID(t))
@@ -186,14 +274,17 @@ func (st *state) placeBestEFT(t dag.TaskID) (*placement, error) {
 		sMin := math.Max(st.arrMin[j], st.readyMin[j])
 		st.cands = append(st.cands, candidate{proc: pj, fMin: sMin + st.cm.Cost(t, pj)})
 	}
-	sort.Slice(st.cands, func(a, b int) bool {
-		if st.cands[a].fMin != st.cands[b].fMin {
-			return st.cands[a].fMin < st.cands[b].fMin
+	slices.SortFunc(st.cands, func(a, b candidate) int {
+		switch {
+		case a.fMin < b.fMin:
+			return -1
+		case a.fMin > b.fMin:
+			return 1
 		}
-		return st.cands[a].proc < st.cands[b].proc
+		return int(a.proc) - int(b.proc)
 	})
 	k := st.opt.Epsilon + 1
-	reps := make([]sched.Replica, 0, k)
+	reps := st.reps[:0]
 	for i := 0; i < k; i++ {
 		pj := st.cands[i].proc
 		e := st.cm.Cost(t, pj)
@@ -205,6 +296,7 @@ func (st *state) placeBestEFT(t dag.TaskID) (*placement, error) {
 			StartMax: sMax, FinishMax: sMax + e,
 		})
 	}
+	st.reps = reps
 	return &placement{reps: reps}, nil
 }
 
@@ -243,7 +335,7 @@ func (st *state) commit(t dag.TaskID, win *placement, matched [][]int) error {
 	for _, se := range st.g.Succs(t) {
 		contrib := math.Inf(1)
 		for _, r := range win.reps {
-			c := r.FinishMin + se.Volume*st.p.MaxDelayFrom(r.Proc)
+			c := r.FinishMin + se.Volume*st.maxFrom[r.Proc]
 			if c < contrib {
 				contrib = c
 			}

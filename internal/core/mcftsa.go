@@ -74,6 +74,7 @@ func MCFTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt MCFT
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	for st.free.Len() > 0 {
 		t := st.pop()
 		win, err := st.placeBestEFT(t) // A(t) per equation (1), as in FTSA

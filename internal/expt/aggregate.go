@@ -1,0 +1,272 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ftsched/internal/stats"
+)
+
+// AggRow is one aggregated grid point: every metric accumulated over the
+// campaign's instances at a fixed (family, scheduler, ε, granularity).
+type AggRow struct {
+	Family      string
+	Scheduler   SchedulerID
+	Epsilon     int
+	Granularity float64
+
+	Lower, Upper       stats.Accumulator
+	FaultFree, Crash   stats.Accumulator
+	Overhead, Messages stats.Accumulator
+}
+
+// key identifies a row; cells sorted by index arrive in canonical grid
+// order, so insertion order of rows is deterministic too.
+type aggKey struct {
+	family      string
+	scheduler   SchedulerID
+	epsilon     int
+	granularity float64
+}
+
+// Rows aggregates the per-cell results into one row per grid point. Cells
+// are consumed in index order, which fixes the floating-point accumulation
+// order and makes the aggregate a pure function of the spec. Rows are then
+// presented grouped as (family, ε, granularity, scheduler) — following each
+// dimension's order in the spec — which reads as one block per figure.
+func (r *CampaignResult) Rows() []*AggRow {
+	index := make(map[aggKey]*AggRow)
+	var rows []*AggRow
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		k := aggKey{c.Family, c.Scheduler, c.Epsilon, c.Granularity}
+		row, ok := index[k]
+		if !ok {
+			row = &AggRow{Family: c.Family, Scheduler: c.Scheduler,
+				Epsilon: c.Epsilon, Granularity: c.Granularity}
+			index[k] = row
+			rows = append(rows, row)
+		}
+		row.Lower.Add(c.Lower)
+		row.Upper.Add(c.Upper)
+		row.FaultFree.Add(c.FaultFree)
+		row.Crash.Add(c.Crash)
+		row.Overhead.Add(c.Overhead)
+		row.Messages.Add(float64(c.Messages))
+	}
+	famPos := positions(r.Campaign.Families)
+	epsPos := make(map[int]int, len(r.Campaign.Epsilons))
+	for i, e := range r.Campaign.Epsilons {
+		epsPos[e] = i
+	}
+	granPos := make(map[float64]int, len(r.Campaign.Granularities))
+	for i, g := range r.Campaign.Granularities {
+		granPos[g] = i
+	}
+	schedPos := make(map[SchedulerID]int, len(r.Campaign.Schedulers))
+	for i, s := range r.Campaign.Schedulers {
+		schedPos[s] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		ra, rb := rows[a], rows[b]
+		if famPos[ra.Family] != famPos[rb.Family] {
+			return famPos[ra.Family] < famPos[rb.Family]
+		}
+		if epsPos[ra.Epsilon] != epsPos[rb.Epsilon] {
+			return epsPos[ra.Epsilon] < epsPos[rb.Epsilon]
+		}
+		if granPos[ra.Granularity] != granPos[rb.Granularity] {
+			return granPos[ra.Granularity] < granPos[rb.Granularity]
+		}
+		return schedPos[ra.Scheduler] < schedPos[rb.Scheduler]
+	})
+	return rows
+}
+
+func positions(names []string) map[string]int {
+	out := make(map[string]int, len(names))
+	for i, n := range names {
+		out[n] = i
+	}
+	return out
+}
+
+// ftoa formats a float with the shortest exact representation, so emitted
+// aggregates are byte-stable across runs and worker counts.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var campaignCSVHeader = []string{
+	"family", "scheduler", "epsilon", "granularity", "n",
+	"lb_mean", "lb_ci95", "ub_mean", "ub_ci95", "ff_mean",
+	"crash_mean", "crash_ci95", "overhead_mean", "overhead_ci95", "msgs_mean",
+}
+
+// WriteCampaignCSV emits the aggregated campaign as CSV: one row per grid
+// point with mean and 95% CI columns per metric.
+func WriteCampaignCSV(w io.Writer, r *CampaignResult) error {
+	if _, err := fmt.Fprintln(w, strings.Join(campaignCSVHeader, ",")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows() {
+		cols := []string{
+			row.Family, string(row.Scheduler),
+			strconv.Itoa(row.Epsilon), ftoa(row.Granularity),
+			strconv.Itoa(row.Lower.N()),
+			ftoa(row.Lower.Mean()), ftoa(row.Lower.CI95()),
+			ftoa(row.Upper.Mean()), ftoa(row.Upper.CI95()),
+			ftoa(row.FaultFree.Mean()),
+			ftoa(row.Crash.Mean()), ftoa(row.Crash.CI95()),
+			ftoa(row.Overhead.Mean()), ftoa(row.Overhead.CI95()),
+			ftoa(row.Messages.Mean()),
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// campaignJSONRow is the exported JSON shape of one aggregated row.
+type campaignJSONRow struct {
+	Family      string   `json:"family"`
+	Scheduler   string   `json:"scheduler"`
+	Epsilon     int      `json:"epsilon"`
+	Granularity float64  `json:"granularity"`
+	N           int      `json:"n"`
+	Lower       jsonStat `json:"lb"`
+	Upper       jsonStat `json:"ub"`
+	FaultFree   jsonStat `json:"ff"`
+	Crash       jsonStat `json:"crash"`
+	Overhead    jsonStat `json:"overhead"`
+	Messages    jsonStat `json:"msgs"`
+}
+
+type jsonStat struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+}
+
+func jstat(a *stats.Accumulator) jsonStat { return jsonStat{Mean: a.Mean(), CI95: a.CI95()} }
+
+// WriteCampaignJSON emits the aggregated campaign as a JSON document with
+// the spec and one object per grid point.
+func WriteCampaignJSON(w io.Writer, r *CampaignResult) error {
+	rows := r.Rows()
+	out := struct {
+		Campaign Campaign          `json:"campaign"`
+		Rows     []campaignJSONRow `json:"rows"`
+	}{Campaign: r.Campaign, Rows: make([]campaignJSONRow, 0, len(rows))}
+	for _, row := range rows {
+		out.Rows = append(out.Rows, campaignJSONRow{
+			Family: row.Family, Scheduler: string(row.Scheduler),
+			Epsilon: row.Epsilon, Granularity: row.Granularity,
+			N:     row.Lower.N(),
+			Lower: jstat(&row.Lower), Upper: jstat(&row.Upper),
+			FaultFree: jstat(&row.FaultFree), Crash: jstat(&row.Crash),
+			Overhead: jstat(&row.Overhead), Messages: jstat(&row.Messages),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCampaignASCII renders the aggregate as a fixed-width table, one
+// header per (family, ε) block.
+func WriteCampaignASCII(w io.Writer, r *CampaignResult) error {
+	rows := r.Rows()
+	lastBlock := ""
+	for _, row := range rows {
+		block := fmt.Sprintf("%s ε=%d", row.Family, row.Epsilon)
+		if block != lastBlock {
+			if lastBlock != "" {
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			lastBlock = block
+			if _, err := fmt.Fprintf(w, "# %s: campaign %q, m=%d, %d instances/point\n",
+				block, r.Campaign.Name, r.Campaign.Procs, r.Campaign.Instances); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%-9s %5s %4s %9s %9s %9s %9s %9s %9s\n",
+				"scheduler", "g", "n", "lb", "ub", "ff", "crash", "ovh%", "msgs"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-9s %5.2f %4d %9.3f %9.3f %9.3f %9.3f %9.2f %9.0f\n",
+			row.Scheduler, row.Granularity, row.Lower.N(),
+			row.Lower.Mean(), row.Upper.Mean(), row.FaultFree.Mean(),
+			row.Crash.Mean(), row.Overhead.Mean(), row.Messages.Mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CampaignMetric selects which per-cell metric a derived figure plots.
+type CampaignMetric string
+
+// The plottable campaign metrics.
+const (
+	MetricLower    CampaignMetric = "lb"
+	MetricUpper    CampaignMetric = "ub"
+	MetricCrash    CampaignMetric = "crash"
+	MetricOverhead CampaignMetric = "overhead"
+)
+
+func (m CampaignMetric) pick(row *AggRow) (*stats.Accumulator, error) {
+	switch m {
+	case MetricLower:
+		return &row.Lower, nil
+	case MetricUpper:
+		return &row.Upper, nil
+	case MetricCrash:
+		return &row.Crash, nil
+	case MetricOverhead:
+		return &row.Overhead, nil
+	default:
+		return nil, fmt.Errorf("expt: unknown campaign metric %q", m)
+	}
+}
+
+// CampaignFigure projects one (family, ε, metric) slice of the campaign
+// into a Figure — one series per scheduler over the granularity sweep — so
+// campaign output feeds the existing ASCII/CSV/SVG figure writers.
+func CampaignFigure(r *CampaignResult, family string, epsilon int, metric CampaignMetric) (*Figure, error) {
+	ylabel := "Normalized Latency"
+	if metric == MetricOverhead {
+		ylabel = "Average OverHead (%)"
+	}
+	f := &Figure{
+		Title:  fmt.Sprintf("%s %s, ε=%d, m=%d", family, metric, epsilon, r.Campaign.Procs),
+		XLabel: "Granularity", YLabel: ylabel,
+	}
+	series := make(map[SchedulerID]*stats.Series)
+	for _, row := range r.Rows() {
+		if row.Family != family || row.Epsilon != epsilon {
+			continue
+		}
+		acc, err := metric.pick(row)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := series[row.Scheduler]
+		if !ok {
+			s = stats.NewSeries(fmt.Sprintf("%s-%s", row.Scheduler, metric))
+			series[row.Scheduler] = s
+			f.Series = append(f.Series, s)
+		}
+		// Re-accumulate the already aggregated mean so the series point
+		// carries the campaign's per-point average.
+		s.At(row.Granularity).Add(acc.Mean())
+	}
+	if len(f.Series) == 0 {
+		return nil, fmt.Errorf("expt: campaign has no rows for family %q ε=%d", family, epsilon)
+	}
+	return f, nil
+}

@@ -1,0 +1,412 @@
+package expt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+
+	"ftsched/internal/core"
+	"ftsched/internal/dag"
+	"ftsched/internal/ftbar"
+	"ftsched/internal/sched"
+	"ftsched/internal/sim"
+	"ftsched/internal/workload"
+)
+
+// SchedulerID names one of the three schedulers a campaign can sweep.
+type SchedulerID string
+
+// The scheduler grid dimension.
+const (
+	SchedFTSA   SchedulerID = "FTSA"
+	SchedMCFTSA SchedulerID = "MC-FTSA"
+	SchedFTBAR  SchedulerID = "FTBAR"
+)
+
+// AllSchedulers returns the full scheduler dimension in canonical order.
+func AllSchedulers() []SchedulerID {
+	return []SchedulerID{SchedFTSA, SchedMCFTSA, SchedFTBAR}
+}
+
+// Campaign is the declarative spec of one experiment campaign: the cross
+// product of its dimension slices is the grid of cells the engine executes.
+// A cell is one (scheduler, ε, granularity, family, instance) tuple; every
+// cell is seeded deterministically from Seed and its own coordinates, so the
+// result of a campaign is a pure function of the spec — independent of
+// worker count, scheduling order, or interruption/resume boundaries.
+type Campaign struct {
+	// Name labels the campaign in checkpoints and reports.
+	Name string `json:"name"`
+	// Schedulers is the algorithm dimension (default: all three).
+	Schedulers []SchedulerID `json:"schedulers"`
+	// Epsilons is the ε dimension (the paper sweeps 1, 2, 5).
+	Epsilons []int `json:"epsilons"`
+	// Granularities is the x-axis sweep (the paper uses 0.2..2.0).
+	Granularities []float64 `json:"granularities"`
+	// Families lists workload families: "random" (the paper's layered
+	// random DAGs) or any name in CampaignFamilies.
+	Families []string `json:"families"`
+	// Instances is the number of independent instances per grid point (the
+	// paper averages 60 graphs per point).
+	Instances int `json:"instances"`
+	// Procs is the platform size.
+	Procs int `json:"procs"`
+	// TasksMin and TasksMax bound the random-family task count.
+	TasksMin int `json:"tasks_min"`
+	TasksMax int `json:"tasks_max"`
+	// Seed is the base seed every per-cell seed derives from.
+	Seed int64 `json:"seed"`
+}
+
+// Cell identifies one point of a campaign grid. Index is the cell's rank in
+// the canonical enumeration order (families, then granularity, then
+// instance, then ε, then scheduler — innermost last), which is also the
+// order the aggregator consumes results in. All cells sharing one problem
+// instance are consecutive, so the engine's prepared-instance cache stays
+// small while capturing every reuse.
+type Cell struct {
+	Index       int         `json:"i"`
+	Family      string      `json:"family"`
+	Epsilon     int         `json:"eps"`
+	Granularity float64     `json:"g"`
+	Instance    int         `json:"inst"`
+	Scheduler   SchedulerID `json:"sched"`
+}
+
+// CellResult is the measured outcome of one cell. Latencies are normalized
+// per instance like the paper's figures (see normalizer). Overhead is the
+// paper's FTSA*-relative percentage: 100·(crash − faultfree)/faultfree.
+type CellResult struct {
+	Cell
+	Tasks     int     `json:"tasks"`
+	Edges     int     `json:"edges"`
+	Lower     float64 `json:"lb"`
+	Upper     float64 `json:"ub"`
+	FaultFree float64 `json:"ff"`
+	Crash     float64 `json:"crash"`
+	Overhead  float64 `json:"ovh"`
+	Messages  int     `json:"msgs"`
+}
+
+// campaignFamilies maps structured-family names to graph builders; "random"
+// is handled separately because its graph is drawn per instance seed.
+var campaignFamilies = []struct {
+	name  string
+	build func() (*dag.Graph, error)
+}{
+	{"gauss", func() (*dag.Graph, error) { return workload.GaussianElimination(16, 100) }},
+	{"fft", func() (*dag.Graph, error) { return workload.FFT(6, 100) }},
+	{"cholesky", func() (*dag.Graph, error) { return workload.Cholesky(8, 100) }},
+	{"lu", func() (*dag.Graph, error) { return workload.LU(6, 100) }},
+	{"stencil", func() (*dag.Graph, error) { return workload.Stencil(12, 12, 100) }},
+	{"forkjoin", func() (*dag.Graph, error) { return workload.ForkJoin(10, 5, 100) }},
+	{"pipeline", func() (*dag.Graph, error) { return workload.Pipeline(10, 4, 100) }},
+	{"intree", func() (*dag.Graph, error) { return workload.InTree(2, 7, 100) }},
+}
+
+// CampaignFamilies returns the recognized family names: "random" first, then
+// the structured families.
+func CampaignFamilies() []string {
+	out := []string{"random"}
+	for _, f := range campaignFamilies {
+		out = append(out, f.name)
+	}
+	return out
+}
+
+func familyBuilder(name string) (func() (*dag.Graph, error), bool) {
+	for _, f := range campaignFamilies {
+		if f.name == name {
+			return f.build, true
+		}
+	}
+	return nil, false
+}
+
+// PaperCampaign returns the preset reproducing the Figure 1-3 sweeps in one
+// campaign: all three schedulers × ε ∈ {1,2,5} × granularity 0.2..2.0 × 60
+// random instances on 20 processors.
+func PaperCampaign() Campaign {
+	return Campaign{
+		Name:          "paper-figures-1-3",
+		Schedulers:    AllSchedulers(),
+		Epsilons:      []int{1, 2, 5},
+		Granularities: PaperGranularities(),
+		Families:      []string{"random"},
+		Instances:     60,
+		Procs:         20,
+		TasksMin:      100,
+		TasksMax:      150,
+		Seed:          1,
+	}
+}
+
+// Validate checks the campaign spec. Duplicate dimension values are
+// rejected: duplicated cells would accumulate the identical sample twice
+// and silently deflate the confidence intervals.
+func (c Campaign) Validate() error {
+	if len(c.Schedulers) == 0 {
+		return fmt.Errorf("expt: campaign has no schedulers")
+	}
+	seenSched := make(map[SchedulerID]bool, len(c.Schedulers))
+	for _, s := range c.Schedulers {
+		switch s {
+		case SchedFTSA, SchedMCFTSA, SchedFTBAR:
+		default:
+			return fmt.Errorf("expt: unknown scheduler %q", s)
+		}
+		if seenSched[s] {
+			return fmt.Errorf("expt: duplicate scheduler %q", s)
+		}
+		seenSched[s] = true
+	}
+	if len(c.Epsilons) == 0 {
+		return fmt.Errorf("expt: campaign has no ε values")
+	}
+	seenEps := make(map[int]bool, len(c.Epsilons))
+	for _, e := range c.Epsilons {
+		if e < 0 || e+1 > c.Procs {
+			return fmt.Errorf("expt: ε=%d needs more processors than %d", e, c.Procs)
+		}
+		if seenEps[e] {
+			return fmt.Errorf("expt: duplicate ε=%d", e)
+		}
+		seenEps[e] = true
+	}
+	if len(c.Granularities) == 0 {
+		return fmt.Errorf("expt: campaign has no granularities")
+	}
+	seenGran := make(map[float64]bool, len(c.Granularities))
+	for _, g := range c.Granularities {
+		if g <= 0 {
+			return fmt.Errorf("expt: non-positive granularity %g", g)
+		}
+		if seenGran[g] {
+			return fmt.Errorf("expt: duplicate granularity %g", g)
+		}
+		seenGran[g] = true
+	}
+	if len(c.Families) == 0 {
+		return fmt.Errorf("expt: campaign has no families")
+	}
+	seenFam := make(map[string]bool, len(c.Families))
+	for _, f := range c.Families {
+		if seenFam[f] {
+			return fmt.Errorf("expt: duplicate family %q", f)
+		}
+		seenFam[f] = true
+		if f == "random" {
+			continue
+		}
+		if _, ok := familyBuilder(f); !ok {
+			return fmt.Errorf("expt: unknown family %q (known: %v)", f, CampaignFamilies())
+		}
+	}
+	if c.Instances < 1 {
+		return fmt.Errorf("expt: need at least one instance per cell, got %d", c.Instances)
+	}
+	if c.Procs < 1 {
+		return fmt.Errorf("expt: need at least one processor, got %d", c.Procs)
+	}
+	if c.TasksMin < 1 || c.TasksMax < c.TasksMin {
+		return fmt.Errorf("expt: invalid task range [%d,%d]", c.TasksMin, c.TasksMax)
+	}
+	return nil
+}
+
+// NumCells returns the size of the campaign grid.
+func (c Campaign) NumCells() int {
+	return len(c.Families) * len(c.Epsilons) * len(c.Granularities) * c.Instances * len(c.Schedulers)
+}
+
+// Cells enumerates the grid in canonical order.
+func (c Campaign) Cells() []Cell {
+	cells := make([]Cell, 0, c.NumCells())
+	i := 0
+	for _, fam := range c.Families {
+		for _, g := range c.Granularities {
+			for inst := 0; inst < c.Instances; inst++ {
+				for _, eps := range c.Epsilons {
+					for _, s := range c.Schedulers {
+						cells = append(cells, Cell{
+							Index: i, Family: fam, Epsilon: eps,
+							Granularity: g, Instance: inst, Scheduler: s,
+						})
+						i++
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// derive hashes the base seed and a list of coordinate strings into a
+// 63-bit stream seed (FNV-1a; stable across runs, platforms and Go
+// versions, unlike maphash).
+func derive(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", base)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+func gstr(g float64) string { return strconv.FormatFloat(g, 'g', -1, 64) }
+
+// instanceSeed depends only on (family, granularity, instance): all
+// schedulers and ε values of a grid point see the same problem instance,
+// mirroring the paper's shared-workload comparison.
+func (c Campaign) instanceSeed(cell Cell) int64 {
+	return derive(c.Seed, "inst", cell.Family, gstr(cell.Granularity), strconv.Itoa(cell.Instance))
+}
+
+// schedSeed feeds the scheduler's tie-breaking RNG; it additionally depends
+// on the scheduler and ε so independent cells never share RNG streams.
+func (c Campaign) schedSeed(cell Cell) int64 {
+	return derive(c.Seed, "sched", cell.Family, gstr(cell.Granularity),
+		strconv.Itoa(cell.Instance), string(cell.Scheduler), strconv.Itoa(cell.Epsilon))
+}
+
+// faultFreeSeed feeds the ε=0 FTSA baseline run of a cell.
+func (c Campaign) faultFreeSeed(cell Cell) int64 {
+	return derive(c.Seed, "ff", cell.Family, gstr(cell.Granularity), strconv.Itoa(cell.Instance))
+}
+
+// crashSeed draws the cell's crash scenario. It is shared by all schedulers
+// of one (instance, ε) pair, so crash latencies compare like against like.
+func (c Campaign) crashSeed(cell Cell) int64 {
+	return derive(c.Seed, "crash", cell.Family, gstr(cell.Granularity),
+		strconv.Itoa(cell.Instance), strconv.Itoa(cell.Epsilon))
+}
+
+// instance materializes the cell's problem instance from its deterministic
+// seed.
+func (c Campaign) instance(cell Cell) (*workload.Instance, error) {
+	rng := rand.New(rand.NewSource(c.instanceSeed(cell)))
+	wcfg := workload.PaperConfig{
+		DAG: workload.RandomDAGConfig{
+			MinTasks: c.TasksMin, MaxTasks: c.TasksMax,
+			MinVolume: 50, MaxVolume: 150,
+			ShapeFactor: 1.0, EdgeDensity: 0.25,
+		},
+		Procs:    c.Procs,
+		MinDelay: 0.5, MaxDelay: 1.0,
+		MinCost: 10, MaxCost: 100,
+		Granularity: cell.Granularity,
+	}
+	if cell.Family == "random" {
+		return workload.NewInstance(rng, wcfg)
+	}
+	build, ok := familyBuilder(cell.Family)
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown family %q", cell.Family)
+	}
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewInstanceForGraph(rng, g, wcfg)
+}
+
+// prepared bundles everything about a cell that is independent of its
+// scheduler and ε: the instance itself, its normalizer, the shared static
+// bottom levels and the fault-free FTSA baseline. All of it derives from
+// seeds that exclude the scheduler and ε coordinates, so the engine caches
+// one prepared value per (family, granularity, instance) point instead of
+// recomputing it for every scheduler × ε cell. All fields are read-only
+// once built, making a prepared instance safe to share across workers.
+type prepared struct {
+	inst      *workload.Instance
+	norm      float64
+	bl        []float64
+	ffLatency float64
+}
+
+// prepare materializes the scheduler-independent part of a cell.
+func (c Campaign) prepare(cell Cell) (*prepared, error) {
+	inst, err := c.instance(cell)
+	if err != nil {
+		return nil, fmt.Errorf("expt: cell %d instance: %w", cell.Index, err)
+	}
+	norm := normalizer(inst)
+	if norm <= 0 {
+		return nil, fmt.Errorf("expt: cell %d has degenerate normalizer", cell.Index)
+	}
+	bl, err := sched.AvgBottomLevels(inst.Graph, inst.Costs, inst.Platform)
+	if err != nil {
+		return nil, err
+	}
+	ffrng := rand.New(rand.NewSource(c.faultFreeSeed(cell)))
+	ff, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs,
+		core.Options{Epsilon: 0, Rng: ffrng, BottomLevels: bl})
+	if err != nil {
+		return nil, fmt.Errorf("expt: cell %d fault-free baseline: %w", cell.Index, err)
+	}
+	return &prepared{inst: inst, norm: norm, bl: bl, ffLatency: ff.LowerBound()}, nil
+}
+
+// RunCell executes one cell from scratch: materialize the instance, run the
+// cell's scheduler plus the fault-free FTSA baseline (sharing one
+// bottom-level computation), and replay the schedule under the cell's crash
+// scenario. It is a pure function of (campaign spec, cell coordinates),
+// which is what makes the engine's parallelism and resume invisible in the
+// results. The engine itself calls runPrepared with a cached prepared
+// value; the result is identical either way.
+func (c Campaign) RunCell(cell Cell) (CellResult, error) {
+	p, err := c.prepare(cell)
+	if err != nil {
+		return CellResult{Cell: cell}, err
+	}
+	return c.runPrepared(cell, p)
+}
+
+// runPrepared runs the scheduler-and-ε-specific part of a cell against a
+// prepared instance.
+func (c Campaign) runPrepared(cell Cell, p *prepared) (CellResult, error) {
+	res := CellResult{Cell: cell}
+	inst := p.inst
+
+	srng := rand.New(rand.NewSource(c.schedSeed(cell)))
+	var s *sched.Schedule
+	var err error
+	switch cell.Scheduler {
+	case SchedFTSA:
+		s, err = core.FTSA(inst.Graph, inst.Platform, inst.Costs,
+			core.Options{Epsilon: cell.Epsilon, Rng: srng, BottomLevels: p.bl})
+	case SchedMCFTSA:
+		s, err = core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
+			core.MCFTSAOptions{Options: core.Options{Epsilon: cell.Epsilon, Rng: srng, BottomLevels: p.bl}})
+	case SchedFTBAR:
+		s, err = ftbar.Schedule(inst.Graph, inst.Platform, inst.Costs,
+			ftbar.Options{Npf: cell.Epsilon, Rng: srng})
+	default:
+		return res, fmt.Errorf("expt: unknown scheduler %q", cell.Scheduler)
+	}
+	if err != nil {
+		return res, fmt.Errorf("expt: cell %d %s: %w", cell.Index, cell.Scheduler, err)
+	}
+
+	crng := rand.New(rand.NewSource(c.crashSeed(cell)))
+	scenario, err := sim.UniformCrashes(crng, c.Procs, cell.Epsilon)
+	if err != nil {
+		return res, err
+	}
+	crash, err := sim.Run(s, scenario, nil)
+	if err != nil {
+		return res, fmt.Errorf("expt: cell %d crash replay: %w", cell.Index, err)
+	}
+
+	res.Tasks = inst.Graph.NumTasks()
+	res.Edges = inst.Graph.NumEdges()
+	res.Lower = s.LowerBound() / p.norm
+	res.Upper = s.UpperBound() / p.norm
+	res.FaultFree = p.ffLatency / p.norm
+	res.Crash = crash.Latency / p.norm
+	res.Overhead = 100 * (crash.Latency - p.ffLatency) / p.ffLatency
+	res.Messages = s.MessageCount()
+	return res, nil
+}

@@ -1,0 +1,48 @@
+// Package expt is the experiment layer: it reproduces the paper's
+// evaluation (Section 6) and runs large parameter-sweep campaigns on a
+// parallel, resumable engine.
+//
+// # Campaign engine
+//
+// A Campaign declares a grid: the cross product of schedulers (FTSA,
+// MC-FTSA, FTBAR), ε values, granularities, workload families and instance
+// indices. RunCampaign executes the grid on a pool of workers (GOMAXPROCS
+// by default) and aggregates per-cell metrics — normalized lower/upper
+// bounds, fault-free latency, crash latency under a per-cell uniform crash
+// scenario, overhead, and message counts — into per-point mean/95%-CI rows.
+//
+// Three properties make campaigns production-grade:
+//
+//   - Determinism. Every cell derives its RNG seeds (instance generation,
+//     scheduler tie-breaking, fault-free baseline, crash scenario) from the
+//     campaign seed and its own grid coordinates, and aggregation consumes
+//     results in canonical cell order. The output is therefore a pure
+//     function of the spec: any -parallel value, any interleaving, and any
+//     interrupt/resume boundary produce byte-identical aggregates.
+//   - Resumability. With a checkpoint path set, each completed cell streams
+//     to a JSONL file (header line carrying the spec fingerprint, then one
+//     JSON object per cell). Resuming validates the fingerprint, loads the
+//     completed cells — tolerating the torn final line an interrupt leaves
+//     behind — and executes only the remainder.
+//   - Shared instances. Schedulers and ε values at one grid point see the
+//     same problem instance and the same crash draw (like the paper's
+//     shared-workload batches), so curves compare like against like.
+//
+// Results feed WriteCampaignCSV/JSON/ASCII directly, or project through
+// CampaignFigure into the Figure writers (WriteASCII, WriteCSV, WriteSVG)
+// for plotting one (family, ε, metric) slice.
+//
+// # Paper figures and tables
+//
+// The legacy single-threaded drivers reproduce the paper's exact panels:
+// Figures 1-3 (bounds, crash latencies and overheads for ε = 1, 2, 5 on 20
+// processors), Figure 4 (5 processors, ε = 2) and Table 1 (running times
+// for v up to 5000 tasks on 50 processors). Each figure point averages the
+// metric over a batch of random task graphs (60 in the paper), with
+// granularity swept from 0.2 to 2.0. PaperCampaign is the campaign-engine
+// equivalent of the Figure 1-3 sweeps.
+//
+// Latencies are reported normalized by a per-instance constant (see
+// normalizer); the paper plots "normalized latency" without defining the
+// normalizer, and any per-instance constant preserves which algorithm wins.
+package expt

@@ -1,0 +1,56 @@
+package expt_test
+
+import (
+	"fmt"
+
+	"ftsched/internal/expt"
+)
+
+// ExampleRunCampaign runs a small campaign grid on the worker-pool engine
+// and aggregates it. Cell seeding is deterministic, so any Workers value —
+// including the GOMAXPROCS default — produces this exact output.
+func ExampleRunCampaign() {
+	c := expt.Campaign{
+		Name:          "demo",
+		Schedulers:    []expt.SchedulerID{expt.SchedFTSA, expt.SchedMCFTSA},
+		Epsilons:      []int{1},
+		Granularities: []float64{0.5, 1.0},
+		Families:      []string{"random"},
+		Instances:     3,
+		Procs:         6,
+		TasksMin:      20,
+		TasksMax:      30,
+		Seed:          42,
+	}
+	res, err := expt.RunCampaign(c, expt.EngineOptions{Workers: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("cells:", len(res.Cells))
+	for _, row := range res.Rows() {
+		fmt.Printf("%s g=%g: %d instances, upper bound within %.0f%% of lower\n",
+			row.Scheduler, row.Granularity, row.Lower.N(),
+			100*(row.Upper.Mean()-row.Lower.Mean())/row.Lower.Mean())
+	}
+	// Output:
+	// cells: 12
+	// FTSA g=0.5: 3 instances, upper bound within 89% of lower
+	// MC-FTSA g=0.5: 3 instances, upper bound within 15% of lower
+	// FTSA g=1: 3 instances, upper bound within 60% of lower
+	// MC-FTSA g=1: 3 instances, upper bound within 9% of lower
+}
+
+// ExamplePaperCampaign shows the preset that reproduces the paper's Figure
+// 1-3 sweeps — all three schedulers, ε ∈ {1,2,5}, granularity 0.2..2.0 and
+// 60 random instances per point — in a single campaign.
+func ExamplePaperCampaign() {
+	c := expt.PaperCampaign()
+	fmt.Println("name:", c.Name)
+	fmt.Println("cells:", c.NumCells())
+	fmt.Println("families:", c.Families)
+	// Output:
+	// name: paper-figures-1-3
+	// cells: 5400
+	// families: [random]
+}

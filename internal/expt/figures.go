@@ -1,14 +1,3 @@
-// Package expt reproduces the paper's evaluation (Section 6): Figures 1-3
-// (bounds, crash latencies and overheads for ε = 1, 2, 5 on 20 processors),
-// Figure 4 (5 processors, ε = 2) and Table 1 (running times for v up to
-// 5000 tasks on 50 processors). Each figure point averages the metric over a
-// batch of random task graphs (60 in the paper), with granularity swept from
-// 0.2 to 2.0.
-//
-// Latencies are reported normalized by the platform-average execution time
-// of one task (the paper plots "normalized latency" without defining the
-// normalizer; this choice reproduces the reported magnitudes and, being a
-// per-instance constant, cannot change which algorithm wins).
 package expt
 
 import (

@@ -1,0 +1,25 @@
+// Package ftbar re-implements the comparison baseline of the paper: FTBAR
+// (Fault Tolerance Based Active Replication; Girault, Kalla, Sighireanu,
+// Sorel, DSN'03), following the description in Section 5 of the paper.
+//
+// FTBAR is a list-scheduling heuristic driven by the *schedule pressure*
+// cost function
+//
+//	σ(n)(ti,pj) = S(n)(ti,pj) + s(ti) − R(n−1)
+//
+// where S(n)(ti,pj) is the earliest start time of ti on pj given the current
+// partial schedule, s(ti) the latest start time of ti measured bottom-up
+// (computed here, as in the original, from average execution and
+// communication costs), and R(n−1) the schedule length at the previous step.
+// At every step FTBAR evaluates σ for *every* free task on *every*
+// processor, keeps for each task the Npf+1 processors of minimum pressure,
+// selects the most urgent (maximum pressure) task-processor pair, and
+// schedules that task on its Npf+1 processors. The recursive
+// Minimize-Start-Time procedure of Ahmad and Kwok is then applied to reduce
+// the start time of the selected task by duplicating critical predecessors
+// onto the chosen processors.
+//
+// The full per-step rescan of all free tasks (instead of FTSA's O(log ω)
+// AVL head extraction) is what gives FTBAR its O(P·N³) running time, which
+// Table 1 of the paper measures.
+package ftbar

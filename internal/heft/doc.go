@@ -1,0 +1,15 @@
+// Package heft implements HEFT (Heterogeneous Earliest Finish Time;
+// Topcuoglu, Hariri, Wu 2002), the standard non-fault-tolerant reference
+// heuristic for DAG scheduling on heterogeneous platforms. The paper's
+// fault-free FTSA run (ε = 0) is an EFT list scheduler of the same family;
+// HEFT differs in two ways — static upward-rank priorities instead of the
+// dynamic criticalness, and *insertion-based* processor slots (a task may
+// fill an idle gap between two already-scheduled tasks). Having the
+// canonical baseline in-tree lets the test suite anchor FTSA's fault-free
+// quality against the literature's reference point.
+//
+// HEFT schedules are analysis artifacts: they carry no replication
+// (ε = 0), and because of insertion their per-processor execution order is
+// not the mapping order, so they are meant for bound comparisons rather
+// than for the crash simulator.
+package heft

@@ -1,0 +1,7 @@
+// Package plot is a small, dependency-free SVG line-chart emitter used to
+// render the paper's figures from the experiment harness. It supports
+// multiple named series with distinct colors and markers, automatic axis
+// scaling, tick labels and a legend — enough to regenerate every panel of
+// Figures 1-4, or any campaign slice projected through expt.CampaignFigure,
+// as a standalone .svg file.
+package plot

@@ -1,8 +1,3 @@
-// Package plot is a small, dependency-free SVG line-chart emitter used to
-// render the paper's figures from the experiment harness. It supports
-// multiple named series with distinct colors and markers, automatic axis
-// scaling, tick labels and a legend — enough to regenerate every panel of
-// Figures 1-4 as a standalone .svg file.
 package plot
 
 import (

@@ -1,0 +1,16 @@
+// Package sim executes a fault-tolerant schedule under a fail-stop failure
+// scenario and reports the achieved latency — the "Crash" curves of
+// Figures 1(b), 2(b), 3(b) and 4(a) of the paper. Processors are fail-silent:
+// a replica whose execution completes strictly before its processor's crash
+// time has delivered its output messages; anything in flight at crash time
+// is lost. A replica consumes a predecessor's data per the schedule's
+// communication pattern: under PatternAll the earliest message from any
+// completed copy ("the task is executed and ignores later incoming data"),
+// under PatternMatched only the single matched source retained by MC-FTSA.
+//
+// Scenarios are crash-time assignments (NoFailures, CrashAtZero,
+// UniformCrashes); optional communication models (one-port, bounded
+// multi-port) and event tracing refine the replay beyond the paper's
+// contention-free model. The experiment layer draws one uniform crash set
+// per instance and replays every scheduler's schedule against it.
+package sim

@@ -1,0 +1,16 @@
+// Package stats provides the statistical toolkit the experiment layer
+// aggregates with: streaming accumulators for mean/variance/extrema and
+// named (x, accumulator) series.
+//
+// Accumulator uses Welford's online algorithm, so it is numerically stable
+// over campaigns of arbitrary length, and reports mean, unbiased variance,
+// standard error and a normal-approximation 95% confidence interval — the
+// paper averages 60 random graphs per figure point, where the normal
+// approximation is adequate. Series binds accumulators to x positions
+// (granularities) to form one curve of a figure.
+//
+// Determinism note: Welford updates are order-sensitive in the last few
+// ulps, so the campaign engine feeds samples in canonical cell order; given
+// the same samples in the same order, the summary statistics are
+// bit-identical.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the small statistical toolkit the experiment
-// harness needs: streaming accumulators for mean/variance/extrema and
-// aggregation of per-graph measurements into the per-point averages the
-// paper plots (each figure point is the mean over 60 random graphs).
 package stats
 
 import (
