@@ -58,11 +58,11 @@ func main() {
 		x4       = flag.Bool("x4", false, "run experiment X4 (MC-FTSA strict starvation, finding F1)")
 		x5       = flag.Bool("x5", false, "run experiment X5 (structured-family comparison)")
 		x6       = flag.Bool("x6", false, "run experiment X6 (one-port/multi-port comm models, §7 conjecture)")
-		graphs   = flag.Int("graphs", 0, "override graphs per point (paper: 60)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		format   = flag.String("format", "ascii", "output format: ascii, csv, json (campaign only) or svg")
-		out      = flag.String("out", ".", "output directory for -format svg")
-		maxTasks = flag.Int("maxtasks", 5000, "largest task count for -table 1")
+		graphs   = flag.Int("graphs", 0, "override graphs/instances per point (campaigns, figures, -x4, -x6; paper: 60)")
+		seed     = flag.Int64("seed", 1, "master seed; campaign cells derive deterministic per-cell seeds from it")
+		format   = flag.String("format", "ascii", "output format: ascii; csv (campaign, figures, -x4, -x6); json (campaign); svg (campaign, figures)")
+		out      = flag.String("out", ".", "output directory (only used by -format svg)")
+		maxTasks = flag.Int("maxtasks", 5000, "skip -table 1 rows above this task count")
 	)
 	flag.Parse()
 	setFlags := map[string]bool{}
@@ -115,6 +115,9 @@ func main() {
 		if *format != "ascii" {
 			fatal(fmt.Errorf("-table 1 only supports -format ascii, got %q", *format))
 		}
+		if setFlags["graphs"] {
+			fatal(fmt.Errorf("-graphs is ignored by -table 1; remove it"))
+		}
 		if err := runTable1(*seed, *maxTasks); err != nil {
 			fatal(err)
 		}
@@ -125,6 +128,9 @@ func main() {
 	case *x5:
 		if *format != "ascii" {
 			fatal(fmt.Errorf("-x5 only supports -format ascii, got %q", *format))
+		}
+		if setFlags["graphs"] {
+			fatal(fmt.Errorf("-graphs is ignored by -x5; remove it"))
 		}
 		cfg := expt.DefaultFamiliesConfig()
 		cfg.Seed = *seed

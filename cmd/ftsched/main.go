@@ -7,8 +7,14 @@
 //	ftsched -dir work -algo ftsa -eps 2
 //	ftsched -dir work -algo mcftsa -eps 2 -crash 2 -trials 10
 //	ftsched -dir work -algo ftbar -eps 1 -v
-//	ftsched -dir work -eps 2 -latency 5000     # feasibility with deadlines
-//	ftsched -dir work -maxeps -latency 5000    # maximize tolerated failures
+//	ftsched -dir work -eps 2 -latency 5000       # deadline-checked FTSA
+//	ftsched -dir work -algo mcftsa -latency 5000 # deadline-checked MC-FTSA
+//	ftsched -dir work -maxeps -latency 5000      # maximize ε (FTSA) in budget
+//	ftsched -dir work -compare -eps 2            # all algorithms side by side
+//	ftsched -dir work -load s.json -crash 1      # replay a saved schedule
+//
+// The modes are exclusive: -maxeps, -compare and -load each reject flags
+// they would otherwise silently ignore.
 package main
 
 import (
@@ -36,17 +42,45 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for tie-breaking and crash draws")
 		crash   = flag.Int("crash", -1, "simulate this many uniform crashes (-1: no simulation)")
 		trials  = flag.Int("trials", 1, "crash simulation trials")
-		latency = flag.Float64("latency", 0, "latency budget (with -maxeps or as deadline check)")
-		maxEps  = flag.Bool("maxeps", false, "maximize ε under the -latency budget")
+		latency = flag.Float64("latency", 0, "latency budget: deadline-checked scheduling (ftsa/mcftsa), or the budget for -maxeps")
+		maxEps  = flag.Bool("maxeps", false, "maximize ε under the -latency budget (uses FTSA)")
 		verbose = flag.Bool("v", false, "print the full placement")
 		gantt   = flag.Bool("gantt", false, "render an ASCII Gantt chart")
 		metrics = flag.Bool("metrics", false, "print schedule metrics (utilization, comm volume)")
 		trace   = flag.Bool("trace", false, "print the event trace of each crash simulation")
 		saveTo  = flag.String("save", "", "write the computed schedule to this JSON file")
-		loadFrm = flag.String("load", "", "load a schedule from this JSON file instead of computing one")
+		loadFrm = flag.String("load", "", "load a schedule from this JSON file instead of computing one (-eps comes from the file)")
 		compare = flag.Bool("compare", false, "run FTSA, MC-FTSA, FTBAR and HEFT side by side and exit")
 	)
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// Each mode rejects flags it would otherwise silently ignore: a user who
+	// passes -crash with -compare thinks a simulation ran when none did.
+	rejectWith := func(mode string, names ...string) {
+		for _, name := range names {
+			if set[name] {
+				fatal(fmt.Errorf("-%s is ignored by %s mode; remove it", name, mode))
+			}
+		}
+	}
+	switch {
+	case *maxEps:
+		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare")
+	case *compare:
+		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load")
+	case *loadFrm != "":
+		rejectWith("-load", "algo", "eps", "latency", "save")
+	case *algo == "ftbar" && *latency > 0:
+		fatal(fmt.Errorf("-latency deadline checking supports ftsa and mcftsa only (ftbar has no deadline variant)"))
+	}
+	if *crash < 0 {
+		for _, name := range []string{"trials", "trace"} {
+			if set[name] {
+				fatal(fmt.Errorf("-%s only applies to crash simulation; pass -crash as well", name))
+			}
+		}
+	}
 
 	g, p, cm, err := load(*dir)
 	if err != nil {
@@ -98,7 +132,12 @@ func main() {
 			s, err = core.FTSA(g, p, cm, core.Options{Epsilon: *eps, Rng: rng})
 		}
 	case *algo == "mcftsa":
-		s, err = core.MCFTSA(g, p, cm, core.MCFTSAOptions{Options: core.Options{Epsilon: *eps, Rng: rng}})
+		if *latency > 0 {
+			s, err = core.ScheduleWithDeadlinesMC(g, p, cm,
+				core.MCFTSAOptions{Options: core.Options{Epsilon: *eps, Rng: rng}}, *latency)
+		} else {
+			s, err = core.MCFTSA(g, p, cm, core.MCFTSAOptions{Options: core.Options{Epsilon: *eps, Rng: rng}})
+		}
 	case *algo == "ftbar":
 		s, err = ftbar.Schedule(g, p, cm, ftbar.Options{Npf: *eps, Rng: rng})
 	default:

@@ -1,0 +1,101 @@
+// Command ftserved runs the fault-tolerant scheduling service: a
+// long-running HTTP server that accepts DAG + platform + ε scheduling
+// requests, runs FTSA / MC-FTSA / FTBAR / HEFT on a bounded worker pool,
+// and serves repeated requests from a fingerprint-keyed response cache.
+//
+// Usage:
+//
+//	ftserved                          # listen on :8080, one worker per core
+//	ftserved -addr :9000 -workers 4   # explicit socket and pool size
+//	ftserved -queue 64 -cache 10000   # deeper queue, bigger response cache
+//	ftserved -max-tasks 5000 -v       # reject huge instances, log requests
+//
+// Endpoints (see docs/API.md for the full reference):
+//
+//	POST /schedule   schedule an instance, returns bounds + metrics JSON
+//	GET  /healthz    liveness probe
+//	GET  /stats      cache hit rate, queue depth, p50/p99 latency
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftsched/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "scheduling workers (0: one per core)")
+		queue    = flag.Int("queue", 0, "pending-request queue bound (0: 2x workers); overflow returns 429")
+		cache    = flag.Int("cache", 4096, "response cache capacity in entries")
+		shards   = flag.Int("shards", 16, "response cache shard count")
+		maxTasks = flag.Int("max-tasks", 0, "reject instances with more tasks (0: unlimited)")
+		maxBody  = flag.Int64("max-body", 32<<20, "request body limit in bytes")
+		verbose  = flag.Bool("v", false, "log every /schedule request")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:      *workers,
+		Queue:        *queue,
+		CacheEntries: *cache,
+		CacheShards:  *shards,
+		MaxTasks:     *maxTasks,
+		MaxBodyBytes: *maxBody,
+	}
+	logger := log.New(os.Stderr, "ftserved: ", log.LstdFlags)
+	if *verbose {
+		cfg.Log = logger
+	}
+	svc := service.New(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, svc.Workers(), svc.QueueCapacity(), *cache)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, let in-flight requests
+	// finish, then drain the worker pool.
+	logger.Println("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftserved:", err)
+	os.Exit(1)
+}

@@ -1,8 +1,3 @@
-// Package avl implements an AVL balanced binary search tree. The paper's
-// scheduler (Section 4.1) maintains its free-task priority list α as an AVL
-// tree with O(log ω) insertion, deletion and head lookup, where ω is the DAG
-// width; this package provides that structure, plus a scheduling-oriented
-// façade (FreeList) keyed by (priority, tie-break).
 package avl
 
 // Tree is an AVL tree holding keys of type K ordered by the less function.

@@ -1,0 +1,11 @@
+// Package avl implements an AVL balanced binary search tree. The paper's
+// scheduler (Section 4.1) maintains its free-task priority list α as an AVL
+// tree with O(log ω) insertion, deletion and head lookup, where ω is the DAG
+// width; this package provides that structure, plus a scheduling-oriented
+// façade (FreeList) keyed by (priority, tie-break).
+//
+// Tree is generic over the key type and fully ordered by a caller-supplied
+// less function; FreeList wraps it with the scheduler's entry shape: entries
+// order by priority first, then by a random tie-break value (the paper
+// breaks priority ties randomly), then by task ID for determinism.
+package avl

@@ -1,10 +1,3 @@
-// Package bipartite implements bipartite graphs and the matching algorithms
-// the scheduler relies on: Hopcroft–Karp maximum matching, perfect-matching
-// tests, bottleneck-optimal perfect matching (binary search over edge
-// weights, Section 4.2 of the paper) and the greedy robust matching used by
-// MC-FTSA.
-//
-// Left and right vertices are integers in [0, NumLeft) and [0, NumRight).
 package bipartite
 
 import (

@@ -1,0 +1,20 @@
+// Package core implements the paper's primary contribution: FTSA (Fault
+// Tolerant Scheduling Algorithm, Algorithm 4.1) and its communication-
+// minimizing variant MC-FTSA (Section 4.2), together with the bi-criteria
+// drivers of Section 4.3 (maximize tolerated failures under a latency
+// budget, and joint feasibility detection via task deadlines).
+//
+// Both schedulers are list schedulers driven by task criticalness — the sum
+// of the dynamic top level tℓ(t) and the static bottom level bℓ(t) — with
+// the free list kept in an AVL tree (internal/avl) as the paper specifies.
+// Every popped task is mapped onto the ε+1 distinct processors minimizing
+// its earliest finish time (equation 1); the pessimistic window of equation
+// (3) is recorded alongside, yielding the schedule's guaranteed upper bound.
+// MC-FTSA additionally thins each precedence edge's (ε+1)² messages down to
+// ε+1 via a robust bipartite matching (internal/bipartite).
+//
+// Hot-path notes for callers scheduling many instances back to back (the
+// campaign engine, the serving layer): Options.BottomLevels lets one
+// bℓ computation be shared across runs on the same instance, and the
+// per-run working buffers are pooled so steady-state allocation stays flat.
+package core

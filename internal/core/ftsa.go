@@ -1,8 +1,3 @@
-// Package core implements the paper's primary contribution: FTSA (Fault
-// Tolerant Scheduling Algorithm, Algorithm 4.1) and its communication-
-// minimizing variant MC-FTSA (Section 4.2), together with the bi-criteria
-// drivers of Section 4.3 (maximize tolerated failures under a latency
-// budget, and joint feasibility detection via task deadlines).
 package core
 
 import (

@@ -1,0 +1,14 @@
+// Package dag implements the weighted directed acyclic task-graph model used
+// throughout the scheduler: tasks (nodes), precedence constraints (edges) and
+// the data volume V(ti,tj) attached to every edge.
+//
+// The representation is index-based: tasks are identified by dense integer
+// IDs in [0, NumTasks). Both successor and predecessor adjacency lists are
+// maintained so that schedulers can walk the graph in either direction in
+// O(degree).
+//
+// Beyond the core Graph type the package provides topological ordering,
+// longest-path and width computations, DOT export for visualization, and a
+// validating JSON wire format (graph.json) shared by the daggen, ftsched and
+// ftserved tools.
+package dag

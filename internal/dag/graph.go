@@ -1,11 +1,3 @@
-// Package dag implements the weighted directed acyclic task-graph model used
-// throughout the scheduler: tasks (nodes), precedence constraints (edges) and
-// the data volume V(ti,tj) attached to every edge.
-//
-// The representation is index-based: tasks are identified by dense integer
-// IDs in [0, NumTasks). Both successor and predecessor adjacency lists are
-// maintained so that schedulers can walk the graph in either direction in
-// O(degree).
 package dag
 
 import (

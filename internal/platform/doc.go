@@ -1,0 +1,14 @@
+// Package platform models the heterogeneous execution platform of the paper:
+// a fully connected set of m processors P = {P1..Pm}, a unit-data delay
+// matrix d(Pk,Ph) with d(Pk,Pk)=0, and a task-by-processor execution-cost
+// matrix E(t,Pk) (the "unrelated machines" heterogeneity model).
+//
+// Platform carries the communication side (delays and their aggregates: max
+// outgoing delay for dynamic top levels, mean delay for W̄, fastest-links
+// means for deadline assignment); CostModel carries the computation side
+// with the matching aggregates (mean, fastest-n mean, extremes) plus the
+// scaling hook the workload generator uses to hit a target granularity.
+// Both serialize to validating JSON wire formats (platform.json,
+// costs.json), and the clustered-platform and granularity helpers extend
+// the flat model for the experiments beyond the paper.
+package platform

@@ -1,7 +1,3 @@
-// Package platform models the heterogeneous execution platform of the paper:
-// a fully connected set of m processors P = {P1..Pm}, a unit-data delay
-// matrix d(Pk,Ph) with d(Pk,Pk)=0, and a task-by-processor execution-cost
-// matrix E(t,Pk) (the "unrelated machines" heterogeneity model).
 package platform
 
 import (

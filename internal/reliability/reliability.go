@@ -1,18 +1,3 @@
-// Package reliability implements the failure-probability extension sketched
-// in the paper's conclusion ("we want to study a more complex failure model,
-// in which we would also account for the failure probability of the
-// application"): processors fail independently following exponential laws,
-// and we quantify the probability that a fault-tolerant schedule delivers a
-// result.
-//
-// Two estimators are provided:
-//
-//   - an exact combinatorial bound: a schedule tolerating ε crash-at-start
-//     failures survives every scenario with at most ε failed processors, so
-//     P(survival) >= P(at most ε of m processors fail during the mission);
-//   - a Monte-Carlo estimator that samples crash times and replays the
-//     schedule through the simulator, capturing mid-execution crashes and
-//     the exact communication pattern.
 package reliability
 
 import (

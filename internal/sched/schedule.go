@@ -1,9 +1,3 @@
-// Package sched defines the fault-tolerant schedule representation shared by
-// the FTSA, MC-FTSA and FTBAR schedulers: replica placements with optimistic
-// (equation 1) and pessimistic (equation 3) time windows, per-processor
-// timelines, the retained communication pattern, the latency bounds of
-// equations (2) and (4), and structural validation of the fault-tolerance
-// guarantees (Propositions 4.1 and 4.3).
 package sched
 
 import (

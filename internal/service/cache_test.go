@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func fpFromInt(i int) Fingerprint {
+	var fp Fingerprint
+	fp[0] = byte(i)
+	fp[1] = byte(i >> 8)
+	fp[2] = byte(i >> 16)
+	return fp
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := NewCache(8, 2)
+	key := fpFromInt(1)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get on empty cache reported a hit")
+	}
+	c.Put(key, []byte("hello"))
+	v, ok := c.Get(key)
+	if !ok || string(v.([]byte)) != "hello" {
+		t.Fatalf("Get = %v, %v; want hello, true", v, ok)
+	}
+	c.Put(key, []byte("world"))
+	if v, _ := c.Get(key); string(v.([]byte)) != "world" {
+		t.Fatalf("Put did not replace: got %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// One shard so eviction order is exact.
+	c := NewCache(2, 1)
+	c.Put(fpFromInt(1), 1)
+	c.Put(fpFromInt(2), 2)
+	// Touch 1 so 2 becomes the LRU entry.
+	if _, ok := c.Get(fpFromInt(1)); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	c.Put(fpFromInt(3), 3)
+	if _, ok := c.Get(fpFromInt(2)); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	for _, i := range []int{1, 3} {
+		if _, ok := c.Get(fpFromInt(i)); !ok {
+			t.Fatalf("entry %d evicted unexpectedly", i)
+		}
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(128, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fpFromInt(i % 64)
+				c.Put(key, fmt.Sprintf("v%d", i%64))
+				if v, ok := c.Get(key); ok {
+					if v.(string) != fmt.Sprintf("v%d", i%64) {
+						t.Errorf("worker %d read %v for key %d", w, v, i%64)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCacheShardClamping(t *testing.T) {
+	// Degenerate configurations must still work.
+	for _, cfg := range []struct{ capacity, shards int }{{0, 0}, {1, 1}, {3, 1000}, {100, 7}} {
+		c := NewCache(cfg.capacity, cfg.shards)
+		c.Put(fpFromInt(1), "x")
+		if _, ok := c.Get(fpFromInt(1)); !ok {
+			t.Errorf("NewCache(%d,%d): lost the only entry", cfg.capacity, cfg.shards)
+		}
+	}
+}

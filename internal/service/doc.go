@@ -1,0 +1,41 @@
+// Package service is the serving layer of ftsched: a long-running,
+// concurrent, fault-tolerant scheduling service wrapping the paper's
+// heuristics (FTSA, MC-FTSA, FTBAR and the HEFT reference) behind an HTTP
+// JSON API.
+//
+// Where cmd/ftsched schedules one instance per process and the campaign
+// engine sweeps parameter grids offline, this package serves sustained
+// request traffic:
+//
+//   - POST /schedule accepts a problem instance (DAG + platform + cost
+//     matrix, the same wire shapes daggen writes to disk) plus scheduler
+//     parameters, and returns the schedule, its latency bounds, the paper's
+//     metrics (replication overhead, communication volume, utilization),
+//     an optional reliability estimate and an optional Gantt timeline.
+//   - GET /healthz is a liveness probe.
+//   - GET /stats reports cache hit rate, queue depth and p50/p99 latency.
+//
+// Three mechanisms make the service production-shaped:
+//
+//   - A bounded worker pool (Pool): one scheduling goroutine per core by
+//     default, with a bounded queue in front. When the queue is full the
+//     handler sheds load with 429 instead of letting goroutines and memory
+//     grow without bound — backpressure, not collapse.
+//   - A sharded LRU response cache (Cache) keyed by a canonical FNV-1a
+//     fingerprint of the entire request (DAG structure and volumes, cost
+//     matrix, delay matrix, scheduler, ε, matching policy, seed, response
+//     options). Scheduling is deterministic given those inputs, so a cache
+//     hit returns the exact bytes a fresh run would produce; repeated
+//     requests — the common case under heavy traffic — skip scheduling
+//     entirely.
+//   - A second, instance-keyed cache of static bottom levels bℓ(t). The
+//     criticalness priority depends only on (graph, costs, platform), so two
+//     cache-miss requests that differ merely in scheduler, ε or seed share
+//     the O(V+E) bottom-level computation via core.Options.BottomLevels —
+//     the same memoization the campaign engine uses within one cell.
+//
+// Responses are pure functions of the request: tie-breaking uses either the
+// deterministic task-ID order or the request's explicit seed, and the seed
+// participates in the fingerprint. That purity is what makes byte-exact
+// caching sound.
+package service

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+// testInstance builds a small deterministic diamond instance.
+func testInstance(t *testing.T, name string) (*dag.Graph, *platform.Platform, *platform.CostModel) {
+	t.Helper()
+	g := dag.NewWithTasks(name, 4)
+	for _, e := range []struct {
+		src, dst dag.TaskID
+		vol      float64
+	}{{0, 1, 1}, {0, 2, 2}, {1, 3, 1}, {2, 3, 0.5}} {
+		if err := g.AddEdge(e.src, e.dst, e.vol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := platform.New(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	cm, err := platform.NewRandomCostModel(rng, 4, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p, cm
+}
+
+func testRequest(t *testing.T) *ScheduleRequest {
+	t.Helper()
+	g, p, cm := testInstance(t, "diamond")
+	return &ScheduleRequest{Graph: g, Platform: p, Costs: cm, Scheduler: "ftsa", Epsilon: 1}
+}
+
+func TestRequestFingerprintDeterministic(t *testing.T) {
+	a, b := testRequest(t), testRequest(t)
+	if RequestFingerprint(a) != RequestFingerprint(b) {
+		t.Fatal("identical requests produced different fingerprints")
+	}
+}
+
+func TestRequestFingerprintSensitivity(t *testing.T) {
+	base := RequestFingerprint(testRequest(t))
+	mutations := map[string]func(*ScheduleRequest){
+		"epsilon":          func(r *ScheduleRequest) { r.Epsilon = 2 },
+		"scheduler":        func(r *ScheduleRequest) { r.Scheduler = "ftbar" },
+		"seed":             func(r *ScheduleRequest) { r.Seed = 99 },
+		"lambda":           func(r *ScheduleRequest) { r.Lambda = 0.01 },
+		"include_gantt":    func(r *ScheduleRequest) { r.IncludeGantt = true },
+		"include_schedule": func(r *ScheduleRequest) { r.IncludeSchedule = true },
+		"policy":           func(r *ScheduleRequest) { r.Scheduler = "mcftsa"; r.Policy = "bottleneck" },
+		"edge volume": func(r *ScheduleRequest) {
+			g := dag.NewWithTasks("diamond", 4)
+			for _, e := range []struct {
+				src, dst dag.TaskID
+				vol      float64
+			}{{0, 1, 1.0001}, {0, 2, 2}, {1, 3, 1}, {2, 3, 0.5}} {
+				if err := g.AddEdge(e.src, e.dst, e.vol); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r.Graph = g
+		},
+		"cost entry": func(r *ScheduleRequest) {
+			if err := r.Costs.SetCost(0, 0, 17); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, mutate := range mutations {
+		req := testRequest(t)
+		mutate(req)
+		if RequestFingerprint(req) == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}
+
+// The scheduler name is matched case-insensitively by the API, so case must
+// not split the cache.
+func TestRequestFingerprintSchedulerCase(t *testing.T) {
+	a, b := testRequest(t), testRequest(t)
+	b.Scheduler = "FTSA"
+	if RequestFingerprint(a) != RequestFingerprint(b) {
+		t.Fatal("scheduler name case changed the fingerprint")
+	}
+}
+
+// Equivalent spellings must share one cache entry: MC-FTSA's implicit
+// default policy equals the explicit "greedy", and HEFT never consumes the
+// seed.
+func TestRequestFingerprintCanonicalization(t *testing.T) {
+	a, b := testRequest(t), testRequest(t)
+	a.Scheduler, b.Scheduler = "mcftsa", "mcftsa"
+	b.Policy = "greedy"
+	if RequestFingerprint(a) != RequestFingerprint(b) {
+		t.Fatal("omitted policy and explicit greedy got different fingerprints")
+	}
+	c, d := testRequest(t), testRequest(t)
+	c.Scheduler, d.Scheduler = "heft", "heft"
+	c.Epsilon, d.Epsilon = 0, 0
+	d.Seed = 123
+	if RequestFingerprint(c) != RequestFingerprint(d) {
+		t.Fatal("heft requests differing only in the unused seed got different fingerprints")
+	}
+}
+
+// The graph's display name affects no response field, so renaming an
+// instance must hit the same cache entries.
+func TestInstanceFingerprintIgnoresName(t *testing.T) {
+	g1, p, cm := testInstance(t, "alpha")
+	g2, _, _ := testInstance(t, "beta")
+	if InstanceFingerprint(g1, p, cm) != InstanceFingerprint(g2, p, cm) {
+		t.Fatal("graph name changed the instance fingerprint")
+	}
+}
+
+func TestInstanceFingerprintSharedAcrossParams(t *testing.T) {
+	a, b := testRequest(t), testRequest(t)
+	b.Epsilon = 2
+	b.Scheduler = "mcftsa"
+	fa := InstanceFingerprint(a.Graph, a.Platform, a.Costs)
+	fb := InstanceFingerprint(b.Graph, b.Platform, b.Costs)
+	if fa != fb {
+		t.Fatal("scheduling parameters leaked into the instance fingerprint")
+	}
+}

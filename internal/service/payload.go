@@ -1,0 +1,219 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+// Scheduler names accepted by the API. They are matched case-insensitively;
+// the canonical lower-case forms are listed here.
+const (
+	SchedulerFTSA   = "ftsa"
+	SchedulerMCFTSA = "mcftsa"
+	SchedulerFTBAR  = "ftbar"
+	SchedulerHEFT   = "heft"
+)
+
+// ScheduleRequest is the body of POST /schedule. The graph, platform and
+// costs fields use the exact wire shapes daggen writes to graph.json,
+// platform.json and costs.json, so an on-disk instance can be pasted into a
+// request unchanged.
+type ScheduleRequest struct {
+	// Graph is the weighted task DAG (validated on decode: dense task IDs,
+	// non-negative volumes, acyclic).
+	Graph *dag.Graph `json:"graph"`
+	// Platform is the delay matrix (validated: square, zero diagonal).
+	Platform *platform.Platform `json:"platform"`
+	// Costs is the task × processor execution-cost matrix.
+	Costs *platform.CostModel `json:"costs"`
+	// Scheduler selects the heuristic: "ftsa", "mcftsa", "ftbar" or "heft".
+	Scheduler string `json:"scheduler"`
+	// Epsilon is ε, the number of tolerated fail-stop failures; every task is
+	// replicated on ε+1 distinct processors. Must be 0 for "heft".
+	Epsilon int `json:"epsilon"`
+	// Policy selects the MC-FTSA matching policy, "greedy" (default) or
+	// "bottleneck". Only valid with scheduler "mcftsa".
+	Policy string `json:"policy,omitempty"`
+	// Seed, when non-zero, seeds random priority tie-breaking as in the
+	// paper. Zero (the default) breaks ties deterministically by task ID.
+	// The seed is part of the cache fingerprint, so equal requests still
+	// produce byte-identical responses.
+	Seed int64 `json:"seed,omitempty"`
+	// Lambda, when positive, is the exponential failure rate of each
+	// processor; the response then carries a survival-probability lower
+	// bound over the schedule's guaranteed mission time.
+	Lambda float64 `json:"lambda,omitempty"`
+	// IncludeGantt adds the per-processor replica timeline to the response.
+	IncludeGantt bool `json:"include_gantt,omitempty"`
+	// IncludeSchedule adds the full schedule (the ftsched -save wire format)
+	// to the response.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+}
+
+// ScheduleResponse is the body of a successful POST /schedule.
+type ScheduleResponse struct {
+	// Scheduler is the algorithm's display name (e.g. "MC-FTSA").
+	Scheduler string `json:"scheduler"`
+	Epsilon   int    `json:"epsilon"`
+	Tasks     int    `json:"tasks"`
+	Procs     int    `json:"procs"`
+	// Pattern is the communication pattern, "all" or "matched".
+	Pattern string `json:"pattern"`
+	// LowerBound is the latency with no failure (equation 2); UpperBound the
+	// latency guaranteed under any ε failures (equation 4).
+	LowerBound float64 `json:"lower_bound"`
+	UpperBound float64 `json:"upper_bound"`
+	// Messages counts inter-processor messages.
+	Messages int `json:"messages"`
+	// Metrics carries the paper's cost measures.
+	Metrics ResponseMetrics `json:"metrics"`
+	// Reliability is present when the request set a positive lambda.
+	Reliability *ResponseReliability `json:"reliability,omitempty"`
+	// Schedule is the full schedule in the ftsched -save wire format,
+	// present when include_schedule was set.
+	Schedule json.RawMessage `json:"schedule,omitempty"`
+	// Gantt is the per-processor timeline, present when include_gantt was
+	// set.
+	Gantt []ProcTimeline `json:"gantt,omitempty"`
+}
+
+// ResponseMetrics mirrors sched.Metrics on the wire.
+type ResponseMetrics struct {
+	TotalWork         float64 `json:"total_work"`
+	Replicas          int     `json:"replicas"`
+	ReplicationFactor float64 `json:"replication_factor"`
+	CommVolume        float64 `json:"comm_volume"`
+	Horizon           float64 `json:"horizon"`
+	MeanUtilization   float64 `json:"mean_utilization"`
+	MinUtilization    float64 `json:"min_utilization"`
+	MaxUtilization    float64 `json:"max_utilization"`
+}
+
+// ResponseReliability reports the exponential-failure survival bound.
+type ResponseReliability struct {
+	// Lambda echoes the request's failure rate.
+	Lambda float64 `json:"lambda"`
+	// Mission is the window the bound covers: the schedule's upper bound.
+	Mission float64 `json:"mission"`
+	// SurvivalLowerBound is P(at most ε of m processors fail during the
+	// mission) — a lower bound on the success probability.
+	SurvivalLowerBound float64 `json:"survival_lower_bound"`
+}
+
+// ProcTimeline is one processor's row of the Gantt chart.
+type ProcTimeline struct {
+	Proc  platform.ProcID `json:"proc"`
+	Spans []GanttSpan     `json:"spans"`
+}
+
+// GanttSpan is one replica's execution window on a processor. Min times
+// assume no failure; Max times are the pessimistic (equation 3) window.
+type GanttSpan struct {
+	Task      dag.TaskID `json:"task"`
+	Copy      int        `json:"copy"`
+	StartMin  float64    `json:"start_min"`
+	FinishMin float64    `json:"finish_min"`
+	StartMax  float64    `json:"start_max"`
+	FinishMax float64    `json:"finish_max"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeScheduleRequest reads and validates one request body. Unknown
+// top-level fields are rejected so typos ("epsilom") fail loudly instead of
+// silently scheduling with defaults. The returned error is safe to echo to
+// the client.
+func DecodeScheduleRequest(r io.Reader) (*ScheduleRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req ScheduleRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
+	}
+	// A second document in the body is a malformed request, not trailing
+	// garbage to ignore.
+	if dec.More() {
+		return nil, fmt.Errorf("decoding request: unexpected data after the JSON body")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate cross-checks the decoded request. The individual graph, platform
+// and cost-model decoders have already validated their own invariants.
+func (req *ScheduleRequest) Validate() error {
+	if req.Graph == nil {
+		return fmt.Errorf("missing field %q", "graph")
+	}
+	if req.Platform == nil {
+		return fmt.Errorf("missing field %q", "platform")
+	}
+	if req.Costs == nil {
+		return fmt.Errorf("missing field %q", "costs")
+	}
+	v, m := req.Graph.NumTasks(), req.Platform.NumProcs()
+	if req.Costs.NumTasks() != v {
+		return fmt.Errorf("costs cover %d tasks, graph has %d", req.Costs.NumTasks(), v)
+	}
+	if req.Costs.NumProcs() != m {
+		return fmt.Errorf("costs cover %d processors, platform has %d", req.Costs.NumProcs(), m)
+	}
+	switch s := strings.ToLower(req.Scheduler); s {
+	case SchedulerFTSA, SchedulerMCFTSA, SchedulerFTBAR:
+	case SchedulerHEFT:
+		if req.Epsilon != 0 {
+			return fmt.Errorf("scheduler %q is not fault-tolerant; epsilon must be 0, got %d", s, req.Epsilon)
+		}
+	case "":
+		return fmt.Errorf("missing field %q (want ftsa, mcftsa, ftbar or heft)", "scheduler")
+	default:
+		return fmt.Errorf("unknown scheduler %q (want ftsa, mcftsa, ftbar or heft)", req.Scheduler)
+	}
+	if req.Epsilon < 0 {
+		return fmt.Errorf("epsilon must be >= 0, got %d", req.Epsilon)
+	}
+	if req.Epsilon+1 > m {
+		return fmt.Errorf("epsilon %d needs %d distinct processors per task, platform has %d",
+			req.Epsilon, req.Epsilon+1, m)
+	}
+	switch req.Policy {
+	case "", "greedy", "bottleneck":
+		if req.Policy != "" && strings.ToLower(req.Scheduler) != SchedulerMCFTSA {
+			return fmt.Errorf("policy only applies to scheduler mcftsa, got scheduler %q", req.Scheduler)
+		}
+	default:
+		return fmt.Errorf("unknown policy %q (want greedy or bottleneck)", req.Policy)
+	}
+	if req.Lambda < 0 {
+		return fmt.Errorf("lambda must be >= 0, got %g", req.Lambda)
+	}
+	return nil
+}
+
+// canonicalScheduler returns the lower-case scheduler name.
+func (req *ScheduleRequest) canonicalScheduler() string {
+	return strings.ToLower(req.Scheduler)
+}
+
+// marshalResponse serializes a response deterministically (compact JSON,
+// struct field order), the property the byte-exact response cache relies on.
+func marshalResponse(resp *ScheduleResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrBusy reports that the worker pool's queue is full. The HTTP layer maps
+// it to 429 Too Many Requests — shedding load at the door keeps latency
+// bounded for the requests already admitted.
+var ErrBusy = errors.New("service: worker pool queue is full")
+
+// ErrClosed reports a submission to a closed pool.
+var ErrClosed = errors.New("service: worker pool is closed")
+
+// Pool is a bounded worker pool: a fixed set of scheduling goroutines
+// draining a bounded queue. Scheduling is CPU-bound, so more workers than
+// cores only adds context switching; the bounded queue in front absorbs
+// short bursts and turns sustained overload into ErrBusy instead of
+// unbounded goroutine growth.
+type Pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	workers int
+}
+
+// NewPool starts workers goroutines (0 means GOMAXPROCS) behind a queue
+// holding up to queue pending jobs (0 means 2× workers).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &Pool{jobs: make(chan func(), queue), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues job without blocking. It returns ErrBusy when the
+// queue is full and ErrClosed after Close.
+func (p *Pool) TrySubmit(job func()) error {
+	// The lock serializes submission against Close: sending on a closed
+	// channel panics, and a lost race here would crash the server instead of
+	// rejecting one request during shutdown.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// QueueDepth returns the number of jobs waiting (not yet picked up by a
+// worker).
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// QueueCapacity returns the queue bound.
+func (p *Pool) QueueCapacity() int { return cap(p.jobs) }
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops accepting jobs and waits for queued and running jobs to
+// finish. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(2, 4)
+	var ran atomic.Int64
+	done := make(chan struct{}, 6)
+	for i := 0; i < 6; i++ {
+		submitWithRetry(t, p, func() {
+			ran.Add(1)
+			done <- struct{}{}
+		})
+	}
+	for i := 0; i < 6; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for jobs")
+		}
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("ran %d jobs, want 6", ran.Load())
+	}
+	p.Close()
+}
+
+// submitWithRetry tolerates transient ErrBusy while workers drain.
+func submitWithRetry(t *testing.T, p *Pool, job func()) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := p.TrySubmit(job)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrBusy) || time.Now().After(deadline) {
+			t.Fatalf("TrySubmit: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker...
+	if err := p.TrySubmit(func() { close(started); <-release }); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started
+	// ...fill the single queue slot...
+	if err := p.TrySubmit(func() { <-release }); err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if d := p.QueueDepth(); d != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", d)
+	}
+	// ...and the next submission must shed load, not block.
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("overflow submit = %v, want ErrBusy", err)
+	}
+	close(release)
+	p.Close()
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(1, 4)
+	var ran atomic.Int64
+	for i := 0; i < 3; i++ {
+		if err := p.TrySubmit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close() // must drain the queue before returning
+	if ran.Load() != 3 {
+		t.Fatalf("Close returned with %d of 3 jobs run", ran.Load())
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close = %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(0, 0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers = %d, want >= 1", p.Workers())
+	}
+	if p.QueueCapacity() != 2*p.Workers() {
+		t.Fatalf("QueueCapacity = %d, want %d", p.QueueCapacity(), 2*p.Workers())
+	}
+}

@@ -1,0 +1,419 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftsched/internal/core"
+	"ftsched/internal/ftbar"
+	"ftsched/internal/heft"
+	"ftsched/internal/platform"
+	"ftsched/internal/reliability"
+	"ftsched/internal/sched"
+	"ftsched/internal/stats"
+)
+
+// CacheStatusHeader is set on every /schedule response: "hit" when the
+// response came from the cache, "miss" when it was freshly scheduled. The
+// body is byte-identical either way; only this header distinguishes them.
+const CacheStatusHeader = "X-Ftserved-Cache"
+
+// Config tunes a Server. The zero value picks serving defaults sized to the
+// host.
+type Config struct {
+	// Workers is the scheduling worker count (0: one per core).
+	Workers int
+	// Queue bounds the pending-request queue (0: 2× workers). A full queue
+	// rejects with 429.
+	Queue int
+	// CacheEntries bounds the response cache (0: 4096 entries).
+	CacheEntries int
+	// CacheShards is the response-cache shard count (0: 16).
+	CacheShards int
+	// BottomLevelEntries bounds the per-instance bottom-level memo
+	// (0: 256 entries).
+	BottomLevelEntries int
+	// MaxBodyBytes limits a request body (0: 32 MiB). Larger bodies get 413.
+	MaxBodyBytes int64
+	// MaxTasks rejects instances with more tasks (0: unlimited); a cheap
+	// guard against a single request monopolizing a worker.
+	MaxTasks int
+	// LatencyWindow is the number of recent /schedule latencies kept for the
+	// p50/p99 report (0: 1024).
+	LatencyWindow int
+	// Log, when non-nil, receives one line per /schedule request.
+	Log *log.Logger
+}
+
+// Server handles the ftserved HTTP API. Create one with New, mount it as an
+// http.Handler, and Close it on shutdown to drain the worker pool.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	pool    *Pool
+	cache   *Cache // Fingerprint → []byte (serialized response)
+	blCache *Cache // instance Fingerprint → []float64 (static bottom levels)
+
+	// schedule computes the response bytes for a validated request. It is a
+	// field so tests can replace it with a controllable stub (e.g. one that
+	// blocks, to fill the queue deterministically).
+	schedule func(*ScheduleRequest) ([]byte, error)
+
+	requests       atomic.Uint64
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	rejected       atomic.Uint64
+	clientErrors   atomic.Uint64
+	internalErrors atomic.Uint64
+
+	latMu sync.Mutex
+	lat   *stats.Window
+}
+
+// New creates a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.BottomLevelEntries <= 0 {
+		cfg.BottomLevelEntries = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.LatencyWindow <= 0 {
+		cfg.LatencyWindow = 1024
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		pool:    NewPool(cfg.Workers, cfg.Queue),
+		cache:   NewCache(cfg.CacheEntries, cfg.CacheShards),
+		blCache: NewCache(cfg.BottomLevelEntries, 4),
+		lat:     stats.NewWindow(cfg.LatencyWindow),
+	}
+	s.schedule = s.runSchedule
+	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the worker pool. In-flight and queued requests complete;
+// new submissions are rejected.
+func (s *Server) Close() { s.pool.Close() }
+
+// Workers returns the effective scheduling worker count after defaulting.
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// QueueCapacity returns the effective request-queue bound after defaulting.
+func (s *Server) QueueCapacity() int { return s.pool.QueueCapacity() }
+
+// writeError emits the uniform JSON error body.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		s.internalErrors.Add(1)
+	} else {
+		s.clientErrors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a flat struct with a string cannot fail; ignore the error.
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	start := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := DecodeScheduleRequest(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	if s.cfg.MaxTasks > 0 && req.Graph.NumTasks() > s.cfg.MaxTasks {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("instance has %d tasks, this server accepts at most %d", req.Graph.NumTasks(), s.cfg.MaxTasks))
+		return
+	}
+
+	fp := RequestFingerprint(req)
+	if v, ok := s.cache.Get(fp); ok {
+		s.hits.Add(1)
+		s.writeScheduleResponse(w, v.([]byte), "hit")
+		s.observeLatency(start)
+		s.logRequest(r, req, "hit", start)
+		return
+	}
+
+	// Cache miss: schedule on the bounded pool. The job sends exactly one
+	// result; the buffered channel keeps the worker from blocking if the
+	// client has gone away.
+	type result struct {
+		body []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	submitErr := s.pool.TrySubmit(func() {
+		body, err := s.schedule(req)
+		done <- result{body: body, err: err}
+	})
+	switch submitErr {
+	case nil:
+	case ErrBusy:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, ErrBusy)
+		return
+	default: // ErrClosed during shutdown
+		s.writeError(w, http.StatusServiceUnavailable, submitErr)
+		return
+	}
+	res := <-done
+	if res.err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("scheduling failed: %w", res.err))
+		return
+	}
+	s.misses.Add(1)
+	s.cache.Put(fp, res.body)
+	s.writeScheduleResponse(w, res.body, "miss")
+	s.observeLatency(start)
+	s.logRequest(r, req, "miss", start)
+}
+
+func (s *Server) writeScheduleResponse(w http.ResponseWriter, body []byte, cacheStatus string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(CacheStatusHeader, cacheStatus)
+	w.Write(body)
+}
+
+func (s *Server) observeLatency(start time.Time) {
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	s.latMu.Lock()
+	s.lat.Add(ms)
+	s.latMu.Unlock()
+}
+
+func (s *Server) logRequest(r *http.Request, req *ScheduleRequest, cacheStatus string, start time.Time) {
+	if s.cfg.Log == nil {
+		return
+	}
+	s.cfg.Log.Printf("%s /schedule %s eps=%d tasks=%d procs=%d cache=%s took=%s",
+		r.RemoteAddr, req.canonicalScheduler(), req.Epsilon,
+		req.Graph.NumTasks(), req.Platform.NumProcs(), cacheStatus,
+		time.Since(start).Round(time.Microsecond))
+}
+
+// runSchedule is the cache-miss path: resolve bottom levels from the
+// instance memo, run the requested heuristic, and serialize the response.
+func (s *Server) runSchedule(req *ScheduleRequest) ([]byte, error) {
+	g, p, cm := req.Graph, req.Platform, req.Costs
+	var rng *rand.Rand
+	if req.Seed != 0 {
+		rng = rand.New(rand.NewSource(req.Seed))
+	}
+
+	var (
+		schedule *sched.Schedule
+		err      error
+	)
+	switch req.canonicalScheduler() {
+	case SchedulerFTSA, SchedulerMCFTSA:
+		// Static bottom levels depend only on the instance, so cache-miss
+		// requests for the same DAG under different ε, seed or scheduler
+		// share them (core.Options.BottomLevels treats the slice as
+		// read-only, which is what makes sharing race-free).
+		var bl []float64
+		ifp := InstanceFingerprint(g, p, cm)
+		if v, ok := s.blCache.Get(ifp); ok {
+			bl = v.([]float64)
+		} else {
+			bl, err = sched.AvgBottomLevels(g, cm, p)
+			if err != nil {
+				return nil, err
+			}
+			s.blCache.Put(ifp, bl)
+		}
+		opts := core.Options{Epsilon: req.Epsilon, Rng: rng, BottomLevels: bl}
+		if req.canonicalScheduler() == SchedulerFTSA {
+			schedule, err = core.FTSA(g, p, cm, opts)
+		} else {
+			policy := core.MatchGreedy
+			if req.Policy == "bottleneck" {
+				policy = core.MatchBottleneck
+			}
+			schedule, err = core.MCFTSA(g, p, cm, core.MCFTSAOptions{Options: opts, Policy: policy})
+		}
+	case SchedulerFTBAR:
+		schedule, err = ftbar.Schedule(g, p, cm, ftbar.Options{Npf: req.Epsilon, Rng: rng})
+	case SchedulerHEFT:
+		schedule, err = heft.Schedule(g, p, cm, heft.Options{})
+	default:
+		err = fmt.Errorf("unknown scheduler %q", req.Scheduler)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := schedule.Validate(); err != nil {
+		return nil, fmt.Errorf("generated schedule failed validation: %w", err)
+	}
+	return buildResponse(req, schedule)
+}
+
+// buildResponse turns a validated schedule into the serialized response.
+func buildResponse(req *ScheduleRequest, schedule *sched.Schedule) ([]byte, error) {
+	m, err := schedule.ComputeMetrics()
+	if err != nil {
+		return nil, err
+	}
+	resp := &ScheduleResponse{
+		Scheduler:  schedule.Algorithm,
+		Epsilon:    schedule.Epsilon,
+		Tasks:      req.Graph.NumTasks(),
+		Procs:      req.Platform.NumProcs(),
+		Pattern:    schedule.CommPattern.String(),
+		LowerBound: schedule.LowerBound(),
+		UpperBound: schedule.UpperBound(),
+		Messages:   schedule.MessageCount(),
+		Metrics: ResponseMetrics{
+			TotalWork:         m.TotalWork,
+			Replicas:          m.Replicas,
+			ReplicationFactor: m.ReplicationFactor,
+			CommVolume:        m.CommVolume,
+			Horizon:           m.Horizon,
+			MeanUtilization:   m.MeanUtilization,
+			MinUtilization:    m.MinUtilization,
+			MaxUtilization:    m.MaxUtilization,
+		},
+	}
+	if req.Lambda > 0 {
+		mission := schedule.UpperBound()
+		surv, err := reliability.SurvivalLowerBound(
+			reliability.Exponential{Lambda: req.Lambda},
+			req.Platform.NumProcs(), schedule.Epsilon, mission)
+		if err != nil {
+			return nil, err
+		}
+		resp.Reliability = &ResponseReliability{
+			Lambda:             req.Lambda,
+			Mission:            mission,
+			SurvivalLowerBound: surv,
+		}
+	}
+	if req.IncludeSchedule {
+		var indented bytes.Buffer
+		if _, err := schedule.WriteTo(&indented); err != nil {
+			return nil, err
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, indented.Bytes()); err != nil {
+			return nil, err
+		}
+		resp.Schedule = json.RawMessage(compact.Bytes())
+	}
+	if req.IncludeGantt {
+		timelines := schedule.ProcTimelines()
+		resp.Gantt = make([]ProcTimeline, len(timelines))
+		for proc, line := range timelines {
+			row := ProcTimeline{Proc: platform.ProcID(proc), Spans: make([]GanttSpan, 0, len(line))}
+			for _, r := range line {
+				row.Spans = append(row.Spans, GanttSpan{
+					Task: r.Task, Copy: r.Copy,
+					StartMin: r.StartMin, FinishMin: r.FinishMin,
+					StartMax: r.StartMax, FinishMax: r.FinishMax,
+				})
+			}
+			resp.Gantt[proc] = row
+		}
+	}
+	return marshalResponse(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// Stats is the body of GET /stats.
+type Stats struct {
+	// Requests counts /schedule requests received, including rejected and
+	// malformed ones.
+	Requests uint64 `json:"requests"`
+	// CacheHits and CacheMisses count served schedules by path; HitRate is
+	// hits/(hits+misses), 0 before any schedule is served.
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	// CacheEntries is the current response-cache population.
+	CacheEntries int `json:"cache_entries"`
+	// Rejected counts 429s (queue full); ClientErrors counts 4xx;
+	// InternalErrors counts all 5xx, including 503s during shutdown.
+	Rejected       uint64 `json:"rejected"`
+	ClientErrors   uint64 `json:"client_errors"`
+	InternalErrors uint64 `json:"internal_errors"`
+	// Queue and worker occupancy at the time of the call.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+	// LatencyMs summarizes recent successful /schedule round trips
+	// (decode through response write), hits and misses alike.
+	LatencyMs LatencyStats `json:"latency_ms"`
+}
+
+// LatencyStats reports quantiles over the recent-latency window.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.hits.Load(), s.misses.Load()
+	st := Stats{
+		Requests:       s.requests.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   s.cache.Len(),
+		Rejected:       s.rejected.Load(),
+		ClientErrors:   s.clientErrors.Load(),
+		InternalErrors: s.internalErrors.Load(),
+		QueueDepth:     s.pool.QueueDepth(),
+		QueueCapacity:  s.pool.QueueCapacity(),
+		Workers:        s.pool.Workers(),
+	}
+	if hits+misses > 0 {
+		st.HitRate = float64(hits) / float64(hits+misses)
+	}
+	s.latMu.Lock()
+	st.LatencyMs = LatencyStats{
+		Count: s.lat.Total(),
+		Mean:  s.lat.Mean(),
+		P50:   s.lat.Quantile(0.5),
+		P99:   s.lat.Quantile(0.99),
+		Max:   s.lat.Quantile(1),
+	}
+	s.latMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}

@@ -1,0 +1,14 @@
+// Package workload generates the task graphs and platforms used by the
+// paper's evaluation (Section 6) and by the examples: layered random DAGs
+// with uniformly drawn message volumes, classic task-graph families
+// (fork-join, trees, Gaussian elimination, FFT, stencil, Cholesky, LU,
+// pipeline), and the granularity-scaling procedure that sweeps g(G,P) from
+// 0.2 to 2.0.
+//
+// Instance is the package's unit of work — a (graph, platform, cost model)
+// triple — and PaperConfig reproduces the paper's experimental defaults
+// (100-150 tasks, delays in [0.5,1), unrelated-machines costs rescaled to a
+// target granularity). Generation is fully driven by the caller's
+// *rand.Rand, which is what lets the campaign engine derive deterministic
+// per-cell instances from coordinate-hashed seeds.
+package workload

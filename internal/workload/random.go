@@ -1,8 +1,3 @@
-// Package workload generates the task graphs and platforms used by the
-// paper's evaluation (Section 6) and by the examples: layered random DAGs
-// with uniformly drawn message volumes, classic task-graph families
-// (fork-join, trees, Gaussian elimination, FFT, stencil), and the
-// granularity-scaling procedure that sweeps g(G,P) from 0.2 to 2.0.
 package workload
 
 import (
