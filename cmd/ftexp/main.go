@@ -13,6 +13,8 @@
 //	ftexp -campaign paper -checkpoint c.jsonl -resume   # continue after ^C
 //	ftexp -campaign custom -schedulers FTSA,MC-FTSA -eps 1,2 \
 //	      -gran 0.2:2:0.2 -families random,fft -instances 30
+//	ftexp -campaign custom -schedulers ftsa,ftsa-ins -eps 1 -instances 10
+//	ftexp -list-schedulers                     # registry names usable above
 //
 // Legacy paper modes:
 //
@@ -36,6 +38,8 @@ import (
 	"strings"
 
 	"ftsched/internal/expt"
+	"ftsched/internal/sched"
+	_ "ftsched/internal/schedulers" // register every built-in scheduler
 )
 
 func main() {
@@ -45,7 +49,8 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "campaign JSONL checkpoint file")
 		resume     = flag.Bool("resume", false, "resume the campaign from -checkpoint")
 		progress   = flag.Bool("progress", false, "report campaign progress on stderr")
-		schedulers = flag.String("schedulers", "FTSA,MC-FTSA,FTBAR", "campaign scheduler list")
+		schedulers = flag.String("schedulers", "FTSA,MC-FTSA,FTBAR", "campaign scheduler list (registry names or aliases; see -list-schedulers)")
+		listScheds = flag.Bool("list-schedulers", false, "list the registered schedulers (one per line, with aliases) and exit")
 		epsList    = flag.String("eps", "1,2,5", "campaign ε list")
 		granRange  = flag.String("gran", "0.2:2:0.2", "campaign granularities: 'lo:hi:step' or comma list")
 		families   = flag.String("families", "random", "campaign families (see -campaign custom -families help)")
@@ -65,6 +70,10 @@ func main() {
 		maxTasks = flag.Int("maxtasks", 5000, "skip -table 1 rows above this task count")
 	)
 	flag.Parse()
+	if *listScheds {
+		sched.WriteSchedulerList(os.Stdout)
+		return
+	}
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	if *campaign == "" {

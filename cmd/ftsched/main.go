@@ -2,15 +2,21 @@
 // daggen) and reports the schedule, its latency bounds and, optionally, the
 // simulated latency under crashes.
 //
+// Schedulers are resolved by name through the scheduler registry; run
+// ftsched -list-schedulers for the names, aliases and policies this binary
+// serves.
+//
 // Usage:
 //
+//	ftsched -list-schedulers
 //	ftsched -dir work -algo ftsa -eps 2
 //	ftsched -dir work -algo mcftsa -eps 2 -crash 2 -trials 10
 //	ftsched -dir work -algo ftbar -eps 1 -v
+//	ftsched -dir work -algo ftsa-ins -eps 2      # registry-only variant
 //	ftsched -dir work -eps 2 -latency 5000       # deadline-checked FTSA
 //	ftsched -dir work -algo mcftsa -latency 5000 # deadline-checked MC-FTSA
 //	ftsched -dir work -maxeps -latency 5000      # maximize ε (FTSA) in budget
-//	ftsched -dir work -compare -eps 2            # all algorithms side by side
+//	ftsched -dir work -compare -eps 2            # every registered scheduler
 //	ftsched -dir work -load s.json -crash 1      # replay a saved schedule
 //
 // The modes are exclusive: -maxeps, -compare and -load each reject flags
@@ -27,32 +33,37 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/dag"
-	"ftsched/internal/ftbar"
-	"ftsched/internal/heft"
 	"ftsched/internal/platform"
 	"ftsched/internal/sched"
+	_ "ftsched/internal/schedulers" // register every built-in scheduler
 	"ftsched/internal/sim"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", ".", "directory with graph.json, platform.json, costs.json")
-		algo    = flag.String("algo", "ftsa", "scheduler: ftsa, mcftsa or ftbar")
-		eps     = flag.Int("eps", 1, "number of tolerated failures ε")
-		seed    = flag.Int64("seed", 1, "random seed for tie-breaking and crash draws")
-		crash   = flag.Int("crash", -1, "simulate this many uniform crashes (-1: no simulation)")
-		trials  = flag.Int("trials", 1, "crash simulation trials")
-		latency = flag.Float64("latency", 0, "latency budget: deadline-checked scheduling (ftsa/mcftsa), or the budget for -maxeps")
-		maxEps  = flag.Bool("maxeps", false, "maximize ε under the -latency budget (uses FTSA)")
-		verbose = flag.Bool("v", false, "print the full placement")
-		gantt   = flag.Bool("gantt", false, "render an ASCII Gantt chart")
-		metrics = flag.Bool("metrics", false, "print schedule metrics (utilization, comm volume)")
-		trace   = flag.Bool("trace", false, "print the event trace of each crash simulation")
-		saveTo  = flag.String("save", "", "write the computed schedule to this JSON file")
-		loadFrm = flag.String("load", "", "load a schedule from this JSON file instead of computing one (-eps comes from the file)")
-		compare = flag.Bool("compare", false, "run FTSA, MC-FTSA, FTBAR and HEFT side by side and exit")
+		dir        = flag.String("dir", ".", "directory with graph.json, platform.json, costs.json")
+		algo       = flag.String("algo", "ftsa", "scheduler registry name or alias (see -list-schedulers)")
+		eps        = flag.Int("eps", 1, "number of tolerated failures ε (defaults to 0 for non-fault-tolerant schedulers)")
+		seed       = flag.Int64("seed", 1, "random seed for tie-breaking and crash draws")
+		crash      = flag.Int("crash", -1, "simulate this many uniform crashes (-1: no simulation)")
+		trials     = flag.Int("trials", 1, "crash simulation trials")
+		latency    = flag.Float64("latency", 0, "latency budget: deadline-checked scheduling, or the budget for -maxeps")
+		policy     = flag.String("policy", "", "scheduler-specific policy (e.g. mcftsa: greedy|bottleneck, heft: noinsertion)")
+		maxEps     = flag.Bool("maxeps", false, "maximize ε under the -latency budget (uses FTSA)")
+		verbose    = flag.Bool("v", false, "print the full placement")
+		gantt      = flag.Bool("gantt", false, "render an ASCII Gantt chart")
+		metrics    = flag.Bool("metrics", false, "print schedule metrics (utilization, comm volume)")
+		trace      = flag.Bool("trace", false, "print the event trace of each crash simulation")
+		saveTo     = flag.String("save", "", "write the computed schedule to this JSON file")
+		loadFrm    = flag.String("load", "", "load a schedule from this JSON file instead of computing one (-eps comes from the file)")
+		compare    = flag.Bool("compare", false, "run every registered scheduler side by side and exit")
+		listScheds = flag.Bool("list-schedulers", false, "list the registered schedulers (one per line, with aliases) and exit")
 	)
 	flag.Parse()
+	if *listScheds {
+		sched.WriteSchedulerList(os.Stdout)
+		return
+	}
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	// Each mode rejects flags it would otherwise silently ignore: a user who
@@ -66,13 +77,11 @@ func main() {
 	}
 	switch {
 	case *maxEps:
-		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare")
+		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy")
 	case *compare:
-		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load")
+		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy")
 	case *loadFrm != "":
-		rejectWith("-load", "algo", "eps", "latency", "save")
-	case *algo == "ftbar" && *latency > 0:
-		fatal(fmt.Errorf("-latency deadline checking supports ftsa and mcftsa only (ftbar has no deadline variant)"))
+		rejectWith("-load", "algo", "eps", "latency", "save", "policy")
 	}
 	if *crash < 0 {
 		for _, name := range []string{"trials", "trace"} {
@@ -103,7 +112,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(g, p, cm, *eps, rng); err != nil {
+		if err := runCompare(g, p, cm, *eps, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -121,30 +130,23 @@ func main() {
 			fatal(err)
 		}
 		*eps = s.Epsilon
-	}
-	switch {
-	case s != nil:
-		// loaded above
-	case *algo == "ftsa":
-		if *latency > 0 {
-			s, err = core.ScheduleWithDeadlines(g, p, cm, core.Options{Epsilon: *eps, Rng: rng}, *latency)
-		} else {
-			s, err = core.FTSA(g, p, cm, core.Options{Epsilon: *eps, Rng: rng})
+	} else {
+		info, ok := sched.LookupInfo(*algo)
+		if !ok {
+			fatal(sched.UnknownSchedulerError(*algo))
 		}
-	case *algo == "mcftsa":
-		if *latency > 0 {
-			s, err = core.ScheduleWithDeadlinesMC(g, p, cm,
-				core.MCFTSAOptions{Options: core.Options{Epsilon: *eps, Rng: rng}}, *latency)
-		} else {
-			s, err = core.MCFTSA(g, p, cm, core.MCFTSAOptions{Options: core.Options{Epsilon: *eps, Rng: rng}})
+		// A non-fault-tolerant scheduler cannot replicate; when the user did
+		// not ask for a specific ε, default it to 0 instead of erroring on
+		// the fault-tolerant default of 1.
+		if !info.FaultTolerant && !set["eps"] {
+			*eps = 0
 		}
-	case *algo == "ftbar":
-		s, err = ftbar.Schedule(g, p, cm, ftbar.Options{Npf: *eps, Rng: rng})
-	default:
-		err = fmt.Errorf("unknown algorithm %q", *algo)
-	}
-	if err != nil {
-		fatal(err)
+		s, err = sched.Run(*algo, g, p, cm, sched.RunOptions{
+			Epsilon: *eps, Rng: rng, Policy: *policy, Latency: *latency,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if err := s.Validate(); err != nil {
 		fatal(fmt.Errorf("generated schedule failed validation: %w", err))
@@ -214,43 +216,33 @@ func main() {
 	}
 }
 
-// runCompare schedules the instance with every algorithm (HEFT without
-// replication as the non-fault-tolerant reference) and prints a comparison.
-func runCompare(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, eps int, rng *rand.Rand) error {
+// runCompare schedules the instance with every registered scheduler
+// (non-fault-tolerant ones at ε=0 as references) and prints a comparison.
+// Each row gets its own RNG seeded from -seed, so a row reproduces the
+// matching single-scheduler run exactly and registering a new scheduler
+// cannot shift the others' tie-breaking streams.
+func runCompare(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, eps int, seed int64) error {
 	type row struct {
 		name string
 		s    *sched.Schedule
 		took time.Duration
 	}
 	var rows []row
-	add := func(name string, run func() (*sched.Schedule, error)) error {
+	for _, r := range sched.Registrations() {
+		name := r.Name()
+		runEps := eps
+		if !r.FaultTolerant {
+			runEps = 0
+			name += "(ε=0)"
+		}
 		start := time.Now()
-		s, err := run()
+		s, err := sched.Run(r.Name(), g, p, cm, sched.RunOptions{
+			Epsilon: runEps, Rng: rand.New(rand.NewSource(seed)),
+		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		rows = append(rows, row{name: name, s: s, took: time.Since(start)})
-		return nil
-	}
-	if err := add("FTSA", func() (*sched.Schedule, error) {
-		return core.FTSA(g, p, cm, core.Options{Epsilon: eps, Rng: rng})
-	}); err != nil {
-		return err
-	}
-	if err := add("MC-FTSA", func() (*sched.Schedule, error) {
-		return core.MCFTSA(g, p, cm, core.MCFTSAOptions{Options: core.Options{Epsilon: eps, Rng: rng}})
-	}); err != nil {
-		return err
-	}
-	if err := add("FTBAR", func() (*sched.Schedule, error) {
-		return ftbar.Schedule(g, p, cm, ftbar.Options{Npf: eps, Rng: rng})
-	}); err != nil {
-		return err
-	}
-	if err := add("HEFT(ε=0)", func() (*sched.Schedule, error) {
-		return heft.Schedule(g, p, cm, heft.Options{})
-	}); err != nil {
-		return err
 	}
 	fmt.Printf("%d tasks, %d edges on %d processors, ε=%d\n\n", g.NumTasks(), g.NumEdges(), p.NumProcs(), eps)
 	fmt.Printf("%-10s %12s %12s %10s %10s %12s\n", "algorithm", "lower bound", "upper bound", "messages", "quality", "time")

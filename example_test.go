@@ -64,6 +64,28 @@ func ExampleMCFTSA() {
 	// messages:    0
 }
 
+// ExampleScheduleByName dispatches through the scheduler registry — the
+// same resolution the ftserved HTTP API, the campaign engine and the CLIs
+// use — and lists the registered names.
+func ExampleScheduleByName() {
+	g, p, cm := twoTaskProblem()
+	fmt.Println(ftsched.Schedulers())
+	// Names and aliases are matched case-insensitively.
+	s, err := ftsched.ScheduleByName("MC-FTSA", g, p, cm, ftsched.RunOptions{Epsilon: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s messages: %d\n", s.Algorithm, s.MessageCount())
+	// A scheduler that is not fault-tolerant rejects ε > 0 up front.
+	if _, err := ftsched.ScheduleByName("heft", g, p, cm, ftsched.RunOptions{Epsilon: 1}); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// [ftsa mcftsa ftsa-ins ftbar heft]
+	// MC-FTSA messages: 0
+	// sched: scheduler "heft" is not fault-tolerant; epsilon must be 0, got 1
+}
+
 // ExampleSimulate crashes one processor at time zero; the surviving copy of
 // each task completes, at the cost of waiting for the remote input.
 func ExampleSimulate() {

@@ -6,14 +6,20 @@
 // The package maps a weighted DAG of tasks onto m fully connected
 // heterogeneous processors so that the application still completes if up to
 // ε processors fail-stop, using active replication: every task runs on ε+1
-// distinct processors. Three schedulers are provided:
+// distinct processors. Schedulers live in a pluggable registry (Schedulers
+// lists the names, ScheduleByName dispatches) and share one pooled placement
+// kernel; the built-ins are:
 //
 //   - FTSA — the paper's main algorithm: greedy list scheduling by task
 //     criticalness with earliest-finish-time processor selection;
 //   - MCFTSA — the Minimum Communications variant, cutting the message count
 //     per precedence edge from (ε+1)² to ε+1 with a robust bipartite
 //     matching;
-//   - FTBAR — the re-implemented comparison baseline of Girault et al.
+//   - FTSAIns ("ftsa-ins") — FTSA's selection with HEFT-style
+//     insertion-based placement;
+//   - FTBAR — the re-implemented comparison baseline of Girault et al.;
+//   - HEFT ("heft", registry-only) — the non-fault-tolerant literature
+//     reference.
 //
 // Every schedule carries a lower bound (latency with no failure) and an
 // upper bound (latency guaranteed under any ε failures). The sim
@@ -40,6 +46,7 @@ import (
 	"ftsched/internal/platform"
 	"ftsched/internal/reliability"
 	"ftsched/internal/sched"
+	_ "ftsched/internal/schedulers" // register every built-in scheduler
 	"ftsched/internal/sim"
 	"ftsched/internal/workload"
 )
@@ -119,9 +126,40 @@ type (
 	MonteCarloResult = reliability.MonteCarloResult
 )
 
+// Scheduler registry (see internal/sched). Every scheduling algorithm is
+// also reachable by name — the same dispatch the ftserved HTTP API, the
+// campaign engine and the CLIs use — so callers can select schedulers from
+// configuration without a switch of their own.
+type (
+	// RunOptions is the scheduler-independent option set of Schedule.
+	RunOptions = sched.RunOptions
+	// SchedulerInfo describes one registry entry (name, aliases, policies,
+	// capability flags).
+	SchedulerInfo = sched.Registration
+)
+
+// ScheduleByName resolves a scheduler by registry name or alias (matched
+// case-insensitively: "ftsa", "mcftsa", "ftsa-ins", "ftbar", "heft", ...),
+// validates opt against its registered capabilities and runs it.
+func ScheduleByName(scheduler string, g *Graph, p *Platform, cm *CostModel, opt RunOptions) (*Schedule, error) {
+	return sched.Run(scheduler, g, p, cm, opt)
+}
+
+// Schedulers returns the canonical names of every registered scheduler.
+func Schedulers() []string { return sched.Names() }
+
+// LookupScheduler returns the registry entry for a scheduler name or alias.
+func LookupScheduler(name string) (SchedulerInfo, bool) { return sched.LookupInfo(name) }
+
 // FTSA runs the paper's Fault Tolerant Scheduling Algorithm (Algorithm 4.1).
 func FTSA(g *Graph, p *Platform, cm *CostModel, opt Options) (*Schedule, error) {
 	return core.FTSA(g, p, cm, opt)
+}
+
+// FTSAIns runs the FTSA variant with HEFT-style insertion-based placement
+// (registry name "ftsa-ins").
+func FTSAIns(g *Graph, p *Platform, cm *CostModel, opt Options) (*Schedule, error) {
+	return core.FTSAIns(g, p, cm, opt)
 }
 
 // MCFTSA runs the Minimum Communications variant (Section 4.2).

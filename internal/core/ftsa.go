@@ -8,8 +8,8 @@ import (
 	"slices"
 	"sync"
 
-	"ftsched/internal/avl"
 	"ftsched/internal/dag"
+	"ftsched/internal/kernel"
 	"ftsched/internal/platform"
 	"ftsched/internal/sched"
 )
@@ -56,7 +56,24 @@ type Options struct {
 // the full communication pattern (every predecessor replica sends to every
 // successor replica).
 func FTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options) (*sched.Schedule, error) {
-	st, err := newState(g, p, cm, opt, sched.PatternAll, "FTSA")
+	return runFTSA(g, p, cm, opt, false, "FTSA")
+}
+
+// FTSAIns is the registry-only "ftsa-ins" variant: FTSA's criticalness
+// priorities and ε+1 minimum-finish-time processor selection, but with
+// HEFT-style insertion-based placement — each replica's optimistic window
+// goes into the earliest inter-slot gap of its processor's timeline (via the
+// shared kernel) instead of strictly after everything already mapped there.
+// The pessimistic window stays append-only: under failures, the gap
+// structure of the optimistic timeline is not guaranteed, so equation (3)
+// keeps its conservative ready times and the upper bound remains valid.
+func FTSAIns(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options) (*sched.Schedule, error) {
+	return runFTSA(g, p, cm, opt, true, "FTSA-ins")
+}
+
+// runFTSA is the shared FTSA driver, parameterized on the placement mode.
+func runFTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options, insertion bool, algo string) (*sched.Schedule, error) {
+	st, err := newState(g, p, cm, opt, sched.PatternAll, algo, insertion)
 	if err != nil {
 		return nil, err
 	}
@@ -86,9 +103,11 @@ type state struct {
 	tl []float64 // dynamic top levels, updated as predecessors are mapped
 
 	unschedPreds []int
-	free         *avl.FreeList
+	free         kernel.ReadyList
 
-	readyMin, readyMax []float64 // r(Pj), optimistic and pessimistic
+	// board holds the shared per-processor placement state: ready times,
+	// arrival-window scratch and (for the insertion variant) busy timelines.
+	board *kernel.Board
 
 	// maxFrom memoizes p.MaxDelayFrom per processor: the commit step charges
 	// the worst-case outgoing delay once per (successor edge × replica), and
@@ -96,9 +115,8 @@ type state struct {
 	maxFrom []float64
 
 	// scratch buffers reused across steps to keep the loop allocation-free.
-	arrMin, arrMax []float64
-	cands          []candidate
-	reps           []sched.Replica
+	cands []candidate
+	reps  []sched.Replica
 
 	ws *scratch // pooled backing storage for the slices above
 }
@@ -110,39 +128,24 @@ type candidate struct {
 
 // scratch is the pooled backing storage of one scheduling run. A campaign
 // schedules thousands of instances back to back; recycling these buffers
-// keeps the per-run steady-state allocation count flat instead of scaling
-// with tasks × processors.
+// (together with the kernel's pooled boards) keeps the per-run steady-state
+// allocation count flat instead of scaling with tasks × processors.
 type scratch struct {
 	tl           []float64
 	unschedPreds []int
-	readyMin     []float64
-	readyMax     []float64
 	maxFrom      []float64
-	arrMin       []float64
-	arrMax       []float64
 	cands        []candidate
 	reps         []sched.Replica
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
-// growF64 returns a zeroed float64 slice of length n, reusing buf's storage
-// when it is large enough.
-func growF64(buf []float64, n int) []float64 {
-	if cap(buf) < n {
-		return make([]float64, n)
-	}
-	buf = buf[:n]
-	for i := range buf {
-		buf[i] = 0
-	}
-	return buf
-}
-
-// release returns the state's scratch buffers to the pool. The schedule
+// release returns the state's scratch buffers to their pools. The schedule
 // handed out by finish never aliases them (sched.Place copies replicas), so
 // releasing after a run — successful or not — is always safe.
 func (st *state) release() {
+	st.board.Release()
+	st.board = nil
 	ws := st.ws
 	if ws == nil {
 		return
@@ -150,9 +153,7 @@ func (st *state) release() {
 	st.ws = nil
 	ws.tl = st.tl
 	ws.unschedPreds = st.unschedPreds
-	ws.readyMin, ws.readyMax = st.readyMin, st.readyMax
 	ws.maxFrom = st.maxFrom
-	ws.arrMin, ws.arrMax = st.arrMin, st.arrMax
 	ws.cands = st.cands
 	ws.reps = st.reps
 	scratchPool.Put(ws)
@@ -164,7 +165,7 @@ type placement struct {
 	reps []sched.Replica
 }
 
-func newState(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options, pattern sched.Pattern, algo string) (*state, error) {
+func newState(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options, pattern sched.Pattern, algo string, insertion bool) (*state, error) {
 	if opt.Epsilon < 0 || opt.Epsilon+1 > p.NumProcs() {
 		return nil, fmt.Errorf("%w: ε=%d, m=%d", ErrTooManyFailures, opt.Epsilon, p.NumProcs())
 	}
@@ -175,35 +176,21 @@ func newState(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 	if err != nil {
 		return nil, err
 	}
-	bl := opt.BottomLevels
-	if bl == nil {
-		bl, err = sched.AvgBottomLevels(g, cm, p)
-		if err != nil {
-			return nil, err
-		}
-	} else if len(bl) != g.NumTasks() {
-		return nil, fmt.Errorf("core: %d bottom levels for %d tasks", len(bl), g.NumTasks())
+	bl, err := sched.ResolveBottomLevels(g, cm, p, opt.BottomLevels)
+	if err != nil {
+		return nil, err
 	}
 	m := p.NumProcs()
 	v := g.NumTasks()
 	ws := scratchPool.Get().(*scratch)
-	unsched := ws.unschedPreds
-	if cap(unsched) < v {
-		unsched = make([]int, v)
-	} else {
-		unsched = unsched[:v]
-	}
 	st := &state{
 		g: g, p: p, cm: cm, opt: opt, s: s,
 		bl:           bl,
-		tl:           growF64(ws.tl, v),
-		unschedPreds: unsched,
-		free:         avl.NewFreeList(),
-		readyMin:     growF64(ws.readyMin, m),
-		readyMax:     growF64(ws.readyMax, m),
-		maxFrom:      growF64(ws.maxFrom, m),
-		arrMin:       growF64(ws.arrMin, m),
-		arrMax:       growF64(ws.arrMax, m),
+		tl:           kernel.GrowZero(ws.tl, v),
+		unschedPreds: kernel.Grow(ws.unschedPreds, v),
+		free:         kernel.NewPriorityList(),
+		board:        kernel.NewBoard(m, insertion),
+		maxFrom:      kernel.Grow(ws.maxFrom, m),
 		cands:        ws.cands[:0],
 		reps:         ws.reps[:0],
 		ws:           ws,
@@ -228,46 +215,28 @@ func (st *state) tie() uint64 {
 }
 
 func (st *state) push(t dag.TaskID) {
-	st.free.Push(avl.Entry{Priority: st.tl[t] + st.bl[t], Tie: st.tie(), ID: int(t)})
+	st.free.Push(kernel.Item{Priority: st.tl[t] + st.bl[t], Tie: st.tie(), ID: int(t)})
 }
 
 func (st *state) pop() dag.TaskID {
-	e, _ := st.free.PopHead()
-	return dag.TaskID(e.ID)
-}
-
-// computeArrivals fills arrMin/arrMax with, for every processor Pj, the
-// earliest (equation 1) and latest (equation 3) time all predecessor data
-// can be available on Pj.
-func (st *state) computeArrivals(t dag.TaskID) {
-	for j := range st.arrMin {
-		st.arrMin[j], st.arrMax[j] = 0, 0
-	}
-	for _, pe := range st.g.Preds(t) {
-		srcReps := st.s.Replicas(pe.To)
-		for j := 0; j < st.p.NumProcs(); j++ {
-			eMin, eMax := sched.ArrivalWindow(st.p, srcReps, pe.Volume, platform.ProcID(j))
-			if eMin > st.arrMin[j] {
-				st.arrMin[j] = eMin
-			}
-			if eMax > st.arrMax[j] {
-				st.arrMax[j] = eMax
-			}
-		}
-	}
+	it, _ := st.free.Pop()
+	return dag.TaskID(it.ID)
 }
 
 // placeBestEFT computes equation (1) on every processor and selects the ε+1
 // distinct processors with minimum finish time, breaking ties toward lower
 // processor indices. The replicas are ordered by increasing optimistic
-// finish time.
+// finish time. Arrival windows and start times come from the shared kernel
+// board; under insertion the optimistic start is the earliest fitting gap of
+// the processor's timeline instead of max(arrival, ready).
 func (st *state) placeBestEFT(t dag.TaskID) (*placement, error) {
-	st.computeArrivals(t)
+	st.board.Arrivals(st.g, st.p, st.s, t)
 	st.cands = st.cands[:0]
 	for j := 0; j < st.p.NumProcs(); j++ {
 		pj := platform.ProcID(j)
-		sMin := math.Max(st.arrMin[j], st.readyMin[j])
-		st.cands = append(st.cands, candidate{proc: pj, fMin: sMin + st.cm.Cost(t, pj)})
+		e := st.cm.Cost(t, pj)
+		sMin := st.board.StartMin(j, st.board.ArrMin[j], e)
+		st.cands = append(st.cands, candidate{proc: pj, fMin: sMin + e})
 	}
 	slices.SortFunc(st.cands, func(a, b candidate) int {
 		switch {
@@ -283,8 +252,8 @@ func (st *state) placeBestEFT(t dag.TaskID) (*placement, error) {
 	for i := 0; i < k; i++ {
 		pj := st.cands[i].proc
 		e := st.cm.Cost(t, pj)
-		sMin := math.Max(st.arrMin[pj], st.readyMin[pj])
-		sMax := math.Max(st.arrMax[pj], st.readyMax[pj])
+		sMin := st.board.StartMin(int(pj), st.board.ArrMin[pj], e)
+		sMax := st.board.StartMax(int(pj), st.board.ArrMax[pj])
 		reps = append(reps, sched.Replica{
 			Task: t, Copy: i, Proc: pj,
 			StartMin: sMin, FinishMin: sMin + e,
@@ -319,10 +288,7 @@ func (st *state) commit(t dag.TaskID, win *placement, matched [][]int) error {
 			return err
 		}
 	}
-	for _, r := range win.reps {
-		st.readyMin[r.Proc] = r.FinishMin
-		st.readyMax[r.Proc] = r.FinishMax
-	}
+	st.board.Commit(win.reps)
 	// Update the dynamic top level of successors (Section 4.1, adapted to
 	// replication: the data of t is available once its earliest replica
 	// finishes, and we charge the worst-case outgoing delay from that

@@ -70,7 +70,7 @@ type MCFTSAOptions struct {
 // matched source per predecessor, which is why MC-FTSA's upper bound stays
 // close to its lower bound.
 func MCFTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt MCFTSAOptions) (*sched.Schedule, error) {
-	st, err := newState(g, p, cm, opt.Options, sched.PatternMatched, "MC-FTSA")
+	st, err := newState(g, p, cm, opt.Options, sched.PatternMatched, "MC-FTSA", false)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +171,7 @@ func (st *state) matchCommunications(t dag.TaskID, win *placement, policy MatchP
 // max(F(t′,Pi) + W(t′,t), r(Pj)) + E(t,Pj), with W = 0 when Pi = Pj.
 func (st *state) edgeWeight(t dag.TaskID, sr sched.Replica, volume float64, pj platform.ProcID) float64 {
 	arr := sr.FinishMin + volume*st.p.Delay(sr.Proc, pj)
-	return math.Max(arr, st.readyMin[pj]) + st.cm.Cost(t, pj)
+	return math.Max(arr, st.board.ReadyMin[pj]) + st.cm.Cost(t, pj)
 }
 
 // greedyOrder returns edge indices with internal edges first, then the rest
@@ -212,9 +212,9 @@ func recomputeMatchedWindows(st *state, t dag.TaskID, win *placement, matched []
 			}
 		}
 		e := st.cm.Cost(t, r.Proc)
-		r.StartMin = math.Max(arrMin, st.readyMin[r.Proc])
+		r.StartMin = math.Max(arrMin, st.board.ReadyMin[r.Proc])
 		r.FinishMin = r.StartMin + e
-		r.StartMax = math.Max(arrMax, st.readyMax[r.Proc])
+		r.StartMax = math.Max(arrMax, st.board.ReadyMax[r.Proc])
 		r.FinishMax = r.StartMax + e
 	}
 }

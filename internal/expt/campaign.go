@@ -8,23 +8,29 @@ import (
 
 	"ftsched/internal/core"
 	"ftsched/internal/dag"
-	"ftsched/internal/ftbar"
 	"ftsched/internal/sched"
+	_ "ftsched/internal/schedulers" // register every built-in scheduler
 	"ftsched/internal/sim"
 	"ftsched/internal/workload"
 )
 
-// SchedulerID names one of the three schedulers a campaign can sweep.
+// SchedulerID names one scheduler of a campaign's grid dimension. Any
+// scheduler-registry name or alias is accepted (matched case-insensitively),
+// so a registry-only variant like "ftsa-ins" can join a sweep without any
+// change to this package.
 type SchedulerID string
 
-// The scheduler grid dimension.
+// The paper's scheduler grid dimension, under its display spellings (which
+// the registry resolves as aliases).
 const (
 	SchedFTSA   SchedulerID = "FTSA"
 	SchedMCFTSA SchedulerID = "MC-FTSA"
 	SchedFTBAR  SchedulerID = "FTBAR"
 )
 
-// AllSchedulers returns the full scheduler dimension in canonical order.
+// AllSchedulers returns the paper's scheduler dimension in canonical order:
+// the three fault-tolerant schedulers Figures 1-3 compare. The registry may
+// hold more (HEFT, ftsa-ins); campaigns opt into those explicitly.
 func AllSchedulers() []SchedulerID {
 	return []SchedulerID{SchedFTSA, SchedMCFTSA, SchedFTBAR}
 }
@@ -149,17 +155,26 @@ func (c Campaign) Validate() error {
 	if len(c.Schedulers) == 0 {
 		return fmt.Errorf("expt: campaign has no schedulers")
 	}
-	seenSched := make(map[SchedulerID]bool, len(c.Schedulers))
+	// Scheduler names resolve through the registry, so the campaign grid
+	// accepts exactly what the rest of the system serves; duplicates are
+	// detected on canonical names, catching a name and its alias together.
+	seenSched := make(map[string]bool, len(c.Schedulers))
 	for _, s := range c.Schedulers {
-		switch s {
-		case SchedFTSA, SchedMCFTSA, SchedFTBAR:
-		default:
-			return fmt.Errorf("expt: unknown scheduler %q", s)
+		info, ok := sched.LookupInfo(string(s))
+		if !ok {
+			return fmt.Errorf("expt: %w", sched.UnknownSchedulerError(string(s)))
 		}
-		if seenSched[s] {
+		if seenSched[info.Name()] {
 			return fmt.Errorf("expt: duplicate scheduler %q", s)
 		}
-		seenSched[s] = true
+		seenSched[info.Name()] = true
+		if !info.FaultTolerant {
+			for _, e := range c.Epsilons {
+				if e != 0 {
+					return fmt.Errorf("expt: scheduler %q is not fault-tolerant; it cannot sweep ε=%d", s, e)
+				}
+			}
+		}
 	}
 	if len(c.Epsilons) == 0 {
 		return fmt.Errorf("expt: campaign has no ε values")
@@ -371,21 +386,11 @@ func (c Campaign) runPrepared(cell Cell, p *prepared) (CellResult, error) {
 	inst := p.inst
 
 	srng := rand.New(rand.NewSource(c.schedSeed(cell)))
-	var s *sched.Schedule
-	var err error
-	switch cell.Scheduler {
-	case SchedFTSA:
-		s, err = core.FTSA(inst.Graph, inst.Platform, inst.Costs,
-			core.Options{Epsilon: cell.Epsilon, Rng: srng, BottomLevels: p.bl})
-	case SchedMCFTSA:
-		s, err = core.MCFTSA(inst.Graph, inst.Platform, inst.Costs,
-			core.MCFTSAOptions{Options: core.Options{Epsilon: cell.Epsilon, Rng: srng, BottomLevels: p.bl}})
-	case SchedFTBAR:
-		s, err = ftbar.Schedule(inst.Graph, inst.Platform, inst.Costs,
-			ftbar.Options{Npf: cell.Epsilon, Rng: srng})
-	default:
-		return res, fmt.Errorf("expt: unknown scheduler %q", cell.Scheduler)
-	}
+	// The cell's scheduler resolves through the registry — the same
+	// dispatch the serving layer and the CLIs use — with the prepared
+	// instance's shared bottom levels.
+	s, err := sched.Run(string(cell.Scheduler), inst.Graph, inst.Platform, inst.Costs,
+		sched.RunOptions{Epsilon: cell.Epsilon, Rng: srng, BottomLevels: p.bl})
 	if err != nil {
 		return res, fmt.Errorf("expt: cell %d %s: %w", cell.Index, cell.Scheduler, err)
 	}

@@ -42,7 +42,9 @@ func TestCampaignValidate(t *testing.T) {
 		mutate func(*Campaign)
 	}{
 		{"no schedulers", func(c *Campaign) { c.Schedulers = nil }},
-		{"bad scheduler", func(c *Campaign) { c.Schedulers = []SchedulerID{"HEFT"} }},
+		{"bad scheduler", func(c *Campaign) { c.Schedulers = []SchedulerID{"SLURM"} }},
+		{"alias duplicates name", func(c *Campaign) { c.Schedulers = []SchedulerID{"mcftsa", "MC-FTSA"} }},
+		{"non-FT scheduler with eps>0", func(c *Campaign) { c.Schedulers = []SchedulerID{"HEFT"} }},
 		{"no epsilons", func(c *Campaign) { c.Epsilons = nil }},
 		{"eps too large", func(c *Campaign) { c.Epsilons = []int{c.Procs} }},
 		{"negative eps", func(c *Campaign) { c.Epsilons = []int{-1} }},
@@ -68,6 +70,51 @@ func TestCampaignValidate(t *testing.T) {
 	}
 	if err := PaperCampaign().Validate(); err != nil {
 		t.Fatalf("Validate rejected paper preset: %v", err)
+	}
+}
+
+// A registry-only variant must be sweepable exactly like the paper's three
+// schedulers: same grid, deterministic results, distinct from plain FTSA.
+func TestCampaignRunsRegistryVariant(t *testing.T) {
+	c := testCampaign()
+	c.Schedulers = []SchedulerID{SchedFTSA, "ftsa-ins"}
+	c.Granularities = []float64{1.0}
+	c.Families = []string{"random"}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("campaign with ftsa-ins rejected: %v", err)
+	}
+	res, err := RunCampaign(c, EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ftsa, ins []CellResult
+	for _, cell := range res.Cells {
+		switch cell.Scheduler {
+		case SchedFTSA:
+			ftsa = append(ftsa, cell)
+		case "ftsa-ins":
+			ins = append(ins, cell)
+		}
+	}
+	if len(ins) == 0 || len(ins) != len(ftsa) {
+		t.Fatalf("ftsa-ins cells = %d, ftsa cells = %d", len(ins), len(ftsa))
+	}
+	var insTotal, ftsaTotal float64
+	differs := false
+	for i := range ins {
+		insTotal += ins[i].Lower
+		ftsaTotal += ftsa[i].Lower
+		if ins[i].Lower != ftsa[i].Lower {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("ftsa-ins produced identical lower bounds to ftsa on every cell; insertion is not wired through")
+	}
+	// A single cell can go either way (an inserted replica perturbs every
+	// later greedy choice), but across the grid insertion must not lose.
+	if insTotal > ftsaTotal+1e-9 {
+		t.Errorf("ftsa-ins total normalized lower bound %g worse than ftsa %g", insTotal, ftsaTotal)
 	}
 }
 

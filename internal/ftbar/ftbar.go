@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"ftsched/internal/dag"
+	"ftsched/internal/kernel"
 	"ftsched/internal/platform"
 	"ftsched/internal/sched"
 )
@@ -23,6 +24,11 @@ type Options struct {
 	// DisableDuplication turns off the Minimize-Start-Time procedure
 	// (ablation knob; the faithful baseline keeps it on).
 	DisableDuplication bool
+	// BottomLevels, when non-nil, supplies the precomputed static bottom
+	// levels (sched.AvgBottomLevels) used as s(ti) instead of recomputing
+	// them; callers scheduling one instance under several schedulers share
+	// the slice. Read-only to the scheduler.
+	BottomLevels []float64
 }
 
 // Schedule runs FTBAR and returns a fault-tolerant schedule with the full
@@ -39,24 +45,24 @@ func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 	// s(ti): latest start-time measured bottom-up; as in the σ definition we
 	// use the average-cost bottom level (which includes ti's own execution —
 	// a constant shift per task that leaves both argmin and argmax intact).
-	bl, err := sched.AvgBottomLevels(g, cm, p)
+	bl, err := sched.ResolveBottomLevels(g, cm, p, opt.BottomLevels)
 	if err != nil {
 		return nil, err
 	}
 	st := &state{
 		g: g, p: p, cm: cm, opt: opt, s: s,
-		bl:       bl,
-		readyMin: make([]float64, m),
-		readyMax: make([]float64, m),
-		unsched:  make([]int, g.NumTasks()),
+		bl:      bl,
+		board:   kernel.NewBoard(m, false),
+		unsched: make([]int, g.NumTasks()),
 	}
+	defer st.board.Release()
 	for t := 0; t < g.NumTasks(); t++ {
 		st.unsched[t] = g.InDegree(dag.TaskID(t))
 		if st.unsched[t] == 0 {
-			st.freelist = append(st.freelist, dag.TaskID(t))
+			st.free.Add(dag.TaskID(t))
 		}
 	}
-	for len(st.freelist) > 0 {
+	for st.free.Len() > 0 {
 		if err := st.step(); err != nil {
 			return nil, err
 		}
@@ -74,11 +80,13 @@ type state struct {
 	opt Options
 	s   *sched.Schedule
 
-	bl       []float64
-	readyMin []float64
-	readyMax []float64
+	bl []float64
+	// board carries the shared per-processor ready times and arrival-window
+	// scratch (kernel); the Minimize-Start-Time duplication advances its
+	// ready times directly.
+	board    *kernel.Board
 	unsched  []int
-	freelist []dag.TaskID
+	free     kernel.Set
 	makespan float64 // R(n−1)
 }
 
@@ -98,13 +106,13 @@ func (st *state) step() error {
 	}
 	k := st.opt.Npf + 1
 	m := st.p.NumProcs()
-	evals := make([]taskEval, 0, len(st.freelist))
-	for _, t := range st.freelist {
-		arrMin, _ := st.arrivals(t)
+	evals := make([]taskEval, 0, st.free.Len())
+	for _, t := range st.free.Tasks() {
+		st.board.Arrivals(st.g, st.p, st.s, t)
 		choices := make([]procChoice, 0, m)
 		for j := 0; j < m; j++ {
 			pj := platform.ProcID(j)
-			est := math.Max(arrMin[j], st.readyMin[j])
+			est := st.board.StartMin(j, st.board.ArrMin[j], 0)
 			choices = append(choices, procChoice{proc: pj, pressure: est + st.bl[t] - st.makespan})
 		}
 		sort.Slice(choices, func(a, b int) bool {
@@ -142,13 +150,13 @@ func (st *state) step() error {
 	}
 
 	// Recompute arrivals after any duplication and place the replicas.
-	arrMin, arrMax := st.arrivals(t)
+	st.board.Arrivals(st.g, st.p, st.s, t)
 	reps := make([]sched.Replica, 0, k)
 	for i, c := range sel.chosen {
 		pj := c.proc
 		e := st.cm.Cost(t, pj)
-		sMin := math.Max(arrMin[pj], st.readyMin[pj])
-		sMax := math.Max(arrMax[pj], st.readyMax[pj])
+		sMin := st.board.StartMin(int(pj), st.board.ArrMin[pj], e)
+		sMax := st.board.StartMax(int(pj), st.board.ArrMax[pj])
 		reps = append(reps, sched.Replica{
 			Task: t, Copy: i, Proc: pj,
 			StartMin: sMin, FinishMin: sMin + e,
@@ -158,50 +166,21 @@ func (st *state) step() error {
 	if err := st.s.Place(t, reps); err != nil {
 		return err
 	}
+	st.board.Commit(reps)
 	for _, r := range reps {
-		st.readyMin[r.Proc] = r.FinishMin
-		st.readyMax[r.Proc] = r.FinishMax
 		if r.FinishMin > st.makespan {
 			st.makespan = r.FinishMin
 		}
 	}
 	// Release successors and remove t from the free list.
-	out := st.freelist[:0]
-	for _, f := range st.freelist {
-		if f != t {
-			out = append(out, f)
-		}
-	}
-	st.freelist = out
+	st.free.Remove(t)
 	for _, se := range st.g.Succs(t) {
 		st.unsched[se.To]--
 		if st.unsched[se.To] == 0 {
-			st.freelist = append(st.freelist, se.To)
+			st.free.Add(se.To)
 		}
 	}
 	return nil
-}
-
-// arrivals returns, per processor, the earliest (min over replicas) and
-// latest (max over replicas) time the data of all predecessors of t can be
-// available.
-func (st *state) arrivals(t dag.TaskID) (arrMin, arrMax []float64) {
-	m := st.p.NumProcs()
-	arrMin = make([]float64, m)
-	arrMax = make([]float64, m)
-	for _, pe := range st.g.Preds(t) {
-		srcReps := st.s.Replicas(pe.To)
-		for j := 0; j < m; j++ {
-			eMin, eMax := sched.ArrivalWindow(st.p, srcReps, pe.Volume, platform.ProcID(j))
-			if eMin > arrMin[j] {
-				arrMin[j] = eMin
-			}
-			if eMax > arrMax[j] {
-				arrMax[j] = eMax
-			}
-		}
-	}
-	return arrMin, arrMax
 }
 
 // mstDepth bounds the Minimize-Start-Time recursion. The original procedure
@@ -266,12 +245,12 @@ func (st *state) reduceArrival(t dag.TaskID, proc platform.ProcID, depth int) {
 			}
 		}
 		e := st.cm.Cost(critical, proc)
-		dupStartMin := math.Max(dupArrMin, st.readyMin[proc])
+		dupStartMin := math.Max(dupArrMin, st.board.ReadyMin[proc])
 		dupFinishMin := dupStartMin + e
 		if dupFinishMin >= criticalArr {
 			return // duplication does not help
 		}
-		dupStartMax := math.Max(dupArrMax, st.readyMax[proc])
+		dupStartMax := math.Max(dupArrMax, st.board.ReadyMax[proc])
 		if err := st.s.AddDuplicate(critical, sched.Replica{
 			Task: critical, Proc: proc,
 			StartMin: dupStartMin, FinishMin: dupFinishMin,
@@ -279,8 +258,8 @@ func (st *state) reduceArrival(t dag.TaskID, proc platform.ProcID, depth int) {
 		}); err != nil {
 			return
 		}
-		st.readyMin[proc] = dupFinishMin
-		st.readyMax[proc] = dupStartMax + e
+		st.board.ReadyMin[proc] = dupFinishMin
+		st.board.ReadyMax[proc] = dupStartMax + e
 		if dupFinishMin > st.makespan {
 			st.makespan = dupFinishMin
 		}

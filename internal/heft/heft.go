@@ -2,10 +2,10 @@ package heft
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"ftsched/internal/dag"
+	"ftsched/internal/kernel"
 	"ftsched/internal/platform"
 	"ftsched/internal/sched"
 )
@@ -15,12 +15,16 @@ type Options struct {
 	// NoInsertion disables the insertion policy, reducing HEFT to plain
 	// append-only EFT list scheduling (ablation knob).
 	NoInsertion bool
+	// BottomLevels, when non-nil, supplies the precomputed upward ranks
+	// (sched.AvgBottomLevels) instead of recomputing them; callers
+	// scheduling one instance under several schedulers share the slice.
+	// Read-only to the scheduler.
+	BottomLevels []float64
 }
 
-// slot is one busy interval on a processor, kept sorted by start.
-type slot struct{ start, finish float64 }
-
-// Schedule runs HEFT and returns an ε=0 schedule.
+// Schedule runs HEFT and returns an ε=0 schedule. Placement goes through
+// the shared kernel: per-processor busy timelines with insertion-based
+// earliest-slot search (or append-only under NoInsertion).
 func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options) (*sched.Schedule, error) {
 	s, err := sched.New(g, p, cm, 0, sched.PatternAll, "HEFT")
 	if err != nil {
@@ -28,7 +32,7 @@ func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 	}
 	// Upward ranks: bottom levels with mean execution and communication
 	// costs — identical averaging to the paper's bℓ.
-	rank, err := sched.AvgBottomLevels(g, cm, p)
+	rank, err := sched.ResolveBottomLevels(g, cm, p, opt.BottomLevels)
 	if err != nil {
 		return nil, err
 	}
@@ -44,79 +48,35 @@ func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 	})
 
 	m := p.NumProcs()
-	busy := make([][]slot, m)
-	finish := make([]float64, g.NumTasks())
-	proc := make([]platform.ProcID, g.NumTasks())
+	b := kernel.NewBoard(m, !opt.NoInsertion)
+	defer b.Release()
 
 	for _, t := range order {
+		b.Arrivals(g, p, s, t)
 		bestProc := platform.ProcID(-1)
-		bestStart, bestFinish := 0.0, math.Inf(1)
+		bestStart, bestFinish := 0.0, 0.0
 		for j := 0; j < m; j++ {
-			pj := platform.ProcID(j)
-			ready := 0.0
-			for _, pe := range g.Preds(t) {
-				arr := finish[pe.To] + pe.Volume*p.Delay(proc[pe.To], pj)
-				if arr > ready {
-					ready = arr
-				}
-			}
-			e := cm.Cost(t, pj)
-			start := placeIn(busy[j], ready, e, opt.NoInsertion)
-			if start+e < bestFinish {
-				bestProc, bestStart, bestFinish = pj, start, start+e
+			e := cm.Cost(t, platform.ProcID(j))
+			start := b.StartMin(j, b.ArrMin[j], e)
+			if bestProc < 0 || start+e < bestFinish {
+				bestProc, bestStart, bestFinish = platform.ProcID(j), start, start+e
 			}
 		}
 		if bestProc < 0 {
 			return nil, fmt.Errorf("heft: no processor for task %d", t)
 		}
-		insertSlot(&busy[bestProc], slot{bestStart, bestFinish})
-		finish[t] = bestFinish
-		proc[t] = bestProc
-		if err := s.Place(t, []sched.Replica{{
+		reps := []sched.Replica{{
 			Task: t, Copy: 0, Proc: bestProc,
 			StartMin: bestStart, FinishMin: bestFinish,
 			StartMax: bestStart, FinishMax: bestFinish,
-		}}); err != nil {
+		}}
+		if err := s.Place(t, reps); err != nil {
 			return nil, err
 		}
+		b.Commit(reps)
 	}
 	if !s.Complete() {
 		return nil, dag.ErrCycle
 	}
 	return s, nil
-}
-
-// placeIn returns the earliest start >= ready where a task of duration e
-// fits on the processor. With insertion enabled it scans the gaps between
-// busy slots; otherwise it appends after the last slot.
-func placeIn(busy []slot, ready, e float64, noInsertion bool) float64 {
-	if len(busy) == 0 {
-		return ready
-	}
-	if noInsertion {
-		last := busy[len(busy)-1].finish
-		if last > ready {
-			return last
-		}
-		return ready
-	}
-	// Gap before the first slot.
-	if ready+e <= busy[0].start {
-		return ready
-	}
-	for i := 0; i+1 < len(busy); i++ {
-		gapStart := math.Max(ready, busy[i].finish)
-		if gapStart+e <= busy[i+1].start {
-			return gapStart
-		}
-	}
-	return math.Max(ready, busy[len(busy)-1].finish)
-}
-
-// insertSlot keeps the busy list sorted by start time.
-func insertSlot(busy *[]slot, s slot) {
-	i := sort.Search(len(*busy), func(i int) bool { return (*busy)[i].start >= s.start })
-	*busy = append(*busy, slot{})
-	copy((*busy)[i+1:], (*busy)[i:])
-	(*busy)[i] = s
 }

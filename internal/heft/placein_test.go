@@ -1,69 +1,46 @@
 package heft
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
 
-// Unit tests for the insertion-slot search, the mechanism distinguishing
-// HEFT from plain append-only EFT scheduling.
+	"ftsched/internal/workload"
+)
 
-func TestPlaceInEmpty(t *testing.T) {
-	if got := placeIn(nil, 7, 3, false); got != 7 {
-		t.Errorf("empty busy list: %g, want 7", got)
-	}
-}
+// The slot-search mechanics moved to internal/kernel (Timeline), which has
+// its own unit tests; what remains HEFT's responsibility is that the
+// insertion policy is actually wired through: both modes must produce valid
+// schedules, and across a batch of instances insertion must win in
+// aggregate (a single instance can go either way — filling a gap perturbs
+// every later greedy choice).
 
-func TestPlaceInGapBeforeFirst(t *testing.T) {
-	busy := []slot{{10, 20}}
-	if got := placeIn(busy, 0, 5, false); got != 0 {
-		t.Errorf("leading gap: %g, want 0", got)
-	}
-	// Task too long for the leading gap: goes after the last slot.
-	if got := placeIn(busy, 0, 15, false); got != 20 {
-		t.Errorf("oversized task: %g, want 20", got)
-	}
-}
-
-func TestPlaceInMiddleGap(t *testing.T) {
-	busy := []slot{{0, 10}, {20, 30}, {50, 60}}
-	// Fits in [10,20).
-	if got := placeIn(busy, 5, 8, false); got != 10 {
-		t.Errorf("middle gap: %g, want 10", got)
-	}
-	// Ready inside the gap.
-	if got := placeIn(busy, 12, 8, false); got != 12 {
-		t.Errorf("ready inside gap: %g, want 12", got)
-	}
-	// Too long for [10,20) but fits [30,50).
-	if got := placeIn(busy, 5, 15, false); got != 30 {
-		t.Errorf("second gap: %g, want 30", got)
-	}
-	// Fits nowhere: appended after 60.
-	if got := placeIn(busy, 5, 25, false); got != 60 {
-		t.Errorf("append: %g, want 60", got)
-	}
-}
-
-func TestPlaceInNoInsertion(t *testing.T) {
-	busy := []slot{{0, 10}, {20, 30}}
-	// Even though [10,20) is free, append-only mode goes after 30.
-	if got := placeIn(busy, 0, 5, true); got != 30 {
-		t.Errorf("no-insertion: %g, want 30", got)
-	}
-	if got := placeIn(busy, 45, 5, true); got != 45 {
-		t.Errorf("no-insertion late ready: %g, want 45", got)
-	}
-}
-
-func TestInsertSlotKeepsOrder(t *testing.T) {
-	var busy []slot
-	for _, s := range []slot{{20, 30}, {0, 10}, {40, 50}, {10, 20}} {
-		insertSlot(&busy, s)
-	}
-	for i := 1; i < len(busy); i++ {
-		if busy[i].start < busy[i-1].start {
-			t.Fatalf("slots out of order: %v", busy)
+func TestInsertionHelpsInAggregate(t *testing.T) {
+	var insTotal, appTotal float64
+	for seed := int64(1); seed <= 8; seed++ {
+		inst, err := workload.NewInstance(rand.New(rand.NewSource(seed)), workload.DefaultPaperConfig(1.0))
+		if err != nil {
+			t.Fatal(err)
 		}
+		ins, err := Schedule(inst.Graph, inst.Platform, inst.Costs, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		app, err := Schedule(inst.Graph, inst.Platform, inst.Costs, Options{NoInsertion: true})
+		if err != nil {
+			t.Fatalf("seed %d (no insertion): %v", seed, err)
+		}
+		for _, s := range []*struct {
+			name string
+			err  error
+		}{{"insertion", ins.Validate()}, {"append-only", app.Validate()}} {
+			if s.err != nil {
+				t.Fatalf("seed %d: %s schedule invalid: %v", seed, s.name, s.err)
+			}
+		}
+		insTotal += ins.LowerBound()
+		appTotal += app.LowerBound()
 	}
-	if len(busy) != 4 {
-		t.Fatalf("len = %d", len(busy))
+	if insTotal >= appTotal {
+		t.Errorf("insertion total makespan %g not better than append-only %g", insTotal, appTotal)
 	}
 }

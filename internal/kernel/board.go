@@ -1,0 +1,128 @@
+package kernel
+
+import (
+	"sync"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+)
+
+// Board is the per-processor placement state of one scheduling run:
+//
+//   - ReadyMin/ReadyMax are r(Pj), the optimistic and pessimistic times at
+//     which each processor next becomes free (the append-only view);
+//   - ArrMin/ArrMax are the arrival-window scratch filled by Arrivals;
+//   - Lines, present only when the board was created with insertion enabled,
+//     holds one busy Timeline per processor for gap-aware slot search.
+//
+// Boards come from a sync.Pool: a campaign scheduling thousands of instances
+// back to back reuses the same per-processor slices instead of allocating
+// them once per run. The schedule handed back to callers never aliases board
+// storage (sched.Place copies replicas), so releasing a board after a run —
+// successful or not — is always safe.
+type Board struct {
+	ReadyMin, ReadyMax []float64
+	ArrMin, ArrMax     []float64
+	// Lines holds one busy timeline per processor. It is always backed by
+	// pooled storage (so a mixed sweep interleaving append-only and
+	// insertion runs on one pool never regrows the slot slices), but it is
+	// only consulted — by StartMin's gap search and Commit's slot
+	// recording — when the board was created with insertion enabled.
+	Lines []Timeline
+
+	insertion bool
+}
+
+var boardPool = sync.Pool{New: func() any { return new(Board) }}
+
+// NewBoard returns a zeroed board for m processors, reusing pooled storage.
+// With insertion enabled, StartMin searches inter-slot gaps of the
+// per-processor timelines instead of appending after the ready time.
+func NewBoard(m int, insertion bool) *Board {
+	b := boardPool.Get().(*Board)
+	b.ReadyMin = GrowZero(b.ReadyMin, m)
+	b.ReadyMax = GrowZero(b.ReadyMax, m)
+	b.ArrMin = GrowZero(b.ArrMin, m)
+	b.ArrMax = GrowZero(b.ArrMax, m)
+	b.insertion = insertion
+	b.Lines = Grow(b.Lines, m)
+	for j := range b.Lines {
+		b.Lines[j].Reset()
+	}
+	return b
+}
+
+// Release returns the board's storage to the pool. The board must not be
+// used afterwards.
+func (b *Board) Release() {
+	if b == nil {
+		return
+	}
+	boardPool.Put(b)
+}
+
+// Arrivals fills ArrMin/ArrMax with, for every processor Pj, the earliest
+// (equation 1) and latest (equation 3) time the data of every predecessor of
+// t can be available on Pj, given the replicas already placed in s.
+func (b *Board) Arrivals(g *dag.Graph, p *platform.Platform, s *sched.Schedule, t dag.TaskID) {
+	for j := range b.ArrMin {
+		b.ArrMin[j], b.ArrMax[j] = 0, 0
+	}
+	m := p.NumProcs()
+	for _, pe := range g.Preds(t) {
+		srcReps := s.Replicas(pe.To)
+		for j := 0; j < m; j++ {
+			eMin, eMax := sched.ArrivalWindow(p, srcReps, pe.Volume, platform.ProcID(j))
+			if eMin > b.ArrMin[j] {
+				b.ArrMin[j] = eMin
+			}
+			if eMax > b.ArrMax[j] {
+				b.ArrMax[j] = eMax
+			}
+		}
+	}
+}
+
+// StartMin returns the earliest optimistic start of a task of duration dur
+// on processor j whose inputs arrive at arr: max(arr, r(Pj)) in append mode,
+// or the earliest fitting gap when insertion is enabled.
+func (b *Board) StartMin(j int, arr, dur float64) float64 {
+	if b.insertion {
+		return b.Lines[j].EarliestFit(arr, dur)
+	}
+	if r := b.ReadyMin[j]; r > arr {
+		return r
+	}
+	return arr
+}
+
+// StartMax returns the earliest pessimistic start on processor j for inputs
+// arriving (pessimistically) at arr. The pessimistic window is always
+// append-only: under failures the gap structure of the optimistic timeline
+// is not guaranteed, so insertion never applies here.
+func (b *Board) StartMax(j int, arr float64) float64 {
+	if r := b.ReadyMax[j]; r > arr {
+		return r
+	}
+	return arr
+}
+
+// Commit advances the board past the given replicas: ready times move to
+// each replica's finish (monotonically — a gap-inserted replica finishing
+// early never rewinds them), and, under insertion, the optimistic window is
+// recorded in the processor's timeline.
+func (b *Board) Commit(reps []sched.Replica) {
+	for i := range reps {
+		r := &reps[i]
+		if r.FinishMin > b.ReadyMin[r.Proc] {
+			b.ReadyMin[r.Proc] = r.FinishMin
+		}
+		if r.FinishMax > b.ReadyMax[r.Proc] {
+			b.ReadyMax[r.Proc] = r.FinishMax
+		}
+		if b.insertion {
+			b.Lines[r.Proc].Add(r.StartMin, r.FinishMin)
+		}
+	}
+}

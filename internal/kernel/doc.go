@@ -1,0 +1,34 @@
+// Package kernel is the shared placement machinery under every scheduler in
+// this repository. FTSA, MC-FTSA, FTBAR and HEFT all answer the same three
+// questions on every step — "when can this task's inputs arrive on each
+// processor?", "when can the processor actually run it?", and "which free
+// task comes next?" — and before this package existed each scheduler carried
+// its own copy of the answers.
+//
+// The kernel factors them into three pieces:
+//
+//   - Board: per-processor placement state for one scheduling run —
+//     optimistic and pessimistic ready times, arrival-window scratch filled
+//     by Arrivals (equations 1 and 3 of the paper), and, when insertion is
+//     enabled, one busy Timeline per processor. Boards are pooled via
+//     sync.Pool, so a campaign scheduling thousands of instances back to
+//     back allocates per-processor state once per worker, not once per run.
+//
+//   - Timeline: one processor's busy intervals, kept sorted by start time,
+//     with insertion-based earliest-slot search (EarliestFit scans the gaps
+//     between busy slots; boards created with insertion disabled fall back
+//     to append-only placement from the ready times). This is the mechanism
+//     behind HEFT's insertion policy and the registry-only "ftsa-ins"
+//     variant.
+//
+//   - Ready lists: PriorityList, the AVL-backed priority list α of Section
+//     4.1 (O(log n) push/pop by criticalness, random tie-breaking), and Set,
+//     the insertion-ordered free-task set for schedulers that re-evaluate
+//     every free task each step (FTBAR's most-urgent-pair scan).
+//
+// The kernel is deliberately policy-free: processor selection (minimum
+// finish time, minimum pressure, top-(ε+1)) stays in the schedulers. What
+// the kernel guarantees is that the shared arithmetic — arrival windows,
+// ready-time advancement, slot search — is computed once, the same way, with
+// pooled storage, for every scheduler in the registry.
+package kernel

@@ -1,0 +1,78 @@
+package kernel
+
+import (
+	"ftsched/internal/avl"
+	"ftsched/internal/dag"
+)
+
+// Item is one entry of a ready list: a task with its list priority and a
+// tie-breaking value (drawn at random by the schedulers, matching the
+// paper's "ties are broken randomly"; zero falls back to ordering by ID).
+type Item struct {
+	ID       int
+	Priority float64
+	Tie      uint64
+}
+
+// ReadyList abstracts the free-task collection of a list scheduler: tasks
+// become ready as their predecessors are mapped (Push) and the scheduler
+// repeatedly extracts the next one to place (Pop).
+type ReadyList interface {
+	Push(Item)
+	Pop() (Item, bool)
+	Len() int
+}
+
+// PriorityList is the AVL-backed priority list α of Section 4.1: Pop returns
+// H(α), the highest-priority item, in O(log n). It is the ready list of FTSA
+// and its variants.
+type PriorityList struct {
+	l *avl.FreeList
+}
+
+// NewPriorityList returns an empty priority list.
+func NewPriorityList() *PriorityList { return &PriorityList{l: avl.NewFreeList()} }
+
+// Push inserts an item.
+func (pl *PriorityList) Push(it Item) {
+	pl.l.Push(avl.Entry{Priority: it.Priority, Tie: it.Tie, ID: it.ID})
+}
+
+// Pop removes and returns the highest-priority item.
+func (pl *PriorityList) Pop() (Item, bool) {
+	e, ok := pl.l.PopHead()
+	return Item{ID: e.ID, Priority: e.Priority, Tie: e.Tie}, ok
+}
+
+// Len returns the number of items.
+func (pl *PriorityList) Len() int { return pl.l.Len() }
+
+// Set is the insertion-ordered free-task set for schedulers that re-evaluate
+// every free task on every step instead of maintaining static priorities —
+// FTBAR scans the whole set for its most-urgent (task, processor) pair.
+// Removal is stable, preserving the order of the remaining tasks.
+type Set struct {
+	ids []dag.TaskID
+}
+
+// Add appends a task to the set.
+func (s *Set) Add(t dag.TaskID) { s.ids = append(s.ids, t) }
+
+// Remove deletes every occurrence of t (list schedulers hold each free task
+// at most once), preserving the order of the remaining tasks.
+func (s *Set) Remove(t dag.TaskID) {
+	out := s.ids[:0]
+	for _, f := range s.ids {
+		if f != t {
+			out = append(out, f)
+		}
+	}
+	s.ids = out
+}
+
+// Tasks returns the set's tasks in insertion order. The slice is owned by
+// the set and valid until the next Add or Remove.
+func (s *Set) Tasks() []dag.TaskID { return s.ids }
+
+// Len returns the number of tasks in the set.
+func (s *Set) Len() int { return len(s.ids) }

@@ -1,0 +1,22 @@
+package kernel
+
+// Grow returns a slice of length n, reusing buf's storage when it is large
+// enough. Contents are unspecified; use GrowZero when elements must start
+// from their zero value.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// GrowZero returns a zeroed slice of length n, reusing buf's storage when it
+// is large enough.
+func GrowZero[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"testing"
+
+	"ftsched/internal/sched"
+)
+
+// Unit tests for the insertion-slot search, the mechanism distinguishing
+// insertion-based placement (HEFT, ftsa-ins) from plain append-only EFT
+// scheduling.
+
+func line(slots ...Slot) *Timeline {
+	var tl Timeline
+	for _, s := range slots {
+		tl.Add(s.Start, s.Finish)
+	}
+	return &tl
+}
+
+func TestEarliestFitEmpty(t *testing.T) {
+	var tl Timeline
+	if got := tl.EarliestFit(7, 3); got != 7 {
+		t.Errorf("empty timeline: %g, want 7", got)
+	}
+}
+
+func TestEarliestFitGapBeforeFirst(t *testing.T) {
+	tl := line(Slot{10, 20})
+	if got := tl.EarliestFit(0, 5); got != 0 {
+		t.Errorf("leading gap: %g, want 0", got)
+	}
+	// Task too long for the leading gap: goes after the last slot.
+	if got := tl.EarliestFit(0, 15); got != 20 {
+		t.Errorf("oversized task: %g, want 20", got)
+	}
+}
+
+func TestEarliestFitMiddleGap(t *testing.T) {
+	tl := line(Slot{0, 10}, Slot{20, 30}, Slot{50, 60})
+	// Fits in [10,20).
+	if got := tl.EarliestFit(5, 8); got != 10 {
+		t.Errorf("middle gap: %g, want 10", got)
+	}
+	// Ready inside the gap.
+	if got := tl.EarliestFit(12, 8); got != 12 {
+		t.Errorf("ready inside gap: %g, want 12", got)
+	}
+	// Too long for [10,20) but fits [30,50).
+	if got := tl.EarliestFit(5, 15); got != 30 {
+		t.Errorf("second gap: %g, want 30", got)
+	}
+	// Fits nowhere: appended after 60.
+	if got := tl.EarliestFit(5, 25); got != 60 {
+		t.Errorf("append: %g, want 60", got)
+	}
+}
+
+func TestAppendModeIgnoresGaps(t *testing.T) {
+	// An append-only board (insertion=false) places after the ready time,
+	// never in a gap: commit [0,10) and [20,30), then ask for a start that
+	// would fit the free [10,20) window.
+	b := NewBoard(1, false)
+	defer b.Release()
+	b.Commit([]sched.Replica{{Proc: 0, StartMin: 0, FinishMin: 10, StartMax: 0, FinishMax: 10}})
+	b.Commit([]sched.Replica{{Proc: 0, StartMin: 20, FinishMin: 30, StartMax: 20, FinishMax: 30}})
+	if got := b.StartMin(0, 0, 5); got != 30 {
+		t.Errorf("append-only: %g, want 30", got)
+	}
+	if got := b.StartMin(0, 45, 5); got != 45 {
+		t.Errorf("append-only late ready: %g, want 45", got)
+	}
+}
+
+func TestAddKeepsOrder(t *testing.T) {
+	var tl Timeline
+	for _, s := range []Slot{{20, 30}, {0, 10}, {40, 50}, {10, 20}} {
+		tl.Add(s.Start, s.Finish)
+	}
+	for i := 1; i < len(tl.slots); i++ {
+		if tl.slots[i].Start < tl.slots[i-1].Start {
+			t.Fatalf("slots out of order: %v", tl.slots)
+		}
+	}
+	if tl.Len() != 4 {
+		t.Fatalf("len = %d", tl.Len())
+	}
+	tl.Reset()
+	if tl.Len() != 0 {
+		t.Fatalf("len after reset = %d", tl.Len())
+	}
+}

@@ -60,6 +60,19 @@ func AvgBottomLevels(g *dag.Graph, cm *platform.CostModel, p *platform.Platform)
 	)
 }
 
+// ResolveBottomLevels returns bl when it was supplied (validating its
+// length against the graph) and computes AvgBottomLevels otherwise — the
+// shared prologue of every scheduler honoring RunOptions.BottomLevels.
+func ResolveBottomLevels(g *dag.Graph, cm *platform.CostModel, p *platform.Platform, bl []float64) ([]float64, error) {
+	if bl == nil {
+		return AvgBottomLevels(g, cm, p)
+	}
+	if len(bl) != g.NumTasks() {
+		return nil, fmt.Errorf("sched: %d bottom levels for %d tasks", len(bl), g.NumTasks())
+	}
+	return bl, nil
+}
+
 // Deadlines assigns the per-task deadlines of Section 4.3 for a target
 // latency L, in reverse topological order:
 //

@@ -1,0 +1,38 @@
+package schedulers
+
+import (
+	"testing"
+
+	"ftsched/internal/sched"
+)
+
+// BenchmarkSchedule runs every registered scheduler through the registry's
+// uniform entry point on the fixed golden instance (≈125 tasks, 20 procs,
+// ε=2 for the fault-tolerant schedulers). The allocation counts are the
+// scoreboard for the kernel's pooled placement state; pre-kernel baselines
+// on this instance were ftsa 332, mcftsa 8206, ftbar 6981, heft 197
+// allocs/op.
+func BenchmarkSchedule(b *testing.B) {
+	inst := goldenInstance(b)
+	g, p, cm := inst.Graph, inst.Platform, inst.Costs
+	bl, err := sched.AvgBottomLevels(g, cm, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, info := range sched.Registrations() {
+		eps := 0
+		if info.FaultTolerant {
+			eps = 2
+		}
+		opt := sched.RunOptions{Epsilon: eps, BottomLevels: bl}
+		name := info.Name()
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Run(name, g, p, cm, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package schedulers
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ftsched/internal/sched"
+)
+
+const (
+	beginMarker = "<!-- BEGIN SCHEDULER TABLE (generated from the registry; do not edit by hand) -->"
+	endMarker   = "<!-- END SCHEDULER TABLE -->"
+)
+
+// TestAPIDocsSchedulerTable asserts that the scheduler table embedded in
+// docs/API.md is exactly sched.RegistryTable() — registering, renaming or
+// re-describing a scheduler without regenerating the docs fails the build.
+// To regenerate, replace the lines between the markers with the output of:
+//
+//	go test ./internal/schedulers -run TestAPIDocsSchedulerTable -v
+//
+// (the failure message prints the wanted table verbatim).
+func TestAPIDocsSchedulerTable(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	begin := strings.Index(doc, beginMarker)
+	end := strings.Index(doc, endMarker)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("docs/API.md is missing the generated-table markers %q ... %q", beginMarker, endMarker)
+	}
+	embedded := strings.TrimSpace(doc[begin+len(beginMarker) : end])
+	want := strings.TrimSpace(sched.RegistryTable())
+	if embedded != want {
+		t.Errorf("docs/API.md scheduler table drifted from the registry.\n"+
+			"Replace the block between the markers with:\n\n%s\n", want)
+	}
+}

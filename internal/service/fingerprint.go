@@ -5,10 +5,10 @@ import (
 	"hash"
 	"hash/fnv"
 	"math"
-	"strings"
 
 	"ftsched/internal/dag"
 	"ftsched/internal/platform"
+	"ftsched/internal/sched"
 )
 
 // Fingerprint is a 128-bit FNV-1a digest of a canonical encoding. 128 bits
@@ -102,22 +102,26 @@ func RequestFingerprint(req *ScheduleRequest) Fingerprint {
 	f := newFingerprinter()
 	f.instance(req.Graph, req.Platform, req.Costs)
 	f.str("params")
-	scheduler := strings.ToLower(req.Scheduler)
-	f.str(scheduler)
+	f.str(req.canonicalScheduler())
 	f.i64(int64(req.Epsilon))
 	// Canonicalize fields whose surface spelling doesn't change the
-	// response, so equivalent requests share one cache entry: an omitted
-	// policy means "greedy" for MC-FTSA, and HEFT is deterministic — its
-	// seed is never consumed.
+	// response, so equivalent requests share one cache entry. The registry
+	// declares each scheduler's defaults: an omitted policy means the
+	// scheduler's default ("greedy" for MC-FTSA), and a scheduler that never
+	// consumes the tie-break RNG (HEFT) hashes a zero seed. Pre-registry
+	// fingerprints canonicalized the same way with hard-coded names, so
+	// existing cache keys are unchanged.
 	policy := req.Policy
-	if scheduler == SchedulerMCFTSA && policy == "" {
-		policy = "greedy"
+	seed := req.Seed
+	if info, ok := sched.LookupInfo(req.Scheduler); ok {
+		if policy == "" {
+			policy = info.DefaultPolicy
+		}
+		if info.IgnoresRng {
+			seed = 0
+		}
 	}
 	f.str(policy)
-	seed := req.Seed
-	if scheduler == SchedulerHEFT {
-		seed = 0
-	}
 	f.i64(seed)
 	f.f64(req.Lambda)
 	var opts uint64

@@ -9,15 +9,7 @@ import (
 
 	"ftsched/internal/dag"
 	"ftsched/internal/platform"
-)
-
-// Scheduler names accepted by the API. They are matched case-insensitively;
-// the canonical lower-case forms are listed here.
-const (
-	SchedulerFTSA   = "ftsa"
-	SchedulerMCFTSA = "mcftsa"
-	SchedulerFTBAR  = "ftbar"
-	SchedulerHEFT   = "heft"
+	"ftsched/internal/sched"
 )
 
 // ScheduleRequest is the body of POST /schedule. The graph, platform and
@@ -32,13 +24,19 @@ type ScheduleRequest struct {
 	Platform *platform.Platform `json:"platform"`
 	// Costs is the task × processor execution-cost matrix.
 	Costs *platform.CostModel `json:"costs"`
-	// Scheduler selects the heuristic: "ftsa", "mcftsa", "ftbar" or "heft".
+	// Scheduler selects the heuristic by scheduler-registry name or alias,
+	// matched case-insensitively: "ftsa", "mcftsa" (alias "mc-ftsa"),
+	// "ftsa-ins", "ftbar" or "heft". Unknown names are rejected with a 400
+	// that enumerates the registered schedulers.
 	Scheduler string `json:"scheduler"`
 	// Epsilon is ε, the number of tolerated fail-stop failures; every task is
-	// replicated on ε+1 distinct processors. Must be 0 for "heft".
+	// replicated on ε+1 distinct processors. Must be 0 for schedulers
+	// registered as not fault-tolerant ("heft").
 	Epsilon int `json:"epsilon"`
-	// Policy selects the MC-FTSA matching policy, "greedy" (default) or
-	// "bottleneck". Only valid with scheduler "mcftsa".
+	// Policy selects a scheduler-specific placement policy: "greedy"
+	// (default) or "bottleneck" for mcftsa, "noinsertion" for heft,
+	// "noduplication" for ftbar. Values a scheduler does not register are
+	// rejected.
 	Policy string `json:"policy,omitempty"`
 	// Seed, when non-zero, seeds random priority tie-breaking as in the
 	// paper. Zero (the default) breaks ties deterministically by task ID.
@@ -169,31 +167,22 @@ func (req *ScheduleRequest) Validate() error {
 	if req.Costs.NumProcs() != m {
 		return fmt.Errorf("costs cover %d processors, platform has %d", req.Costs.NumProcs(), m)
 	}
-	switch s := strings.ToLower(req.Scheduler); s {
-	case SchedulerFTSA, SchedulerMCFTSA, SchedulerFTBAR:
-	case SchedulerHEFT:
-		if req.Epsilon != 0 {
-			return fmt.Errorf("scheduler %q is not fault-tolerant; epsilon must be 0, got %d", s, req.Epsilon)
-		}
-	case "":
-		return fmt.Errorf("missing field %q (want ftsa, mcftsa, ftbar or heft)", "scheduler")
-	default:
-		return fmt.Errorf("unknown scheduler %q (want ftsa, mcftsa, ftbar or heft)", req.Scheduler)
+	if req.Scheduler == "" {
+		return fmt.Errorf("missing field %q (registered schedulers: %s)",
+			"scheduler", strings.Join(sched.Names(), ", "))
 	}
-	if req.Epsilon < 0 {
-		return fmt.Errorf("epsilon must be >= 0, got %d", req.Epsilon)
+	info, ok := sched.LookupInfo(req.Scheduler)
+	if !ok {
+		return sched.UnknownSchedulerError(req.Scheduler)
+	}
+	// Capability checks (fault tolerance, policy surface) are the registry's;
+	// the service only adds the instance-dependent constraints.
+	if err := info.Check(sched.RunOptions{Epsilon: req.Epsilon, Policy: req.Policy}); err != nil {
+		return err
 	}
 	if req.Epsilon+1 > m {
 		return fmt.Errorf("epsilon %d needs %d distinct processors per task, platform has %d",
 			req.Epsilon, req.Epsilon+1, m)
-	}
-	switch req.Policy {
-	case "", "greedy", "bottleneck":
-		if req.Policy != "" && strings.ToLower(req.Scheduler) != SchedulerMCFTSA {
-			return fmt.Errorf("policy only applies to scheduler mcftsa, got scheduler %q", req.Scheduler)
-		}
-	default:
-		return fmt.Errorf("unknown policy %q (want greedy or bottleneck)", req.Policy)
 	}
 	if req.Lambda < 0 {
 		return fmt.Errorf("lambda must be >= 0, got %g", req.Lambda)
@@ -201,8 +190,13 @@ func (req *ScheduleRequest) Validate() error {
 	return nil
 }
 
-// canonicalScheduler returns the lower-case scheduler name.
+// canonicalScheduler resolves the request's scheduler (name or alias, any
+// case) to its canonical registry name, falling back to plain lower-casing
+// for requests that never passed validation.
 func (req *ScheduleRequest) canonicalScheduler() string {
+	if info, ok := sched.LookupInfo(req.Scheduler); ok {
+		return info.Name()
+	}
 	return strings.ToLower(req.Scheduler)
 }
 

@@ -158,12 +158,12 @@ func TestDecodeScheduleRequestRejects(t *testing.T) {
 			s, _ := json.Marshal(b)
 			return string(s)
 		}, "epsilon must be 0"},
-		{"policy without mcftsa", func(t *testing.T) string {
+		{"policy on a policy-free scheduler", func(t *testing.T) string {
 			b := validBody(t)
 			b["policy"] = "greedy"
 			s, _ := json.Marshal(b)
 			return string(s)
-		}, "policy only applies"},
+		}, "accepts no policy"},
 		{"unknown policy", func(t *testing.T) string {
 			b := validBody(t)
 			b["scheduler"] = "mcftsa"

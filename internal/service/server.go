@@ -12,12 +12,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"ftsched/internal/core"
-	"ftsched/internal/ftbar"
-	"ftsched/internal/heft"
 	"ftsched/internal/platform"
 	"ftsched/internal/reliability"
 	"ftsched/internal/sched"
+	_ "ftsched/internal/schedulers" // register every built-in scheduler
 	"ftsched/internal/stats"
 )
 
@@ -74,6 +72,12 @@ type Server struct {
 	clientErrors   atomic.Uint64
 	internalErrors atomic.Uint64
 
+	// schedMu guards schedReqs, the per-scheduler request counts reported
+	// by GET /stats (keyed by canonical registry name; every well-formed
+	// /schedule request counts, hits and misses alike).
+	schedMu   sync.Mutex
+	schedReqs map[string]uint64
+
 	latMu sync.Mutex
 	lat   *stats.Window
 }
@@ -96,12 +100,13 @@ func New(cfg Config) *Server {
 		cfg.LatencyWindow = 1024
 	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		pool:    NewPool(cfg.Workers, cfg.Queue),
-		cache:   NewCache(cfg.CacheEntries, cfg.CacheShards),
-		blCache: NewCache(cfg.BottomLevelEntries, 4),
-		lat:     stats.NewWindow(cfg.LatencyWindow),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		pool:      NewPool(cfg.Workers, cfg.Queue),
+		cache:     NewCache(cfg.CacheEntries, cfg.CacheShards),
+		blCache:   NewCache(cfg.BottomLevelEntries, 4),
+		schedReqs: make(map[string]uint64),
+		lat:       stats.NewWindow(cfg.LatencyWindow),
 	}
 	s.schedule = s.runSchedule
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
@@ -155,6 +160,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("instance has %d tasks, this server accepts at most %d", req.Graph.NumTasks(), s.cfg.MaxTasks))
 		return
 	}
+	s.countScheduler(req.canonicalScheduler())
 
 	fp := RequestFingerprint(req)
 	if v, ok := s.cache.Get(fp); ok {
@@ -223,8 +229,16 @@ func (s *Server) logRequest(r *http.Request, req *ScheduleRequest, cacheStatus s
 		time.Since(start).Round(time.Microsecond))
 }
 
+// countScheduler bumps the per-scheduler request counter under its mutex.
+func (s *Server) countScheduler(name string) {
+	s.schedMu.Lock()
+	s.schedReqs[name]++
+	s.schedMu.Unlock()
+}
+
 // runSchedule is the cache-miss path: resolve bottom levels from the
-// instance memo, run the requested heuristic, and serialize the response.
+// instance memo, run the requested heuristic through the scheduler
+// registry, and serialize the response.
 func (s *Server) runSchedule(req *ScheduleRequest) ([]byte, error) {
 	g, p, cm := req.Graph, req.Platform, req.Costs
 	var rng *rand.Rand
@@ -232,44 +246,29 @@ func (s *Server) runSchedule(req *ScheduleRequest) ([]byte, error) {
 		rng = rand.New(rand.NewSource(req.Seed))
 	}
 
-	var (
-		schedule *sched.Schedule
-		err      error
-	)
-	switch req.canonicalScheduler() {
-	case SchedulerFTSA, SchedulerMCFTSA:
-		// Static bottom levels depend only on the instance, so cache-miss
-		// requests for the same DAG under different ε, seed or scheduler
-		// share them (core.Options.BottomLevels treats the slice as
-		// read-only, which is what makes sharing race-free).
-		var bl []float64
-		ifp := InstanceFingerprint(g, p, cm)
-		if v, ok := s.blCache.Get(ifp); ok {
-			bl = v.([]float64)
-		} else {
-			bl, err = sched.AvgBottomLevels(g, cm, p)
-			if err != nil {
-				return nil, err
-			}
-			s.blCache.Put(ifp, bl)
+	// Static bottom levels depend only on the instance, and every
+	// registered scheduler derives its priorities from them, so cache-miss
+	// requests for the same DAG under different ε, seed or scheduler share
+	// one computation (RunOptions.BottomLevels is read-only to the
+	// schedulers, which is what makes sharing race-free).
+	var bl []float64
+	ifp := InstanceFingerprint(g, p, cm)
+	if v, ok := s.blCache.Get(ifp); ok {
+		bl = v.([]float64)
+	} else {
+		var err error
+		bl, err = sched.AvgBottomLevels(g, cm, p)
+		if err != nil {
+			return nil, err
 		}
-		opts := core.Options{Epsilon: req.Epsilon, Rng: rng, BottomLevels: bl}
-		if req.canonicalScheduler() == SchedulerFTSA {
-			schedule, err = core.FTSA(g, p, cm, opts)
-		} else {
-			policy := core.MatchGreedy
-			if req.Policy == "bottleneck" {
-				policy = core.MatchBottleneck
-			}
-			schedule, err = core.MCFTSA(g, p, cm, core.MCFTSAOptions{Options: opts, Policy: policy})
-		}
-	case SchedulerFTBAR:
-		schedule, err = ftbar.Schedule(g, p, cm, ftbar.Options{Npf: req.Epsilon, Rng: rng})
-	case SchedulerHEFT:
-		schedule, err = heft.Schedule(g, p, cm, heft.Options{})
-	default:
-		err = fmt.Errorf("unknown scheduler %q", req.Scheduler)
+		s.blCache.Put(ifp, bl)
 	}
+	schedule, err := sched.Run(req.Scheduler, g, p, cm, sched.RunOptions{
+		Epsilon:      req.Epsilon,
+		Rng:          rng,
+		BottomLevels: bl,
+		Policy:       req.Policy,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -365,6 +364,10 @@ type Stats struct {
 	HitRate     float64 `json:"hit_rate"`
 	// CacheEntries is the current response-cache population.
 	CacheEntries int `json:"cache_entries"`
+	// SchedulerRequests counts well-formed /schedule requests by canonical
+	// registry scheduler name (hits and misses alike). Schedulers never
+	// requested are absent.
+	SchedulerRequests map[string]uint64 `json:"scheduler_requests"`
 	// Rejected counts 429s (queue full); ClientErrors counts 4xx;
 	// InternalErrors counts all 5xx, including 503s during shutdown.
 	Rejected       uint64 `json:"rejected"`
@@ -390,17 +393,24 @@ type LatencyStats struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.hits.Load(), s.misses.Load()
+	s.schedMu.Lock()
+	bySched := make(map[string]uint64, len(s.schedReqs))
+	for name, n := range s.schedReqs {
+		bySched[name] = n
+	}
+	s.schedMu.Unlock()
 	st := Stats{
-		Requests:       s.requests.Load(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEntries:   s.cache.Len(),
-		Rejected:       s.rejected.Load(),
-		ClientErrors:   s.clientErrors.Load(),
-		InternalErrors: s.internalErrors.Load(),
-		QueueDepth:     s.pool.QueueDepth(),
-		QueueCapacity:  s.pool.QueueCapacity(),
-		Workers:        s.pool.Workers(),
+		Requests:          s.requests.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      s.cache.Len(),
+		SchedulerRequests: bySched,
+		Rejected:          s.rejected.Load(),
+		ClientErrors:      s.clientErrors.Load(),
+		InternalErrors:    s.internalErrors.Load(),
+		QueueDepth:        s.pool.QueueDepth(),
+		QueueCapacity:     s.pool.QueueCapacity(),
+		Workers:           s.pool.Workers(),
 	}
 	if hits+misses > 0 {
 		st.HitRate = float64(hits) / float64(hits+misses)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -136,7 +137,9 @@ func TestScheduleAllSchedulers(t *testing.T) {
 		{"mcftsa", 1, "bottleneck", "MC-FTSA"},
 		{"ftbar", 1, "", "FTBAR"},
 		{"heft", 0, "", "HEFT"},
-		{"FTSA", 2, "", "FTSA"}, // case-insensitive
+		{"ftsa-ins", 1, "", "FTSA-ins"}, // registry-only variant
+		{"FTSA", 2, "", "FTSA"},         // case-insensitive
+		{"MC-FTSA", 1, "", "MC-FTSA"},   // registry alias
 	} {
 		t.Run(tc.scheduler+"-eps"+fmt.Sprint(tc.epsilon), func(t *testing.T) {
 			req := testRequest(t)
@@ -279,6 +282,62 @@ func TestScheduleMalformedReturns400(t *testing.T) {
 	getJSON(t, ts.URL+"/stats", &st)
 	if st.ClientErrors != 5 {
 		t.Fatalf("client errors = %d, want 5", st.ClientErrors)
+	}
+}
+
+// An unknown scheduler must be rejected with a 400 whose message enumerates
+// the registry — the client sees exactly which names this binary serves.
+func TestScheduleUnknownSchedulerListsRegistry(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	req := testRequest(t)
+	req.Scheduler = "slurm"
+	resp, data := postSchedule(t, ts.URL, marshalRequest(t, req))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (body %s)", resp.StatusCode, data)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body is not JSON: %s", data)
+	}
+	for _, name := range sched.Names() {
+		if !strings.Contains(e.Error, name) {
+			t.Errorf("400 body %q does not list registered scheduler %q", e.Error, name)
+		}
+	}
+}
+
+// GET /stats must attribute requests to schedulers by canonical registry
+// name, counting hits and misses alike and folding aliases together.
+func TestStatsPerScheduler(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	post := func(scheduler string, eps int) {
+		t.Helper()
+		req := testRequest(t)
+		req.Scheduler = scheduler
+		req.Epsilon = eps
+		resp, data := postSchedule(t, ts.URL, marshalRequest(t, req))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", scheduler, resp.StatusCode, data)
+		}
+	}
+	post("ftsa", 1)
+	post("FTSA", 1) // cache hit, same canonical name
+	post("mc-ftsa", 1)
+	post("MC-FTSA", 1) // alias, folds into mcftsa
+	post("ftsa-ins", 1)
+	post("heft", 0)
+
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	want := map[string]uint64{"ftsa": 2, "mcftsa": 2, "ftsa-ins": 1, "heft": 1}
+	for name, n := range want {
+		if st.SchedulerRequests[name] != n {
+			t.Errorf("scheduler_requests[%q] = %d, want %d (all: %v)",
+				name, st.SchedulerRequests[name], n, st.SchedulerRequests)
+		}
+	}
+	if _, ok := st.SchedulerRequests["ftbar"]; ok {
+		t.Errorf("scheduler_requests contains never-requested ftbar: %v", st.SchedulerRequests)
 	}
 }
 
