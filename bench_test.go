@@ -220,10 +220,9 @@ func BenchmarkReliability(b *testing.B) {
 		b.Fatal(err)
 	}
 	law := reliability.Exponential{Lambda: 0.5 / s.UpperBound()}
-	rng := rand.New(rand.NewSource(8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := reliability.MonteCarlo(rng, s, law, 50); err != nil {
+		if _, err := reliability.MonteCarlo(8, s, law, 50); err != nil {
 			b.Fatal(err)
 		}
 	}

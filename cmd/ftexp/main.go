@@ -16,6 +16,14 @@
 //	ftexp -campaign custom -schedulers ftsa,ftsa-ins -eps 1 -instances 10
 //	ftexp -list-schedulers                     # registry names usable above
 //
+// The -evaluate flag adds a failure-scenario dimension to a custom campaign:
+// each cell runs a Monte-Carlo fault-injection batch (-trials scenarios via
+// sim.Evaluate) instead of the single-crash replay, and the aggregate gains
+// success-rate and p99 columns:
+//
+//	ftexp -campaign custom -eps 2 -instances 20 -gran 1 \
+//	      -evaluate uniform:2,exp:0.001,group:4:0.001 -trials 500
+//
 // Legacy paper modes:
 //
 //	ftexp -fig 1                 # Figure 1 (ε=1, m=20): bounds, crash, overhead panels
@@ -57,6 +65,8 @@ func main() {
 		instances  = flag.Int("instances", 60, "campaign instances per grid point")
 		procs      = flag.Int("procs", 20, "campaign platform size")
 		tasks      = flag.String("tasks", "100:150", "campaign random-family task range 'min:max'")
+		evaluate   = flag.String("evaluate", "", "campaign scenario dimension: comma list of specs (uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA, burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON)")
+		trials     = flag.Int("trials", 0, "fault-injection trials per cell (requires -evaluate; default 1000)")
 
 		fig      = flag.Int("fig", 0, "paper figure to regenerate (1-4)")
 		table    = flag.Int("table", 0, "paper table to regenerate (1)")
@@ -80,7 +90,8 @@ func main() {
 		// Campaign-only flags are meaningless in the legacy modes; reject
 		// them instead of silently ignoring a sweep the user thinks ran.
 		for _, name := range []string{"parallel", "checkpoint", "resume", "progress",
-			"schedulers", "eps", "gran", "families", "instances", "procs", "tasks"} {
+			"schedulers", "eps", "gran", "families", "instances", "procs", "tasks",
+			"evaluate", "trials"} {
 			if setFlags[name] {
 				fatal(fmt.Errorf("-%s only applies to -campaign mode", name))
 			}
@@ -98,6 +109,7 @@ func main() {
 			preset: *campaign, schedulers: *schedulers, eps: *epsList,
 			gran: *granRange, families: *families, instances: *instances,
 			procs: *procs, tasks: *tasks, seed: *seed, graphs: *graphs,
+			evaluate: *evaluate, trials: *trials,
 			set: setFlags,
 		}
 		eng := expt.EngineOptions{
@@ -221,6 +233,8 @@ type campaignFlags struct {
 	tasks      string
 	seed       int64
 	graphs     int
+	evaluate   string
+	trials     int
 	set        map[string]bool // flags explicitly passed on the command line
 }
 
@@ -231,7 +245,7 @@ type campaignFlags struct {
 // "custom" builds the whole grid from flags.
 func buildCampaign(cfg campaignFlags) (expt.Campaign, error) {
 	if cfg.preset == "paper" {
-		for _, name := range []string{"schedulers", "eps", "gran", "families", "instances", "procs", "tasks"} {
+		for _, name := range []string{"schedulers", "eps", "gran", "families", "instances", "procs", "tasks", "evaluate", "trials"} {
 			if cfg.set[name] {
 				return expt.Campaign{}, fmt.Errorf(
 					"-campaign paper fixes the grid; -%s only applies to -campaign custom (use -graphs to shrink the batch)", name)
@@ -284,6 +298,22 @@ func buildCampaign(cfg campaignFlags) (expt.Campaign, error) {
 		return c, fmt.Errorf("bad -tasks: %w", err)
 	}
 	c.Seed = cfg.seed
+	if cfg.set["trials"] && cfg.evaluate == "" {
+		return c, fmt.Errorf("-trials only applies with -evaluate; pass a scenario list as well")
+	}
+	if cfg.evaluate != "" {
+		for _, s := range strings.Split(cfg.evaluate, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				c.Scenarios = append(c.Scenarios, s)
+			}
+		}
+		// Default only when -trials was not passed: an explicit bad value
+		// must reach Validate's error, not silently become 1000.
+		c.EvalTrials = cfg.trials
+		if !cfg.set["trials"] {
+			c.EvalTrials = 1000
+		}
+	}
 	return c, nil
 }
 

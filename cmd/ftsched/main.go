@@ -18,6 +18,16 @@
 //	ftsched -dir work -maxeps -latency 5000      # maximize ε (FTSA) in budget
 //	ftsched -dir work -compare -eps 2            # every registered scheduler
 //	ftsched -dir work -load s.json -crash 1      # replay a saved schedule
+//	ftsched -dir work -eps 2 -evaluate -trials 10000            # batch MC eval
+//	ftsched -dir work -eps 2 -evaluate -scenario exp:0.0001     # failure law
+//	ftsched -dir work -load s.json -evaluate -scenario group:4:0.001
+//
+// -evaluate runs the batch fault-injection engine (sim.Evaluate) against the
+// computed or loaded schedule: -trials scenarios drawn from -scenario
+// (uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA,
+// burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON), reporting the success rate
+// with its Wilson interval, latency mean/p50/p99 and the
+// degradation-vs-failure-count histogram.
 //
 // The modes are exclusive: -maxeps, -compare and -load each reject flags
 // they would otherwise silently ignore.
@@ -46,7 +56,9 @@ func main() {
 		eps        = flag.Int("eps", 1, "number of tolerated failures ε (defaults to 0 for non-fault-tolerant schedulers)")
 		seed       = flag.Int64("seed", 1, "random seed for tie-breaking and crash draws")
 		crash      = flag.Int("crash", -1, "simulate this many uniform crashes (-1: no simulation)")
-		trials     = flag.Int("trials", 1, "crash simulation trials")
+		trials     = flag.Int("trials", 1, "crash simulation trials (-crash), or batch size for -evaluate")
+		evaluate   = flag.Bool("evaluate", false, "run the batch fault-injection evaluation (sim.Evaluate) on the schedule")
+		scenario   = flag.String("scenario", "", "evaluation scenario spec (default uniform:ε), e.g. uniform:2, exp:0.001, weibull:1.5:2000, group:4:0.001, burst:3:0.001:50, staggered:2:1000")
 		latency    = flag.Float64("latency", 0, "latency budget: deadline-checked scheduling, or the budget for -maxeps")
 		policy     = flag.String("policy", "", "scheduler-specific policy (e.g. mcftsa: greedy|bottleneck, heft: noinsertion)")
 		maxEps     = flag.Bool("maxeps", false, "maximize ε under the -latency budget (uses FTSA)")
@@ -77,16 +89,29 @@ func main() {
 	}
 	switch {
 	case *maxEps:
-		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy")
+		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy", "evaluate", "scenario")
 	case *compare:
-		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy")
+		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate", "scenario")
 	case *loadFrm != "":
 		rejectWith("-load", "algo", "eps", "latency", "save", "policy")
 	}
-	if *crash < 0 {
-		for _, name := range []string{"trials", "trace"} {
+	if *evaluate {
+		// -crash replays single hand-drawn scenarios; -evaluate is the
+		// batch engine. Mixing them would double-report.
+		for _, name := range []string{"crash", "trace"} {
 			if set[name] {
-				fatal(fmt.Errorf("-%s only applies to crash simulation; pass -crash as well", name))
+				fatal(fmt.Errorf("-%s does not apply to -evaluate (the batch engine draws its own scenarios)", name))
+			}
+		}
+	} else {
+		if set["scenario"] {
+			fatal(fmt.Errorf("-scenario only applies to -evaluate; pass it as well"))
+		}
+		if *crash < 0 {
+			for _, name := range []string{"trials", "trace"} {
+				if set[name] {
+					fatal(fmt.Errorf("-%s only applies to crash simulation; pass -crash or -evaluate as well", name))
+				}
 			}
 		}
 	}
@@ -191,6 +216,13 @@ func main() {
 		}
 	}
 
+	if *evaluate {
+		if err := runEvaluate(s, *scenario, *eps, *trials, set["trials"], *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *crash >= 0 {
 		for trial := 0; trial < *trials; trial++ {
 			sc, err := sim.UniformCrashes(rng, p.NumProcs(), *crash)
@@ -214,6 +246,44 @@ func main() {
 			}
 		}
 	}
+}
+
+// runEvaluate runs the batch fault-injection engine on the schedule and
+// prints the aggregate.
+func runEvaluate(s *sched.Schedule, scenario string, eps, trials int, trialsSet bool, seed int64) error {
+	if scenario == "" {
+		// The natural default mirrors the paper's crash experiments: ε
+		// uniform crashes at time zero (the guarantee region's boundary).
+		scenario = fmt.Sprintf("uniform:%d", eps)
+	}
+	sp, err := sim.ParseScenarioSpec(scenario)
+	if err != nil {
+		return err
+	}
+	gen, err := sp.Generator()
+	if err != nil {
+		return err
+	}
+	if !trialsSet {
+		trials = 1000
+	}
+	res, err := sim.Evaluate(s, gen, trials, sim.EvalOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  evaluation: %d trials of scenario %s (seed %d)\n", res.Trials, res.Generator, res.Seed)
+	fmt.Printf("    success rate: %.4f  (95%% Wilson [%.4f, %.4f])\n",
+		res.SuccessRate, res.SuccessLow, res.SuccessHigh)
+	if res.Successes > 0 {
+		fmt.Printf("    latency over %d successes: mean %.4g  p50 %.4g  p99 %.4g  max %.4g\n",
+			res.Successes, res.Latency.Mean, res.Latency.P50, res.Latency.P99, res.Latency.Max)
+	}
+	fmt.Printf("    %9s %8s %8s %13s %12s\n", "failures", "trials", "success", "mean latency", "degradation")
+	for _, b := range res.ByFailures {
+		fmt.Printf("    %9d %8d %7.1f%% %13.4g %+11.1f%%\n",
+			b.Failures, b.Trials, 100*b.SuccessRate, b.MeanLatency, 100*b.MeanDegradation)
+	}
+	return nil
 }
 
 // runCompare schedules the instance with every registered scheduler

@@ -9,10 +9,13 @@
 //	ftserved -addr :9000 -workers 4   # explicit socket and pool size
 //	ftserved -queue 64 -cache 10000   # deeper queue, bigger response cache
 //	ftserved -max-tasks 5000 -v       # reject huge instances, log requests
+//	ftserved -max-trials 50000        # cap one /evaluate batch
 //
 // Endpoints (see docs/API.md for the full reference):
 //
 //	POST /schedule   schedule an instance, returns bounds + metrics JSON
+//	POST /evaluate   schedule + Monte-Carlo failure injection: success rate
+//	                 (Wilson interval), latency p50/p99, degradation histogram
 //	GET  /healthz    liveness probe
 //	GET  /stats      cache hit rate, queue depth, p50/p99 latency
 //
@@ -36,14 +39,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "scheduling workers (0: one per core)")
-		queue    = flag.Int("queue", 0, "pending-request queue bound (0: 2x workers); overflow returns 429")
-		cache    = flag.Int("cache", 4096, "response cache capacity in entries")
-		shards   = flag.Int("shards", 16, "response cache shard count")
-		maxTasks = flag.Int("max-tasks", 0, "reject instances with more tasks (0: unlimited)")
-		maxBody  = flag.Int64("max-body", 32<<20, "request body limit in bytes")
-		verbose  = flag.Bool("v", false, "log every /schedule request")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "scheduling workers (0: one per core)")
+		queue     = flag.Int("queue", 0, "pending-request queue bound (0: 2x workers); overflow returns 429")
+		cache     = flag.Int("cache", 4096, "response cache capacity in entries")
+		shards    = flag.Int("shards", 16, "response cache shard count")
+		maxTasks  = flag.Int("max-tasks", 0, "reject instances with more tasks (0: unlimited)")
+		maxTrials = flag.Int("max-trials", 0, "reject /evaluate requests with more trials (0: 100000)")
+		maxBody   = flag.Int64("max-body", 32<<20, "request body limit in bytes")
+		verbose   = flag.Bool("v", false, "log every /schedule and /evaluate request")
 	)
 	flag.Parse()
 
@@ -53,6 +57,7 @@ func main() {
 		CacheEntries: *cache,
 		CacheShards:  *shards,
 		MaxTasks:     *maxTasks,
+		MaxTrials:    *maxTrials,
 		MaxBodyBytes: *maxBody,
 	}
 	logger := log.New(os.Stderr, "ftserved: ", log.LstdFlags)

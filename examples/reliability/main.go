@@ -50,7 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		mc, err := ftsched.MonteCarloReliability(rand.New(rand.NewSource(99)), s, law, 2000)
+		mc, err := ftsched.MonteCarloReliability(99, s, law, 2000)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -116,12 +116,22 @@ type (
 	SimResult = sim.Result
 	// CommModel computes message delivery times.
 	CommModel = sim.CommModel
+	// ScenarioGenerator draws one failure scenario per evaluation trial.
+	ScenarioGenerator = sim.ScenarioGenerator
+	// ScenarioSpec is the serializable description of a scenario generator.
+	ScenarioSpec = sim.ScenarioSpec
+	// EvalOptions tunes a batch fault-injection evaluation.
+	EvalOptions = sim.EvalOptions
+	// EvalResult aggregates a batch fault-injection evaluation.
+	EvalResult = sim.EvalResult
 )
 
 // Reliability (see internal/reliability).
 type (
 	// Exponential models i.i.d. exponential processor lifetimes.
 	Exponential = reliability.Exponential
+	// Weibull models i.i.d. Weibull processor lifetimes (aging hardware).
+	Weibull = reliability.Weibull
 	// MonteCarloResult summarizes a sampled reliability estimate.
 	MonteCarloResult = reliability.MonteCarloResult
 )
@@ -244,10 +254,22 @@ func SurvivalLowerBound(e Exponential, m, epsilon int, mission float64) (float64
 }
 
 // MonteCarloReliability estimates the survival probability by sampling crash
-// scenarios and replaying the schedule.
-func MonteCarloReliability(rng *rand.Rand, s *Schedule, e Exponential, trials int) (*MonteCarloResult, error) {
-	return reliability.MonteCarlo(rng, s, e, trials)
+// scenarios and replaying the schedule. It is deterministic in the seed:
+// equal seeds agree trial-for-trial with Evaluate under e.Generator().
+func MonteCarloReliability(seed int64, s *Schedule, e Exponential, trials int) (*MonteCarloResult, error) {
+	return reliability.MonteCarlo(seed, s, e, trials)
 }
+
+// Evaluate replays the schedule under trials failure scenarios drawn from
+// gen — the batch fault-injection engine behind ftserved's /evaluate
+// endpoint. The result is deterministic in opt.Seed at any worker count.
+func Evaluate(s *Schedule, gen ScenarioGenerator, trials int, opt EvalOptions) (*EvalResult, error) {
+	return sim.Evaluate(s, gen, trials, opt)
+}
+
+// ParseScenarioSpec reads the colon-separated flag form of a scenario spec,
+// e.g. "uniform:2", "exp:0.001" or "weibull:1.5:2000".
+func ParseScenarioSpec(s string) (ScenarioSpec, error) { return sim.ParseScenarioSpec(s) }
 
 // Granularity computes g(G,P), the paper's computation/communication ratio.
 func Granularity(g *Graph, cm *CostModel, p *Platform) (float64, error) {

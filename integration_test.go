@@ -231,7 +231,7 @@ func TestPublicFacadeCoversWorkflow(t *testing.T) {
 	if err := bar.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	mcr, err := ftsched.MonteCarloReliability(rng, s, ftsched.Exponential{Lambda: 0.1 / s.UpperBound()}, 100)
+	mcr, err := ftsched.MonteCarloReliability(4, s, ftsched.Exponential{Lambda: 0.1 / s.UpperBound()}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}

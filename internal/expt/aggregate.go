@@ -12,16 +12,21 @@ import (
 )
 
 // AggRow is one aggregated grid point: every metric accumulated over the
-// campaign's instances at a fixed (family, scheduler, ε, granularity).
+// campaign's instances at a fixed (family, scheduler, ε, granularity) —
+// plus the scenario coordinate in evaluation campaigns (empty otherwise).
 type AggRow struct {
 	Family      string
 	Scheduler   SchedulerID
 	Epsilon     int
 	Granularity float64
+	Scenario    string
 
 	Lower, Upper       stats.Accumulator
 	FaultFree, Crash   stats.Accumulator
 	Overhead, Messages stats.Accumulator
+	// Success and EvalP99 aggregate the evaluation dimension (zero-sample
+	// accumulators in classic campaigns).
+	Success, EvalP99 stats.Accumulator
 }
 
 // key identifies a row; cells sorted by index arrive in canonical grid
@@ -31,32 +36,48 @@ type aggKey struct {
 	scheduler   SchedulerID
 	epsilon     int
 	granularity float64
+	scenario    string
 }
 
 // Rows aggregates the per-cell results into one row per grid point. Cells
 // are consumed in index order, which fixes the floating-point accumulation
 // order and makes the aggregate a pure function of the spec. Rows are then
-// presented grouped as (family, ε, granularity, scheduler) — following each
-// dimension's order in the spec — which reads as one block per figure.
+// presented grouped as (family, ε, scenario, granularity, scheduler) —
+// following each dimension's order in the spec — which reads as one block
+// per figure (scenario is absent in classic campaigns).
 func (r *CampaignResult) Rows() []*AggRow {
 	index := make(map[aggKey]*AggRow)
 	var rows []*AggRow
 	for i := range r.Cells {
 		c := &r.Cells[i]
-		k := aggKey{c.Family, c.Scheduler, c.Epsilon, c.Granularity}
+		k := aggKey{c.Family, c.Scheduler, c.Epsilon, c.Granularity, c.Scenario}
 		row, ok := index[k]
 		if !ok {
 			row = &AggRow{Family: c.Family, Scheduler: c.Scheduler,
-				Epsilon: c.Epsilon, Granularity: c.Granularity}
+				Epsilon: c.Epsilon, Granularity: c.Granularity, Scenario: c.Scenario}
 			index[k] = row
 			rows = append(rows, row)
 		}
 		row.Lower.Add(c.Lower)
 		row.Upper.Add(c.Upper)
 		row.FaultFree.Add(c.FaultFree)
-		row.Crash.Add(c.Crash)
-		row.Overhead.Add(c.Overhead)
 		row.Messages.Add(float64(c.Messages))
+		if c.Scenario == "" {
+			row.Crash.Add(c.Crash)
+			row.Overhead.Add(c.Overhead)
+			continue
+		}
+		row.Success.Add(c.SuccessRate)
+		// A cell whose every trial failed has no latency sample; folding
+		// its zero-valued Crash/Overhead/EvalP99 into the means would drag
+		// the harshest scenarios' crash latency toward zero — the opposite
+		// of reality. Latency aggregates cover surviving cells only; the
+		// success column says how many those are.
+		if c.SuccessRate > 0 {
+			row.Crash.Add(c.Crash)
+			row.Overhead.Add(c.Overhead)
+			row.EvalP99.Add(c.EvalP99)
+		}
 	}
 	famPos := positions(r.Campaign.Families)
 	epsPos := make(map[int]int, len(r.Campaign.Epsilons))
@@ -71,6 +92,7 @@ func (r *CampaignResult) Rows() []*AggRow {
 	for i, s := range r.Campaign.Schedulers {
 		schedPos[s] = i
 	}
+	scnPos := positions(r.Campaign.Scenarios)
 	sort.SliceStable(rows, func(a, b int) bool {
 		ra, rb := rows[a], rows[b]
 		if famPos[ra.Family] != famPos[rb.Family] {
@@ -78,6 +100,12 @@ func (r *CampaignResult) Rows() []*AggRow {
 		}
 		if epsPos[ra.Epsilon] != epsPos[rb.Epsilon] {
 			return epsPos[ra.Epsilon] < epsPos[rb.Epsilon]
+		}
+		// Scenario sorts before granularity so the ASCII writer's
+		// per-(family, ε, scenario) blocks hold a scenario's whole
+		// granularity curve instead of fragmenting per granularity.
+		if scnPos[ra.Scenario] != scnPos[rb.Scenario] {
+			return scnPos[ra.Scenario] < scnPos[rb.Scenario]
 		}
 		if granPos[ra.Granularity] != granPos[rb.Granularity] {
 			return granPos[ra.Granularity] < granPos[rb.Granularity]
@@ -105,10 +133,23 @@ var campaignCSVHeader = []string{
 	"crash_mean", "crash_ci95", "overhead_mean", "overhead_ci95", "msgs_mean",
 }
 
+// evalCampaignCSVHeader extends the classic header for campaigns carrying
+// the scenario dimension. The classic header is emitted unchanged otherwise,
+// so existing consumers never see surprise columns.
+var evalCampaignCSVHeader = []string{
+	"scenario", "trials", "success_mean", "success_ci95", "p99_mean", "p99_ci95",
+}
+
 // WriteCampaignCSV emits the aggregated campaign as CSV: one row per grid
-// point with mean and 95% CI columns per metric.
+// point with mean and 95% CI columns per metric. Evaluation campaigns gain
+// scenario/success/p99 columns.
 func WriteCampaignCSV(w io.Writer, r *CampaignResult) error {
-	if _, err := fmt.Fprintln(w, strings.Join(campaignCSVHeader, ",")); err != nil {
+	header := campaignCSVHeader
+	hasEval := len(r.Campaign.Scenarios) > 0
+	if hasEval {
+		header = append(append([]string(nil), header...), evalCampaignCSVHeader...)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
 		return err
 	}
 	for _, row := range r.Rows() {
@@ -122,6 +163,13 @@ func WriteCampaignCSV(w io.Writer, r *CampaignResult) error {
 			ftoa(row.Crash.Mean()), ftoa(row.Crash.CI95()),
 			ftoa(row.Overhead.Mean()), ftoa(row.Overhead.CI95()),
 			ftoa(row.Messages.Mean()),
+		}
+		if hasEval {
+			cols = append(cols,
+				row.Scenario, strconv.Itoa(r.Campaign.EvalTrials),
+				ftoa(row.Success.Mean()), ftoa(row.Success.CI95()),
+				ftoa(row.EvalP99.Mean()), ftoa(row.EvalP99.CI95()),
+			)
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
 			return err
@@ -143,6 +191,11 @@ type campaignJSONRow struct {
 	Crash       jsonStat `json:"crash"`
 	Overhead    jsonStat `json:"overhead"`
 	Messages    jsonStat `json:"msgs"`
+	// Evaluation-dimension fields, present only when the campaign set
+	// Scenarios.
+	Scenario string    `json:"scenario,omitempty"`
+	Success  *jsonStat `json:"success,omitempty"`
+	EvalP99  *jsonStat `json:"p99,omitempty"`
 }
 
 type jsonStat struct {
@@ -161,14 +214,20 @@ func WriteCampaignJSON(w io.Writer, r *CampaignResult) error {
 		Rows     []campaignJSONRow `json:"rows"`
 	}{Campaign: r.Campaign, Rows: make([]campaignJSONRow, 0, len(rows))}
 	for _, row := range rows {
-		out.Rows = append(out.Rows, campaignJSONRow{
+		jr := campaignJSONRow{
 			Family: row.Family, Scheduler: string(row.Scheduler),
 			Epsilon: row.Epsilon, Granularity: row.Granularity,
 			N:     row.Lower.N(),
 			Lower: jstat(&row.Lower), Upper: jstat(&row.Upper),
 			FaultFree: jstat(&row.FaultFree), Crash: jstat(&row.Crash),
 			Overhead: jstat(&row.Overhead), Messages: jstat(&row.Messages),
-		})
+		}
+		if row.Scenario != "" {
+			jr.Scenario = row.Scenario
+			s, p := jstat(&row.Success), jstat(&row.EvalP99)
+			jr.Success, jr.EvalP99 = &s, &p
+		}
+		out.Rows = append(out.Rows, jr)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -176,12 +235,17 @@ func WriteCampaignJSON(w io.Writer, r *CampaignResult) error {
 }
 
 // WriteCampaignASCII renders the aggregate as a fixed-width table, one
-// header per (family, ε) block.
+// header per (family, ε) block — per (family, ε, scenario) in evaluation
+// campaigns, which also gain success-rate and p99 columns.
 func WriteCampaignASCII(w io.Writer, r *CampaignResult) error {
 	rows := r.Rows()
+	hasEval := len(r.Campaign.Scenarios) > 0
 	lastBlock := ""
 	for _, row := range rows {
 		block := fmt.Sprintf("%s ε=%d", row.Family, row.Epsilon)
+		if hasEval {
+			block = fmt.Sprintf("%s scenario=%s (%d trials/cell)", block, row.Scenario, r.Campaign.EvalTrials)
+		}
 		if block != lastBlock {
 			if lastBlock != "" {
 				if _, err := fmt.Fprintln(w); err != nil {
@@ -193,15 +257,25 @@ func WriteCampaignASCII(w io.Writer, r *CampaignResult) error {
 				block, r.Campaign.Name, r.Campaign.Procs, r.Campaign.Instances); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "%-9s %5s %4s %9s %9s %9s %9s %9s %9s\n",
-				"scheduler", "g", "n", "lb", "ub", "ff", "crash", "ovh%", "msgs"); err != nil {
+			cols := "%-9s %5s %4s %9s %9s %9s %9s %9s %9s"
+			args := []any{"scheduler", "g", "n", "lb", "ub", "ff", "crash", "ovh%", "msgs"}
+			if hasEval {
+				cols += " %9s %9s"
+				args = append(args, "success", "p99")
+			}
+			if _, err := fmt.Fprintf(w, cols+"\n", args...); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%-9s %5.2f %4d %9.3f %9.3f %9.3f %9.3f %9.2f %9.0f\n",
-			row.Scheduler, row.Granularity, row.Lower.N(),
+		cols := "%-9s %5.2f %4d %9.3f %9.3f %9.3f %9.3f %9.2f %9.0f"
+		args := []any{row.Scheduler, row.Granularity, row.Lower.N(),
 			row.Lower.Mean(), row.Upper.Mean(), row.FaultFree.Mean(),
-			row.Crash.Mean(), row.Overhead.Mean(), row.Messages.Mean()); err != nil {
+			row.Crash.Mean(), row.Overhead.Mean(), row.Messages.Mean()}
+		if hasEval {
+			cols += " %9.4f %9.3f"
+			args = append(args, row.Success.Mean(), row.EvalP99.Mean())
+		}
+		if _, err := fmt.Fprintf(w, cols+"\n", args...); err != nil {
 			return err
 		}
 	}

@@ -63,14 +63,26 @@ type Campaign struct {
 	TasksMax int `json:"tasks_max"`
 	// Seed is the base seed every per-cell seed derives from.
 	Seed int64 `json:"seed"`
+	// Scenarios, when non-empty, adds a failure-scenario dimension to the
+	// grid: each cell runs the batch fault-injection engine (sim.Evaluate,
+	// EvalTrials scenarios per cell) instead of the single-crash replay,
+	// recording success rate and latency tail alongside the usual metrics.
+	// Entries are sim.ParseScenarioSpec strings ("uniform:2", "exp:0.001",
+	// "weibull:1.5:2000", ...). Both fields are omitted from the JSON
+	// encoding when unset, so legacy campaign fingerprints — and therefore
+	// their checkpoints — stay valid.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// EvalTrials is the per-cell trial count of the evaluation dimension
+	// (required exactly when Scenarios is set).
+	EvalTrials int `json:"eval_trials,omitempty"`
 }
 
 // Cell identifies one point of a campaign grid. Index is the cell's rank in
 // the canonical enumeration order (families, then granularity, then
-// instance, then ε, then scheduler — innermost last), which is also the
-// order the aggregator consumes results in. All cells sharing one problem
-// instance are consecutive, so the engine's prepared-instance cache stays
-// small while capturing every reuse.
+// instance, then ε, then scenario, then scheduler — innermost last), which
+// is also the order the aggregator consumes results in. All cells sharing
+// one problem instance are consecutive, so the engine's prepared-instance
+// cache stays small while capturing every reuse.
 type Cell struct {
 	Index       int         `json:"i"`
 	Family      string      `json:"family"`
@@ -78,11 +90,19 @@ type Cell struct {
 	Granularity float64     `json:"g"`
 	Instance    int         `json:"inst"`
 	Scheduler   SchedulerID `json:"sched"`
+	// Scenario is the cell's failure-scenario spec; empty in campaigns
+	// without the evaluation dimension.
+	Scenario string `json:"scn,omitempty"`
 }
 
 // CellResult is the measured outcome of one cell. Latencies are normalized
 // per instance like the paper's figures (see normalizer). Overhead is the
 // paper's FTSA*-relative percentage: 100·(crash − faultfree)/faultfree.
+//
+// In evaluation campaigns (Campaign.Scenarios set) Crash and Overhead are
+// derived from the mean latency of the cell's successful trials, and the
+// success-rate/tail fields below are populated (their zero values are
+// omitted from checkpoints, so legacy lines parse unchanged).
 type CellResult struct {
 	Cell
 	Tasks     int     `json:"tasks"`
@@ -93,6 +113,10 @@ type CellResult struct {
 	Crash     float64 `json:"crash"`
 	Overhead  float64 `json:"ovh"`
 	Messages  int     `json:"msgs"`
+	// SuccessRate is the fraction of the cell's EvalTrials scenarios the
+	// schedule survived; EvalP99 the normalized p99 latency of successes.
+	SuccessRate float64 `json:"sr,omitempty"`
+	EvalP99     float64 `json:"p99,omitempty"`
 }
 
 // campaignFamilies maps structured-family names to graph builders; "random"
@@ -227,28 +251,74 @@ func (c Campaign) Validate() error {
 	if c.TasksMin < 1 || c.TasksMax < c.TasksMin {
 		return fmt.Errorf("expt: invalid task range [%d,%d]", c.TasksMin, c.TasksMax)
 	}
+	if len(c.Scenarios) == 0 && c.EvalTrials != 0 {
+		return fmt.Errorf("expt: eval_trials=%d without scenarios; add a scenario dimension or drop it", c.EvalTrials)
+	}
+	if len(c.Scenarios) > 0 {
+		if c.EvalTrials < 1 {
+			return fmt.Errorf("expt: scenario dimension needs eval_trials >= 1, got %d", c.EvalTrials)
+		}
+		seenScn := make(map[string]bool, len(c.Scenarios))
+		for _, raw := range c.Scenarios {
+			sp, err := sim.ParseScenarioSpec(raw)
+			if err != nil {
+				return fmt.Errorf("expt: %w", err)
+			}
+			gen, err := sp.Generator()
+			if err != nil {
+				return fmt.Errorf("expt: %w", err)
+			}
+			if err := gen.Check(c.Procs); err != nil {
+				return fmt.Errorf("expt: scenario %q: %w", raw, err)
+			}
+			// Duplicates are detected on the canonical rendering, catching
+			// "exp:0.001" against "exponential:1e-3".
+			if key := sp.String(); seenScn[key] {
+				return fmt.Errorf("expt: duplicate scenario %q", raw)
+			} else {
+				seenScn[key] = true
+			}
+		}
+	}
 	return nil
+}
+
+// numScenarios is the size of the scenario dimension (1 when absent: the
+// classic single-crash replay).
+func (c Campaign) numScenarios() int {
+	if len(c.Scenarios) == 0 {
+		return 1
+	}
+	return len(c.Scenarios)
 }
 
 // NumCells returns the size of the campaign grid.
 func (c Campaign) NumCells() int {
-	return len(c.Families) * len(c.Epsilons) * len(c.Granularities) * c.Instances * len(c.Schedulers)
+	return len(c.Families) * len(c.Epsilons) * len(c.Granularities) * c.Instances *
+		len(c.Schedulers) * c.numScenarios()
 }
 
 // Cells enumerates the grid in canonical order.
 func (c Campaign) Cells() []Cell {
+	scenarios := c.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = []string{""}
+	}
 	cells := make([]Cell, 0, c.NumCells())
 	i := 0
 	for _, fam := range c.Families {
 		for _, g := range c.Granularities {
 			for inst := 0; inst < c.Instances; inst++ {
 				for _, eps := range c.Epsilons {
-					for _, s := range c.Schedulers {
-						cells = append(cells, Cell{
-							Index: i, Family: fam, Epsilon: eps,
-							Granularity: g, Instance: inst, Scheduler: s,
-						})
-						i++
+					for _, scn := range scenarios {
+						for _, s := range c.Schedulers {
+							cells = append(cells, Cell{
+								Index: i, Family: fam, Epsilon: eps,
+								Granularity: g, Instance: inst, Scheduler: s,
+								Scenario: scn,
+							})
+							i++
+						}
 					}
 				}
 			}
@@ -296,6 +366,14 @@ func (c Campaign) faultFreeSeed(cell Cell) int64 {
 func (c Campaign) crashSeed(cell Cell) int64 {
 	return derive(c.Seed, "crash", cell.Family, gstr(cell.Granularity),
 		strconv.Itoa(cell.Instance), strconv.Itoa(cell.Epsilon))
+}
+
+// evalSeed feeds the evaluation dimension's per-trial scenario draws. Like
+// crashSeed it excludes the scheduler, so every scheduler of one
+// (instance, ε, scenario) point faces the identical failure sample.
+func (c Campaign) evalSeed(cell Cell) int64 {
+	return derive(c.Seed, "eval", cell.Family, gstr(cell.Granularity),
+		strconv.Itoa(cell.Instance), strconv.Itoa(cell.Epsilon), cell.Scenario)
 }
 
 // instance materializes the cell's problem instance from its deterministic
@@ -395,6 +473,40 @@ func (c Campaign) runPrepared(cell Cell, p *prepared) (CellResult, error) {
 		return res, fmt.Errorf("expt: cell %d %s: %w", cell.Index, cell.Scheduler, err)
 	}
 
+	res.Tasks = inst.Graph.NumTasks()
+	res.Edges = inst.Graph.NumEdges()
+	res.Lower = s.LowerBound() / p.norm
+	res.Upper = s.UpperBound() / p.norm
+	res.FaultFree = p.ffLatency / p.norm
+	res.Messages = s.MessageCount()
+
+	if cell.Scenario != "" {
+		// Evaluation dimension: a Monte-Carlo batch instead of one replay.
+		sp, err := sim.ParseScenarioSpec(cell.Scenario)
+		if err != nil {
+			return res, fmt.Errorf("expt: cell %d: %w", cell.Index, err)
+		}
+		gen, err := sp.Generator()
+		if err != nil {
+			return res, fmt.Errorf("expt: cell %d: %w", cell.Index, err)
+		}
+		// Workers: 1 — the engine's parallelism axis is the cell grid; the
+		// result is worker-count independent either way.
+		eval, err := sim.Evaluate(s, gen, c.EvalTrials, sim.EvalOptions{
+			Seed: c.evalSeed(cell), Workers: 1,
+		})
+		if err != nil {
+			return res, fmt.Errorf("expt: cell %d evaluation: %w", cell.Index, err)
+		}
+		res.SuccessRate = eval.SuccessRate
+		if eval.Successes > 0 {
+			res.Crash = eval.Latency.Mean / p.norm
+			res.EvalP99 = eval.Latency.P99 / p.norm
+			res.Overhead = 100 * (eval.Latency.Mean - p.ffLatency) / p.ffLatency
+		}
+		return res, nil
+	}
+
 	crng := rand.New(rand.NewSource(c.crashSeed(cell)))
 	scenario, err := sim.UniformCrashes(crng, c.Procs, cell.Epsilon)
 	if err != nil {
@@ -404,14 +516,7 @@ func (c Campaign) runPrepared(cell Cell, p *prepared) (CellResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("expt: cell %d crash replay: %w", cell.Index, err)
 	}
-
-	res.Tasks = inst.Graph.NumTasks()
-	res.Edges = inst.Graph.NumEdges()
-	res.Lower = s.LowerBound() / p.norm
-	res.Upper = s.UpperBound() / p.norm
-	res.FaultFree = p.ffLatency / p.norm
 	res.Crash = crash.Latency / p.norm
 	res.Overhead = 100 * (crash.Latency - p.ffLatency) / p.ffLatency
-	res.Messages = s.MessageCount()
 	return res, nil
 }

@@ -11,6 +11,14 @@
 // bounds, fault-free latency, crash latency under a per-cell uniform crash
 // scenario, overhead, and message counts — into per-point mean/95%-CI rows.
 //
+// Setting Campaign.Scenarios adds a failure-scenario dimension: each cell
+// runs a Monte-Carlo fault-injection batch (sim.Evaluate, EvalTrials
+// deterministic trials) instead of the single crash replay, so one grid can
+// sweep whole failure families (uniform crashes, exponential or Weibull
+// lifetimes, rack groups, bursts, rolling outages) and the aggregate gains
+// success-rate and p99 columns. Every scheduler of one grid point shares
+// the failure sample, extending the like-for-like discipline below.
+//
 // Three properties make campaigns production-grade:
 //
 //   - Determinism. Every cell derives its RNG seeds (instance generation,

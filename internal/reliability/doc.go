@@ -14,7 +14,11 @@
 //     schedule through the simulator, capturing mid-execution crashes and
 //     the exact communication pattern.
 //
-// The combinatorial bound is what the serving layer reports per request
-// (cheap, deterministic, cacheable); the Monte-Carlo estimator is the
-// offline validation tool (see examples/reliability).
+// The combinatorial bound is what the serving layer reports per /schedule
+// request (cheap, deterministic, cacheable). The Monte-Carlo estimator is a
+// seed-deterministic view over the batch evaluation engine: each law
+// (Exponential, Weibull) bridges to a sim.ScenarioGenerator via Generator(),
+// and MonteCarlo delegates to sim.Evaluate, so MonteCarlo(seed, ...) agrees
+// trial for trial with Evaluate at the same seed — one sampling loop for the
+// whole system (see examples/reliability and the /evaluate endpoint).
 package reliability

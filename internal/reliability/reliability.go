@@ -29,6 +29,49 @@ func (e Exponential) Sample(rng *rand.Rand) float64 {
 	return rng.ExpFloat64() / e.Lambda
 }
 
+// Generator bridges the law to the simulator's batch evaluation engine:
+// sim.Evaluate with this generator draws exactly the scenarios MonteCarlo
+// scores.
+func (e Exponential) Generator() sim.ScenarioGenerator {
+	return sim.ExponentialGen{Lambda: e.Lambda}
+}
+
+// Weibull describes i.i.d. Weibull processor lifetimes — the hardware-aging
+// law the exponential model cannot express: Shape < 1 captures infant
+// mortality (failure rate decreasing in time), Shape > 1 wear-out, and
+// Shape = 1 degenerates to Exponential with rate 1/Scale.
+type Weibull struct {
+	// Shape is the Weibull k parameter; Scale the characteristic life λ
+	// (the time by which ~63.2% of processors have failed).
+	Shape, Scale float64
+}
+
+// Validate checks the law's parameters.
+func (w Weibull) Validate() error {
+	if w.Shape <= 0 || w.Scale <= 0 {
+		return fmt.Errorf("reliability: Weibull shape and scale must be positive, got k=%g λ=%g", w.Shape, w.Scale)
+	}
+	return nil
+}
+
+// ProcAlive returns the probability a processor survives past time t:
+// exp(−(t/λ)^k).
+func (w Weibull) ProcAlive(t float64) float64 {
+	return math.Exp(-math.Pow(t/w.Scale, w.Shape))
+}
+
+// Sample draws one crash time by inverse transform: λ·E^(1/k) with E
+// standard exponential — the same draw sim.WeibullGen makes, so a seeded
+// stream here reproduces the generator's scenarios.
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	return w.Scale * math.Pow(rng.ExpFloat64(), 1/w.Shape)
+}
+
+// Generator bridges the law to the simulator's batch evaluation engine.
+func (w Weibull) Generator() sim.ScenarioGenerator {
+	return sim.WeibullGen{Shape: w.Shape, Scale: w.Scale}
+}
+
 // SurvivalLowerBound returns the probability that at most epsilon of m
 // processors fail within the mission time — a lower bound on the schedule's
 // success probability, by Theorem 4.1. It sums the binomial tail
@@ -92,31 +135,22 @@ type MonteCarloResult struct {
 // schedule through the simulator. Unlike SurvivalLowerBound it credits runs
 // where more than ε processors fail but only after their work is done, and
 // debits nothing (crash-at-work is simulated exactly).
-func MonteCarlo(rng *rand.Rand, s *sched.Schedule, e Exponential, trials int) (*MonteCarloResult, error) {
+//
+// It is a thin view over sim.Evaluate with the law's generator and
+// deterministic per-trial seeding: MonteCarlo(seed, ...) and
+// sim.Evaluate(..., EvalOptions{Seed: seed}) with e.Generator() see the same
+// crash draws trial for trial, so the two reports always agree.
+func MonteCarlo(seed int64, s *sched.Schedule, e Exponential, trials int) (*MonteCarloResult, error) {
 	if e.Lambda <= 0 {
 		return nil, ErrBadRate
 	}
-	if trials <= 0 {
-		return nil, fmt.Errorf("reliability: need at least one trial, got %d", trials)
+	res, err := sim.Evaluate(s, e.Generator(), trials, sim.EvalOptions{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("reliability: %w", err)
 	}
-	m := s.Platform.NumProcs()
-	success := 0
-	latSum := 0.0
-	for i := 0; i < trials; i++ {
-		sc := sim.NoFailures(m)
-		for p := 0; p < m; p++ {
-			sc.CrashTime[p] = e.Sample(rng)
-		}
-		res, err := sim.Run(s, sc, nil)
-		if err != nil {
-			continue
-		}
-		success++
-		latSum += res.Latency
-	}
-	out := &MonteCarloResult{Success: float64(success) / float64(trials), Trials: trials}
-	if success > 0 {
-		out.MeanLatency = latSum / float64(success)
-	}
-	return out, nil
+	return &MonteCarloResult{
+		Success:     res.SuccessRate,
+		MeanLatency: res.Latency.Mean,
+		Trials:      res.Trials,
+	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ftsched/internal/core"
+	"ftsched/internal/sim"
 	"ftsched/internal/workload"
 )
 
@@ -94,7 +95,7 @@ func TestMonteCarloAgreesWithBound(t *testing.T) {
 	// Failure rate chosen so failures during the mission are common enough
 	// to exercise both outcomes.
 	e := Exponential{Lambda: 0.5 / s.UpperBound()}
-	mc, err := MonteCarlo(rng, s, e, 400)
+	mc, err := MonteCarlo(17, s, e, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestMonteCarlohigherEpsilonMoreReliable(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := Exponential{Lambda: 1.0 / s3.UpperBound()}
-	mc0, err := MonteCarlo(rand.New(rand.NewSource(7)), s0, e, 400)
+	mc0, err := MonteCarlo(7, s0, e, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc3, err := MonteCarlo(rand.New(rand.NewSource(7)), s3, e, 400)
+	mc3, err := MonteCarlo(7, s3, e, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,8 +146,78 @@ func TestMonteCarlohigherEpsilonMoreReliable(t *testing.T) {
 }
 
 func TestMonteCarloErrors(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	if _, err := MonteCarlo(rng, nil, Exponential{Lambda: 0}, 10); err == nil {
+	if _, err := MonteCarlo(1, nil, Exponential{Lambda: 0}, 10); err == nil {
 		t.Error("want error for λ=0")
+	}
+}
+
+// The refactor's contract: MonteCarlo is sim.Evaluate under the law's
+// generator, so at equal seeds the two agree trial for trial — not just in
+// expectation.
+func TestMonteCarloAgreesWithEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := workload.DefaultPaperConfig(1.0)
+	cfg.Procs = 8
+	cfg.DAG.MinTasks, cfg.DAG.MaxTasks = 25, 35
+	inst, err := workload.NewInstance(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Exponential{Lambda: 1.0 / s.UpperBound()}
+	const seed, trials = 23, 300
+	mc, err := MonteCarlo(seed, s, e, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sim.Evaluate(s, e.Generator(), trials, sim.EvalOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Success != ev.SuccessRate || mc.MeanLatency != ev.Latency.Mean || mc.Trials != ev.Trials {
+		t.Fatalf("MonteCarlo %+v disagrees with Evaluate (rate %g, mean %g, trials %d)",
+			mc, ev.SuccessRate, ev.Latency.Mean, ev.Trials)
+	}
+	// Both should exercise successes and failures at this rate.
+	if ev.Successes == 0 || ev.Successes == trials {
+		t.Fatalf("degenerate sample: %d/%d successes", ev.Successes, trials)
+	}
+}
+
+func TestWeibullLaw(t *testing.T) {
+	w := Weibull{Shape: 2, Scale: 100}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Weibull{Shape: 0, Scale: 1}).Validate(); err == nil {
+		t.Error("want error for shape 0")
+	}
+	// Survival decreases in t and matches exp(-(t/λ)^k).
+	if got, want := w.ProcAlive(100), math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ProcAlive(scale) = %g, want %g", got, want)
+	}
+	if w.ProcAlive(10) <= w.ProcAlive(200) {
+		t.Error("survival not decreasing")
+	}
+	// Shape 1 degenerates to exponential: equal seeds, equal draws.
+	a, b := rand.New(rand.NewSource(2)), rand.New(rand.NewSource(2))
+	wd := Weibull{Shape: 1, Scale: 40}.Sample(a)
+	ed := Exponential{Lambda: 1.0 / 40}.Sample(b)
+	if math.Abs(wd-ed) > 1e-9*ed {
+		t.Errorf("Weibull(1,40) drew %g, Exponential(1/40) drew %g", wd, ed)
+	}
+	// The law's sampler and its sim generator agree draw for draw.
+	a, b = rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	sc := sim.NewScenario(4)
+	if err := w.Generator().FillScenario(b, &sc, &sim.ScenarioScratch{}); err != nil {
+		t.Fatal(err)
+	}
+	for p := range sc.CrashTime {
+		if got, want := sc.CrashTime[p], w.Sample(a); got != want {
+			t.Fatalf("processor %d: generator drew %g, law drew %g", p, got, want)
+		}
 	}
 }

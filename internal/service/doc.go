@@ -12,6 +12,13 @@
 //     parameters, and returns the schedule, its latency bounds, the paper's
 //     metrics (replication overhead, communication volume, utilization),
 //     an optional reliability estimate and an optional Gantt timeline.
+//   - POST /evaluate accepts the same scheduling problem plus a
+//     fault-injection batch (trials, scenario generator spec, evaluation
+//     seed) and returns the schedule's behavior under sampled failures:
+//     success rate with a 95% Wilson interval, latency mean/p50/p99 and a
+//     degradation-vs-failure-count histogram, computed by sim.Evaluate with
+//     deterministic per-trial seeding — the response is as cacheable as a
+//     schedule.
 //   - GET /healthz is a liveness probe.
 //   - GET /stats reports cache hit rate, queue depth and p50/p99 latency.
 //

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ftsched/internal/sim"
+)
+
+// EvaluateRequest is the body of POST /evaluate: a full scheduling request
+// plus the fault-injection batch to run against the resulting schedule. The
+// response is a pure function of the request (per-trial seeds derive from
+// eval_seed), so it is fingerprint-cached exactly like /schedule.
+type EvaluateRequest struct {
+	ScheduleRequest
+	// Trials is the number of failure scenarios to sample (bounded by the
+	// server's -max-trials).
+	Trials int `json:"trials"`
+	// Scenario selects the failure-scenario generator, e.g.
+	// {"kind": "uniform", "crashes": 2} or {"kind": "weibull", "shape": 1.5,
+	// "scale": 2000}. See sim.ScenarioSpec for every kind.
+	Scenario sim.ScenarioSpec `json:"scenario"`
+	// EvalSeed is the base seed of the per-trial scenario draws; equal
+	// seeds reproduce the evaluation bit for bit at any worker count.
+	EvalSeed int64 `json:"eval_seed,omitempty"`
+}
+
+// EvaluateResponse is the body of a successful POST /evaluate.
+type EvaluateResponse struct {
+	// Scheduler is the algorithm's display name (e.g. "MC-FTSA").
+	Scheduler string `json:"scheduler"`
+	Epsilon   int    `json:"epsilon"`
+	Tasks     int    `json:"tasks"`
+	Procs     int    `json:"procs"`
+	// Pattern is the communication pattern, "all" or "matched".
+	Pattern string `json:"pattern"`
+	// LowerBound and UpperBound are the schedule's latency bounds
+	// (equations 2 and 4) — the frame the simulated latencies live in.
+	LowerBound float64 `json:"lower_bound"`
+	UpperBound float64 `json:"upper_bound"`
+	// Scenario is the canonical spec string of the generator that ran.
+	Scenario string `json:"scenario"`
+	// Eval is the aggregated fault-injection result: success rate with its
+	// Wilson interval, latency summary, degradation histogram.
+	Eval sim.EvalResult `json:"eval"`
+}
+
+// DecodeEvaluateRequest reads and validates one /evaluate request body, with
+// the same strictness as DecodeScheduleRequest (unknown fields rejected, one
+// JSON document only).
+func DecodeEvaluateRequest(r io.Reader) (*EvaluateRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req EvaluateRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("decoding request: unexpected data after the JSON body")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate cross-checks the decoded request: the scheduling part first, then
+// the evaluation batch.
+func (req *EvaluateRequest) Validate() error {
+	if err := req.ScheduleRequest.Validate(); err != nil {
+		return err
+	}
+	// The evaluation response has no Gantt or schedule section; reject the
+	// flags instead of silently dropping them.
+	if req.IncludeGantt {
+		return fmt.Errorf("include_gantt is not supported by /evaluate")
+	}
+	if req.IncludeSchedule {
+		return fmt.Errorf("include_schedule is not supported by /evaluate")
+	}
+	if req.Lambda != 0 {
+		return fmt.Errorf("lambda is not supported by /evaluate; pick a scenario kind (e.g. %q) instead", "exp")
+	}
+	if req.Trials < 1 {
+		return fmt.Errorf("need trials >= 1, got %d", req.Trials)
+	}
+	gen, err := req.Scenario.Generator()
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := gen.Check(req.Platform.NumProcs()); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// EvaluateFingerprint digests everything an /evaluate response depends on:
+// the instance, the canonicalized scheduling parameters (policy defaults and
+// ignored seeds folded exactly like RequestFingerprint) and the evaluation
+// batch. The "evaluate" domain tag keeps the keyspace disjoint from
+// /schedule, so the two endpoints share one response cache safely.
+func EvaluateFingerprint(req *EvaluateRequest) Fingerprint {
+	f := newFingerprinter()
+	f.instance(req.Graph, req.Platform, req.Costs)
+	f.str("evaluate")
+	f.str(req.canonicalScheduler())
+	f.i64(int64(req.Epsilon))
+	policy, seed := req.canonicalPolicySeed()
+	f.str(policy)
+	f.i64(seed)
+	f.i64(int64(req.Trials))
+	f.str(req.Scenario.String())
+	f.i64(req.EvalSeed)
+	return f.sum()
+}
+
+// marshalEvaluateResponse serializes a response deterministically (compact
+// JSON, struct field order) — the property the byte-exact cache relies on.
+func marshalEvaluateResponse(resp *EvaluateResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -8,7 +8,6 @@ import (
 
 	"ftsched/internal/dag"
 	"ftsched/internal/platform"
-	"ftsched/internal/sched"
 )
 
 // Fingerprint is a 128-bit FNV-1a digest of a canonical encoding. 128 bits
@@ -104,23 +103,10 @@ func RequestFingerprint(req *ScheduleRequest) Fingerprint {
 	f.str("params")
 	f.str(req.canonicalScheduler())
 	f.i64(int64(req.Epsilon))
-	// Canonicalize fields whose surface spelling doesn't change the
-	// response, so equivalent requests share one cache entry. The registry
-	// declares each scheduler's defaults: an omitted policy means the
-	// scheduler's default ("greedy" for MC-FTSA), and a scheduler that never
-	// consumes the tie-break RNG (HEFT) hashes a zero seed. Pre-registry
-	// fingerprints canonicalized the same way with hard-coded names, so
-	// existing cache keys are unchanged.
-	policy := req.Policy
-	seed := req.Seed
-	if info, ok := sched.LookupInfo(req.Scheduler); ok {
-		if policy == "" {
-			policy = info.DefaultPolicy
-		}
-		if info.IgnoresRng {
-			seed = 0
-		}
-	}
+	// Canonicalization (canonicalPolicySeed) keeps equivalent requests on
+	// one cache entry. Pre-registry fingerprints canonicalized the same way
+	// with hard-coded names, so existing cache keys are unchanged.
+	policy, seed := req.canonicalPolicySeed()
 	f.str(policy)
 	f.i64(seed)
 	f.f64(req.Lambda)

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedBodies are the deterministic seeds of FuzzDecodePayload: the
+// docs/API.md example requests (well-formed), their /evaluate extensions,
+// and the malformed-table shapes the 400 tests pin. The native fuzzer
+// mutates these into the adversarial corpus; small regression inputs are
+// checked in under testdata/fuzz.
+var fuzzSeedBodies = []string{
+	// docs/API.md: the diamond FTSA example.
+	`{
+	  "graph": {
+	    "name": "diamond",
+	    "tasks": 4,
+	    "edges": [
+	      {"src": 0, "dst": 1, "volume": 1},
+	      {"src": 0, "dst": 2, "volume": 2},
+	      {"src": 1, "dst": 3, "volume": 1},
+	      {"src": 2, "dst": 3, "volume": 0.5}
+	    ]
+	  },
+	  "platform": {
+	    "procs": 3,
+	    "delay": [[0, 0.5, 0.5], [0.5, 0, 0.5], [0.5, 0.5, 0]]
+	  },
+	  "costs": {
+	    "cost": [[1, 2, 1.5], [2, 1, 1], [1, 1, 2], [2, 1.5, 1]]
+	  },
+	  "scheduler": "ftsa",
+	  "epsilon": 1
+	}`,
+	// docs/API.md: the MC-FTSA variant with options.
+	`{"graph": {"name": "d", "tasks": 2, "edges": [{"src": 0, "dst": 1, "volume": 1}]},
+	  "platform": {"procs": 2, "delay": [[0, 1], [1, 0]]},
+	  "costs": {"cost": [[1, 2], [2, 1]]},
+	  "scheduler": "mcftsa", "epsilon": 1, "lambda": 0.001, "include_gantt": true}`,
+	// docs/API.md: the /evaluate example shape.
+	`{"graph": {"name": "d", "tasks": 2, "edges": [{"src": 0, "dst": 1, "volume": 1}]},
+	  "platform": {"procs": 2, "delay": [[0, 1], [1, 0]]},
+	  "costs": {"cost": [[1, 2], [2, 1]]},
+	  "scheduler": "ftsa", "epsilon": 1,
+	  "trials": 100, "scenario": {"kind": "uniform", "crashes": 1}, "eval_seed": 7}`,
+	// The 400-table shapes.
+	"",
+	"epsilon=1",
+	`{"graph": {"name":`,
+	`{"graph": 7, "platform": [], "costs": "x", "scheduler": 1}`,
+	`{"scheduler": "ftsa", "epsilon": 1}`,
+	`{"trials": "soon"}`,
+	`{"scenario": {"kind": "weibull", "shape": -1}}`,
+	// Adversarial numerics: huge dims, NaN-ish text, deep nesting.
+	`{"graph": {"tasks": 99999999999999999999}}`,
+	`{"graph": {"name": "x", "tasks": 2, "edges": [{"src": 0, "dst": 1, "volume": 1e309}]}}`,
+	`{"graph": {"name": "x", "tasks": -1, "edges": []}}`,
+	`{"platform": {"procs": 2, "delay": [[0]]}}`,
+	`[[[[[[[[[[]]]]]]]]]]`,
+	`{"graph": null, "platform": null, "costs": null, "scheduler": null}`,
+}
+
+// FuzzDecodePayload proves malformed input never panics either endpoint's
+// decoder: every outcome must be a clean (request, nil) or (nil, error), and
+// an accepted request must survive fingerprinting (the next thing the
+// handler does with it).
+func FuzzDecodePayload(f *testing.F) {
+	for _, seed := range fuzzSeedBodies {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if req, err := DecodeScheduleRequest(bytes.NewReader(body)); err == nil {
+			if req == nil {
+				t.Fatal("DecodeScheduleRequest returned nil, nil")
+			}
+			_ = RequestFingerprint(req)
+			_ = InstanceFingerprint(req.Graph, req.Platform, req.Costs)
+		}
+		if req, err := DecodeEvaluateRequest(bytes.NewReader(body)); err == nil {
+			if req == nil {
+				t.Fatal("DecodeEvaluateRequest returned nil, nil")
+			}
+			_ = EvaluateFingerprint(req)
+			if _, err := req.Scenario.Generator(); err != nil {
+				t.Fatalf("validated request carries an unusable scenario: %v", err)
+			}
+		}
+	})
+}
+
+// TestDecodeSeedCorpus keeps the seed corpus meaningful outside fuzzing: the
+// well-formed seeds must decode, the malformed ones must error — all without
+// panicking, which is the property the fuzzer then stretches.
+func TestDecodeSeedCorpus(t *testing.T) {
+	wantOK := map[int]string{0: "schedule", 1: "schedule", 2: "evaluate"}
+	for i, seed := range fuzzSeedBodies {
+		_, serr := DecodeScheduleRequest(strings.NewReader(seed))
+		_, eerr := DecodeEvaluateRequest(strings.NewReader(seed))
+		switch wantOK[i] {
+		case "schedule":
+			if serr != nil {
+				t.Errorf("seed %d: schedule decode failed: %v", i, serr)
+			}
+		case "evaluate":
+			if eerr != nil {
+				t.Errorf("seed %d: evaluate decode failed: %v", i, eerr)
+			}
+		default:
+			if serr == nil && eerr == nil {
+				t.Errorf("seed %d: malformed body accepted by both decoders", i)
+			}
+		}
+	}
+}

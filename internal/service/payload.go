@@ -200,6 +200,24 @@ func (req *ScheduleRequest) canonicalScheduler() string {
 	return strings.ToLower(req.Scheduler)
 }
 
+// canonicalPolicySeed folds fields whose surface spelling doesn't change the
+// response, so equivalent requests share one cache entry. The registry
+// declares each scheduler's defaults: an omitted policy means the
+// scheduler's default ("greedy" for MC-FTSA), and a scheduler that never
+// consumes the tie-break RNG (HEFT) hashes a zero seed.
+func (req *ScheduleRequest) canonicalPolicySeed() (policy string, seed int64) {
+	policy, seed = req.Policy, req.Seed
+	if info, ok := sched.LookupInfo(req.Scheduler); ok {
+		if policy == "" {
+			policy = info.DefaultPolicy
+		}
+		if info.IgnoresRng {
+			seed = 0
+		}
+	}
+	return policy, seed
+}
+
 // marshalResponse serializes a response deterministically (compact JSON,
 // struct field order), the property the byte-exact response cache relies on.
 func marshalResponse(resp *ScheduleResponse) ([]byte, error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -16,12 +17,14 @@ import (
 	"ftsched/internal/reliability"
 	"ftsched/internal/sched"
 	_ "ftsched/internal/schedulers" // register every built-in scheduler
+	"ftsched/internal/sim"
 	"ftsched/internal/stats"
 )
 
-// CacheStatusHeader is set on every /schedule response: "hit" when the
-// response came from the cache, "miss" when it was freshly scheduled. The
-// body is byte-identical either way; only this header distinguishes them.
+// CacheStatusHeader is set on every /schedule and /evaluate response: "hit"
+// when the response came from the cache, "miss" when it was freshly
+// computed. The body is byte-identical either way; only this header
+// distinguishes them.
 const CacheStatusHeader = "X-Ftserved-Cache"
 
 // Config tunes a Server. The zero value picks serving defaults sized to the
@@ -44,6 +47,9 @@ type Config struct {
 	// MaxTasks rejects instances with more tasks (0: unlimited); a cheap
 	// guard against a single request monopolizing a worker.
 	MaxTasks int
+	// MaxTrials bounds the trial count of one /evaluate request
+	// (0: 100000), so a single batch cannot monopolize a worker.
+	MaxTrials int
 	// LatencyWindow is the number of recent /schedule latencies kept for the
 	// p50/p99 report (0: 1024).
 	LatencyWindow int
@@ -60,17 +66,20 @@ type Server struct {
 	cache   *Cache // Fingerprint → []byte (serialized response)
 	blCache *Cache // instance Fingerprint → []float64 (static bottom levels)
 
-	// schedule computes the response bytes for a validated request. It is a
-	// field so tests can replace it with a controllable stub (e.g. one that
-	// blocks, to fill the queue deterministically).
+	// schedule and evaluate compute the response bytes for a validated
+	// request of the respective endpoint. They are fields so tests can
+	// replace them with controllable stubs (e.g. ones that block, to fill
+	// the queue deterministically).
 	schedule func(*ScheduleRequest) ([]byte, error)
+	evaluate func(*EvaluateRequest) ([]byte, error)
 
-	requests       atomic.Uint64
-	hits           atomic.Uint64
-	misses         atomic.Uint64
-	rejected       atomic.Uint64
-	clientErrors   atomic.Uint64
-	internalErrors atomic.Uint64
+	requests         atomic.Uint64
+	evaluateRequests atomic.Uint64
+	hits             atomic.Uint64
+	misses           atomic.Uint64
+	rejected         atomic.Uint64
+	clientErrors     atomic.Uint64
+	internalErrors   atomic.Uint64
 
 	// schedMu guards schedReqs, the per-scheduler request counts reported
 	// by GET /stats (keyed by canonical registry name; every well-formed
@@ -99,6 +108,9 @@ func New(cfg Config) *Server {
 	if cfg.LatencyWindow <= 0 {
 		cfg.LatencyWindow = 1024
 	}
+	if cfg.MaxTrials <= 0 {
+		cfg.MaxTrials = 100000
+	}
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
@@ -109,7 +121,9 @@ func New(cfg Config) *Server {
 		lat:       stats.NewWindow(cfg.LatencyWindow),
 	}
 	s.schedule = s.runSchedule
+	s.evaluate = s.runEvaluate
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -141,11 +155,13 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
 }
 
-func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	start := time.Now()
+// decodeRequest is the request prologue both endpoints share: bound the
+// body, decode (400 on malformed input, 413 past the body limit) and apply
+// the instance-size guard. ok is false when an error response was written.
+func decodeRequest[T any](s *Server, w http.ResponseWriter, r *http.Request,
+	decode func(io.Reader) (T, error), base func(T) *ScheduleRequest) (req T, ok bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	req, err := DecodeScheduleRequest(r.Body)
+	req, err := decode(r.Body)
 	if err != nil {
 		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
@@ -153,25 +169,71 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		s.writeError(w, status, err)
-		return
+		return req, false
 	}
-	if s.cfg.MaxTasks > 0 && req.Graph.NumTasks() > s.cfg.MaxTasks {
+	if b := base(req); s.cfg.MaxTasks > 0 && b.Graph.NumTasks() > s.cfg.MaxTasks {
 		s.writeError(w, http.StatusBadRequest,
-			fmt.Errorf("instance has %d tasks, this server accepts at most %d", req.Graph.NumTasks(), s.cfg.MaxTasks))
+			fmt.Errorf("instance has %d tasks, this server accepts at most %d", b.Graph.NumTasks(), s.cfg.MaxTasks))
+		return req, false
+	}
+	return req, true
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	start := time.Now()
+	req, ok := decodeRequest(s, w, r, DecodeScheduleRequest,
+		func(req *ScheduleRequest) *ScheduleRequest { return req })
+	if !ok {
 		return
 	}
 	s.countScheduler(req.canonicalScheduler())
 
-	fp := RequestFingerprint(req)
-	if v, ok := s.cache.Get(fp); ok {
-		s.hits.Add(1)
-		s.writeScheduleResponse(w, v.([]byte), "hit")
-		s.observeLatency(start)
-		s.logRequest(r, req, "hit", start)
+	cacheStatus, ok := s.serveCached(w, RequestFingerprint(req), "scheduling",
+		func() ([]byte, error) { return s.schedule(req) })
+	if !ok {
 		return
 	}
+	s.observeLatency(start)
+	s.logRequest(r, "/schedule", req, cacheStatus, start)
+}
 
-	// Cache miss: schedule on the bounded pool. The job sends exactly one
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.evaluateRequests.Add(1)
+	start := time.Now()
+	req, ok := decodeRequest(s, w, r, DecodeEvaluateRequest,
+		func(req *EvaluateRequest) *ScheduleRequest { return &req.ScheduleRequest })
+	if !ok {
+		return
+	}
+	if req.Trials > s.cfg.MaxTrials {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("request asks for %d trials, this server accepts at most %d", req.Trials, s.cfg.MaxTrials))
+		return
+	}
+	s.countScheduler(req.canonicalScheduler())
+
+	cacheStatus, ok := s.serveCached(w, EvaluateFingerprint(req), "evaluation",
+		func() ([]byte, error) { return s.evaluate(req) })
+	if !ok {
+		return
+	}
+	s.observeLatency(start)
+	s.logRequest(r, "/evaluate", &req.ScheduleRequest, cacheStatus, start)
+}
+
+// serveCached is the cache → worker-pool → respond flow /schedule and
+// /evaluate share. It reports how the response was served ("hit"/"miss");
+// ok is false when an error response was already written.
+func (s *Server) serveCached(w http.ResponseWriter, fp Fingerprint, opName string, compute func() ([]byte, error)) (cacheStatus string, ok bool) {
+	if v, hit := s.cache.Get(fp); hit {
+		s.hits.Add(1)
+		s.writeCachedResponse(w, v.([]byte), "hit")
+		return "hit", true
+	}
+
+	// Cache miss: compute on the bounded pool. The job sends exactly one
 	// result; the buffered channel keeps the worker from blocking if the
 	// client has gone away.
 	type result struct {
@@ -180,7 +242,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan result, 1)
 	submitErr := s.pool.TrySubmit(func() {
-		body, err := s.schedule(req)
+		body, err := compute()
 		done <- result{body: body, err: err}
 	})
 	switch submitErr {
@@ -189,24 +251,23 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, ErrBusy)
-		return
+		return "", false
 	default: // ErrClosed during shutdown
 		s.writeError(w, http.StatusServiceUnavailable, submitErr)
-		return
+		return "", false
 	}
 	res := <-done
 	if res.err != nil {
-		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("scheduling failed: %w", res.err))
-		return
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("%s failed: %w", opName, res.err))
+		return "", false
 	}
 	s.misses.Add(1)
 	s.cache.Put(fp, res.body)
-	s.writeScheduleResponse(w, res.body, "miss")
-	s.observeLatency(start)
-	s.logRequest(r, req, "miss", start)
+	s.writeCachedResponse(w, res.body, "miss")
+	return "miss", true
 }
 
-func (s *Server) writeScheduleResponse(w http.ResponseWriter, body []byte, cacheStatus string) {
+func (s *Server) writeCachedResponse(w http.ResponseWriter, body []byte, cacheStatus string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(CacheStatusHeader, cacheStatus)
 	w.Write(body)
@@ -219,12 +280,12 @@ func (s *Server) observeLatency(start time.Time) {
 	s.latMu.Unlock()
 }
 
-func (s *Server) logRequest(r *http.Request, req *ScheduleRequest, cacheStatus string, start time.Time) {
+func (s *Server) logRequest(r *http.Request, path string, req *ScheduleRequest, cacheStatus string, start time.Time) {
 	if s.cfg.Log == nil {
 		return
 	}
-	s.cfg.Log.Printf("%s /schedule %s eps=%d tasks=%d procs=%d cache=%s took=%s",
-		r.RemoteAddr, req.canonicalScheduler(), req.Epsilon,
+	s.cfg.Log.Printf("%s %s %s eps=%d tasks=%d procs=%d cache=%s took=%s",
+		r.RemoteAddr, path, req.canonicalScheduler(), req.Epsilon,
 		req.Graph.NumTasks(), req.Platform.NumProcs(), cacheStatus,
 		time.Since(start).Round(time.Microsecond))
 }
@@ -236,10 +297,10 @@ func (s *Server) countScheduler(name string) {
 	s.schedMu.Unlock()
 }
 
-// runSchedule is the cache-miss path: resolve bottom levels from the
-// instance memo, run the requested heuristic through the scheduler
-// registry, and serialize the response.
-func (s *Server) runSchedule(req *ScheduleRequest) ([]byte, error) {
+// solve runs the scheduling part shared by both endpoints: resolve bottom
+// levels from the instance memo, run the requested heuristic through the
+// scheduler registry, and validate the result.
+func (s *Server) solve(req *ScheduleRequest) (*sched.Schedule, error) {
 	g, p, cm := req.Graph, req.Platform, req.Costs
 	var rng *rand.Rand
 	if req.Seed != 0 {
@@ -275,7 +336,50 @@ func (s *Server) runSchedule(req *ScheduleRequest) ([]byte, error) {
 	if err := schedule.Validate(); err != nil {
 		return nil, fmt.Errorf("generated schedule failed validation: %w", err)
 	}
+	return schedule, nil
+}
+
+// runSchedule is the /schedule cache-miss path.
+func (s *Server) runSchedule(req *ScheduleRequest) ([]byte, error) {
+	schedule, err := s.solve(req)
+	if err != nil {
+		return nil, err
+	}
 	return buildResponse(req, schedule)
+}
+
+// runEvaluate is the /evaluate cache-miss path: schedule, then replay the
+// fault-injection batch. Evaluate runs single-worker inside the job —
+// request-level parallelism is the serving layer's worker pool, so one
+// oversized batch cannot oversubscribe the host; determinism is unaffected
+// (the result is worker-count independent by construction).
+func (s *Server) runEvaluate(req *EvaluateRequest) ([]byte, error) {
+	schedule, err := s.solve(&req.ScheduleRequest)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := req.Scenario.Generator()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Evaluate(schedule, gen, req.Trials, sim.EvalOptions{
+		Seed:    req.EvalSeed,
+		Workers: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return marshalEvaluateResponse(&EvaluateResponse{
+		Scheduler:  schedule.Algorithm,
+		Epsilon:    schedule.Epsilon,
+		Tasks:      req.Graph.NumTasks(),
+		Procs:      req.Platform.NumProcs(),
+		Pattern:    schedule.CommPattern.String(),
+		LowerBound: schedule.LowerBound(),
+		UpperBound: schedule.UpperBound(),
+		Scenario:   req.Scenario.String(),
+		Eval:       *res,
+	})
 }
 
 // buildResponse turns a validated schedule into the serialized response.
@@ -354,19 +458,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the body of GET /stats.
 type Stats struct {
-	// Requests counts /schedule requests received, including rejected and
-	// malformed ones.
-	Requests uint64 `json:"requests"`
-	// CacheHits and CacheMisses count served schedules by path; HitRate is
-	// hits/(hits+misses), 0 before any schedule is served.
+	// Requests counts /schedule and /evaluate requests received, including
+	// rejected and malformed ones; EvaluateRequests is the /evaluate share
+	// of that total. The counters conserve: every request ends in exactly
+	// one of cache_hits, cache_misses, client_errors or internal_errors
+	// (429s count under both rejected and client_errors).
+	Requests         uint64 `json:"requests"`
+	EvaluateRequests uint64 `json:"evaluate_requests"`
+	// CacheHits and CacheMisses count served responses by path, both
+	// endpoints together; HitRate is hits/(hits+misses), 0 before any
+	// response is served.
 	CacheHits   uint64  `json:"cache_hits"`
 	CacheMisses uint64  `json:"cache_misses"`
 	HitRate     float64 `json:"hit_rate"`
 	// CacheEntries is the current response-cache population.
 	CacheEntries int `json:"cache_entries"`
-	// SchedulerRequests counts well-formed /schedule requests by canonical
-	// registry scheduler name (hits and misses alike). Schedulers never
-	// requested are absent.
+	// SchedulerRequests counts well-formed /schedule and /evaluate requests
+	// by canonical registry scheduler name (hits and misses alike).
+	// Schedulers never requested are absent.
 	SchedulerRequests map[string]uint64 `json:"scheduler_requests"`
 	// Rejected counts 429s (queue full); ClientErrors counts 4xx;
 	// InternalErrors counts all 5xx, including 503s during shutdown.
@@ -377,8 +486,8 @@ type Stats struct {
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 	Workers       int `json:"workers"`
-	// LatencyMs summarizes recent successful /schedule round trips
-	// (decode through response write), hits and misses alike.
+	// LatencyMs summarizes recent successful /schedule and /evaluate round
+	// trips (decode through response write), hits and misses alike.
 	LatencyMs LatencyStats `json:"latency_ms"`
 }
 
@@ -401,6 +510,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.schedMu.Unlock()
 	st := Stats{
 		Requests:          s.requests.Load(),
+		EvaluateRequests:  s.evaluateRequests.Load(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheEntries:      s.cache.Len(),

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"ftsched/internal/sim"
+)
+
+// TestSoakMixedTraffic pounds one server with 4 waves of 256 concurrent
+// mixed /schedule + /evaluate requests (plus a sprinkling of malformed
+// ones), asserting the serving invariants hold under load:
+//
+//   - every response for one request body is byte-identical, cache hits and
+//     misses alike;
+//   - the /stats counters conserve: requests = cache_hits + cache_misses +
+//     client_errors + internal_errors (every accepted request is served,
+//     every rejected one accounted);
+//   - after wave one, repeat bodies hit the cache.
+//
+// The CI race job runs this package under -race, which makes the soak a
+// concurrency audit of the whole serving path.
+func TestSoakMixedTraffic(t *testing.T) {
+	_, ts := startServer(t, Config{Queue: 512})
+
+	// 16 distinct request bodies: 8 schedule (4 problems × 2 schedulers),
+	// 7 evaluate (varying scenario/trials/seed), 1 malformed.
+	type probe struct {
+		path string
+		body []byte
+	}
+	var probes []probe
+	for i := 0; i < 8; i++ {
+		req := testRequest(t)
+		req.Epsilon = i%2 + 1
+		req.Seed = int64(i / 2)
+		if i%4 == 3 {
+			req.Scheduler = "mcftsa"
+		}
+		probes = append(probes, probe{"/schedule", marshalJSON(t, req)})
+	}
+	scenarios := []sim.ScenarioSpec{
+		{Kind: "uniform", Crashes: 1},
+		{Kind: "uniform", Crashes: 2},
+		{Kind: "exp", Lambda: 0.05},
+		{Kind: "weibull", Shape: 2, Scale: 30},
+		{Kind: "group", GroupSize: 2, Lambda: 0.05},
+		{Kind: "burst", Crashes: 2, Lambda: 0.05, Spread: 2},
+		{Kind: "staggered", Crashes: 1, Horizon: 10},
+	}
+	for i, sc := range scenarios {
+		req := testEvaluateRequest(t)
+		req.Scenario = sc
+		req.Trials = 30 + i
+		req.EvalSeed = int64(i)
+		probes = append(probes, probe{"/evaluate", marshalJSON(t, req)})
+	}
+	probes = append(probes, probe{"/evaluate", []byte(`{"trials": "soon"}`)})
+
+	const waves, parallel = 4, 256
+	var mu sync.Mutex
+	canonical := make(map[int][]byte) // probe index -> first OK body
+	wantErrors := 0
+
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, parallel)
+		for i := 0; i < parallel; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				pi := i % len(probes)
+				p := probes[pi]
+				resp, data := postJSON(t, ts.URL+p.path, p.body)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					mu.Lock()
+					if prev, ok := canonical[pi]; !ok {
+						canonical[pi] = data
+					} else if !bytes.Equal(prev, data) {
+						mu.Unlock()
+						errs <- fmt.Errorf("probe %d: response bytes changed between requests", pi)
+						return
+					}
+					mu.Unlock()
+				case http.StatusBadRequest:
+					mu.Lock()
+					wantErrors++
+					mu.Unlock()
+				default:
+					errs <- fmt.Errorf("probe %d (%s): unexpected status %d: %s", pi, p.path, resp.StatusCode, data)
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+
+	// The malformed probe must have 400'd every time it was sent.
+	sent := 0
+	for i := 0; i < waves*parallel; i++ {
+		if i%len(probes) == len(probes)-1 {
+			sent++
+		}
+	}
+	if wantErrors != sent {
+		t.Fatalf("malformed probe got %d 400s, want %d", wantErrors, sent)
+	}
+
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	total := waves * parallel
+	if st.Requests != uint64(total) {
+		t.Fatalf("requests = %d, want %d", st.Requests, total)
+	}
+	// Conservation: every request ends in exactly one terminal counter.
+	if served := st.CacheHits + st.CacheMisses + st.ClientErrors + st.InternalErrors; served != st.Requests {
+		t.Fatalf("counters leak: hits %d + misses %d + 4xx %d + 5xx %d = %d, requests %d",
+			st.CacheHits, st.CacheMisses, st.ClientErrors, st.InternalErrors, served, st.Requests)
+	}
+	if st.InternalErrors != 0 {
+		t.Fatalf("internal errors under soak: %d", st.InternalErrors)
+	}
+	if st.ClientErrors != uint64(wantErrors) {
+		t.Fatalf("client_errors = %d, want %d", st.ClientErrors, wantErrors)
+	}
+	// There is no singleflight, so concurrent first-wave requests for one
+	// body may all miss; but once wave one has drained, every later wave
+	// must be served from the cache.
+	wellFormed := uint64(total - wantErrors)
+	if st.CacheMisses > uint64(parallel) {
+		t.Fatalf("cache misses = %d, want <= %d (wave one at worst)", st.CacheMisses, parallel)
+	}
+	if st.CacheHits < wellFormed-uint64(parallel) {
+		t.Fatalf("cache hits = %d, want >= %d (waves two onward)", st.CacheHits, wellFormed-uint64(parallel))
+	}
+	if st.CacheHits+st.CacheMisses != wellFormed {
+		t.Fatalf("hits %d + misses %d != well-formed %d", st.CacheHits, st.CacheMisses, wellFormed)
+	}
+	if st.EvaluateRequests == 0 || st.EvaluateRequests >= st.Requests {
+		t.Fatalf("evaluate_requests = %d of %d, want a proper mix", st.EvaluateRequests, st.Requests)
+	}
+	// Both endpoints fold into the per-scheduler attribution.
+	var perSched uint64
+	for _, n := range st.SchedulerRequests {
+		perSched += n
+	}
+	if perSched != wellFormed {
+		t.Fatalf("scheduler_requests sums to %d, want %d", perSched, wellFormed)
+	}
+}

@@ -8,9 +8,20 @@
 // completed copy ("the task is executed and ignores later incoming data"),
 // under PatternMatched only the single matched source retained by MC-FTSA.
 //
-// Scenarios are crash-time assignments (NoFailures, CrashAtZero,
-// UniformCrashes); optional communication models (one-port, bounded
-// multi-port) and event tracing refine the replay beyond the paper's
-// contention-free model. The experiment layer draws one uniform crash set
-// per instance and replays every scheduler's schedule against it.
+// Two entry points share one pooled replay core:
+//
+//   - Run / RunWithOptions replay a single hand-built Scenario (crash-time
+//     assignments: NoFailures, CrashAtZero, UniformCrashes, GroupCrash,
+//     StaggeredCrashes), with optional communication models (one-port,
+//     bounded multi-port) and event tracing.
+//   - Evaluate is the batch fault-injection engine: it replays a schedule
+//     under thousands of scenarios drawn from a ScenarioGenerator (uniform,
+//     exponential, Weibull, correlated rack groups, bursts, rolling
+//     outages), sharded over a worker pool with deterministic per-trial
+//     seeding (TrialSeed), and streams the outcomes into an EvalResult —
+//     success rate with a Wilson interval, latency mean/p50/p99, and a
+//     degradation-vs-failure-count histogram — in O(1) memory per trial.
+//
+// ScenarioSpec is the serializable description of a generator shared by the
+// /evaluate service endpoint, the ftexp campaign axis and ftsched -scenario.
 package sim

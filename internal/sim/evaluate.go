@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ftsched/internal/sched"
+	"ftsched/internal/stats"
+)
+
+// EvalOptions tunes a batch evaluation. The zero value runs with GOMAXPROCS
+// workers, base seed 0, the contention-free model, degraded-mode rerouting
+// and a 4096-sample quantile window.
+type EvalOptions struct {
+	// Seed is the base seed; every trial derives its own rng stream from
+	// (Seed, trial index), so the result is a pure function of
+	// (schedule, generator, trials, Seed) — independent of Workers.
+	Seed int64
+	// Workers is the replay worker count; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// NewModel, when non-nil, builds one communication model per worker
+	// (stateful models must not be shared across goroutines). Nil selects
+	// the paper's contention-free model.
+	NewModel func() CommModel
+	// StrictMatched disables degraded-mode rerouting for PatternMatched
+	// schedules, as in Options.StrictMatched.
+	StrictMatched bool
+	// QuantileWindow is the number of most recent successful-trial
+	// latencies backing the p50/p99 report (0: 4096). It is the only
+	// per-trial state kept, which is what makes memory O(1) in trials.
+	QuantileWindow int
+}
+
+// defaultQuantileWindow bounds the latency samples retained for quantiles.
+const defaultQuantileWindow = 4096
+
+// EvalLatency summarizes the latency of successful trials. Mean/StdDev/
+// Min/Max stream over every success; P50/P99 are nearest-rank quantiles over
+// the most recent Window successes.
+type EvalLatency struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P99    float64 `json:"p99"`
+	// Window is the number of samples backing the quantiles.
+	Window int `json:"window"`
+}
+
+// FailureBucket is one row of the degradation-vs-failure-count histogram:
+// all trials whose scenario crashed exactly Failures processors within the
+// schedule's guaranteed mission window [0, M) — crashes landing after the
+// upper bound cannot affect the execution, and under a lifetime law every
+// crash time is finite, so counting them would collapse the histogram.
+type FailureBucket struct {
+	Failures  int `json:"failures"`
+	Trials    int `json:"trials"`
+	Successes int `json:"successes"`
+	// SuccessRate is Successes/Trials within the bucket.
+	SuccessRate float64 `json:"success_rate"`
+	// MeanLatency averages successful-trial latency within the bucket.
+	MeanLatency float64 `json:"mean_latency"`
+	// MeanDegradation averages (latency − M*)/M* over successful trials,
+	// with M* the schedule's no-failure lower bound — how much the crash
+	// pattern stretched the execution.
+	MeanDegradation float64 `json:"mean_degradation"`
+}
+
+// EvalResult aggregates a batch fault-injection evaluation. It is built by
+// consuming trials in index order, so equal (schedule, generator, trials,
+// seed) inputs produce byte-identical JSON at any worker count.
+type EvalResult struct {
+	// Trials is the number of scenarios sampled; Successes counts trials
+	// where every exit task delivered a result.
+	Trials    int `json:"trials"`
+	Successes int `json:"successes"`
+	// SuccessRate is Successes/Trials; SuccessLow/SuccessHigh bound the
+	// true success probability by the 95% Wilson score interval.
+	SuccessRate float64 `json:"success_rate"`
+	SuccessLow  float64 `json:"success_low"`
+	SuccessHigh float64 `json:"success_high"`
+	// Latency summarizes successful trials; zero-valued when none succeed.
+	Latency EvalLatency `json:"latency"`
+	// ByFailures is the degradation histogram, ascending in failure count;
+	// empty buckets are omitted.
+	ByFailures []FailureBucket `json:"by_failures"`
+	// Generator is the canonical spec string of the scenario generator.
+	Generator string `json:"generator"`
+	// Seed echoes the base seed.
+	Seed int64 `json:"seed"`
+}
+
+// TrialSeed derives the rng seed of one Evaluate trial from the base seed by
+// FNV-1a over the little-endian encodings — the same stable-hash discipline
+// the campaign engine uses for per-cell seeds, inlined so the trial loop
+// allocates nothing. It is exported as the contract that lets callers replay
+// any single trial of an evaluation through Run.
+func TrialSeed(base int64, trial int) int64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for v, i := uint64(base), 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= prime
+	}
+	for v, i := uint64(trial), 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= prime
+	}
+	return int64(h &^ (1 << 63))
+}
+
+// evalOutcome is one trial's contribution to the aggregate.
+type evalOutcome struct {
+	trial   int
+	ok      bool
+	latency float64
+	failed  int
+	err     error
+}
+
+// Evaluate replays the schedule under `trials` failure scenarios drawn from
+// gen and streams the outcomes into an EvalResult. Trials are sharded over a
+// worker pool; each worker owns one pooled replayer (scratch reused across
+// its trials), one rng reseeded per trial from (opt.Seed, trial), and one
+// communication model. Aggregation consumes outcomes in trial order behind a
+// small reorder buffer, so the result is deterministic for any worker count
+// and memory stays O(workers + processors + QuantileWindow) — independent of
+// the trial count.
+//
+// A trial whose scenario exceeds what the schedule tolerates
+// (ErrNotTolerated) counts as a failure; any other error aborts the
+// evaluation deterministically (first error in trial order wins).
+func Evaluate(s *sched.Schedule, gen ScenarioGenerator, trials int, opt EvalOptions) (*EvalResult, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("sim: Evaluate needs a scenario generator")
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("sim: need at least one trial, got %d", trials)
+	}
+	m := s.Platform.NumProcs()
+	if err := gen.Check(m); err != nil {
+		return nil, err
+	}
+	newModel := opt.NewModel
+	if newModel == nil {
+		newModel = func() CommModel { return ContentionFree{} }
+	}
+	// Fail fast on schedule problems before spawning workers; binding is
+	// deterministic, so worker binds can only fail the same way.
+	probe, err := newReplayer(s, Options{Model: newModel(), StrictMatched: opt.StrictMatched})
+	if err != nil {
+		return nil, err
+	}
+	probe.release()
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	wcap := opt.QuantileWindow
+	if wcap <= 0 {
+		wcap = defaultQuantileWindow
+	}
+	if wcap > trials {
+		wcap = trials
+	}
+	// mission is the histogram's failure-counting window: crashes at or
+	// past the guaranteed upper bound cannot affect the execution.
+	mission := s.UpperBound()
+
+	// tokens bounds the trials in flight (issued but not yet consumed in
+	// order), which bounds the reorder buffer regardless of how unevenly
+	// the scheduler runs the workers.
+	inFlight := 4 * workers
+	tokens := make(chan struct{}, inFlight)
+	workCh := make(chan int)
+	outCh := make(chan evalOutcome, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	defer halt()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rp, rerr := newReplayer(s, Options{Model: newModel(), StrictMatched: opt.StrictMatched})
+			if rerr == nil {
+				defer rp.release()
+			}
+			src := rand.NewSource(0)
+			rng := rand.New(src)
+			sc := NewScenario(m)
+			var scratch ScenarioScratch
+			for i := range workCh {
+				o := evalOutcome{trial: i, err: rerr}
+				if o.err == nil {
+					src.Seed(TrialSeed(opt.Seed, i))
+					o.err = gen.FillScenario(rng, &sc, &scratch)
+				}
+				if o.err == nil {
+					o.failed = sc.NumFailedBefore(mission)
+					lat, _, badExit, err := rp.replay(sc, nil)
+					switch {
+					case err != nil:
+						o.err = err
+					case badExit < 0:
+						o.ok, o.latency = true, lat
+					default:
+						// Not-tolerated trial: a failure sample, not an
+						// evaluation error.
+					}
+				}
+				select {
+				case outCh <- o:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() { // feeder
+		defer close(workCh)
+		for i := 0; i < trials; i++ {
+			select {
+			case tokens <- struct{}{}:
+			case <-stop:
+				return
+			}
+			select {
+			case workCh <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outCh)
+	}()
+
+	// Streaming aggregation in strict trial order.
+	var (
+		next     int
+		pending  = make(map[int]evalOutcome, inFlight)
+		succ     int
+		latAcc   stats.Accumulator
+		window   = stats.NewWindow(wcap)
+		buckets  = make([]failureAcc, m+1)
+		baseline = s.LowerBound()
+		firstErr error
+	)
+	consume := func(o evalOutcome) bool {
+		if o.err != nil {
+			firstErr = fmt.Errorf("sim: trial %d: %w", o.trial, o.err)
+			return false
+		}
+		b := &buckets[o.failed]
+		b.trials++
+		if o.ok {
+			succ++
+			latAcc.Add(o.latency)
+			window.Add(o.latency)
+			b.successes++
+			b.latency.Add(o.latency)
+			if baseline > 0 {
+				b.degradation.Add((o.latency - baseline) / baseline)
+			}
+		}
+		return true
+	}
+drain:
+	for o := range outCh {
+		pending[o.trial] = o
+		for {
+			po, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			<-tokens
+			if !consume(po) {
+				halt()
+				break drain
+			}
+		}
+		if next == trials {
+			halt()
+			break
+		}
+	}
+	for range outCh {
+		// Drain stragglers so the workers' sends never block forever.
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &EvalResult{
+		Trials:      trials,
+		Successes:   succ,
+		SuccessRate: float64(succ) / float64(trials),
+		Generator:   gen.Spec().String(),
+		Seed:        opt.Seed,
+	}
+	res.SuccessLow, res.SuccessHigh = stats.Wilson(succ, trials, 1.96)
+	if succ > 0 {
+		res.Latency = EvalLatency{
+			Mean:   latAcc.Mean(),
+			StdDev: latAcc.StdDev(),
+			Min:    latAcc.Min(),
+			Max:    latAcc.Max(),
+			P50:    window.Quantile(0.5),
+			P99:    window.Quantile(0.99),
+			Window: window.Len(),
+		}
+	}
+	for f := range buckets {
+		b := &buckets[f]
+		if b.trials == 0 {
+			continue
+		}
+		res.ByFailures = append(res.ByFailures, FailureBucket{
+			Failures:        f,
+			Trials:          b.trials,
+			Successes:       b.successes,
+			SuccessRate:     float64(b.successes) / float64(b.trials),
+			MeanLatency:     b.latency.Mean(),
+			MeanDegradation: b.degradation.Mean(),
+		})
+	}
+	return res, nil
+}
+
+// failureAcc accumulates one failure-count bucket of the histogram.
+type failureAcc struct {
+	trials, successes    int
+	latency, degradation stats.Accumulator
+}

@@ -1,0 +1,516 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// ScenarioGenerator draws one failure scenario per trial. Implementations
+// write into a caller-owned Scenario and use only the supplied rng and
+// scratch, so Evaluate's trial loop stays allocation-free; they must be
+// stateless between calls (every trial gets a freshly seeded rng).
+type ScenarioGenerator interface {
+	// Check validates the generator against a platform of m processors
+	// (e.g. "cannot crash 5 of 3"). Evaluate calls it once up front.
+	Check(m int) error
+	// FillScenario overwrites sc — whose CrashTime must already have
+	// length m — with one drawn scenario.
+	FillScenario(rng *rand.Rand, sc *Scenario, scratch *ScenarioScratch) error
+	// Spec returns the canonical serializable description of the generator.
+	Spec() ScenarioSpec
+}
+
+// ScenarioScratch is the reusable temporary storage of a generator. The zero
+// value is ready; capacity grows to the platform size on first use.
+type ScenarioScratch struct {
+	perm []int
+}
+
+// drawDistinct returns n distinct processors drawn uniformly from [0, m) by
+// a partial Fisher-Yates shuffle over scratch storage. The returned slice
+// aliases the scratch and is valid until the next call.
+func drawDistinct(rng *rand.Rand, scratch *ScenarioScratch, m, n int) []int {
+	p := scratch.perm
+	if cap(p) < m {
+		p = make([]int, m)
+	}
+	p = p[:m]
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(m-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	scratch.perm = p
+	return p[:n]
+}
+
+// resetAlive marks every processor of sc as never failing.
+func resetAlive(sc *Scenario) {
+	for i := range sc.CrashTime {
+		sc.CrashTime[i] = math.Inf(1)
+	}
+}
+
+func checkScenarioLen(sc *Scenario, m int) error {
+	if len(sc.CrashTime) != m {
+		return fmt.Errorf("sim: scenario buffer covers %d processors, generator expects %d", len(sc.CrashTime), m)
+	}
+	return nil
+}
+
+// UniformGen crashes N distinct uniformly drawn processors at time 0 — the
+// paper's adversarial crash experiments ("processors that fail during the
+// schedule process are chosen uniformly"), batch form of UniformCrashes.
+type UniformGen struct {
+	N int
+}
+
+// Check implements ScenarioGenerator.
+func (g UniformGen) Check(m int) error {
+	if g.N < 0 || g.N > m {
+		return fmt.Errorf("sim: cannot crash %d of %d processors", g.N, m)
+	}
+	return nil
+}
+
+// FillScenario implements ScenarioGenerator.
+func (g UniformGen) FillScenario(rng *rand.Rand, sc *Scenario, scratch *ScenarioScratch) error {
+	m := len(sc.CrashTime)
+	if err := g.Check(m); err != nil {
+		return err
+	}
+	resetAlive(sc)
+	for _, p := range drawDistinct(rng, scratch, m, g.N) {
+		sc.CrashTime[p] = 0
+	}
+	return nil
+}
+
+// Spec implements ScenarioGenerator.
+func (g UniformGen) Spec() ScenarioSpec { return ScenarioSpec{Kind: "uniform", Crashes: g.N} }
+
+// ExponentialGen draws an independent exponential lifetime with rate Lambda
+// for every processor — the reliability package's failure law. It is the
+// generator reliability.MonteCarlo runs on, so both agree trial-for-trial at
+// equal seeds.
+type ExponentialGen struct {
+	Lambda float64
+}
+
+// Check implements ScenarioGenerator.
+func (g ExponentialGen) Check(int) error {
+	if g.Lambda <= 0 {
+		return fmt.Errorf("sim: non-positive failure rate %g", g.Lambda)
+	}
+	return nil
+}
+
+// FillScenario implements ScenarioGenerator.
+func (g ExponentialGen) FillScenario(rng *rand.Rand, sc *Scenario, _ *ScenarioScratch) error {
+	if err := g.Check(len(sc.CrashTime)); err != nil {
+		return err
+	}
+	for p := range sc.CrashTime {
+		sc.CrashTime[p] = rng.ExpFloat64() / g.Lambda
+	}
+	return nil
+}
+
+// Spec implements ScenarioGenerator.
+func (g ExponentialGen) Spec() ScenarioSpec { return ScenarioSpec{Kind: "exp", Lambda: g.Lambda} }
+
+// WeibullGen draws independent Weibull(Shape, Scale) lifetimes — the classic
+// hardware-aging law: Shape < 1 models infant mortality, Shape > 1 wear-out,
+// Shape = 1 degenerates to exponential with rate 1/Scale. Sampling is by
+// inverse transform: Scale · E^(1/Shape) with E standard exponential.
+type WeibullGen struct {
+	Shape, Scale float64
+}
+
+// Check implements ScenarioGenerator.
+func (g WeibullGen) Check(int) error {
+	if g.Shape <= 0 || g.Scale <= 0 {
+		return fmt.Errorf("sim: Weibull shape and scale must be positive, got k=%g λ=%g", g.Shape, g.Scale)
+	}
+	return nil
+}
+
+// FillScenario implements ScenarioGenerator.
+func (g WeibullGen) FillScenario(rng *rand.Rand, sc *Scenario, _ *ScenarioScratch) error {
+	if err := g.Check(len(sc.CrashTime)); err != nil {
+		return err
+	}
+	inv := 1 / g.Shape
+	for p := range sc.CrashTime {
+		sc.CrashTime[p] = g.Scale * math.Pow(rng.ExpFloat64(), inv)
+	}
+	return nil
+}
+
+// Spec implements ScenarioGenerator.
+func (g WeibullGen) Spec() ScenarioSpec {
+	return ScenarioSpec{Kind: "weibull", Shape: g.Shape, Scale: g.Scale}
+}
+
+// GroupGen crashes one uniformly drawn group of Size consecutive processors
+// (the rack structure of GroupCrash: group g covers [g·Size, (g+1)·Size)) at
+// a single exponential time with rate Lambda — correlated failures the way
+// real clusters fail: a power feed or top-of-rack switch takes the whole
+// rack down at once.
+type GroupGen struct {
+	Size   int
+	Lambda float64
+}
+
+// Check implements ScenarioGenerator.
+func (g GroupGen) Check(m int) error {
+	if g.Size < 1 {
+		return fmt.Errorf("sim: group size %d", g.Size)
+	}
+	if g.Size > m {
+		return fmt.Errorf("sim: group size %d exceeds platform of %d processors", g.Size, m)
+	}
+	if g.Lambda <= 0 {
+		return fmt.Errorf("sim: non-positive failure rate %g", g.Lambda)
+	}
+	return nil
+}
+
+// FillScenario implements ScenarioGenerator.
+func (g GroupGen) FillScenario(rng *rand.Rand, sc *Scenario, _ *ScenarioScratch) error {
+	m := len(sc.CrashTime)
+	if err := g.Check(m); err != nil {
+		return err
+	}
+	resetAlive(sc)
+	groups := (m + g.Size - 1) / g.Size
+	grp := rng.Intn(groups)
+	at := rng.ExpFloat64() / g.Lambda
+	hi := (grp + 1) * g.Size
+	if hi > m {
+		hi = m
+	}
+	for p := grp * g.Size; p < hi; p++ {
+		sc.CrashTime[p] = at
+	}
+	return nil
+}
+
+// Spec implements ScenarioGenerator.
+func (g GroupGen) Spec() ScenarioSpec {
+	return ScenarioSpec{Kind: "group", GroupSize: g.Size, Lambda: g.Lambda}
+}
+
+// BurstGen crashes N distinct uniformly drawn processors in a burst: the
+// burst onset is exponential with rate Lambda, and each crash lands at the
+// onset plus an independent uniform jitter in [0, Spread) — a cascading
+// outage (thermal event, bad rollout) rather than independent attrition.
+// Spread 0 crashes all N at the same instant.
+type BurstGen struct {
+	N      int
+	Lambda float64
+	Spread float64
+}
+
+// Check implements ScenarioGenerator.
+func (g BurstGen) Check(m int) error {
+	if g.N < 0 || g.N > m {
+		return fmt.Errorf("sim: cannot crash %d of %d processors", g.N, m)
+	}
+	if g.Lambda <= 0 {
+		return fmt.Errorf("sim: non-positive failure rate %g", g.Lambda)
+	}
+	if g.Spread < 0 {
+		return fmt.Errorf("sim: negative burst spread %g", g.Spread)
+	}
+	return nil
+}
+
+// FillScenario implements ScenarioGenerator.
+func (g BurstGen) FillScenario(rng *rand.Rand, sc *Scenario, scratch *ScenarioScratch) error {
+	m := len(sc.CrashTime)
+	if err := g.Check(m); err != nil {
+		return err
+	}
+	resetAlive(sc)
+	onset := rng.ExpFloat64() / g.Lambda
+	for _, p := range drawDistinct(rng, scratch, m, g.N) {
+		at := onset
+		if g.Spread > 0 {
+			at += rng.Float64() * g.Spread
+		}
+		sc.CrashTime[p] = at
+	}
+	return nil
+}
+
+// Spec implements ScenarioGenerator.
+func (g BurstGen) Spec() ScenarioSpec {
+	return ScenarioSpec{Kind: "burst", Crashes: g.N, Lambda: g.Lambda, Spread: g.Spread}
+}
+
+// StaggeredGen crashes N distinct uniformly drawn processors at evenly
+// spaced times across [0, Horizon] — the rolling outage of StaggeredCrashes
+// as a batch generator: crash i happens at (i+1)·Horizon/(N+1), so no
+// processor is dead at time zero.
+type StaggeredGen struct {
+	N       int
+	Horizon float64
+}
+
+// Check implements ScenarioGenerator.
+func (g StaggeredGen) Check(m int) error {
+	if g.N < 0 || g.N > m {
+		return fmt.Errorf("sim: cannot crash %d of %d processors", g.N, m)
+	}
+	if g.Horizon <= 0 && g.N > 0 {
+		return fmt.Errorf("sim: non-positive horizon %g", g.Horizon)
+	}
+	return nil
+}
+
+// FillScenario implements ScenarioGenerator.
+func (g StaggeredGen) FillScenario(rng *rand.Rand, sc *Scenario, scratch *ScenarioScratch) error {
+	m := len(sc.CrashTime)
+	if err := g.Check(m); err != nil {
+		return err
+	}
+	resetAlive(sc)
+	for i, p := range drawDistinct(rng, scratch, m, g.N) {
+		sc.CrashTime[p] = g.Horizon * float64(i+1) / float64(g.N+1)
+	}
+	return nil
+}
+
+// Spec implements ScenarioGenerator.
+func (g StaggeredGen) Spec() ScenarioSpec {
+	return ScenarioSpec{Kind: "staggered", Crashes: g.N, Horizon: g.Horizon}
+}
+
+// ScenarioSpec is the wire/flag description of a scenario generator — the
+// shape the /evaluate endpoint, the ftexp campaign axis and ftsched
+// -scenario share. Only the fields the Kind uses are meaningful; Generator
+// rejects inconsistent specs.
+type ScenarioSpec struct {
+	// Kind selects the generator: "uniform", "exp", "weibull", "group",
+	// "burst" or "staggered".
+	Kind string `json:"kind"`
+	// Crashes is the crash count of "uniform", "burst" and "staggered".
+	Crashes int `json:"crashes,omitempty"`
+	// Lambda is the failure rate of "exp", "group" and "burst".
+	Lambda float64 `json:"lambda,omitempty"`
+	// Shape and Scale parameterize "weibull".
+	Shape float64 `json:"shape,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// GroupSize is the rack size of "group".
+	GroupSize int `json:"group_size,omitempty"`
+	// Horizon is the rolling-outage window of "staggered".
+	Horizon float64 `json:"horizon,omitempty"`
+	// Spread is the per-crash jitter width of "burst".
+	Spread float64 `json:"spread,omitempty"`
+}
+
+// Generator materializes the spec, validating its platform-independent
+// parameters (counts are validated against m by the generator's Check).
+func (sp ScenarioSpec) Generator() (ScenarioGenerator, error) {
+	switch strings.ToLower(sp.Kind) {
+	case "uniform":
+		if sp.Crashes < 0 {
+			return nil, fmt.Errorf("sim: uniform scenario needs crashes >= 0, got %d", sp.Crashes)
+		}
+		return UniformGen{N: sp.Crashes}, nil
+	case "exp", "exponential":
+		g := ExponentialGen{Lambda: sp.Lambda}
+		if err := g.Check(0); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case "weibull":
+		g := WeibullGen{Shape: sp.Shape, Scale: sp.Scale}
+		if err := g.Check(0); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case "group":
+		if sp.GroupSize < 1 {
+			return nil, fmt.Errorf("sim: group scenario needs group_size >= 1, got %d", sp.GroupSize)
+		}
+		if sp.Lambda <= 0 {
+			return nil, fmt.Errorf("sim: non-positive failure rate %g", sp.Lambda)
+		}
+		return GroupGen{Size: sp.GroupSize, Lambda: sp.Lambda}, nil
+	case "burst":
+		g := BurstGen{N: sp.Crashes, Lambda: sp.Lambda, Spread: sp.Spread}
+		if sp.Crashes < 0 {
+			return nil, fmt.Errorf("sim: burst scenario needs crashes >= 0, got %d", sp.Crashes)
+		}
+		if sp.Lambda <= 0 {
+			return nil, fmt.Errorf("sim: non-positive failure rate %g", sp.Lambda)
+		}
+		if sp.Spread < 0 {
+			return nil, fmt.Errorf("sim: negative burst spread %g", sp.Spread)
+		}
+		return g, nil
+	case "staggered":
+		if sp.Crashes < 0 {
+			return nil, fmt.Errorf("sim: staggered scenario needs crashes >= 0, got %d", sp.Crashes)
+		}
+		if sp.Horizon <= 0 && sp.Crashes > 0 {
+			return nil, fmt.Errorf("sim: non-positive horizon %g", sp.Horizon)
+		}
+		return StaggeredGen{N: sp.Crashes, Horizon: sp.Horizon}, nil
+	case "":
+		return nil, fmt.Errorf("sim: scenario spec missing kind (known: %s)", strings.Join(ScenarioKinds(), ", "))
+	default:
+		return nil, fmt.Errorf("sim: unknown scenario kind %q (known: %s)", sp.Kind, strings.Join(ScenarioKinds(), ", "))
+	}
+}
+
+// ScenarioKinds lists the recognized scenario kinds with their flag syntax.
+func ScenarioKinds() []string {
+	return []string{
+		"uniform:N", "exp:LAMBDA", "weibull:SHAPE:SCALE",
+		"group:SIZE:LAMBDA", "burst:N:LAMBDA[:SPREAD]", "staggered:N:HORIZON",
+	}
+}
+
+// String renders the spec in the colon-separated form ParseScenarioSpec
+// reads, with shortest-exact float formatting so equal specs render
+// identically (the property the response cache keys on).
+func (sp ScenarioSpec) String() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	switch strings.ToLower(sp.Kind) {
+	case "uniform":
+		return fmt.Sprintf("uniform:%d", sp.Crashes)
+	case "exp", "exponential":
+		return "exp:" + f(sp.Lambda)
+	case "weibull":
+		return "weibull:" + f(sp.Shape) + ":" + f(sp.Scale)
+	case "group":
+		return fmt.Sprintf("group:%d:%s", sp.GroupSize, f(sp.Lambda))
+	case "burst":
+		return fmt.Sprintf("burst:%d:%s:%s", sp.Crashes, f(sp.Lambda), f(sp.Spread))
+	case "staggered":
+		return fmt.Sprintf("staggered:%d:%s", sp.Crashes, f(sp.Horizon))
+	default:
+		return sp.Kind
+	}
+}
+
+// ParseScenarioSpec reads the colon-separated flag form of a spec, e.g.
+// "uniform:2", "exp:0.001", "weibull:1.5:2000", "group:4:0.001",
+// "burst:3:0.001:50" or "staggered:2:1000". The parsed spec is validated by
+// Generator.
+func ParseScenarioSpec(s string) (ScenarioSpec, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	kind := strings.ToLower(strings.TrimSpace(parts[0]))
+	args := parts[1:]
+	atoi := func(i int) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(args[i]))
+		if err != nil {
+			return 0, fmt.Errorf("sim: scenario %q: bad integer %q", s, args[i])
+		}
+		return v, nil
+	}
+	atof := func(i int) (float64, error) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(args[i]), 64)
+		if err != nil {
+			return 0, fmt.Errorf("sim: scenario %q: bad number %q", s, args[i])
+		}
+		return v, nil
+	}
+	wrong := func() (ScenarioSpec, error) {
+		return ScenarioSpec{}, fmt.Errorf("sim: scenario %q has the wrong arity (known: %s)",
+			s, strings.Join(ScenarioKinds(), ", "))
+	}
+	var sp ScenarioSpec
+	var err error
+	switch kind {
+	case "uniform":
+		if len(args) != 1 {
+			return wrong()
+		}
+		sp.Kind = "uniform"
+		if sp.Crashes, err = atoi(0); err != nil {
+			return ScenarioSpec{}, err
+		}
+	case "exp", "exponential":
+		if len(args) != 1 {
+			return wrong()
+		}
+		sp.Kind = "exp"
+		if sp.Lambda, err = atof(0); err != nil {
+			return ScenarioSpec{}, err
+		}
+	case "weibull":
+		if len(args) != 2 {
+			return wrong()
+		}
+		sp.Kind = "weibull"
+		if sp.Shape, err = atof(0); err != nil {
+			return ScenarioSpec{}, err
+		}
+		if sp.Scale, err = atof(1); err != nil {
+			return ScenarioSpec{}, err
+		}
+	case "group":
+		if len(args) != 2 {
+			return wrong()
+		}
+		sp.Kind = "group"
+		if sp.GroupSize, err = atoi(0); err != nil {
+			return ScenarioSpec{}, err
+		}
+		if sp.Lambda, err = atof(1); err != nil {
+			return ScenarioSpec{}, err
+		}
+	case "burst":
+		if len(args) != 2 && len(args) != 3 {
+			return wrong()
+		}
+		sp.Kind = "burst"
+		if sp.Crashes, err = atoi(0); err != nil {
+			return ScenarioSpec{}, err
+		}
+		if sp.Lambda, err = atof(1); err != nil {
+			return ScenarioSpec{}, err
+		}
+		if len(args) == 3 {
+			if sp.Spread, err = atof(2); err != nil {
+				return ScenarioSpec{}, err
+			}
+		}
+	case "staggered":
+		if len(args) != 2 {
+			return wrong()
+		}
+		sp.Kind = "staggered"
+		if sp.Crashes, err = atoi(0); err != nil {
+			return ScenarioSpec{}, err
+		}
+		if sp.Horizon, err = atof(1); err != nil {
+			return ScenarioSpec{}, err
+		}
+	default:
+		return ScenarioSpec{}, fmt.Errorf("sim: unknown scenario kind %q (known: %s)",
+			kind, strings.Join(ScenarioKinds(), ", "))
+	}
+	// Round-trip through Generator so a parsed spec is always materializable.
+	if _, err := sp.Generator(); err != nil {
+		return ScenarioSpec{}, err
+	}
+	return sp, nil
+}
+
+// NewScenario returns a scenario buffer for m processors with every
+// processor alive — the shape FillScenario overwrites.
+func NewScenario(m int) Scenario {
+	sc := Scenario{CrashTime: make([]float64, m)}
+	resetAlive(&sc)
+	return sc
+}

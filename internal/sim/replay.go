@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/kernel"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+)
+
+// msgIn is one message a replica waits for, staged before the communication
+// model is charged.
+type msgIn struct {
+	send   float64
+	src    int // processor
+	volume float64
+}
+
+// replayer executes a schedule under failure scenarios, owning all the
+// scratch one execution needs. Binding a replayer to a schedule sizes the
+// scratch once; replaying a scenario then allocates nothing, which is what
+// lets Evaluate run thousands of trials with memory independent of the trial
+// count. Replayers come from a sync.Pool (the internal/kernel board
+// discipline): one-shot callers like Run reuse storage across calls, and
+// each Evaluate worker binds its own, so no synchronization is needed inside.
+type replayer struct {
+	s       *sched.Schedule
+	model   CommModel
+	reroute bool
+
+	order      []dag.TaskID // mapping order, cloned once at bind time
+	exits      []dag.TaskID // exit tasks, computed once at bind time
+	finishFlat []float64    // replica finish backing store, tasks concatenated
+	finish     [][]float64  // per-task views into finishFlat
+	complFlat  []bool       // replica completion backing store
+	completed  [][]bool     // per-task views into complFlat
+	taskFinish []float64    // earliest completed finish per task
+	procNext   []float64    // next free time per processor
+	incoming   []msgIn      // arrival staging area, reset per replica
+}
+
+var replayerPool = sync.Pool{New: func() any { return new(replayer) }}
+
+// newReplayer binds pooled scratch to the schedule. It fails on an
+// incomplete schedule; scenario shape is checked per replay.
+func newReplayer(s *sched.Schedule, opt Options) (*replayer, error) {
+	v := s.Graph.NumTasks()
+	order := s.MappingOrder()
+	if len(order) != v {
+		return nil, fmt.Errorf("sim: incomplete schedule (%d of %d tasks mapped)", len(order), v)
+	}
+	model := opt.Model
+	if model == nil {
+		model = ContentionFree{}
+	}
+	r := replayerPool.Get().(*replayer)
+	r.s = s
+	r.model = model
+	r.reroute = !opt.StrictMatched
+	r.order = order
+	r.exits = s.Graph.Exits()
+
+	total := 0
+	for t := 0; t < v; t++ {
+		total += len(s.Replicas(dag.TaskID(t)))
+	}
+	r.finishFlat = kernel.Grow(r.finishFlat, total)
+	r.complFlat = kernel.Grow(r.complFlat, total)
+	r.finish = kernel.Grow(r.finish, v)
+	r.completed = kernel.Grow(r.completed, v)
+	off := 0
+	for t := 0; t < v; t++ {
+		n := len(s.Replicas(dag.TaskID(t)))
+		r.finish[t] = r.finishFlat[off : off+n : off+n]
+		r.completed[t] = r.complFlat[off : off+n : off+n]
+		off += n
+	}
+	r.taskFinish = kernel.Grow(r.taskFinish, v)
+	r.procNext = kernel.Grow(r.procNext, s.Platform.NumProcs())
+	return r, nil
+}
+
+// release returns the replayer's storage to the pool. The replayer (and any
+// view of its scratch) must not be used afterwards.
+func (r *replayer) release() {
+	if r == nil {
+		return
+	}
+	r.s, r.model = nil, nil
+	replayerPool.Put(r)
+}
+
+// replay executes the bound schedule under the failure scenario, leaving
+// per-task finish times and completion flags in the replayer's scratch.
+// See RunWithOptions for the execution semantics.
+//
+// A scenario the schedule does not survive reports the first starved exit
+// task in badExit (-1 when the run succeeded) instead of a formatted
+// ErrNotTolerated, so the batch evaluator's failed trials allocate nothing;
+// err is reserved for structural problems.
+func (r *replayer) replay(sc Scenario, trace *Trace) (latency float64, delivered int, badExit dag.TaskID, err error) {
+	badExit = -1
+	s := r.s
+	m := s.Platform.NumProcs()
+	if len(sc.CrashTime) != m {
+		return 0, 0, badExit, fmt.Errorf("sim: scenario covers %d processors, platform has %d", len(sc.CrashTime), m)
+	}
+	if trace != nil {
+		for p, crash := range sc.CrashTime {
+			if !math.IsInf(crash, 1) {
+				trace.add(Event{Time: crash, Kind: EventCrash, Task: -1, Proc: platform.ProcID(p)})
+			}
+		}
+		defer trace.sortByTime()
+	}
+	r.model.Reset(m)
+	for i := range r.finishFlat {
+		r.finishFlat[i] = math.Inf(1)
+	}
+	clear(r.complFlat)
+	for i := range r.taskFinish {
+		r.taskFinish[i] = math.Inf(1)
+	}
+	clear(r.procNext)
+
+	for _, t := range r.order {
+		reps := s.Replicas(t)
+		for c, rep := range reps {
+			crash := sc.CrashTime[rep.Proc]
+			if crash <= 0 {
+				continue // processor dead from the start
+			}
+			ready, ok, del := r.arrivalTime(t, c)
+			if !ok {
+				if trace != nil {
+					trace.add(Event{Time: math.Max(ready, r.procNext[rep.Proc]), Kind: EventSkip, Task: t, Copy: c, Proc: rep.Proc})
+				}
+				continue // some input can never arrive
+			}
+			start := math.Max(ready, r.procNext[rep.Proc])
+			end := start + s.Costs.Cost(t, rep.Proc)
+			r.procNext[rep.Proc] = end
+			if end > crash {
+				if trace != nil {
+					trace.add(Event{Time: start, Kind: EventStart, Task: t, Copy: c, Proc: rep.Proc})
+					trace.add(Event{Time: crash, Kind: EventKilled, Task: t, Copy: c, Proc: rep.Proc})
+				}
+				continue // execution cut by the crash: fail-silent, no output
+			}
+			if trace != nil {
+				trace.add(Event{Time: start, Kind: EventStart, Task: t, Copy: c, Proc: rep.Proc})
+				trace.add(Event{Time: end, Kind: EventFinish, Task: t, Copy: c, Proc: rep.Proc})
+			}
+			r.finish[t][c] = end
+			r.completed[t][c] = true
+			delivered += del
+			if end < r.taskFinish[t] {
+				r.taskFinish[t] = end
+			}
+		}
+	}
+
+	for _, t := range r.exits {
+		if math.IsInf(r.taskFinish[t], 1) {
+			return 0, delivered, t, nil
+		}
+		if r.taskFinish[t] > latency {
+			latency = r.taskFinish[t]
+		}
+	}
+	return latency, delivered, badExit, nil
+}
+
+// arrivalTime computes when all inputs of copy c of task t are available on
+// its processor, counting delivered inter-processor messages. ok is false
+// when some predecessor has no completed source this copy may consume.
+func (r *replayer) arrivalTime(t dag.TaskID, c int) (ready float64, ok bool, delivered int) {
+	s := r.s
+	dst := s.Replicas(t)[c]
+	incoming := r.incoming[:0]
+	for predIdx, pe := range s.Graph.Preds(t) {
+		srcReps := s.Replicas(pe.To)
+		useAny := s.CommPattern != sched.PatternMatched
+		if s.CommPattern == sched.PatternMatched {
+			k, err := s.MatchedSource(t, c, predIdx)
+			if err == nil && !math.IsInf(r.finish[pe.To][k], 1) {
+				incoming = append(incoming, msgIn{send: r.finish[pe.To][k], src: int(srcReps[k].Proc), volume: pe.Volume})
+				continue
+			}
+			// The retained link is dead. Under strict semantics the
+			// replica is starved; under degraded mode it refetches from
+			// any live completed copy.
+			if !r.reroute {
+				r.incoming = incoming
+				return 0, false, 0
+			}
+			useAny = true
+		}
+		if useAny { // best completed copy wins
+			bestArr := math.Inf(1)
+			bestSend := 0.0
+			bestSrc := -1
+			for k, sr := range srcReps {
+				if math.IsInf(r.finish[pe.To][k], 1) {
+					continue
+				}
+				// Estimate with the stateless delay; stateful models are
+				// charged once per consumed message below.
+				arr := r.finish[pe.To][k] + pe.Volume*s.Platform.Delay(sr.Proc, dst.Proc)
+				if arr < bestArr {
+					bestArr, bestSend, bestSrc = arr, r.finish[pe.To][k], int(sr.Proc)
+				}
+			}
+			if bestSrc < 0 {
+				r.incoming = incoming
+				return 0, false, 0
+			}
+			incoming = append(incoming, msgIn{send: bestSend, src: bestSrc, volume: pe.Volume})
+		}
+	}
+	// Charge the communication model in non-decreasing send order, which is
+	// the natural FIFO order for port-limited senders. Insertion sort keeps
+	// the hot loop allocation-free; predecessor lists are short.
+	for i := 1; i < len(incoming); i++ {
+		for j := i; j > 0 && incoming[j].send < incoming[j-1].send; j-- {
+			incoming[j], incoming[j-1] = incoming[j-1], incoming[j]
+		}
+	}
+	for _, mg := range incoming {
+		src := platform.ProcID(mg.src)
+		arr := r.model.Deliver(s.Platform, src, dst.Proc, mg.volume, mg.send)
+		if arr > ready {
+			ready = arr
+		}
+		if src != dst.Proc {
+			delivered++
+		}
+	}
+	r.incoming = incoming
+	return ready, true, delivered
+}

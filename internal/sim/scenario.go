@@ -74,3 +74,17 @@ func (s Scenario) NumFailed() int {
 	}
 	return n
 }
+
+// NumFailedBefore counts processors crashing strictly before time t — the
+// failures that can actually affect an execution finishing by t. Under a
+// lifetime law every crash time is finite, so NumFailed degenerates to the
+// platform size; this is the meaningful count for mission-window histograms.
+func (s Scenario) NumFailedBefore(t float64) int {
+	n := 0
+	for _, c := range s.CrashTime {
+		if c < t {
+			n++
+		}
+	}
+	return n
+}

@@ -3,11 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 
-	"ftsched/internal/dag"
-	"ftsched/internal/platform"
 	"ftsched/internal/sched"
 )
 
@@ -71,157 +67,33 @@ func Run(s *sched.Schedule, sc Scenario, model CommModel) (*Result, error) {
 // becoming free and its required messages arriving, and a replica whose
 // inputs can never arrive (all allowed sources dead) is skipped. A replica
 // completes only if it finishes strictly within its processor's lifetime.
+//
+// The replay loop itself runs on pooled scratch (see replayer); this
+// one-shot entry point copies the per-task results out before releasing the
+// scratch. Batch callers should use Evaluate, which reuses one replayer
+// across thousands of trials.
 func RunWithOptions(s *sched.Schedule, sc Scenario, opt Options) (*Result, error) {
-	model := opt.Model
-	m := s.Platform.NumProcs()
-	if len(sc.CrashTime) != m {
-		return nil, fmt.Errorf("sim: scenario covers %d processors, platform has %d", len(sc.CrashTime), m)
+	r, err := newReplayer(s, opt)
+	if err != nil {
+		return nil, err
 	}
-	if model == nil {
-		model = ContentionFree{}
+	defer r.release()
+	latency, delivered, badExit, err := r.replay(sc, opt.Trace)
+	if err != nil {
+		return nil, err
 	}
-	reroute := !opt.StrictMatched
-	trace := opt.Trace
-	if trace != nil {
-		for p, crash := range sc.CrashTime {
-			if !math.IsInf(crash, 1) {
-				trace.add(Event{Time: crash, Kind: EventCrash, Task: -1, Proc: platform.ProcID(p)})
-			}
-		}
-		defer trace.sortByTime()
+	if badExit >= 0 {
+		return nil, fmt.Errorf("%w: exit task %d never completed", ErrNotTolerated, badExit)
 	}
-	model.Reset(m)
-
 	v := s.Graph.NumTasks()
 	res := &Result{
-		TaskFinish: make([]float64, v),
-		Completed:  make([][]bool, v),
+		Latency:           latency,
+		MessagesDelivered: delivered,
+		TaskFinish:        append([]float64(nil), r.taskFinish...),
+		Completed:         make([][]bool, v),
 	}
-	finish := make([][]float64, v) // per replica simulated finish (+Inf if not completed)
-	procNext := make([]float64, m)
-
-	order := s.MappingOrder()
-	if len(order) != v {
-		return nil, fmt.Errorf("sim: incomplete schedule (%d of %d tasks mapped)", len(order), v)
+	for t := range res.Completed {
+		res.Completed[t] = append([]bool(nil), r.completed[t]...)
 	}
-	for _, t := range order {
-		reps := s.Replicas(t)
-		res.Completed[t] = make([]bool, len(reps))
-		finish[t] = make([]float64, len(reps))
-		for c := range finish[t] {
-			finish[t][c] = math.Inf(1)
-		}
-		res.TaskFinish[t] = math.Inf(1)
-
-		for c, r := range reps {
-			crash := sc.CrashTime[r.Proc]
-			if crash <= 0 {
-				continue // processor dead from the start
-			}
-			ready, ok, delivered := arrivalTime(s, model, t, c, finish, reroute)
-			if !ok {
-				if trace != nil {
-					trace.add(Event{Time: math.Max(ready, procNext[r.Proc]), Kind: EventSkip, Task: t, Copy: c, Proc: r.Proc})
-				}
-				continue // some input can never arrive
-			}
-			start := math.Max(ready, procNext[r.Proc])
-			end := start + s.Costs.Cost(t, r.Proc)
-			procNext[r.Proc] = end
-			if end > crash {
-				if trace != nil {
-					trace.add(Event{Time: start, Kind: EventStart, Task: t, Copy: c, Proc: r.Proc})
-					trace.add(Event{Time: crash, Kind: EventKilled, Task: t, Copy: c, Proc: r.Proc})
-				}
-				continue // execution cut by the crash: fail-silent, no output
-			}
-			if trace != nil {
-				trace.add(Event{Time: start, Kind: EventStart, Task: t, Copy: c, Proc: r.Proc})
-				trace.add(Event{Time: end, Kind: EventFinish, Task: t, Copy: c, Proc: r.Proc})
-			}
-			finish[t][c] = end
-			res.Completed[t][c] = true
-			res.MessagesDelivered += delivered
-			if end < res.TaskFinish[t] {
-				res.TaskFinish[t] = end
-			}
-		}
-	}
-
-	latency := 0.0
-	for _, t := range s.Graph.Exits() {
-		if math.IsInf(res.TaskFinish[t], 1) {
-			return nil, fmt.Errorf("%w: exit task %d never completed", ErrNotTolerated, t)
-		}
-		if res.TaskFinish[t] > latency {
-			latency = res.TaskFinish[t]
-		}
-	}
-	res.Latency = latency
 	return res, nil
-}
-
-// arrivalTime computes when all inputs of copy c of task t are available on
-// its processor, counting delivered inter-processor messages. ok is false
-// when some predecessor has no completed source this copy may consume.
-func arrivalTime(s *sched.Schedule, model CommModel, t dag.TaskID, c int, finish [][]float64, reroute bool) (ready float64, ok bool, delivered int) {
-	dst := s.Replicas(t)[c]
-	type msg struct {
-		send   float64
-		src    int // processor
-		volume float64
-	}
-	var incoming []msg
-	for predIdx, pe := range s.Graph.Preds(t) {
-		srcReps := s.Replicas(pe.To)
-		useAny := s.CommPattern != sched.PatternMatched
-		if s.CommPattern == sched.PatternMatched {
-			k, err := s.MatchedSource(t, c, predIdx)
-			if err == nil && !math.IsInf(finish[pe.To][k], 1) {
-				incoming = append(incoming, msg{send: finish[pe.To][k], src: int(srcReps[k].Proc), volume: pe.Volume})
-				continue
-			}
-			// The retained link is dead. Under strict semantics the
-			// replica is starved; under degraded mode it refetches from
-			// any live completed copy.
-			if !reroute {
-				return 0, false, 0
-			}
-			useAny = true
-		}
-		if useAny { // best completed copy wins
-			bestArr := math.Inf(1)
-			bestSend := 0.0
-			bestSrc := -1
-			for k, sr := range srcReps {
-				if math.IsInf(finish[pe.To][k], 1) {
-					continue
-				}
-				// Estimate with the stateless delay; stateful models are
-				// charged once per consumed message below.
-				arr := finish[pe.To][k] + pe.Volume*s.Platform.Delay(sr.Proc, dst.Proc)
-				if arr < bestArr {
-					bestArr, bestSend, bestSrc = arr, finish[pe.To][k], int(sr.Proc)
-				}
-			}
-			if bestSrc < 0 {
-				return 0, false, 0
-			}
-			incoming = append(incoming, msg{send: bestSend, src: bestSrc, volume: pe.Volume})
-		}
-	}
-	// Charge the communication model in non-decreasing send order, which is
-	// the natural FIFO order for port-limited senders.
-	sort.Slice(incoming, func(i, j int) bool { return incoming[i].send < incoming[j].send })
-	for _, mg := range incoming {
-		src := platform.ProcID(mg.src)
-		arr := model.Deliver(s.Platform, src, dst.Proc, mg.volume, mg.send)
-		if arr > ready {
-			ready = arr
-		}
-		if src != dst.Proc {
-			delivered++
-		}
-	}
-	return ready, true, delivered
 }

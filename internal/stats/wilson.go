@@ -1,0 +1,32 @@
+package stats
+
+import "math"
+
+// Wilson returns the Wilson score interval for a binomial proportion: the
+// [lo, hi] range in which the true success probability lies with the
+// confidence implied by z (1.96 for 95%). Unlike the naive normal interval
+// p̂ ± z·√(p̂(1−p̂)/n), it stays inside [0,1] and behaves sensibly at the
+// extremes — exactly the estimates a failure-injection run produces, where
+// success rates near 1 are the common case. It returns [0,1] for n <= 0.
+func Wilson(successes, trials int, z float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := p + z2/(2*n)
+	margin := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 || successes == 0 {
+		lo = 0
+	}
+	if hi > 1 || successes == trials {
+		// Analytically the bound is exact at the extremes; pin it so float
+		// rounding cannot report 0.9999999999999998 for an all-success run.
+		hi = 1
+	}
+	return lo, hi
+}

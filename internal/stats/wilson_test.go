@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonBasics(t *testing.T) {
+	// Degenerate inputs cover the whole range.
+	if lo, hi := Wilson(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Fatalf("n=0: [%g,%g], want [0,1]", lo, hi)
+	}
+	// The interval always contains the point estimate and stays in [0,1].
+	for _, tc := range []struct{ s, n int }{
+		{0, 10}, {10, 10}, {1, 10}, {9, 10}, {50, 100}, {997, 1000},
+	} {
+		lo, hi := Wilson(tc.s, tc.n, 1.96)
+		p := float64(tc.s) / float64(tc.n)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Fatalf("Wilson(%d,%d) = [%g,%g] malformed", tc.s, tc.n, lo, hi)
+		}
+		if p < lo-1e-12 || p > hi+1e-12 {
+			t.Fatalf("Wilson(%d,%d) = [%g,%g] excludes p̂=%g", tc.s, tc.n, lo, hi, p)
+		}
+	}
+	// Unlike the naive normal interval, all-successes still admits doubt.
+	lo, hi := Wilson(20, 20, 1.96)
+	if hi != 1 {
+		t.Fatalf("20/20: hi = %g, want 1", hi)
+	}
+	if lo >= 1 || lo < 0.8 {
+		t.Fatalf("20/20: lo = %g, want a bound a bit below 1", lo)
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	prev := 2.0
+	for _, n := range []int{10, 100, 1000, 10000} {
+		lo, hi := Wilson(n/2, n, 1.96)
+		if width := hi - lo; width >= prev {
+			t.Fatalf("n=%d: width %g did not shrink from %g", n, width, prev)
+		} else {
+			prev = width
+		}
+	}
+}
+
+func TestWilsonMatchesHandComputation(t *testing.T) {
+	// s=8, n=10, z=1.96: textbook values.
+	lo, hi := Wilson(8, 10, 1.96)
+	if math.Abs(lo-0.4901) > 5e-4 || math.Abs(hi-0.9433) > 5e-4 {
+		t.Fatalf("Wilson(8,10) = [%g,%g], want ≈[0.4901,0.9433]", lo, hi)
+	}
+}
