@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ftsched/internal/tune
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTune/halving         	       3	 191523993 ns/op	      8000 trials/op	 1896610 B/op	   19734 allocs/op
+BenchmarkTune/halving         	       3	 189000000 ns/op	      8000 trials/op	 1896610 B/op	   19700 allocs/op
+BenchmarkTune/naive           	       3	 287152151 ns/op	     12800 trials/op	 1892458 B/op	   19208 allocs/op
+BenchmarkCampaign/workers=1   	       3	 123456789 ns/op
+BenchmarkEvaluate/trials-64   	       3	   2500000 ns/op	    3120 B/op	      39 allocs/op
+PASS
+ok  	ftsched/internal/tune	1.919s
+`
+
+func intp(v int64) *int64 { return &v }
+
+func TestParseBench(t *testing.T) {
+	m, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(m), m)
+	}
+	// Repeated -count runs fold by minimum, per measurement.
+	h := m["BenchmarkTune/halving"]
+	if h.NsOp != 189000000 {
+		t.Errorf("halving ns/op = %g, want the minimum 189000000", h.NsOp)
+	}
+	if h.AllocsOp == nil || *h.AllocsOp != 19700 {
+		t.Errorf("halving allocs/op = %v, want 19700", h.AllocsOp)
+	}
+	// No ReportAllocs: ns recorded, allocs absent (and the trials/op custom
+	// metric of the tune benchmark must not be mistaken for allocations).
+	c := m["BenchmarkCampaign/workers=1"]
+	if c.AllocsOp != nil {
+		t.Errorf("campaign allocs/op = %v, want absent", *c.AllocsOp)
+	}
+	if e := m["BenchmarkEvaluate/trials-64"]; e.AllocsOp == nil || *e.AllocsOp != 39 {
+		t.Errorf("evaluate allocs/op = %v, want 39", e.AllocsOp)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Manifest{
+		"BenchmarkA": {NsOp: 100, AllocsOp: intp(100)},
+		"BenchmarkB": {NsOp: 100, AllocsOp: intp(8)},
+		"BenchmarkC": {NsOp: 100}, // no allocs: never gated
+		"BenchmarkD": {NsOp: 100, AllocsOp: intp(50)},
+	}
+	cases := []struct {
+		name     string
+		current  Manifest
+		problems int
+	}{
+		{"identical", Manifest{
+			"BenchmarkA": {NsOp: 900, AllocsOp: intp(100)}, // ns/op never gates
+			"BenchmarkB": {NsOp: 100, AllocsOp: intp(8)},
+			"BenchmarkC": {NsOp: 100},
+			"BenchmarkD": {NsOp: 100, AllocsOp: intp(50)},
+		}, 0},
+		{"within 25%", Manifest{
+			"BenchmarkA": {NsOp: 100, AllocsOp: intp(125)},
+			"BenchmarkB": {NsOp: 100, AllocsOp: intp(10)}, // +25% but inside absolute slack
+			"BenchmarkC": {NsOp: 100},
+			"BenchmarkD": {NsOp: 100, AllocsOp: intp(62)},
+		}, 0},
+		{"regressed", Manifest{
+			"BenchmarkA": {NsOp: 100, AllocsOp: intp(126)},
+			"BenchmarkB": {NsOp: 100, AllocsOp: intp(8)},
+			"BenchmarkC": {NsOp: 100},
+			"BenchmarkD": {NsOp: 100, AllocsOp: intp(80)},
+		}, 2},
+		{"missing benchmark", Manifest{
+			"BenchmarkA": {NsOp: 100, AllocsOp: intp(100)},
+			"BenchmarkC": {NsOp: 100},
+			"BenchmarkD": {NsOp: 100, AllocsOp: intp(50)},
+		}, 1},
+		{"allocs reporting dropped", Manifest{
+			"BenchmarkA": {NsOp: 100},
+			"BenchmarkB": {NsOp: 100, AllocsOp: intp(8)},
+			"BenchmarkC": {NsOp: 100},
+			"BenchmarkD": {NsOp: 100, AllocsOp: intp(50)},
+		}, 1},
+	}
+	for _, c := range cases {
+		if got := Compare(base, c.current, 0.25); len(got) != c.problems {
+			t.Errorf("%s: %d problems, want %d: %v", c.name, len(got), c.problems, got)
+		}
+	}
+	// New benchmarks in current but absent from base never fail the gate.
+	current := Manifest{
+		"BenchmarkA":   {NsOp: 100, AllocsOp: intp(100)},
+		"BenchmarkB":   {NsOp: 100, AllocsOp: intp(8)},
+		"BenchmarkC":   {NsOp: 100},
+		"BenchmarkD":   {NsOp: 100, AllocsOp: intp(50)},
+		"BenchmarkNew": {NsOp: 100, AllocsOp: intp(999)},
+	}
+	if got := Compare(base, current, 0.25); len(got) != 0 {
+		t.Errorf("new benchmark failed the gate: %v", got)
+	}
+}

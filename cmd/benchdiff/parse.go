@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's manifest row. AllocsOp is nil for benchmarks that
+// do not call b.ReportAllocs — they are recorded for context but cannot be
+// gated.
+type Entry struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp *int64  `json:"allocs_op,omitempty"`
+}
+
+// Manifest maps benchmark names (as printed by go test, e.g.
+// "BenchmarkEvaluate/trials-64") to their measurements.
+type Manifest map[string]Entry
+
+// benchLine matches one result line of `go test -bench` output:
+//
+//	BenchmarkTune/halving  3  191523993 ns/op  1896610 B/op  19734 allocs/op
+//
+// Run the benchmarks under GOMAXPROCS=1: with more procs go test appends a
+// "-<procs>" suffix to every name, and manifests from hosts with different
+// core counts would not line up.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+// allocsField extracts the allocs/op measurement from a line's metric tail.
+var allocsField = regexp.MustCompile(`(\d+) allocs/op`)
+
+// ParseBench reads `go test -bench` output and folds repeated runs of one
+// benchmark (-count > 1) by taking the minimum ns/op and allocs/op — the
+// least-noisy estimate of each.
+func ParseBench(r io.Reader) (Manifest, error) {
+	m := make(Manifest)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		g := benchLine.FindStringSubmatch(line)
+		if g == nil {
+			continue
+		}
+		name := g[1]
+		if strings.Contains(name, "--") || strings.HasSuffix(name, "-") {
+			return nil, fmt.Errorf("malformed benchmark name %q", name)
+		}
+		ns, err := strconv.ParseFloat(g[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark %s: bad ns/op %q", name, g[2])
+		}
+		e := Entry{NsOp: ns}
+		if a := allocsField.FindStringSubmatch(g[3]); a != nil {
+			v, err := strconv.ParseInt(a[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad allocs/op %q", name, a[1])
+			}
+			e.AllocsOp = &v
+		}
+		prev, seen := m[name]
+		if !seen {
+			m[name] = e
+			continue
+		}
+		if e.NsOp < prev.NsOp {
+			prev.NsOp = e.NsOp
+		}
+		if e.AllocsOp != nil && (prev.AllocsOp == nil || *e.AllocsOp < *prev.AllocsOp) {
+			prev.AllocsOp = e.AllocsOp
+		}
+		m[name] = prev
+	}
+	return m, sc.Err()
+}
+
+// allocsSlack is the absolute headroom added on top of the relative bound:
+// a benchmark at 8 allocs/op growing to 10 is measurement noise, not a
+// regression worth failing CI over.
+const allocsSlack = 2
+
+// Compare gates current against base: every baseline benchmark with a
+// gateable allocs/op must be present and must not exceed the baseline by
+// more than maxRegress (relative) and allocsSlack (absolute). The returned
+// problems are human-readable and empty when the gate passes; names are
+// reported in sorted order so failures are deterministic.
+func Compare(base, current Manifest, maxRegress float64) []string {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var problems []string
+	for _, name := range names {
+		b := base[name]
+		cur, ok := current[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"%s is in the baseline but was not run; update the baseline if it was renamed or removed", name))
+			continue
+		}
+		if b.AllocsOp == nil {
+			continue
+		}
+		if cur.AllocsOp == nil {
+			problems = append(problems, fmt.Sprintf(
+				"%s no longer reports allocs/op (b.ReportAllocs removed?)", name))
+			continue
+		}
+		limit := float64(*b.AllocsOp) * (1 + maxRegress)
+		if float64(*cur.AllocsOp) > limit && *cur.AllocsOp > *b.AllocsOp+allocsSlack {
+			problems = append(problems, fmt.Sprintf(
+				"%s regressed: %d allocs/op vs baseline %d (limit %.0f, +%.0f%%)",
+				name, *cur.AllocsOp, *b.AllocsOp, limit,
+				100*(float64(*cur.AllocsOp)/float64(*b.AllocsOp)-1)))
+		}
+	}
+	return problems
+}

@@ -24,6 +24,17 @@
 //	ftexp -campaign custom -eps 2 -instances 20 -gran 1 \
 //	      -evaluate uniform:2,exp:0.001,group:4:0.001 -trials 500
 //
+// The tune campaign searches the scheduler registry instead of sweeping it:
+// for every (family, granularity) point it runs the auto-tuner
+// (internal/tune) over the registry × -eps × policy grid under one scoring
+// scenario, and emits the (latency, success) Pareto frontier plus the
+// recommendation for the -target success probability:
+//
+//	ftexp -campaign tune -gran 0.5,1,2 -eps 1,2,5 -procs 20 \
+//	      -evaluate exp:0.0002 -trials 1000 -target 0.99
+//	ftexp -campaign tune -families random,fft -gran 1 \
+//	      -evaluate uniform:2 -format csv
+//
 // Legacy paper modes:
 //
 //	ftexp -fig 1                 # Figure 1 (ε=1, m=20): bounds, crash, overhead panels
@@ -48,6 +59,8 @@ import (
 	"ftsched/internal/expt"
 	"ftsched/internal/sched"
 	_ "ftsched/internal/schedulers" // register every built-in scheduler
+	"ftsched/internal/sim"
+	"ftsched/internal/tune"
 )
 
 func main() {
@@ -65,8 +78,9 @@ func main() {
 		instances  = flag.Int("instances", 60, "campaign instances per grid point")
 		procs      = flag.Int("procs", 20, "campaign platform size")
 		tasks      = flag.String("tasks", "100:150", "campaign random-family task range 'min:max'")
-		evaluate   = flag.String("evaluate", "", "campaign scenario dimension: comma list of specs (uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA, burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON)")
-		trials     = flag.Int("trials", 0, "fault-injection trials per cell (requires -evaluate; default 1000)")
+		evaluate   = flag.String("evaluate", "", "campaign scenario dimension: comma list of specs (uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA, burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON); exactly one spec in -campaign tune")
+		trials     = flag.Int("trials", 0, "fault-injection trials per cell/candidate (requires -evaluate; default 1000)")
+		target     = flag.Float64("target", 0.99, "success-probability target of the -campaign tune recommendation")
 
 		fig      = flag.Int("fig", 0, "paper figure to regenerate (1-4)")
 		table    = flag.Int("table", 0, "paper table to regenerate (1)")
@@ -91,7 +105,7 @@ func main() {
 		// them instead of silently ignoring a sweep the user thinks ran.
 		for _, name := range []string{"parallel", "checkpoint", "resume", "progress",
 			"schedulers", "eps", "gran", "families", "instances", "procs", "tasks",
-			"evaluate", "trials"} {
+			"evaluate", "trials", "target"} {
 			if setFlags[name] {
 				fatal(fmt.Errorf("-%s only applies to -campaign mode", name))
 			}
@@ -111,6 +125,15 @@ func main() {
 			procs: *procs, tasks: *tasks, seed: *seed, graphs: *graphs,
 			evaluate: *evaluate, trials: *trials,
 			set: setFlags,
+		}
+		if *campaign == "tune" {
+			if err := runTuneCampaign(cfg, *target, *parallel, *format); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if setFlags["target"] {
+			fatal(fmt.Errorf("-target only applies to -campaign tune"))
 		}
 		eng := expt.EngineOptions{
 			Workers:    *parallel,
@@ -219,6 +242,96 @@ func figureEmitter(format string) (func(io.Writer, *expt.Figure) error, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ftexp:", err)
 	os.Exit(1)
+}
+
+// runTuneCampaign is the -campaign tune mode: for every (family,
+// granularity) workload point it materializes one campaign-seeded instance
+// (expt.BuildInstance, index 0) and runs the auto-tuner over the registry ×
+// -eps × policy grid, emitting one frontier section per point. The -eps list
+// doubles as the tuner's ε ladder and -evaluate carries the single scoring
+// scenario; -parallel sets the tuner's candidate-level worker pool.
+func runTuneCampaign(cfg campaignFlags, target float64, workers int, format string) error {
+	for _, name := range []string{"schedulers", "instances", "checkpoint", "resume", "progress", "graphs"} {
+		if cfg.set[name] {
+			return fmt.Errorf("-%s does not apply to -campaign tune (the candidate grid comes from the scheduler registry)", name)
+		}
+	}
+	var write func(io.Writer, *tune.Result) error
+	switch format {
+	case "ascii":
+		write = tune.WriteASCII
+	case "csv":
+		write = tune.WriteCSV
+	default:
+		return fmt.Errorf("-campaign tune supports -format ascii or csv, got %q", format)
+	}
+	if cfg.evaluate == "" {
+		return fmt.Errorf("-campaign tune needs -evaluate SPEC (the scenario candidates are scored under)")
+	}
+	if strings.Contains(cfg.evaluate, ",") {
+		return fmt.Errorf("-campaign tune scores every candidate under one scenario; pass exactly one -evaluate spec")
+	}
+	sp, err := sim.ParseScenarioSpec(cfg.evaluate)
+	if err != nil {
+		return err
+	}
+	var ladder []int
+	for _, e := range strings.Split(cfg.eps, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(e))
+		if err != nil {
+			return fmt.Errorf("bad -eps entry %q: %w", e, err)
+		}
+		ladder = append(ladder, v)
+	}
+	gran, err := parseGranularities(cfg.gran)
+	if err != nil {
+		return err
+	}
+	tasksMin, tasksMax, err := parseRange(cfg.tasks)
+	if err != nil {
+		return fmt.Errorf("bad -tasks: %w", err)
+	}
+	trials := cfg.trials
+	if !cfg.set["trials"] {
+		trials = 1000
+	}
+	first := true
+	for _, fam := range strings.Split(cfg.families, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		for _, g := range gran {
+			inst, err := expt.BuildInstance(fam, g, cfg.procs, tasksMin, tasksMax, 0, cfg.seed)
+			if err != nil {
+				return err
+			}
+			res, err := tune.Run(tune.Spec{
+				Graph:    inst.Graph,
+				Platform: inst.Platform,
+				Costs:    inst.Costs,
+				Epsilons: ladder,
+				Scenario: sp,
+				Trials:   trials,
+				Target:   target,
+				Seed:     cfg.seed,
+				Workers:  workers,
+			})
+			if err != nil {
+				return fmt.Errorf("tune family=%s gran=%g: %w", fam, g, err)
+			}
+			if !first {
+				fmt.Println()
+			}
+			first = false
+			fmt.Printf("# tune family=%s gran=%g procs=%d tasks=%d scenario=%s\n",
+				fam, g, cfg.procs, inst.Graph.NumTasks(), res.Scenario)
+			if err := write(os.Stdout, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // campaignFlags carries the raw -campaign grid flags before parsing.

@@ -21,6 +21,7 @@
 //	ftsched -dir work -eps 2 -evaluate -trials 10000            # batch MC eval
 //	ftsched -dir work -eps 2 -evaluate -scenario exp:0.0001     # failure law
 //	ftsched -dir work -load s.json -evaluate -scenario group:4:0.001
+//	ftsched -dir work -tune -target 0.99 -scenario exp:0.0001   # auto-tune
 //
 // -evaluate runs the batch fault-injection engine (sim.Evaluate) against the
 // computed or loaded schedule: -trials scenarios drawn from -scenario
@@ -29,8 +30,14 @@
 // with its Wilson interval, latency mean/p50/p99 and the
 // degradation-vs-failure-count histogram.
 //
-// The modes are exclusive: -maxeps, -compare and -load each reject flags
-// they would otherwise silently ignore.
+// -tune answers "which configuration should I run?": it searches the
+// scheduler-registry × ε × policy grid (internal/tune), scoring every
+// candidate under -scenario with successive-halving pruning, and prints the
+// Pareto frontier of (expected latency, success probability) plus the
+// cheapest point meeting the -target success probability.
+//
+// The modes are exclusive: -maxeps, -compare, -tune and -load each reject
+// flags they would otherwise silently ignore.
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"ftsched/internal/sched"
 	_ "ftsched/internal/schedulers" // register every built-in scheduler
 	"ftsched/internal/sim"
+	"ftsched/internal/tune"
 )
 
 func main() {
@@ -62,6 +70,8 @@ func main() {
 		latency    = flag.Float64("latency", 0, "latency budget: deadline-checked scheduling, or the budget for -maxeps")
 		policy     = flag.String("policy", "", "scheduler-specific policy (e.g. mcftsa: greedy|bottleneck, heft: noinsertion)")
 		maxEps     = flag.Bool("maxeps", false, "maximize ε under the -latency budget (uses FTSA)")
+		tuneMode   = flag.Bool("tune", false, "auto-tune: search the registry × ε × policy grid for the (latency, success) Pareto frontier")
+		target     = flag.Float64("target", 0.99, "success-probability target of the -tune recommendation")
 		verbose    = flag.Bool("v", false, "print the full placement")
 		gantt      = flag.Bool("gantt", false, "render an ASCII Gantt chart")
 		metrics    = flag.Bool("metrics", false, "print schedule metrics (utilization, comm volume)")
@@ -89,13 +99,21 @@ func main() {
 	}
 	switch {
 	case *maxEps:
-		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy", "evaluate", "scenario")
+		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy", "evaluate", "scenario", "tune", "target")
 	case *compare:
-		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate", "scenario")
+		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate", "scenario", "tune", "target")
+	case *tuneMode:
+		// The tuner schedules every registry candidate itself; all
+		// single-schedule flags are meaningless.
+		rejectWith("-tune", "algo", "eps", "latency", "crash", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate")
 	case *loadFrm != "":
-		rejectWith("-load", "algo", "eps", "latency", "save", "policy")
+		rejectWith("-load", "algo", "eps", "latency", "save", "policy", "tune", "target")
+	default:
+		rejectWith("this", "target")
 	}
-	if *evaluate {
+	if *tuneMode {
+		// -scenario and -trials parameterize the tuner's scoring batches.
+	} else if *evaluate {
 		// -crash replays single hand-drawn scenarios; -evaluate is the
 		// batch engine. Mixing them would double-report.
 		for _, name := range []string{"crash", "trace"} {
@@ -138,6 +156,13 @@ func main() {
 
 	if *compare {
 		if err := runCompare(g, p, cm, *eps, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *tuneMode {
+		if err := runTune(g, p, cm, *scenario, *target, *trials, set["trials"], *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -246,6 +271,36 @@ func main() {
 			}
 		}
 	}
+}
+
+// runTune searches the registry × ε × policy grid for the Pareto frontier
+// of (expected latency, success probability) under the given scenario and
+// prints the frontier plus the recommendation for the -target success rate.
+func runTune(g *dag.Graph, p *platform.Platform, cm *platform.CostModel,
+	scenario string, target float64, trials int, trialsSet bool, seed int64) error {
+	if scenario == "" {
+		return fmt.Errorf("-tune needs -scenario (the failure law candidates are scored under), e.g. -scenario exp:0.001")
+	}
+	sp, err := sim.ParseScenarioSpec(scenario)
+	if err != nil {
+		return err
+	}
+	if !trialsSet {
+		trials = 1000
+	}
+	res, err := tune.Run(tune.Spec{
+		Graph:    g,
+		Platform: p,
+		Costs:    cm,
+		Scenario: sp,
+		Trials:   trials,
+		Target:   target,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	return tune.WriteASCII(os.Stdout, res)
 }
 
 // runEvaluate runs the batch fault-injection engine on the schedule and

@@ -9,13 +9,16 @@
 //	ftserved -addr :9000 -workers 4   # explicit socket and pool size
 //	ftserved -queue 64 -cache 10000   # deeper queue, bigger response cache
 //	ftserved -max-tasks 5000 -v       # reject huge instances, log requests
-//	ftserved -max-trials 50000        # cap one /evaluate batch
+//	ftserved -max-trials 50000        # cap one /evaluate or /tune batch
+//	ftserved -max-candidates 64       # cap one /tune candidate grid
 //
 // Endpoints (see docs/API.md for the full reference):
 //
 //	POST /schedule   schedule an instance, returns bounds + metrics JSON
 //	POST /evaluate   schedule + Monte-Carlo failure injection: success rate
 //	                 (Wilson interval), latency p50/p99, degradation histogram
+//	POST /tune       auto-tune: Pareto frontier over the scheduler registry
+//	                 × ε × policy grid, with a recommended operating point
 //	GET  /healthz    liveness probe
 //	GET  /stats      cache hit rate, queue depth, p50/p99 latency
 //
@@ -45,20 +48,22 @@ func main() {
 		cache     = flag.Int("cache", 4096, "response cache capacity in entries")
 		shards    = flag.Int("shards", 16, "response cache shard count")
 		maxTasks  = flag.Int("max-tasks", 0, "reject instances with more tasks (0: unlimited)")
-		maxTrials = flag.Int("max-trials", 0, "reject /evaluate requests with more trials (0: 100000)")
+		maxTrials = flag.Int("max-trials", 0, "reject /evaluate and /tune requests with more trials (0: 100000)")
+		maxCands  = flag.Int("max-candidates", 0, "reject /tune requests deriving more candidates (0: 256)")
 		maxBody   = flag.Int64("max-body", 32<<20, "request body limit in bytes")
 		verbose   = flag.Bool("v", false, "log every /schedule and /evaluate request")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:      *workers,
-		Queue:        *queue,
-		CacheEntries: *cache,
-		CacheShards:  *shards,
-		MaxTasks:     *maxTasks,
-		MaxTrials:    *maxTrials,
-		MaxBodyBytes: *maxBody,
+		Workers:       *workers,
+		Queue:         *queue,
+		CacheEntries:  *cache,
+		CacheShards:   *shards,
+		MaxTasks:      *maxTasks,
+		MaxTrials:     *maxTrials,
+		MaxCandidates: *maxCands,
+		MaxBodyBytes:  *maxBody,
 	}
 	logger := log.New(os.Stderr, "ftserved: ", log.LstdFlags)
 	if *verbose {

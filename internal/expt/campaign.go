@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"strconv"
 
@@ -328,16 +327,10 @@ func (c Campaign) Cells() []Cell {
 }
 
 // derive hashes the base seed and a list of coordinate strings into a
-// 63-bit stream seed (FNV-1a; stable across runs, platforms and Go
-// versions, unlike maphash).
+// 63-bit stream seed — sim.DeriveSeed, the stable FNV-1a discipline shared
+// with the auto-tuner.
 func derive(base int64, parts ...string) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d", base)
-	for _, p := range parts {
-		h.Write([]byte{0})
-		h.Write([]byte(p))
-	}
-	return int64(h.Sum64() &^ (1 << 63))
+	return sim.DeriveSeed(base, parts...)
 }
 
 func gstr(g float64) string { return strconv.FormatFloat(g, 'g', -1, 64) }
@@ -403,6 +396,34 @@ func (c Campaign) instance(cell Cell) (*workload.Instance, error) {
 		return nil, err
 	}
 	return workload.NewInstanceForGraph(rng, g, wcfg)
+}
+
+// BuildInstance materializes one campaign-style workload instance outside a
+// campaign grid — the construction Campaign.instance uses, with the same
+// instance-seed derivation, so the instance at coordinates (family,
+// granularity, index) under a given base seed is identical whether a
+// campaign cell or a standalone caller (ftexp's tune-campaign mode) builds
+// it. The family must be "random" or one of CampaignFamilies.
+func BuildInstance(family string, granularity float64, procs, tasksMin, tasksMax, instance int, seed int64) (*workload.Instance, error) {
+	if family != "random" {
+		if _, ok := familyBuilder(family); !ok {
+			return nil, fmt.Errorf("expt: unknown family %q (known: %v)", family, CampaignFamilies())
+		}
+	}
+	if granularity <= 0 {
+		return nil, fmt.Errorf("expt: non-positive granularity %g", granularity)
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("expt: need at least one processor, got %d", procs)
+	}
+	if tasksMin < 1 || tasksMax < tasksMin {
+		return nil, fmt.Errorf("expt: invalid task range [%d,%d]", tasksMin, tasksMax)
+	}
+	if instance < 0 {
+		return nil, fmt.Errorf("expt: negative instance index %d", instance)
+	}
+	c := Campaign{Procs: procs, TasksMin: tasksMin, TasksMax: tasksMax, Seed: seed}
+	return c.instance(Cell{Family: family, Granularity: granularity, Instance: instance})
 }
 
 // prepared bundles everything about a cell that is independent of its

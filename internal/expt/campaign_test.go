@@ -8,6 +8,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
 )
 
 // testCampaign returns a small grid that exercises every dimension while
@@ -334,5 +337,55 @@ func TestCampaignSharesInstanceAcrossSchedulers(t *testing.T) {
 	}
 	if ra.Tasks != rb.Tasks || ra.Edges != rb.Edges || ra.FaultFree != rb.FaultFree {
 		t.Fatalf("shared instance diverged across schedulers: %+v vs %+v", ra, rb)
+	}
+}
+
+// BuildInstance must agree with the campaign engine's own instance
+// materialization coordinate for coordinate, so tuning a point and sweeping
+// it in a campaign study the same workload.
+func TestBuildInstanceMatchesCampaign(t *testing.T) {
+	c := Campaign{
+		Name:          "probe",
+		Schedulers:    []SchedulerID{SchedFTSA},
+		Epsilons:      []int{1},
+		Granularities: []float64{0.5},
+		Families:      []string{"random"},
+		Instances:     2,
+		Procs:         6,
+		TasksMin:      20,
+		TasksMax:      30,
+		Seed:          9,
+	}
+	cell := c.Cells()[len(c.Cells())-1] // instance index 1
+	want, err := c.instance(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildInstance("random", 0.5, 6, 20, 30, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumTasks() != want.Graph.NumTasks() || got.Graph.NumEdges() != want.Graph.NumEdges() {
+		t.Fatalf("BuildInstance diverged from the campaign instance: %d/%d tasks, %d/%d edges",
+			got.Graph.NumTasks(), want.Graph.NumTasks(), got.Graph.NumEdges(), want.Graph.NumEdges())
+	}
+	for tsk := 0; tsk < got.Graph.NumTasks(); tsk++ {
+		for pr := 0; pr < 6; pr++ {
+			if got.Costs.Cost(dag.TaskID(tsk), platform.ProcID(pr)) != want.Costs.Cost(dag.TaskID(tsk), platform.ProcID(pr)) {
+				t.Fatalf("cost matrix diverged at task %d proc %d", tsk, pr)
+			}
+		}
+	}
+
+	for _, bad := range []func() error{
+		func() error { _, err := BuildInstance("nope", 1, 6, 20, 30, 0, 9); return err },
+		func() error { _, err := BuildInstance("random", 0, 6, 20, 30, 0, 9); return err },
+		func() error { _, err := BuildInstance("random", 1, 0, 20, 30, 0, 9); return err },
+		func() error { _, err := BuildInstance("random", 1, 6, 30, 20, 0, 9); return err },
+		func() error { _, err := BuildInstance("random", 1, 6, 20, 30, -1, 9); return err },
+	} {
+		if bad() == nil {
+			t.Error("BuildInstance accepted an invalid argument set")
+		}
 	}
 }

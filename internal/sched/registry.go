@@ -206,6 +206,23 @@ func UnknownSchedulerError(name string) error {
 	return fmt.Errorf("%w %q (registered: %s)", ErrUnknownScheduler, name, strings.Join(Names(), ", "))
 }
 
+// SweepPolicies returns the policy values a parameter sweep over this
+// scheduler should cover, derived from the capability surface: every
+// registered policy, plus the unnamed default behavior (empty string) when no
+// DefaultPolicy names it. A scheduler with a DefaultPolicy resolves "" to
+// that policy (see canonicalization in the serving layer), so listing ""
+// there would duplicate a grid point; a scheduler without one ("ftbar",
+// "heft") has a real unnamed default the sweep must not skip.
+func (r Registration) SweepPolicies() []string {
+	if len(r.Policies) == 0 {
+		return []string{""}
+	}
+	if r.DefaultPolicy != "" {
+		return append([]string(nil), r.Policies...)
+	}
+	return append([]string{""}, r.Policies...)
+}
+
 // Check validates opt against the scheduler's registered capabilities,
 // producing the uniform errors every dispatch site (CLI, HTTP, campaign
 // engine) reports. It does not validate instance-dependent constraints

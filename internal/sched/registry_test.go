@@ -154,3 +154,34 @@ func TestRegisterCollisionPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestSweepPolicies(t *testing.T) {
+	cases := []struct {
+		reg  Registration
+		want []string
+	}{
+		// No policies: sweep only the unnamed default.
+		{Registration{}, []string{""}},
+		// A DefaultPolicy names the unnamed behavior, so "" would duplicate
+		// a grid point; the registered policies already cover everything.
+		{Registration{Policies: []string{"greedy", "bottleneck"}, DefaultPolicy: "greedy"},
+			[]string{"greedy", "bottleneck"}},
+		// Policies without a DefaultPolicy: the unnamed default is a real
+		// distinct behavior the sweep must include.
+		{Registration{Policies: []string{"noduplication"}},
+			[]string{"", "noduplication"}},
+	}
+	for _, c := range cases {
+		got := c.reg.SweepPolicies()
+		if len(got) != len(c.want) {
+			t.Errorf("SweepPolicies(%+v) = %q, want %q", c.reg, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SweepPolicies(%+v) = %q, want %q", c.reg, got, c.want)
+				break
+			}
+		}
+	}
+}

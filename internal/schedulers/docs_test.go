@@ -1,4 +1,7 @@
-package schedulers
+// These drift tests live in the external test package so they can import
+// the serving layer (which itself blank-imports this package to register
+// every scheduler) without an import cycle.
+package schedulers_test
 
 import (
 	"os"
@@ -6,12 +9,33 @@ import (
 	"testing"
 
 	"ftsched/internal/sched"
+	"ftsched/internal/service"
 )
 
 const (
 	beginMarker = "<!-- BEGIN SCHEDULER TABLE (generated from the registry; do not edit by hand) -->"
 	endMarker   = "<!-- END SCHEDULER TABLE -->"
+
+	beginEndpoints = "<!-- BEGIN ENDPOINT TABLE (generated from internal/service; do not edit by hand) -->"
+	endEndpoints   = "<!-- END ENDPOINT TABLE -->"
 )
+
+// embeddedTable extracts the generated block between two markers in
+// docs/API.md.
+func embeddedTable(t *testing.T, begin, end string) string {
+	t.Helper()
+	raw, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	b := strings.Index(doc, begin)
+	e := strings.Index(doc, end)
+	if b < 0 || e < 0 || e < b {
+		t.Fatalf("docs/API.md is missing the generated-table markers %q ... %q", begin, end)
+	}
+	return strings.TrimSpace(doc[b+len(begin) : e])
+}
 
 // TestAPIDocsSchedulerTable asserts that the scheduler table embedded in
 // docs/API.md is exactly sched.RegistryTable() — registering, renaming or
@@ -22,20 +46,23 @@ const (
 //
 // (the failure message prints the wanted table verbatim).
 func TestAPIDocsSchedulerTable(t *testing.T) {
-	raw, err := os.ReadFile("../../docs/API.md")
-	if err != nil {
-		t.Fatal(err)
-	}
-	doc := string(raw)
-	begin := strings.Index(doc, beginMarker)
-	end := strings.Index(doc, endMarker)
-	if begin < 0 || end < 0 || end < begin {
-		t.Fatalf("docs/API.md is missing the generated-table markers %q ... %q", beginMarker, endMarker)
-	}
-	embedded := strings.TrimSpace(doc[begin+len(beginMarker) : end])
+	embedded := embeddedTable(t, beginMarker, endMarker)
 	want := strings.TrimSpace(sched.RegistryTable())
 	if embedded != want {
 		t.Errorf("docs/API.md scheduler table drifted from the registry.\n"+
+			"Replace the block between the markers with:\n\n%s\n", want)
+	}
+}
+
+// TestAPIDocsEndpointTable asserts, the same way, that the endpoint table in
+// docs/API.md is exactly service.EndpointTable() — adding a route (like
+// /tune) without documenting it, or documenting one that is not served,
+// fails the build.
+func TestAPIDocsEndpointTable(t *testing.T) {
+	embedded := embeddedTable(t, beginEndpoints, endEndpoints)
+	want := strings.TrimSpace(service.EndpointTable())
+	if embedded != want {
+		t.Errorf("docs/API.md endpoint table drifted from the serving layer.\n"+
 			"Replace the block between the markers with:\n\n%s\n", want)
 	}
 }

@@ -19,8 +19,16 @@
 //     degradation-vs-failure-count histogram, computed by sim.Evaluate with
 //     deterministic per-trial seeding — the response is as cacheable as a
 //     schedule.
+//   - POST /tune accepts a problem instance plus a scoring scenario, a
+//     trial budget and a reliability target, derives the candidate grid
+//     from the scheduler registry's capability surface, and runs the
+//     Pareto auto-tuner (internal/tune): the response is the frontier of
+//     (expected latency, success probability) with a recommended
+//     operating point — byte-deterministic, so cached like the others
+//     under its own fingerprint domain, guarded by -max-candidates.
 //   - GET /healthz is a liveness probe.
-//   - GET /stats reports cache hit rate, queue depth and p50/p99 latency.
+//   - GET /stats reports cache hit rate, per-endpoint and per-scheduler
+//     counters, queue depth and p50/p99 latency.
 //
 // Three mechanisms make the service production-shaped:
 //

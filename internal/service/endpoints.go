@@ -1,0 +1,45 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+)
+
+// endpoint describes one row of the HTTP surface for the generated
+// documentation table. The slice below is the single source of truth the
+// docs drift test compares docs/API.md against — adding a route without
+// extending it (and regenerating the table) fails the build.
+type endpoint struct {
+	method, path string
+	// domain is the response-cache fingerprint domain, or "—" for uncached
+	// endpoints.
+	domain      string
+	description string
+}
+
+// endpoints lists the served routes in documentation order. Keep it in sync
+// with the mux registrations in New.
+var endpoints = []endpoint{
+	{"POST", "/schedule", "schedule",
+		"schedule an instance; returns latency bounds, metrics, optional reliability bound / Gantt / full schedule"},
+	{"POST", "/evaluate", "evaluate",
+		"schedule + Monte-Carlo failure injection; returns success rate (Wilson interval), latency p50/p99, degradation histogram"},
+	{"POST", "/tune", "tune",
+		"search the registry × ε × policy grid; returns the (latency, success) Pareto frontier and a recommended point for a reliability target"},
+	{"GET", "/healthz", "—", "liveness probe"},
+	{"GET", "/stats", "—", "cache hit rate, per-endpoint and per-scheduler counters, queue depth, latency quantiles"},
+}
+
+// EndpointTable renders the HTTP surface as a GitHub-flavored markdown
+// table. docs/API.md embeds it between generated-table markers, and a drift
+// test asserts the embedded copy matches, so the documented endpoint list
+// cannot go stale.
+func EndpointTable() string {
+	var b strings.Builder
+	b.WriteString("| Method | Path | Cache domain | Description |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, e := range endpoints {
+		fmt.Fprintf(&b, "| %s | `%s` | %s | %s |\n", e.method, e.path, e.domain, e.description)
+	}
+	return b.String()
+}

@@ -200,6 +200,12 @@ func (req *ScheduleRequest) canonicalScheduler() string {
 	return strings.ToLower(req.Scheduler)
 }
 
+// describe renders the one-line request summary the verbose log prints.
+func (req *ScheduleRequest) describe() string {
+	return fmt.Sprintf("%s eps=%d tasks=%d procs=%d",
+		req.canonicalScheduler(), req.Epsilon, req.Graph.NumTasks(), req.Platform.NumProcs())
+}
+
 // canonicalPolicySeed folds fields whose surface spelling doesn't change the
 // response, so equivalent requests share one cache entry. The registry
 // declares each scheduler's defaults: an omitted policy means the

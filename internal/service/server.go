@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ftsched/internal/dag"
 	"ftsched/internal/platform"
 	"ftsched/internal/reliability"
 	"ftsched/internal/sched"
@@ -47,9 +48,14 @@ type Config struct {
 	// MaxTasks rejects instances with more tasks (0: unlimited); a cheap
 	// guard against a single request monopolizing a worker.
 	MaxTasks int
-	// MaxTrials bounds the trial count of one /evaluate request
-	// (0: 100000), so a single batch cannot monopolize a worker.
+	// MaxTrials bounds the trial count of one /evaluate request and the
+	// per-candidate trial count of one /tune request (0: 100000), so a
+	// single batch cannot monopolize a worker.
 	MaxTrials int
+	// MaxCandidates bounds the derived candidate grid of one /tune request
+	// (0: 256) — a registry × ε-ladder sweep multiplies the trial cost, so
+	// it gets its own guard on top of MaxTrials.
+	MaxCandidates int
 	// LatencyWindow is the number of recent /schedule latencies kept for the
 	// p50/p99 report (0: 1024).
 	LatencyWindow int
@@ -66,15 +72,17 @@ type Server struct {
 	cache   *Cache // Fingerprint → []byte (serialized response)
 	blCache *Cache // instance Fingerprint → []float64 (static bottom levels)
 
-	// schedule and evaluate compute the response bytes for a validated
-	// request of the respective endpoint. They are fields so tests can
-	// replace them with controllable stubs (e.g. ones that block, to fill
-	// the queue deterministically).
+	// schedule, evaluate and tuneFn compute the response bytes for a
+	// validated request of the respective endpoint. They are fields so tests
+	// can replace them with controllable stubs (e.g. ones that block, to
+	// fill the queue deterministically).
 	schedule func(*ScheduleRequest) ([]byte, error)
 	evaluate func(*EvaluateRequest) ([]byte, error)
+	tuneFn   func(*TuneRequest) ([]byte, error)
 
 	requests         atomic.Uint64
 	evaluateRequests atomic.Uint64
+	tuneRequests     atomic.Uint64
 	hits             atomic.Uint64
 	misses           atomic.Uint64
 	rejected         atomic.Uint64
@@ -111,6 +119,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxTrials <= 0 {
 		cfg.MaxTrials = 100000
 	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 256
+	}
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
@@ -122,8 +133,10 @@ func New(cfg Config) *Server {
 	}
 	s.schedule = s.runSchedule
 	s.evaluate = s.runEvaluate
+	s.tuneFn = s.runTune
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /tune", s.handleTune)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -155,11 +168,12 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
 }
 
-// decodeRequest is the request prologue both endpoints share: bound the
-// body, decode (400 on malformed input, 413 past the body limit) and apply
-// the instance-size guard. ok is false when an error response was written.
+// decodeRequest is the request prologue every POST endpoint shares: bound
+// the body, decode (400 on malformed input, 413 past the body limit) and
+// apply the instance-size guard. ok is false when an error response was
+// written.
 func decodeRequest[T any](s *Server, w http.ResponseWriter, r *http.Request,
-	decode func(io.Reader) (T, error), base func(T) *ScheduleRequest) (req T, ok bool) {
+	decode func(io.Reader) (T, error), tasks func(T) int) (req T, ok bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	req, err := decode(r.Body)
 	if err != nil {
@@ -171,9 +185,9 @@ func decodeRequest[T any](s *Server, w http.ResponseWriter, r *http.Request,
 		s.writeError(w, status, err)
 		return req, false
 	}
-	if b := base(req); s.cfg.MaxTasks > 0 && b.Graph.NumTasks() > s.cfg.MaxTasks {
+	if n := tasks(req); s.cfg.MaxTasks > 0 && n > s.cfg.MaxTasks {
 		s.writeError(w, http.StatusBadRequest,
-			fmt.Errorf("instance has %d tasks, this server accepts at most %d", b.Graph.NumTasks(), s.cfg.MaxTasks))
+			fmt.Errorf("instance has %d tasks, this server accepts at most %d", n, s.cfg.MaxTasks))
 		return req, false
 	}
 	return req, true
@@ -183,7 +197,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	start := time.Now()
 	req, ok := decodeRequest(s, w, r, DecodeScheduleRequest,
-		func(req *ScheduleRequest) *ScheduleRequest { return req })
+		func(req *ScheduleRequest) int { return req.Graph.NumTasks() })
 	if !ok {
 		return
 	}
@@ -195,7 +209,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeLatency(start)
-	s.logRequest(r, "/schedule", req, cacheStatus, start)
+	s.logRequest(r, "/schedule", req.describe(), cacheStatus, start)
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -203,7 +217,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.evaluateRequests.Add(1)
 	start := time.Now()
 	req, ok := decodeRequest(s, w, r, DecodeEvaluateRequest,
-		func(req *EvaluateRequest) *ScheduleRequest { return &req.ScheduleRequest })
+		func(req *EvaluateRequest) int { return req.Graph.NumTasks() })
 	if !ok {
 		return
 	}
@@ -220,7 +234,52 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeLatency(start)
-	s.logRequest(r, "/evaluate", &req.ScheduleRequest, cacheStatus, start)
+	s.logRequest(r, "/evaluate", req.describe(), cacheStatus, start)
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.tuneRequests.Add(1)
+	start := time.Now()
+	req, ok := decodeRequest(s, w, r, DecodeTuneRequest,
+		func(req *TuneRequest) int { return req.Graph.NumTasks() })
+	if !ok {
+		return
+	}
+	if req.Trials > s.cfg.MaxTrials {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("request asks for %d trials per candidate, this server accepts at most %d",
+				req.Trials, s.cfg.MaxTrials))
+		return
+	}
+	cands := req.candidates()
+	if len(cands) > s.cfg.MaxCandidates {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("request derives %d candidates, this server accepts at most %d",
+				len(cands), s.cfg.MaxCandidates))
+		return
+	}
+	// A tune request sweeps the registry: attribute it to every scheduler
+	// in its grid, so the /stats table shows which schedulers the search
+	// traffic exercises.
+	seen := make(map[string]bool)
+	for _, c := range cands {
+		if !seen[c.Scheduler] {
+			seen[c.Scheduler] = true
+			s.countScheduler(c.Scheduler)
+		}
+	}
+
+	cacheStatus, ok := s.serveCached(w, TuneFingerprint(req), "tuning",
+		func() ([]byte, error) { return s.tuneFn(req) })
+	if !ok {
+		return
+	}
+	s.observeLatency(start)
+	s.logRequest(r, "/tune",
+		fmt.Sprintf("candidates=%d trials=%d tasks=%d procs=%d",
+			len(cands), req.Trials, req.Graph.NumTasks(), req.Platform.NumProcs()),
+		cacheStatus, start)
 }
 
 // serveCached is the cache → worker-pool → respond flow /schedule and
@@ -280,13 +339,12 @@ func (s *Server) observeLatency(start time.Time) {
 	s.latMu.Unlock()
 }
 
-func (s *Server) logRequest(r *http.Request, path string, req *ScheduleRequest, cacheStatus string, start time.Time) {
+func (s *Server) logRequest(r *http.Request, path, detail, cacheStatus string, start time.Time) {
 	if s.cfg.Log == nil {
 		return
 	}
-	s.cfg.Log.Printf("%s %s %s eps=%d tasks=%d procs=%d cache=%s took=%s",
-		r.RemoteAddr, path, req.canonicalScheduler(), req.Epsilon,
-		req.Graph.NumTasks(), req.Platform.NumProcs(), cacheStatus,
+	s.cfg.Log.Printf("%s %s %s cache=%s took=%s",
+		r.RemoteAddr, path, detail, cacheStatus,
 		time.Since(start).Round(time.Microsecond))
 }
 
@@ -297,32 +355,37 @@ func (s *Server) countScheduler(name string) {
 	s.schedMu.Unlock()
 }
 
-// solve runs the scheduling part shared by both endpoints: resolve bottom
-// levels from the instance memo, run the requested heuristic through the
-// scheduler registry, and validate the result.
+// bottomLevels resolves the instance's static bottom levels through the
+// instance-keyed memo. They depend only on (graph, costs, platform), and
+// every registered scheduler derives its priorities from them, so cache-miss
+// requests for the same DAG under different ε, seed, scheduler — or a whole
+// /tune sweep — share one computation (the slice is read-only to the
+// schedulers, which is what makes sharing race-free).
+func (s *Server) bottomLevels(g *dag.Graph, p *platform.Platform, cm *platform.CostModel) ([]float64, error) {
+	ifp := InstanceFingerprint(g, p, cm)
+	if v, ok := s.blCache.Get(ifp); ok {
+		return v.([]float64), nil
+	}
+	bl, err := sched.AvgBottomLevels(g, cm, p)
+	if err != nil {
+		return nil, err
+	}
+	s.blCache.Put(ifp, bl)
+	return bl, nil
+}
+
+// solve runs the scheduling part shared by /schedule and /evaluate: resolve
+// bottom levels from the instance memo, run the requested heuristic through
+// the scheduler registry, and validate the result.
 func (s *Server) solve(req *ScheduleRequest) (*sched.Schedule, error) {
 	g, p, cm := req.Graph, req.Platform, req.Costs
 	var rng *rand.Rand
 	if req.Seed != 0 {
 		rng = rand.New(rand.NewSource(req.Seed))
 	}
-
-	// Static bottom levels depend only on the instance, and every
-	// registered scheduler derives its priorities from them, so cache-miss
-	// requests for the same DAG under different ε, seed or scheduler share
-	// one computation (RunOptions.BottomLevels is read-only to the
-	// schedulers, which is what makes sharing race-free).
-	var bl []float64
-	ifp := InstanceFingerprint(g, p, cm)
-	if v, ok := s.blCache.Get(ifp); ok {
-		bl = v.([]float64)
-	} else {
-		var err error
-		bl, err = sched.AvgBottomLevels(g, cm, p)
-		if err != nil {
-			return nil, err
-		}
-		s.blCache.Put(ifp, bl)
+	bl, err := s.bottomLevels(g, p, cm)
+	if err != nil {
+		return nil, err
 	}
 	schedule, err := sched.Run(req.Scheduler, g, p, cm, sched.RunOptions{
 		Epsilon:      req.Epsilon,
@@ -458,13 +521,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the body of GET /stats.
 type Stats struct {
-	// Requests counts /schedule and /evaluate requests received, including
-	// rejected and malformed ones; EvaluateRequests is the /evaluate share
-	// of that total. The counters conserve: every request ends in exactly
-	// one of cache_hits, cache_misses, client_errors or internal_errors
-	// (429s count under both rejected and client_errors).
+	// Requests counts /schedule, /evaluate and /tune requests received,
+	// including rejected and malformed ones; EvaluateRequests and
+	// TuneRequests are the /evaluate and /tune shares of that total. The
+	// counters conserve: every request ends in exactly one of cache_hits,
+	// cache_misses, client_errors or internal_errors (429s count under both
+	// rejected and client_errors).
 	Requests         uint64 `json:"requests"`
 	EvaluateRequests uint64 `json:"evaluate_requests"`
+	TuneRequests     uint64 `json:"tune_requests"`
 	// CacheHits and CacheMisses count served responses by path, both
 	// endpoints together; HitRate is hits/(hits+misses), 0 before any
 	// response is served.
@@ -473,8 +538,11 @@ type Stats struct {
 	HitRate     float64 `json:"hit_rate"`
 	// CacheEntries is the current response-cache population.
 	CacheEntries int `json:"cache_entries"`
-	// SchedulerRequests counts well-formed /schedule and /evaluate requests
-	// by canonical registry scheduler name (hits and misses alike).
+	// SchedulerRequests counts well-formed requests by canonical registry
+	// scheduler name (hits and misses alike): /schedule and /evaluate bump
+	// their one scheduler, and a /tune request bumps every distinct
+	// scheduler in its derived candidate grid — the table answers "which
+	// schedulers does traffic exercise", so a sweep counts for each.
 	// Schedulers never requested are absent.
 	SchedulerRequests map[string]uint64 `json:"scheduler_requests"`
 	// Rejected counts 429s (queue full); ClientErrors counts 4xx;
@@ -486,8 +554,8 @@ type Stats struct {
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 	Workers       int `json:"workers"`
-	// LatencyMs summarizes recent successful /schedule and /evaluate round
-	// trips (decode through response write), hits and misses alike.
+	// LatencyMs summarizes recent successful /schedule, /evaluate and /tune
+	// round trips (decode through response write), hits and misses alike.
 	LatencyMs LatencyStats `json:"latency_ms"`
 }
 
@@ -511,6 +579,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := Stats{
 		Requests:          s.requests.Load(),
 		EvaluateRequests:  s.evaluateRequests.Load(),
+		TuneRequests:      s.tuneRequests.Load(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheEntries:      s.cache.Len(),

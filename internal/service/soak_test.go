@@ -7,18 +7,21 @@ import (
 	"sync"
 	"testing"
 
+	"ftsched/internal/sched"
 	"ftsched/internal/sim"
 )
 
 // TestSoakMixedTraffic pounds one server with 4 waves of 256 concurrent
-// mixed /schedule + /evaluate requests (plus a sprinkling of malformed
-// ones), asserting the serving invariants hold under load:
+// mixed /schedule + /evaluate + /tune requests (plus a sprinkling of
+// malformed ones), asserting the serving invariants hold under load:
 //
 //   - every response for one request body is byte-identical, cache hits and
 //     misses alike;
 //   - the /stats counters conserve: requests = cache_hits + cache_misses +
 //     client_errors + internal_errors (every accepted request is served,
-//     every rejected one accounted);
+//     every rejected one accounted), and the per-scheduler table accounts
+//     for every well-formed request (a /tune sweep once per registered
+//     scheduler);
 //   - after wave one, repeat bodies hit the cache.
 //
 // The CI race job runs this package under -race, which makes the soak a
@@ -26,11 +29,15 @@ import (
 func TestSoakMixedTraffic(t *testing.T) {
 	_, ts := startServer(t, Config{Queue: 512})
 
-	// 16 distinct request bodies: 8 schedule (4 problems × 2 schedulers),
-	// 7 evaluate (varying scenario/trials/seed), 1 malformed.
+	// 18 distinct request bodies: 8 schedule (4 problems × 2 schedulers),
+	// 7 evaluate (varying scenario/trials/seed), 2 tune, 1 malformed.
 	type probe struct {
 		path string
 		body []byte
+		// schedWeight is the request's contribution to the per-scheduler
+		// /stats table: 1 for single-scheduler endpoints, the registry size
+		// for a /tune sweep, 0 for malformed bodies.
+		schedWeight int
 	}
 	var probes []probe
 	for i := 0; i < 8; i++ {
@@ -40,7 +47,7 @@ func TestSoakMixedTraffic(t *testing.T) {
 		if i%4 == 3 {
 			req.Scheduler = "mcftsa"
 		}
-		probes = append(probes, probe{"/schedule", marshalJSON(t, req)})
+		probes = append(probes, probe{"/schedule", marshalJSON(t, req), 1})
 	}
 	scenarios := []sim.ScenarioSpec{
 		{Kind: "uniform", Crashes: 1},
@@ -56,9 +63,15 @@ func TestSoakMixedTraffic(t *testing.T) {
 		req.Scenario = sc
 		req.Trials = 30 + i
 		req.EvalSeed = int64(i)
-		probes = append(probes, probe{"/evaluate", marshalJSON(t, req)})
+		probes = append(probes, probe{"/evaluate", marshalJSON(t, req), 1})
 	}
-	probes = append(probes, probe{"/evaluate", []byte(`{"trials": "soon"}`)})
+	for i := 0; i < 2; i++ {
+		req := testTuneRequest(t)
+		req.Trials = 24 + 8*i
+		req.EvalSeed = int64(i)
+		probes = append(probes, probe{"/tune", marshalJSON(t, req), len(sched.Names())})
+	}
+	probes = append(probes, probe{"/evaluate", []byte(`{"trials": "soon"}`), 0})
 
 	const waves, parallel = 4, 256
 	var mu sync.Mutex
@@ -146,12 +159,21 @@ func TestSoakMixedTraffic(t *testing.T) {
 	if st.EvaluateRequests == 0 || st.EvaluateRequests >= st.Requests {
 		t.Fatalf("evaluate_requests = %d of %d, want a proper mix", st.EvaluateRequests, st.Requests)
 	}
-	// Both endpoints fold into the per-scheduler attribution.
+	if st.TuneRequests == 0 || st.TuneRequests >= st.Requests {
+		t.Fatalf("tune_requests = %d of %d, want a proper mix", st.TuneRequests, st.Requests)
+	}
+	// All three POST endpoints fold into the per-scheduler attribution: a
+	// weighted conservation over the probes that were actually sent (every
+	// wave distributes its goroutines i = 0..parallel-1 over i % len(probes)).
+	var wantPerSched uint64
+	for i := 0; i < parallel; i++ {
+		wantPerSched += uint64(waves * probes[i%len(probes)].schedWeight)
+	}
 	var perSched uint64
 	for _, n := range st.SchedulerRequests {
 		perSched += n
 	}
-	if perSched != wellFormed {
-		t.Fatalf("scheduler_requests sums to %d, want %d", perSched, wellFormed)
+	if perSched != wantPerSched {
+		t.Fatalf("scheduler_requests sums to %d, want %d", perSched, wantPerSched)
 	}
 }

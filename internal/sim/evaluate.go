@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -31,6 +32,12 @@ type EvalOptions struct {
 	// latencies backing the p50/p99 report (0: 4096). It is the only
 	// per-trial state kept, which is what makes memory O(1) in trials.
 	QuantileWindow int
+	// OnTrial, when non-nil, observes every trial's outcome in strict trial
+	// order (latency is meaningful only when ok is true). Because trial
+	// seeds derive from (Seed, trial), two evaluations at one seed see the
+	// identical failure scenario at each index; the auto-tuner uses this
+	// hook to compare candidates trial-for-trial on their shared draws.
+	OnTrial func(trial int, ok bool, latency float64)
 }
 
 // defaultQuantileWindow bounds the latency samples retained for quantiles.
@@ -91,6 +98,20 @@ type EvalResult struct {
 	Generator string `json:"generator"`
 	// Seed echoes the base seed.
 	Seed int64 `json:"seed"`
+}
+
+// LatencyMeanInterval returns the z-score confidence interval of the mean
+// latency over the evaluation's successful trials, computed from the
+// streamed mean and standard deviation (half-width z·σ/√n). ok is false when
+// no trial succeeded — there is no latency to bound. It is the interval the
+// auto-tuner's conservative pruning compares: a candidate is only discarded
+// when another candidate's whole interval beats its whole interval.
+func (r *EvalResult) LatencyMeanInterval(z float64) (lo, hi float64, ok bool) {
+	if r.Successes == 0 {
+		return 0, 0, false
+	}
+	half := z * r.Latency.StdDev / math.Sqrt(float64(r.Successes))
+	return r.Latency.Mean - half, r.Latency.Mean + half, true
 }
 
 // TrialSeed derives the rng seed of one Evaluate trial from the base seed by
@@ -261,6 +282,9 @@ func Evaluate(s *sched.Schedule, gen ScenarioGenerator, trials int, opt EvalOpti
 		if o.err != nil {
 			firstErr = fmt.Errorf("sim: trial %d: %w", o.trial, o.err)
 			return false
+		}
+		if opt.OnTrial != nil {
+			opt.OnTrial(o.trial, o.ok, o.latency)
 		}
 		b := &buckets[o.failed]
 		b.trials++

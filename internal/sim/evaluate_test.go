@@ -249,3 +249,37 @@ func itoa(v int) string {
 	blob, _ := json.Marshal(v)
 	return "trials-" + string(blob)
 }
+
+func TestLatencyMeanInterval(t *testing.T) {
+	s := evalSchedule(t, 8, 2)
+	res, err := sim.Evaluate(s, sim.UniformGen{N: 1}, 200, sim.EvalOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Successes == 0 {
+		t.Fatal("evaluation produced no successes; pick a friendlier scenario")
+	}
+	lo, hi, ok := res.LatencyMeanInterval(1.96)
+	if !ok {
+		t.Fatal("interval not ok despite successes")
+	}
+	if !(lo <= res.Latency.Mean && res.Latency.Mean <= hi) {
+		t.Fatalf("mean %g outside its own interval [%g, %g]", res.Latency.Mean, lo, hi)
+	}
+	wantHalf := 1.96 * res.Latency.StdDev / math.Sqrt(float64(res.Successes))
+	if got := (hi - lo) / 2; math.Abs(got-wantHalf) > 1e-12 {
+		t.Fatalf("half-width %g, want %g", got, wantHalf)
+	}
+
+	// All processors dead at t=0: nothing can succeed, interval must report !ok.
+	dead, err := sim.Evaluate(s, sim.UniformGen{N: 8}, 10, sim.EvalOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Successes != 0 {
+		t.Fatalf("crashing every processor still succeeded %d times", dead.Successes)
+	}
+	if _, _, ok := dead.LatencyMeanInterval(1.96); ok {
+		t.Fatal("interval ok with zero successes")
+	}
+}

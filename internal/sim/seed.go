@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// DeriveSeed hashes a base seed and a list of coordinate strings into a
+// 63-bit stream seed by FNV-1a — stable across runs, platforms and Go
+// versions (unlike maphash). It is the coordinate-seeding discipline the
+// deterministic layers share: the campaign engine derives per-cell
+// instance/scheduler/crash seeds from grid coordinates, and the auto-tuner
+// derives per-candidate scheduling seeds and its shared evaluation seed the
+// same way. TrialSeed is the allocation-free per-trial specialization of the
+// same idea.
+func DeriveSeed(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", base)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64() &^ (1 << 63))
+}

@@ -1,0 +1,41 @@
+package tune_test
+
+import (
+	"testing"
+
+	"ftsched/internal/tune"
+)
+
+// BenchmarkTune compares the successive-halving search against the naive
+// full-trial sweep on the fixed tuning instance: "halving" screens every
+// candidate cheaply and spends the full budget only on unpruned survivors,
+// "naive" evaluates the whole grid at full fidelity. ns/op of halving must
+// stay below naive — the headline claim of the screening pass; the
+// sub-benchmark reports trials/op so the pruning scoreboard is visible next
+// to the wall-clock numbers.
+func BenchmarkTune(b *testing.B) {
+	spec := tuneSpec(b, tuneInstance(b, 42, 1.0))
+	spec.Workers = 1
+	for _, mode := range []struct {
+		name   string
+		screen int
+	}{
+		{"halving", 0},         // default screen: Trials/8
+		{"naive", spec.Trials}, // screen == full budget disables pruning
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := spec
+			s.ScreenTrials = mode.screen
+			b.ReportAllocs()
+			trials := 0
+			for i := 0; i < b.N; i++ {
+				res, err := tune.Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				trials += res.EvaluatedTrials
+			}
+			b.ReportMetric(float64(trials)/float64(b.N), "trials/op")
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package tune
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// policyLabel renders an empty policy as "-" so table columns stay aligned.
+func policyLabel(p string) string {
+	if p == "" {
+		return "-"
+	}
+	return p
+}
+
+// WriteASCII renders the tuning result as a human-readable table: one row
+// per candidate in grid order, the frontier in latency order, and the
+// recommendation with its rationale.
+func WriteASCII(w io.Writer, res *Result) error {
+	naive := res.ScreenTrials >= res.Trials
+	if _, err := fmt.Fprintf(w, "# tune: %d candidates, scenario %s, trials %d (screen %d), %d trials evaluated\n",
+		len(res.Candidates), res.Scenario, res.Trials, res.ScreenTrials, res.EvaluatedTrials); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %4s %-14s %8s %17s %12s %12s %10s %s\n",
+		"scheduler", "eps", "policy", "success", "[95% wilson]", "latency", "p99", "upper", "mark"); err != nil {
+		return err
+	}
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		mark := ""
+		switch {
+		case i == res.Recommended:
+			mark = "recommended"
+		case c.Frontier:
+			mark = "frontier"
+		case c.Pruned:
+			mark = "pruned"
+		}
+		e := c.Full
+		suffix := ""
+		if e == nil {
+			// Pruned candidates only have the screening estimate.
+			e = c.Screen
+			suffix = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %4d %-14s %7.4f%s [%.4f, %.4f] %12.4g %12.4g %10.4g %s\n",
+			c.Scheduler, c.Epsilon, policyLabel(c.Policy),
+			e.SuccessRate, suffix, e.SuccessLow, e.SuccessHigh,
+			e.LatencyMean, e.LatencyP99, c.UpperBound, mark); err != nil {
+			return err
+		}
+	}
+	if !naive {
+		if _, err := fmt.Fprintf(w, "(* screening estimate over %d trials; pruned before the full pass)\n",
+			res.ScreenTrials); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "frontier (latency asc):"); err != nil {
+		return err
+	}
+	for _, i := range res.Frontier {
+		if _, err := fmt.Fprintf(w, "  %s", res.Candidates[i].Candidate); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	best := res.Best()
+	switch {
+	case best == nil:
+		_, err := fmt.Fprintf(w, "recommended: none (no candidate survived a single trial under %s)\n", res.Scenario)
+		return err
+	case res.TargetMet:
+		_, err := fmt.Fprintf(w, "recommended: %s — success %.4f >= target %.4g at mean latency %.4g\n",
+			best.Candidate, best.Full.SuccessRate, res.Target, best.Full.LatencyMean)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "recommended: %s — best available success %.4f misses target %.4g (mean latency %.4g)\n",
+			best.Candidate, best.Full.SuccessRate, res.Target, best.Full.LatencyMean)
+		return err
+	}
+}
+
+// WriteCSV renders the tuning result as one CSV table: a header line, then
+// one row per candidate in grid order. Pruned candidates report their
+// screening estimate with pruned=1 and trials=screen budget, so every row's
+// statistics are labeled by the budget that produced them.
+func WriteCSV(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintln(w,
+		"scheduler,epsilon,policy,trials,success,success_low,success_high,latency_mean,latency_p99,lower_bound,upper_bound,pruned,frontier,recommended"); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		e := c.Full
+		if e == nil {
+			e = c.Screen
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			c.Scheduler, c.Epsilon, c.Policy, e.Trials,
+			f(e.SuccessRate), f(e.SuccessLow), f(e.SuccessHigh),
+			f(e.LatencyMean), f(e.LatencyP99), f(c.LowerBound), f(c.UpperBound),
+			b(c.Pruned), b(c.Frontier), b(i == res.Recommended)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package tune
+
+import (
+	"fmt"
+
+	"ftsched/internal/sched"
+)
+
+// Candidate is one point of the search grid: a scheduler (canonical registry
+// name), its replication level and its placement policy.
+type Candidate struct {
+	Scheduler string `json:"scheduler"`
+	Epsilon   int    `json:"epsilon"`
+	Policy    string `json:"policy,omitempty"`
+}
+
+// String renders the candidate compactly for tables and errors, e.g.
+// "mcftsa ε=2 bottleneck" or "heft ε=0".
+func (c Candidate) String() string {
+	s := fmt.Sprintf("%s ε=%d", c.Scheduler, c.Epsilon)
+	if c.Policy != "" {
+		s += " " + c.Policy
+	}
+	return s
+}
+
+// DefaultEpsilons is the ε ladder candidates sweep when the caller does not
+// supply one — the paper's ε ∈ {1, 2, 5} grid dimension.
+func DefaultEpsilons() []int { return []int{1, 2, 5} }
+
+// DeriveCandidates builds the candidate grid from the scheduler registry's
+// capability surface, for a platform of m processors: every registered
+// scheduler, crossed with the ε ladder (fault-tolerant schedulers only;
+// non-fault-tolerant ones contribute a single ε=0 reference point) and the
+// policies its registration declares sweep-worthy (Registration.
+// SweepPolicies). Ladder entries a scheduler cannot realize on m processors
+// (ε+1 > m) are skipped rather than rejected, so one ladder serves every
+// platform size. An empty or nil ladder means DefaultEpsilons.
+//
+// The grid order is deterministic — registry registration order, then
+// ladder order, then policy order — and is the order Run reports results in.
+func DeriveCandidates(m int, epsilons []int) []Candidate {
+	if len(epsilons) == 0 {
+		epsilons = DefaultEpsilons()
+	}
+	var out []Candidate
+	for _, r := range sched.Registrations() {
+		ladder := epsilons
+		if !r.FaultTolerant {
+			ladder = []int{0}
+		}
+		for _, eps := range ladder {
+			if eps+1 > m {
+				continue
+			}
+			for _, policy := range r.SweepPolicies() {
+				out = append(out, Candidate{Scheduler: r.Name(), Epsilon: eps, Policy: policy})
+			}
+		}
+	}
+	return out
+}
+
+// checkCandidates validates an explicit candidate list against the registry
+// and the platform size, producing the same uniform errors every dispatch
+// site reports.
+func checkCandidates(cands []Candidate, m int) error {
+	if len(cands) == 0 {
+		return fmt.Errorf("tune: empty candidate grid (no registered scheduler fits the platform)")
+	}
+	seen := make(map[Candidate]bool, len(cands))
+	for _, c := range cands {
+		info, ok := sched.LookupInfo(c.Scheduler)
+		if !ok {
+			return sched.UnknownSchedulerError(c.Scheduler)
+		}
+		if err := info.Check(sched.RunOptions{Epsilon: c.Epsilon, Policy: c.Policy}); err != nil {
+			return err
+		}
+		if c.Epsilon+1 > m {
+			return fmt.Errorf("tune: candidate %s needs %d distinct processors, platform has %d",
+				c, c.Epsilon+1, m)
+		}
+		// Duplicates would be scored twice and could seat two copies of one
+		// point on the frontier; detect them on canonical coordinates.
+		key := Candidate{Scheduler: info.Name(), Epsilon: c.Epsilon, Policy: c.Policy}
+		if seen[key] {
+			return fmt.Errorf("tune: duplicate candidate %s", key)
+		}
+		seen[key] = true
+	}
+	return nil
+}

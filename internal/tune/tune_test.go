@@ -1,0 +1,256 @@
+package tune_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/sched"
+	_ "ftsched/internal/schedulers" // register every built-in scheduler
+	"ftsched/internal/sim"
+	"ftsched/internal/tune"
+	"ftsched/internal/workload"
+)
+
+// tuneInstance builds a deterministic mid-size workload for tuning tests.
+func tuneInstance(t testing.TB, seed int64, gran float64) *workload.Instance {
+	t.Helper()
+	cfg := workload.DefaultPaperConfig(gran)
+	cfg.Procs = 8
+	cfg.DAG.MinTasks, cfg.DAG.MaxTasks = 30, 40
+	inst, err := workload.NewInstance(rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// tuneSpec builds a spec whose failure rate scales with the instance (about
+// three expected failures across the platform per mission window — harsh
+// enough that ε separates candidates), so success rates land strictly
+// between 0 and 1 and the frontier has real shape.
+func tuneSpec(t testing.TB, inst *workload.Instance) tune.Spec {
+	t.Helper()
+	s, err := sched.Run("ftsa", inst.Graph, inst.Platform, inst.Costs, sched.RunOptions{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 3.0 / (float64(inst.Platform.NumProcs()) * s.UpperBound())
+	return tune.Spec{
+		Graph:    inst.Graph,
+		Platform: inst.Platform,
+		Costs:    inst.Costs,
+		Scenario: sim.ScenarioSpec{Kind: "exp", Lambda: lambda},
+		Trials:   640,
+		Target:   0.95,
+		Seed:     1,
+	}
+}
+
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// The acceptance criterion: same spec, any worker count, byte-identical
+// TuneResult JSON — pruning decisions included.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	spec := tuneSpec(t, tuneInstance(t, 42, 1.0))
+	var want []byte
+	for _, workers := range []int{1, 3, 16} {
+		spec.Workers = workers
+		res, err := tune.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob := marshal(t, res)
+		if want == nil {
+			want = blob
+			continue
+		}
+		if !bytes.Equal(want, blob) {
+			t.Fatalf("workers=%d changed the result JSON:\n%s\nvs\n%s", workers, want, blob)
+		}
+	}
+}
+
+// frontierSet projects a result's frontier onto candidate identities.
+func frontierSet(res *tune.Result) map[tune.Candidate]bool {
+	out := make(map[tune.Candidate]bool, len(res.Frontier))
+	for _, i := range res.Frontier {
+		out[res.Candidates[i].Candidate] = true
+	}
+	return out
+}
+
+// The successive-halving safety property: across a seeded grid of workloads,
+// the pruned run's frontier is exactly the frontier of the naive full-trial
+// sweep — the conservative interval rule never discards a candidate that
+// would have been Pareto-optimal at full fidelity. (Everything is seeded, so
+// this is a fixed, reproducible check, not a flaky statistical one.)
+func TestPruningPreservesFrontier(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, gran := range []float64{0.5, 1.5} {
+			t.Run(fmt.Sprintf("seed=%d/gran=%g", seed, gran), func(t *testing.T) {
+				spec := tuneSpec(t, tuneInstance(t, seed, gran))
+				pruned, err := tune.Run(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				naiveSpec := spec
+				naiveSpec.ScreenTrials = spec.Trials // disables pruning
+				naive, err := tune.Run(naiveSpec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, want := frontierSet(pruned), frontierSet(naive)
+				for c := range want {
+					if !got[c] {
+						t.Errorf("pruning dropped frontier point %s", c)
+					}
+				}
+				for c := range got {
+					if !want[c] {
+						t.Errorf("pruned run promoted non-frontier point %s", c)
+					}
+				}
+				// Survivors re-run the identical trial seeds, so the
+				// recommendation must agree with the naive sweep too.
+				if pruned.Recommended >= 0 &&
+					pruned.Candidates[pruned.Recommended].Candidate != naive.Candidates[naive.Recommended].Candidate {
+					t.Errorf("recommendation drifted under pruning: %s vs %s",
+						pruned.Candidates[pruned.Recommended].Candidate,
+						naive.Candidates[naive.Recommended].Candidate)
+				}
+				if pruned.EvaluatedTrials >= naive.EvaluatedTrials {
+					t.Errorf("pruning evaluated %d trials, naive sweep %d — the screen bought nothing",
+						pruned.EvaluatedTrials, naive.EvaluatedTrials)
+				}
+			})
+		}
+	}
+}
+
+// The frontier must be non-dominated, latency-sorted, and contain the
+// recommendation; a met target means the recommendation clears it.
+func TestFrontierInvariants(t *testing.T) {
+	spec := tuneSpec(t, tuneInstance(t, 42, 1.0))
+	res, err := tune.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty frontier on a healthy instance")
+	}
+	for _, i := range res.Frontier {
+		fi := res.Candidates[i].Full
+		if fi == nil {
+			t.Fatalf("frontier point %d has no full evaluation", i)
+		}
+		for j := range res.Candidates {
+			fj := res.Candidates[j].Full
+			if j == i || fj == nil || fj.Successes == 0 {
+				continue
+			}
+			if fj.SuccessRate >= fi.SuccessRate && fj.LatencyMean <= fi.LatencyMean &&
+				(fj.SuccessRate > fi.SuccessRate || fj.LatencyMean < fi.LatencyMean) {
+				t.Errorf("frontier point %s is dominated by %s",
+					res.Candidates[i].Candidate, res.Candidates[j].Candidate)
+			}
+		}
+	}
+	for k := 1; k < len(res.Frontier); k++ {
+		a := res.Candidates[res.Frontier[k-1]].Full
+		b := res.Candidates[res.Frontier[k]].Full
+		if a.LatencyMean > b.LatencyMean {
+			t.Errorf("frontier not latency-sorted at position %d", k)
+		}
+		// Walking up the frontier in latency must buy reliability.
+		if b.SuccessRate <= a.SuccessRate {
+			t.Errorf("frontier point %d adds latency without adding success", k)
+		}
+	}
+	best := res.Best()
+	if best == nil || !best.Frontier {
+		t.Fatalf("recommendation %v is off the frontier", best)
+	}
+	if res.TargetMet && best.Full.SuccessRate < res.Target {
+		t.Errorf("target_met but recommended success %g < target %g", best.Full.SuccessRate, res.Target)
+	}
+
+	// An unreachable target keeps the same frontier but flips TargetMet.
+	spec.Target = 1.0
+	hard, err := tune.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.TargetMet && hard.Best().Full.SuccessRate < 1 {
+		t.Error("claims to meet a perfect-reliability target without perfect success")
+	}
+}
+
+func TestDeriveCandidates(t *testing.T) {
+	// Large platform: every fault-tolerant scheduler sweeps the full ladder
+	// crossed with its sweep policies; non-FT schedulers pin ε=0.
+	cands := tune.DeriveCandidates(20, nil)
+	byName := map[string]int{}
+	for _, c := range cands {
+		byName[c.Scheduler]++
+		info, ok := sched.LookupInfo(c.Scheduler)
+		if !ok {
+			t.Fatalf("derived unknown scheduler %q", c.Scheduler)
+		}
+		if err := info.Check(sched.RunOptions{Epsilon: c.Epsilon, Policy: c.Policy}); err != nil {
+			t.Errorf("derived invalid candidate %s: %v", c, err)
+		}
+	}
+	for _, r := range sched.Registrations() {
+		want := len(r.SweepPolicies())
+		if r.FaultTolerant {
+			want *= len(tune.DefaultEpsilons())
+		}
+		if byName[r.Name()] != want {
+			t.Errorf("scheduler %s: %d candidates, want %d", r.Name(), byName[r.Name()], want)
+		}
+	}
+	// Tiny platform: ladder entries that cannot be realized are skipped, not
+	// rejected — only the ε=0 references remain on a single processor.
+	for _, c := range tune.DeriveCandidates(1, nil) {
+		if c.Epsilon != 0 {
+			t.Errorf("single-processor grid kept ε=%d candidate %s", c.Epsilon, c)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	inst := tuneInstance(t, 42, 1.0)
+	base := tuneSpec(t, inst)
+	cases := map[string]func(*tune.Spec){
+		"nil graph":     func(s *tune.Spec) { s.Graph = nil },
+		"zero trials":   func(s *tune.Spec) { s.Trials = 0 },
+		"neg screen":    func(s *tune.Spec) { s.ScreenTrials = -1 },
+		"target > 1":    func(s *tune.Spec) { s.Target = 1.5 },
+		"bad scenario":  func(s *tune.Spec) { s.Scenario = sim.ScenarioSpec{Kind: "nope"} },
+		"wide scenario": func(s *tune.Spec) { s.Scenario = sim.ScenarioSpec{Kind: "uniform", Crashes: 99} },
+		"unknown cand":  func(s *tune.Spec) { s.Candidates = []tune.Candidate{{Scheduler: "nope"}} },
+		"oversized eps": func(s *tune.Spec) { s.Candidates = []tune.Candidate{{Scheduler: "ftsa", Epsilon: 99}} },
+		"dup candidate": func(s *tune.Spec) {
+			s.Candidates = []tune.Candidate{
+				{Scheduler: "ftsa", Epsilon: 1}, {Scheduler: "FTSA", Epsilon: 1},
+			}
+		},
+	}
+	for name, mutate := range cases {
+		spec := base
+		mutate(&spec)
+		if _, err := tune.Run(spec); err == nil {
+			t.Errorf("%s: Run accepted an invalid spec", name)
+		}
+	}
+}
