@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"ftsched/internal/load"
+)
+
+// Load-report gating (-load mode). The input is an ftload JSON report, not
+// `go test -bench` output, and the gate compares serving-tier capacity
+// signals instead of allocs/op: throughput must not drop more than
+// -max-throughput-drop and per-endpoint corrected p99 must not grow more
+// than -max-p99-growth versus the checked-in baseline.
+//
+// The baseline is a deterministic ftload run, so the compared numbers carry
+// no host noise: virtual latencies come from the seeded cost model and only
+// move when the server's observable behavior moves (cache hit pattern,
+// endpoint status codes, admission decisions). A CI failure here means the
+// PR changed what the server does, not how fast the runner's CPU is.
+
+// loadP99SlackMs absorbs histogram-bucket granularity: a p99 that moved by
+// less than a twentieth of a millisecond is quantization, not a regression.
+const loadP99SlackMs = 0.05
+
+// CompareLoad gates cur against base. Problems fail the gate; notes are
+// informational. Reports produced under different configurations are not
+// comparable and fail loudly rather than producing a nonsense verdict.
+func CompareLoad(base, cur *load.Report, maxThroughputDrop, maxP99Growth float64) (problems, notes []string) {
+	if msg := loadConfigMismatch(base, cur); msg != "" {
+		return []string{msg}, nil
+	}
+
+	if floor := base.Throughput * (1 - maxThroughputDrop); cur.Throughput < floor {
+		problems = append(problems, fmt.Sprintf(
+			"throughput regressed: %.1f req/s vs baseline %.1f (floor %.1f, %.0f%%)",
+			cur.Throughput, base.Throughput, floor,
+			100*(cur.Throughput/base.Throughput-1)))
+	}
+
+	for _, name := range base.EndpointNames() {
+		b := base.Endpoints[name]
+		c, ok := cur.Endpoints[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"endpoint %s is in the baseline but saw no traffic; update the baseline if the profile changed", name))
+			continue
+		}
+		limit := b.Latency.P99Ms*(1+maxP99Growth) + loadP99SlackMs
+		if c.Latency.P99Ms > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s p99 regressed: %.3fms vs baseline %.3fms (limit %.3fms, +%.0f%%)",
+				name, c.Latency.P99Ms, b.Latency.P99Ms, limit,
+				100*(c.Latency.P99Ms/b.Latency.P99Ms-1)))
+		}
+		if c.HitRate != b.HitRate {
+			notes = append(notes, fmt.Sprintf(
+				"%s cache hit rate moved: %.3f vs baseline %.3f", name, c.HitRate, b.HitRate))
+		}
+	}
+	for _, name := range cur.EndpointNames() {
+		if _, ok := base.Endpoints[name]; !ok {
+			notes = append(notes, fmt.Sprintf(
+				"endpoint %s is not in the baseline; add it on the next -update", name))
+		}
+	}
+
+	// Fresh failures are a regression even when latency stays inside the
+	// envelope — a deterministic baseline run is expected to be clean.
+	baseBad := base.Total.Rejected + base.Total.ServerErrors + base.Total.TransportErrors
+	curBad := cur.Total.Rejected + cur.Total.ServerErrors + cur.Total.TransportErrors
+	if curBad > baseBad {
+		problems = append(problems, fmt.Sprintf(
+			"failed requests grew: %d rejected/5xx/transport vs baseline %d", curBad, baseBad))
+	}
+	return problems, notes
+}
+
+// loadConfigMismatch reports why two load reports are not comparable, or ""
+// when they are. Everything that shapes the workload must match; the knobs
+// being compared (throughput, latency) of course may differ.
+func loadConfigMismatch(base, cur *load.Report) string {
+	switch {
+	case base.Mode != cur.Mode:
+		return fmt.Sprintf("reports are not comparable: mode %q vs baseline %q", cur.Mode, base.Mode)
+	case base.Deterministic != cur.Deterministic:
+		return fmt.Sprintf("reports are not comparable: deterministic=%v vs baseline %v", cur.Deterministic, base.Deterministic)
+	case base.Seed != cur.Seed || base.ZipfS != cur.ZipfS:
+		return fmt.Sprintf("reports are not comparable: seed/zipf %d/%g vs baseline %d/%g",
+			cur.Seed, cur.ZipfS, base.Seed, base.ZipfS)
+	case base.Requests != cur.Requests:
+		return fmt.Sprintf("reports are not comparable: %d requests vs baseline %d", cur.Requests, base.Requests)
+	case base.Warmup != cur.Warmup:
+		return fmt.Sprintf("reports are not comparable: warmup %d vs baseline %d", cur.Warmup, base.Warmup)
+	case base.Corpus != cur.Corpus:
+		return fmt.Sprintf("reports are not comparable: corpus %+v vs baseline %+v", cur.Corpus, base.Corpus)
+	case !sameJSON(base.Profile, cur.Profile):
+		return fmt.Sprintf("reports are not comparable: profile %q differs from baseline %q",
+			cur.Profile.Name, base.Profile.Name)
+	}
+	return ""
+}
+
+// sameJSON compares two values by their canonical JSON encoding — exact for
+// the slice-bearing Profile struct without reflect.DeepEqual's nil-vs-empty
+// pitfalls surviving a marshal round trip.
+func sameJSON(a, b any) bool {
+	ab, errA := json.Marshal(a)
+	bb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && string(ab) == string(bb)
+}
+
+// runLoadMode is the -load entry point: read the current report, then
+// update or gate against the baseline. It mirrors the benchmark mode's
+// flow so CI invokes both the same way.
+func runLoadMode(r io.Reader, baseline string, update bool, maxThroughputDrop, maxP99Growth float64) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	cur, err := load.ReadReport(data)
+	if err != nil {
+		return fmt.Errorf("parsing load report: %w", err)
+	}
+	if baseline == "" {
+		return fmt.Errorf("-load needs -baseline")
+	}
+	if update {
+		blob, err := cur.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baseline, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchdiff: load baseline %s updated (%d requests, %.1f req/s)\n",
+			baseline, cur.Requests, cur.Throughput)
+		return nil
+	}
+	blob, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	base, err := load.ReadReport(blob)
+	if err != nil {
+		return fmt.Errorf("%s: %w", baseline, err)
+	}
+	problems, notes := CompareLoad(base, cur, maxThroughputDrop, maxP99Growth)
+	for _, n := range notes {
+		fmt.Println("benchdiff: note:", n)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchdiff:", p)
+		}
+		return fmt.Errorf("load gate failed (%d problems)", len(problems))
+	}
+	fmt.Printf("benchdiff: load report within throughput -%.0f%% / p99 +%.0f%% of baseline\n",
+		100*maxThroughputDrop, 100*maxP99Growth)
+	return nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ftsched/internal/load"
+)
+
+// sampleReport builds a comparable pair baseline; tests mutate copies.
+func sampleReport() *load.Report {
+	mk := func(p99 float64, hits, misses uint64) *load.EndpointReport {
+		return &load.EndpointReport{
+			Requests:    hits + misses,
+			OK:          hits + misses,
+			CacheHits:   hits,
+			CacheMisses: misses,
+			HitRate:     float64(hits) / float64(hits+misses),
+			Latency:     load.LatencySummary{Count: hits + misses, P50Ms: 0.4, P99Ms: p99, MaxMs: 2 * p99},
+		}
+	}
+	prof, _ := load.ProfileByName("mixed")
+	r := &load.Report{
+		Mode:          "closed",
+		Deterministic: true,
+		Seed:          1,
+		ZipfS:         1.0,
+		Corpus:        load.CorpusSpec{}.WithDefaults(),
+		Profile:       prof,
+		Requests:      1000,
+		Throughput:    850,
+		Endpoints: map[string]*load.EndpointReport{
+			"schedule": mk(1.0, 700, 150),
+			"evaluate": mk(4.0, 100, 50),
+		},
+	}
+	r.Total = *r.Endpoints["schedule"]
+	return r
+}
+
+func TestCompareLoadPasses(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	// Within the envelope: throughput -10%, p99 +20%.
+	cur.Throughput = 765
+	cur.Endpoints["schedule"].Latency.P99Ms = 1.2
+	problems, _ := CompareLoad(base, cur, 0.20, 0.30)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+func TestCompareLoadThroughputGate(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Throughput = 600 // -29%
+	problems, _ := CompareLoad(base, cur, 0.20, 0.30)
+	if len(problems) != 1 || !strings.Contains(problems[0], "throughput regressed") {
+		t.Fatalf("problems = %v, want one throughput regression", problems)
+	}
+}
+
+func TestCompareLoadP99Gate(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Endpoints["evaluate"].Latency.P99Ms = 6.0 // +50%
+	problems, _ := CompareLoad(base, cur, 0.20, 0.30)
+	if len(problems) != 1 || !strings.Contains(problems[0], "evaluate p99 regressed") {
+		t.Fatalf("problems = %v, want one evaluate p99 regression", problems)
+	}
+}
+
+func TestCompareLoadMissingEndpoint(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	delete(cur.Endpoints, "evaluate")
+	problems, _ := CompareLoad(base, cur, 0.20, 0.30)
+	if len(problems) != 1 || !strings.Contains(problems[0], "evaluate is in the baseline") {
+		t.Fatalf("problems = %v, want one missing-endpoint problem", problems)
+	}
+}
+
+func TestCompareLoadNewErrors(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Total.Rejected = 3
+	problems, _ := CompareLoad(base, cur, 0.20, 0.30)
+	if len(problems) != 1 || !strings.Contains(problems[0], "failed requests grew") {
+		t.Fatalf("problems = %v, want one failed-requests problem", problems)
+	}
+}
+
+func TestCompareLoadConfigMismatch(t *testing.T) {
+	base := sampleReport()
+	for _, mutate := range []func(r *load.Report){
+		func(r *load.Report) { r.Seed = 2 },
+		func(r *load.Report) { r.ZipfS = 1.2 },
+		func(r *load.Report) { r.Mode = "open" },
+		func(r *load.Report) { r.Deterministic = false },
+		func(r *load.Report) { r.Corpus.Size = 32 },
+		func(r *load.Report) { r.Profile.Schedulers = []string{"heft"} },
+		func(r *load.Report) { r.Requests = 2000 },
+		func(r *load.Report) { r.Warmup = 100 },
+	} {
+		cur := sampleReport()
+		mutate(cur)
+		problems, _ := CompareLoad(base, cur, 0.20, 0.30)
+		if len(problems) != 1 || !strings.Contains(problems[0], "not comparable") {
+			t.Fatalf("problems = %v, want one not-comparable problem", problems)
+		}
+	}
+}
+
+func TestCompareLoadHitRateNote(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Endpoints["schedule"].HitRate = 0.5
+	problems, notes := CompareLoad(base, cur, 0.20, 0.30)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "schedule cache hit rate moved") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes = %v, want a hit-rate note", notes)
+	}
+}
+
+// TestRunLoadModeRoundTrip drives the CLI path: -update writes a baseline,
+// gating the identical report passes, and gating a degraded one fails.
+func TestRunLoadModeRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	blob, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := t.TempDir() + "/load-baseline.json"
+	if err := runLoadMode(strings.NewReader(string(blob)), baseline, true, 0.20, 0.30); err != nil {
+		t.Fatalf("-update: %v", err)
+	}
+	written, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(written) != string(blob) {
+		t.Fatal("baseline file is not the report verbatim")
+	}
+	if err := runLoadMode(strings.NewReader(string(blob)), baseline, false, 0.20, 0.30); err != nil {
+		t.Fatalf("gating identical report: %v", err)
+	}
+	bad := sampleReport()
+	bad.Throughput = 100
+	badBlob, _ := bad.Marshal()
+	err = runLoadMode(strings.NewReader(string(badBlob)), baseline, false, 0.20, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "load gate failed") {
+		t.Fatalf("gating degraded report: err = %v, want gate failure", err)
+	}
+}

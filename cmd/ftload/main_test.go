@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"ftsched/internal/load"
+)
+
+// loadArgs keeps the determinism tests fast: a small corpus and a modest
+// request budget still exercise all three endpoints of the mixed profile.
+var loadArgs = []string{
+	"-mode", "closed", "-seed", "1",
+	"-requests", "150", "-corpus-size", "4", "-tasks-min", "12", "-tasks-max", "24",
+}
+
+// TestRunByteIdentical pins the headline acceptance property: the same
+// ftload invocation against the in-process server produces byte-identical
+// JSON reports, run after run.
+func TestRunByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(loadArgs, &a); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(loadArgs, &b); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("reports differ between identical runs:\n--- first ---\n%s\n--- second ---\n%s", a.Bytes(), b.Bytes())
+	}
+	rep, err := load.ReadReport(a.Bytes())
+	if err != nil {
+		t.Fatalf("parsing report: %v", err)
+	}
+	if !rep.Deterministic || rep.Mode != "closed" || rep.Seed != 1 {
+		t.Fatalf("report echo wrong: deterministic=%v mode=%q seed=%d", rep.Deterministic, rep.Mode, rep.Seed)
+	}
+	if rep.Requests != 150 {
+		t.Fatalf("Requests = %d, want 150", rep.Requests)
+	}
+	if rep.Total.OK != rep.Requests {
+		t.Fatalf("OK = %d of %d requests; deterministic smoke run must not error", rep.Total.OK, rep.Requests)
+	}
+}
+
+// TestRunWorkerCountInvariant pins the harder half of the property: the
+// deterministic report must not depend on -workers either.
+func TestRunWorkerCountInvariant(t *testing.T) {
+	var base bytes.Buffer
+	if err := run(append([]string{"-workers", "1"}, loadArgs...), &base); err != nil {
+		t.Fatalf("workers=1 run: %v", err)
+	}
+	for _, w := range []string{"2", "8"} {
+		var got bytes.Buffer
+		if err := run(append([]string{"-workers", w}, loadArgs...), &got); err != nil {
+			t.Fatalf("workers=%s run: %v", w, err)
+		}
+		if !bytes.Equal(base.Bytes(), got.Bytes()) {
+			t.Fatalf("report with -workers %s differs from -workers 1", w)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "sideways"},
+		{"-profile", "nope"},
+		{"-requests", "-1"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunProfileFile exercises the custom-profile path end to end, including
+// the strict-decoding guard.
+func TestRunProfileFile(t *testing.T) {
+	dir := t.TempDir()
+	good := dir + "/profile.json"
+	writeFile(t, good, `{"name":"custom","weights":{"schedule":1,"evaluate":0,"tune":0},`+
+		`"schedulers":["heft"],"epsilons":[0],"seeds":[7],`+
+		`"eval_trials":[10],"eval_scenarios":["uniform:1"],"eval_seeds":[1],`+
+		`"tune_trials":10,"tune_epsilons":[1],"tune_target":0.9}`)
+	var buf bytes.Buffer
+	args := append([]string{"-profile-file", good}, loadArgs...)
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("custom profile run: %v", err)
+	}
+	rep, err := load.ReadReport(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parsing report: %v", err)
+	}
+	if rep.Profile.Name != "custom" {
+		t.Fatalf("profile name = %q, want custom", rep.Profile.Name)
+	}
+	if len(rep.Endpoints) != 1 || rep.Endpoints["schedule"] == nil {
+		t.Fatalf("endpoints = %v, want schedule only", rep.EndpointNames())
+	}
+
+	bad := dir + "/bad.json"
+	writeFile(t, bad, `{"name":"typo","wieghts":{"schedule":1}}`)
+	if err := run(append([]string{"-profile-file", bad}, loadArgs...), &buf); err == nil ||
+		!strings.Contains(err.Error(), "wieghts") {
+		t.Fatalf("misspelled profile field: err = %v, want unknown-field error", err)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

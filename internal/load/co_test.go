@@ -1,0 +1,209 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// staticTarget answers every request instantly with a fixed disposition —
+// the pure-harness target for tests that exercise pacing and correction
+// rather than the real server.
+type staticTarget struct {
+	status int
+	cache  string
+}
+
+func (t staticTarget) Do(path string, body []byte) Result {
+	return Result{Status: t.status, Cache: t.cache}
+}
+
+// smallCorpus keeps corpus generation out of the measured path's way.
+var smallCorpus = CorpusSpec{Size: 2, TasksMin: 8, TasksMax: 12}
+
+// TestCoordinatedOmissionCorrection is the stall-injection acceptance test:
+// one request stalls the single sender for 200ms, which delays every
+// subsequent arrival's actual send past its intended time. The uncorrected
+// service view sees one slow sample and a clean p99; the corrected view
+// charges the backlog to the affected requests, so its p99 must exceed the
+// uncorrected p99 by roughly the stall duration. An instrument without the
+// correction would hide exactly this gap — coordinated omission.
+func TestCoordinatedOmissionCorrection(t *testing.T) {
+	const stall = 200 * time.Millisecond
+	opts := Options{
+		Mode:          "open",
+		Deterministic: true,
+		Workers:       1,
+		Requests:      500,
+		Rate:          1000, // 1ms intended inter-arrival
+		Seed:          1,
+		Corpus:        smallCorpus,
+		Cost: func(req *Request, res Result) time.Duration {
+			if req.Index == 100 {
+				return stall
+			}
+			return 100 * time.Microsecond
+		},
+	}
+	rep, err := Run(staticTarget{status: 200, cache: "miss"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Service == nil {
+		t.Fatal("open-loop report must carry the uncorrected service view")
+	}
+	corrected, uncorrected := rep.Total.Latency.P99Ms, rep.Total.Service.P99Ms
+	stallMs := float64(stall) / float64(time.Millisecond)
+	// The uncorrected p99 must stay blind to the stall: 499 of 500 samples
+	// are 0.1ms, so p99 picks one of them.
+	if uncorrected > 1 {
+		t.Fatalf("uncorrected p99 = %.3fms; the service view should not see the backlog", uncorrected)
+	}
+	if gap := corrected - uncorrected; gap < 0.8*stallMs {
+		t.Fatalf("corrected p99 %.3fms - uncorrected %.3fms = %.3fms, want >= 0.8x the %.0fms stall",
+			corrected, uncorrected, gap, stallMs)
+	}
+	// Correction can only add backlog, never subtract: every corrected
+	// quantile dominates its uncorrected counterpart.
+	if rep.Total.Latency.P50Ms < rep.Total.Service.P50Ms ||
+		rep.Total.Latency.MaxMs < rep.Total.Service.MaxMs {
+		t.Fatalf("corrected summary %+v below uncorrected %+v", rep.Total.Latency, *rep.Total.Service)
+	}
+}
+
+// TestOpenLoopNoBacklogViewsAgree is the control: with service time far
+// below the inter-arrival interval the sender is never behind schedule, so
+// intended and actual send coincide and both views are identical.
+func TestOpenLoopNoBacklogViewsAgree(t *testing.T) {
+	opts := Options{
+		Mode:          "open",
+		Deterministic: true,
+		Workers:       1,
+		Requests:      300,
+		Rate:          1000,
+		Seed:          1,
+		Corpus:        smallCorpus,
+		Cost: func(req *Request, res Result) time.Duration {
+			return 100 * time.Microsecond
+		},
+	}
+	rep, err := Run(staticTarget{status: 200, cache: "miss"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Service == nil {
+		t.Fatal("open-loop report must carry the uncorrected service view")
+	}
+	if rep.Total.Latency != *rep.Total.Service {
+		t.Fatalf("without backlog the views must agree:\ncorrected   %+v\nuncorrected %+v",
+			rep.Total.Latency, *rep.Total.Service)
+	}
+}
+
+// TestClosedLoopOmitsServiceView pins the report shape: in closed-loop mode
+// intended and actual send coincide by construction, so the redundant
+// service summary stays out of the report.
+func TestClosedLoopOmitsServiceView(t *testing.T) {
+	opts := Options{
+		Mode:          "closed",
+		Deterministic: true,
+		Requests:      50,
+		Seed:          1,
+		Corpus:        smallCorpus,
+	}
+	rep, err := Run(staticTarget{status: 200, cache: "miss"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Service != nil {
+		t.Fatal("closed-loop report must omit the service view")
+	}
+	if rep.Total.Latency.Count != 50 {
+		t.Fatalf("latency count = %d, want 50", rep.Total.Latency.Count)
+	}
+}
+
+// TestSearchFindsDeterministicCapacity drives -mode search against a known
+// system: 4 virtual senders at 1ms per request serve exactly 4000 req/s, so
+// the binary search must land below the cliff and above three quarters of
+// it, and two identical searches must agree byte-for-byte.
+func TestSearchFindsDeterministicCapacity(t *testing.T) {
+	opts := Options{
+		Mode:          "search",
+		Deterministic: true,
+		Workers:       4,
+		Requests:      2000,
+		Seed:          1,
+		Corpus:        smallCorpus,
+		SLO:           20 * time.Millisecond,
+		RateMin:       100,
+		RateMax:       16000,
+		SearchProbes:  12,
+		Cost: func(req *Request, res Result) time.Duration {
+			return time.Millisecond
+		},
+	}
+	run := func() *Report {
+		rep, err := Run(staticTarget{status: 200, cache: "miss"}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+	if rep.Capacity == nil {
+		t.Fatal("search report must carry a capacity section")
+	}
+	c := rep.Capacity
+	if c.SLOP99Ms != 20 || c.ErrorBudget != 0.01 {
+		t.Fatalf("capacity echo wrong: slo=%.1f budget=%g", c.SLOP99Ms, c.ErrorBudget)
+	}
+	if c.MaxRatePerSec < 3000 || c.MaxRatePerSec > 4500 {
+		t.Fatalf("MaxRatePerSec = %.0f, want within [3000, 4500] for a 4000 req/s system", c.MaxRatePerSec)
+	}
+	if len(c.Iterations) < 2 || c.Iterations[0].RatePerSec != 100 || !c.Iterations[0].OK {
+		t.Fatalf("iterations = %+v, want a passing floor probe first", c.Iterations)
+	}
+	if rep.RatePerSec != c.MaxRatePerSec {
+		t.Fatalf("report body rate %.0f != recommended rate %.0f", rep.RatePerSec, c.MaxRatePerSec)
+	}
+	a, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("identical searches produced different reports")
+	}
+}
+
+// TestSearchReportsZeroWhenFloorFails pins the bracket edge: when even
+// RateMin misses the SLO, the search must answer 0, not RateMin.
+func TestSearchReportsZeroWhenFloorFails(t *testing.T) {
+	opts := Options{
+		Mode:          "search",
+		Deterministic: true,
+		Workers:       1,
+		Requests:      200,
+		Seed:          1,
+		Corpus:        smallCorpus,
+		SLO:           10 * time.Millisecond,
+		RateMin:       100,
+		RateMax:       1000,
+		Cost: func(req *Request, res Result) time.Duration {
+			return 50 * time.Millisecond // hopeless: one sender, 20 req/s
+		},
+	}
+	rep, err := Run(staticTarget{status: 200, cache: "miss"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Capacity.MaxRatePerSec != 0 {
+		t.Fatalf("MaxRatePerSec = %.0f, want 0 when the floor probe fails", rep.Capacity.MaxRatePerSec)
+	}
+	if len(rep.Capacity.Iterations) != 1 {
+		t.Fatalf("iterations = %d, want 1 (no bracket to search)", len(rep.Capacity.Iterations))
+	}
+}

@@ -1,0 +1,119 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ftsched/internal/expt"
+)
+
+// CorpusSpec describes a generated instance corpus. The spec is part of the
+// report, so a corpus is reproducible from its echo: equal specs build
+// byte-identical corpora (expt.BuildInstance derives every instance from the
+// spec seed and the instance index).
+type CorpusSpec struct {
+	// Size is the number of distinct instances (zipf ranks). 0 means 16.
+	Size int `json:"size"`
+	// Family is "random" (default), one of expt.CampaignFamilies, or
+	// "mixed", which cycles rank-by-rank through random plus every
+	// structured family.
+	Family string `json:"family"`
+	// Procs is the platform size (0 means 8).
+	Procs int `json:"procs"`
+	// TasksMin and TasksMax bound random-family task counts (0 means
+	// [30, 60]); structured families have intrinsic sizes.
+	TasksMin int `json:"tasks_min"`
+	TasksMax int `json:"tasks_max"`
+	// Granularity scales computation against communication (0 means 1.0).
+	Granularity float64 `json:"granularity"`
+	// Seed drives instance generation.
+	Seed int64 `json:"seed"`
+}
+
+// WithDefaults fills zero fields with the documented defaults.
+func (cs CorpusSpec) WithDefaults() CorpusSpec {
+	if cs.Size == 0 {
+		cs.Size = 16
+	}
+	if cs.Family == "" {
+		cs.Family = "random"
+	}
+	if cs.Procs == 0 {
+		cs.Procs = 8
+	}
+	if cs.TasksMin == 0 {
+		cs.TasksMin = 30
+	}
+	if cs.TasksMax == 0 {
+		cs.TasksMax = 60
+	}
+	if cs.Granularity == 0 {
+		cs.Granularity = 1.0
+	}
+	return cs
+}
+
+// corpusItem is one instance pre-marshaled to the wire shapes the service
+// decodes, so the hot request-synthesis path splices raw JSON instead of
+// re-encoding a DAG per request.
+type corpusItem struct {
+	family   string
+	tasks    int
+	graph    json.RawMessage
+	platform json.RawMessage
+	costs    json.RawMessage
+}
+
+// Corpus is the immutable instance set a load run draws from; item 0 is the
+// most popular zipf rank. Building it is the expensive part of a run and
+// happens once, before any clock starts.
+type Corpus struct {
+	spec  CorpusSpec
+	items []corpusItem
+}
+
+// BuildCorpus materializes the corpus. Ranks map to instance indices
+// directly, so rank r is the same instance in every run with an equal spec.
+func BuildCorpus(spec CorpusSpec) (*Corpus, error) {
+	spec = spec.WithDefaults()
+	if spec.Size < 1 {
+		return nil, fmt.Errorf("load: corpus size must be >= 1, got %d", spec.Size)
+	}
+	if spec.TasksMin < 1 || spec.TasksMax < spec.TasksMin {
+		return nil, fmt.Errorf("load: invalid task range [%d,%d]", spec.TasksMin, spec.TasksMax)
+	}
+	families := []string{spec.Family}
+	if spec.Family == "mixed" {
+		families = expt.CampaignFamilies() // "random" plus every structured family
+	}
+	c := &Corpus{spec: spec, items: make([]corpusItem, 0, spec.Size)}
+	for i := 0; i < spec.Size; i++ {
+		family := families[i%len(families)]
+		inst, err := expt.BuildInstance(family, spec.Granularity,
+			spec.Procs, spec.TasksMin, spec.TasksMax, i, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("load: building corpus instance %d: %w", i, err)
+		}
+		item := corpusItem{family: family, tasks: inst.Graph.NumTasks()}
+		if item.graph, err = json.Marshal(inst.Graph); err != nil {
+			return nil, fmt.Errorf("load: marshaling instance %d graph: %w", i, err)
+		}
+		if item.platform, err = json.Marshal(inst.Platform); err != nil {
+			return nil, fmt.Errorf("load: marshaling instance %d platform: %w", i, err)
+		}
+		if item.costs, err = json.Marshal(inst.Costs); err != nil {
+			return nil, fmt.Errorf("load: marshaling instance %d costs: %w", i, err)
+		}
+		c.items = append(c.items, item)
+	}
+	return c, nil
+}
+
+// Spec returns the defaulted spec the corpus was built from.
+func (c *Corpus) Spec() CorpusSpec { return c.spec }
+
+// Size returns the instance count.
+func (c *Corpus) Size() int { return len(c.items) }
+
+// Procs returns the platform size shared by every instance.
+func (c *Corpus) Procs() int { return c.spec.Procs }

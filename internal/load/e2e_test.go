@@ -1,0 +1,184 @@
+package load
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ftsched/internal/service"
+)
+
+// e2eOpts is the shared smoke configuration: small corpus, enough requests
+// to hit all three endpoints of the mixed profile and to re-visit cached
+// fingerprints.
+func e2eOpts() Options {
+	return Options{
+		Mode:          "closed",
+		Deterministic: true,
+		Seed:          1,
+		Requests:      150,
+		Corpus:        CorpusSpec{Size: 4, TasksMin: 12, TasksMax: 24},
+	}
+}
+
+// newTestService builds a fresh in-process server. Every run gets its own:
+// the response cache is stateful, and a shared server would turn the second
+// run's misses into hits.
+func newTestService(t *testing.T) *service.Server {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2, Queue: 8, CacheEntries: 1024})
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// TestE2EDeterministicByteIdentical is the end-to-end acceptance property:
+// a fixed-seed deterministic closed-loop run against the real in-process
+// server yields byte-identical reports across repeated runs and across
+// worker counts.
+func TestE2EDeterministicByteIdentical(t *testing.T) {
+	marshal := func(workers int) string {
+		opts := e2eOpts()
+		opts.Workers = workers
+		rep, err := Run(HandlerTarget{Handler: newTestService(t)}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	base := marshal(1)
+	if again := marshal(1); again != base {
+		t.Fatalf("two identical runs differ:\n--- first ---\n%s\n--- second ---\n%s", base, again)
+	}
+	for _, w := range []int{2, 8} {
+		if got := marshal(w); got != base {
+			t.Fatalf("workers=%d report differs from workers=1:\n--- base ---\n%s\n--- got ---\n%s", w, base, got)
+		}
+	}
+}
+
+// serverCacheStats reads the server's own cache counters through the same
+// Target the load run used.
+func serverCacheStats(t *testing.T, tgt Target) (hits, misses uint64) {
+	t.Helper()
+	res := tgt.Do("/stats", nil)
+	if res.Err != nil || res.Status != 200 {
+		t.Fatalf("GET /stats: status=%d err=%v", res.Status, res.Err)
+	}
+	var st struct {
+		CacheHits   uint64 `json:"cache_hits"`
+		CacheMisses uint64 `json:"cache_misses"`
+	}
+	if err := json.Unmarshal(res.Body, &st); err != nil {
+		t.Fatalf("parsing /stats: %v", err)
+	}
+	return st.CacheHits, st.CacheMisses
+}
+
+// TestE2ECacheHitConservation cross-checks the two independent observers:
+// the client-side report counts hits by the response header, the server's
+// /stats counts them at the cache itself. Over one run their deltas must
+// agree exactly — a disagreement means dropped or double-counted responses.
+func TestE2ECacheHitConservation(t *testing.T) {
+	tgt := HandlerTarget{Handler: newTestService(t)}
+	hits0, misses0 := serverCacheStats(t, tgt)
+	if hits0 != 0 || misses0 != 0 {
+		t.Fatalf("fresh server reports hits=%d misses=%d, want 0/0", hits0, misses0)
+	}
+	rep, err := Run(tgt, e2eOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := serverCacheStats(t, tgt)
+	if rep.Total.CacheHits != hits1-hits0 {
+		t.Fatalf("report counts %d cache hits, server counts %d", rep.Total.CacheHits, hits1-hits0)
+	}
+	if rep.Total.CacheMisses != misses1-misses0 {
+		t.Fatalf("report counts %d cache misses, server counts %d", rep.Total.CacheMisses, misses1-misses0)
+	}
+	if rep.Total.CacheHits == 0 {
+		t.Fatal("the zipf-skewed smoke run should revisit fingerprints; 0 hits means the cache is not engaged")
+	}
+	if rep.Total.OK != rep.Requests {
+		t.Fatalf("OK = %d of %d requests", rep.Total.OK, rep.Requests)
+	}
+	// Every served response is a hit or a miss; errors carry no header.
+	if rep.Total.CacheHits+rep.Total.CacheMisses != rep.Total.OK {
+		t.Fatalf("hits %d + misses %d != ok %d", rep.Total.CacheHits, rep.Total.CacheMisses, rep.Total.OK)
+	}
+}
+
+// TestE2EWarmupPrimesCache pins the warmup contract: replaying the full
+// request stream unrecorded beforehand turns every measured request into a
+// cache hit, and the warmup requests themselves stay out of the report.
+func TestE2EWarmupPrimesCache(t *testing.T) {
+	opts := e2eOpts()
+	opts.Warmup = opts.Requests
+	rep, err := Run(HandlerTarget{Handler: newTestService(t)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != uint64(opts.Requests) {
+		t.Fatalf("Requests = %d, want %d (warmup must not be recorded)", rep.Requests, opts.Requests)
+	}
+	if rep.Total.CacheMisses != 0 {
+		t.Fatalf("%d cache misses after a full-stream warmup, want 0", rep.Total.CacheMisses)
+	}
+	if rep.Warmup != opts.Requests {
+		t.Fatalf("report echoes warmup %d, want %d", rep.Warmup, opts.Requests)
+	}
+}
+
+// TestE2ERealClosedLoop exercises the wall-clock concurrent path — worker
+// goroutines, shared index counter, per-worker recorders — and is the test
+// the CI race job leans on for internal/load.
+func TestE2ERealClosedLoop(t *testing.T) {
+	opts := e2eOpts()
+	opts.Deterministic = false
+	opts.Workers = 8
+	opts.Requests = 80
+	rep, err := Run(HandlerTarget{Handler: newTestService(t)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 80 {
+		t.Fatalf("Requests = %d, want 80", rep.Requests)
+	}
+	accounted := rep.Total.OK + rep.Total.Rejected + rep.Total.ClientErrors +
+		rep.Total.ServerErrors + rep.Total.TransportErrors
+	if accounted != rep.Requests {
+		t.Fatalf("outcome counters sum to %d of %d requests", accounted, rep.Requests)
+	}
+	if rep.Total.Rejected+rep.Total.ServerErrors+rep.Total.TransportErrors > 0 {
+		t.Fatalf("closed loop with %d workers against queue 8 should not shed load: %+v", opts.Workers, rep.Total)
+	}
+	if rep.ElapsedSeconds <= 0 || rep.Throughput <= 0 {
+		t.Fatalf("elapsed=%.4fs throughput=%.1f, want positive wall-clock measurements", rep.ElapsedSeconds, rep.Throughput)
+	}
+}
+
+// TestE2ERealOpenLoop smoke-tests the wall-clock open loop: the paced path
+// with intended-time bookkeeping, also under the race detector.
+func TestE2ERealOpenLoop(t *testing.T) {
+	opts := e2eOpts()
+	opts.Mode = "open"
+	opts.Deterministic = false
+	opts.Workers = 4
+	opts.Requests = 60
+	opts.Rate = 500
+	rep, err := Run(HandlerTarget{Handler: newTestService(t)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Service == nil {
+		t.Fatal("open-loop report must carry the uncorrected service view")
+	}
+	if rep.Requests != 60 {
+		t.Fatalf("Requests = %d, want 60", rep.Requests)
+	}
+	if rep.RatePerSec != 500 {
+		t.Fatalf("RatePerSec = %g, want 500 echoed", rep.RatePerSec)
+	}
+}

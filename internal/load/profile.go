@@ -1,0 +1,148 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ftsched/internal/sim"
+)
+
+// EndpointWeights mixes the three POST endpoints. Weights are relative; they
+// need not sum to 1.
+type EndpointWeights struct {
+	Schedule float64 `json:"schedule"`
+	Evaluate float64 `json:"evaluate"`
+	Tune     float64 `json:"tune"`
+}
+
+// Profile is a traffic shape: endpoint weights plus the per-endpoint
+// parameter distributions a synthesized request draws from. Every slice is
+// sampled uniformly per request (the zipf skew lives on instance choice, not
+// parameters). Profiles are echoed verbatim in the report, so two reports
+// are comparable only when their profiles match.
+type Profile struct {
+	// Name identifies the profile in reports ("mixed", "schedule", ...).
+	Name string `json:"name"`
+	// Weights mixes /schedule, /evaluate and /tune traffic.
+	Weights EndpointWeights `json:"weights"`
+	// Schedulers is the scheduler-name pool of /schedule and /evaluate
+	// requests. Names registered as not fault-tolerant (heft) always carry
+	// ε = 0.
+	Schedulers []string `json:"schedulers"`
+	// Epsilons is the ε pool of fault-tolerant requests.
+	Epsilons []int `json:"epsilons"`
+	// Seeds is the tie-break seed pool. A small pool concentrates the
+	// request keyspace so the fingerprint cache sees repeats; a large one
+	// approximates a cache-busting stream.
+	Seeds []int64 `json:"seeds"`
+	// EvalTrials and EvalScenarios parameterize /evaluate requests;
+	// scenarios use the sim spec string form ("uniform:2", "exp:0.001").
+	EvalTrials    []int    `json:"eval_trials"`
+	EvalScenarios []string `json:"eval_scenarios"`
+	// EvalSeeds is the eval_seed pool of /evaluate requests.
+	EvalSeeds []int64 `json:"eval_seeds"`
+	// TuneTrials, TuneEpsilons and TuneTarget parameterize /tune requests
+	// (the ladder is fixed per profile: tune requests are the expensive
+	// minority and gain nothing from extra dispersion).
+	TuneTrials   int     `json:"tune_trials"`
+	TuneEpsilons []int   `json:"tune_epsilons"`
+	TuneTarget   float64 `json:"tune_target"`
+}
+
+// profiles holds the named presets. "mixed" is the default: mostly
+// /schedule with an /evaluate minority and a thin /tune trickle, the shape
+// the serving tier was built for.
+var profiles = map[string]func() Profile{
+	"mixed": func() Profile {
+		p := baseProfile("mixed")
+		p.Weights = EndpointWeights{Schedule: 0.85, Evaluate: 0.12, Tune: 0.03}
+		return p
+	},
+	"schedule": func() Profile {
+		p := baseProfile("schedule")
+		p.Weights = EndpointWeights{Schedule: 1}
+		return p
+	},
+	"evaluate": func() Profile {
+		p := baseProfile("evaluate")
+		p.Weights = EndpointWeights{Schedule: 0.3, Evaluate: 0.7}
+		return p
+	},
+	"tune": func() Profile {
+		p := baseProfile("tune")
+		p.Weights = EndpointWeights{Schedule: 0.5, Evaluate: 0.2, Tune: 0.3}
+		return p
+	},
+}
+
+func baseProfile(name string) Profile {
+	return Profile{
+		Name:          name,
+		Schedulers:    []string{"ftsa", "mcftsa", "ftbar", "heft", "ftsa-ins"},
+		Epsilons:      []int{1, 2},
+		Seeds:         []int64{0, 1},
+		EvalTrials:    []int{50, 100},
+		EvalScenarios: []string{"uniform:1", "uniform:2", "exp:0.0001"},
+		EvalSeeds:     []int64{1, 2},
+		TuneTrials:    40,
+		TuneEpsilons:  []int{1, 2},
+		TuneTarget:    0.9,
+	}
+}
+
+// ProfileNames lists the preset names, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileByName resolves a preset.
+func ProfileByName(name string) (Profile, error) {
+	build, ok := profiles[strings.ToLower(name)]
+	if !ok {
+		return Profile{}, fmt.Errorf("load: unknown profile %q (known: %s)",
+			name, strings.Join(ProfileNames(), ", "))
+	}
+	return build(), nil
+}
+
+// Validate checks the profile is self-consistent before a run starts, so a
+// bad profile fails fast instead of as a stream of 400s in the report.
+func (p Profile) Validate() error {
+	total := p.Weights.Schedule + p.Weights.Evaluate + p.Weights.Tune
+	if p.Weights.Schedule < 0 || p.Weights.Evaluate < 0 || p.Weights.Tune < 0 || total <= 0 {
+		return fmt.Errorf("load: profile %q: endpoint weights must be >= 0 with a positive sum", p.Name)
+	}
+	if p.Weights.Schedule+p.Weights.Evaluate > 0 {
+		if len(p.Schedulers) == 0 {
+			return fmt.Errorf("load: profile %q: needs at least one scheduler", p.Name)
+		}
+		if len(p.Epsilons) == 0 || len(p.Seeds) == 0 {
+			return fmt.Errorf("load: profile %q: needs non-empty epsilon and seed pools", p.Name)
+		}
+	}
+	if p.Weights.Evaluate > 0 {
+		if len(p.EvalTrials) == 0 || len(p.EvalScenarios) == 0 || len(p.EvalSeeds) == 0 {
+			return fmt.Errorf("load: profile %q: evaluate traffic needs trial, scenario and seed pools", p.Name)
+		}
+		for _, s := range p.EvalScenarios {
+			if _, err := sim.ParseScenarioSpec(s); err != nil {
+				return fmt.Errorf("load: profile %q: %w", p.Name, err)
+			}
+		}
+	}
+	if p.Weights.Tune > 0 {
+		if p.TuneTrials < 1 || len(p.TuneEpsilons) == 0 {
+			return fmt.Errorf("load: profile %q: tune traffic needs trials >= 1 and an epsilon ladder", p.Name)
+		}
+		if p.TuneTarget <= 0 || p.TuneTarget > 1 {
+			return fmt.Errorf("load: profile %q: tune target must be in (0, 1], got %g", p.Name, p.TuneTarget)
+		}
+	}
+	return nil
+}

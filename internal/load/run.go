@@ -1,0 +1,560 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftsched/internal/stats"
+)
+
+// CostFn models a request's virtual service time in deterministic mode: it
+// sees the synthesized request and the server's actual response (status and
+// cache disposition), and returns how long the call is deemed to have
+// taken. Tests inject stalls through it; DefaultCost is the seeded default.
+type CostFn func(req *Request, res Result) time.Duration
+
+// DefaultCost is the deterministic service-time model: a seeded hash of the
+// request index drawn uniformly per request, scaled by endpoint cost class
+// (/evaluate ~4×, /tune ~12× a /schedule solve), with cache hits collapsing
+// to tens of microseconds the way the real byte-cache does. The model is a
+// stand-in for wall time, not a measurement — its purpose is exercising the
+// pacing/correction/histogram pipeline reproducibly.
+func DefaultCost(seed int64) CostFn {
+	return func(req *Request, res Result) time.Duration {
+		h := uint64(requestSeed(seed^0x6c6f6164, req.Index)) // "load", a stream distinct from parameter draws
+		if res.Cache == "hit" {
+			return time.Duration(30_000 + h%50_000) // 30–80 µs
+		}
+		d := time.Duration(300_000 + h%900_000) // 0.3–1.2 ms
+		switch req.Endpoint {
+		case "evaluate":
+			d *= 4
+		case "tune":
+			d *= 12
+		}
+		return d
+	}
+}
+
+// Options configures a load run.
+type Options struct {
+	// Mode is "closed" (default), "open" or "search".
+	Mode string
+	// Workers is the closed-loop worker count / open-loop sender cap
+	// (default 4). In deterministic closed-loop mode it does not affect
+	// the report — see Report.ElapsedSeconds.
+	Workers int
+	// Think is the per-worker pause after each closed-loop request.
+	Think time.Duration
+	// Requests is the total request budget per run (per probe in search
+	// mode; default 1000).
+	Requests int
+	// Warmup replays the first Warmup indices of the request stream,
+	// unrecorded and unpaced, before any measurement — it primes the
+	// server's response cache so the measured run (every probe alike in
+	// search mode) sees steady-state hit behavior instead of charging the
+	// cold cache to whichever requests arrive first.
+	Warmup int
+	// Rate is the open-loop arrival rate in requests/second (default 200).
+	Rate float64
+	// Seed drives every random choice; ZipfS is the popularity exponent.
+	// The zero value picks the default skew 1.0; pass ZipfUniform for an
+	// unskewed draw (s = 0).
+	Seed  int64
+	ZipfS float64
+	// Corpus and Profile describe the workload; zero values pick the
+	// defaults (16-instance random corpus, "mixed" profile).
+	Corpus  CorpusSpec
+	Profile Profile
+	// Deterministic switches to the virtual clock: requests are issued
+	// sequentially in stream order, recorded latencies come from Cost, and
+	// the report is byte-identical across runs — in closed-loop mode also
+	// across worker counts (the open-loop sender cap is part of the model,
+	// so changing it legitimately changes backlog and corrected latency).
+	Deterministic bool
+	// Cost is the deterministic service-time model (nil: DefaultCost(Seed)).
+	Cost CostFn
+	// SLO is the corrected-p99 objective of search mode (default 20ms);
+	// ErrorBudget the tolerated error fraction (default 1%).
+	SLO         time.Duration
+	ErrorBudget float64
+	// RateMin and RateMax bracket the capacity search (defaults 10 and
+	// 50000 requests/second); SearchProbes bounds its iterations
+	// (default 12).
+	RateMin, RateMax float64
+	SearchProbes     int
+}
+
+// ZipfUniform is the ZipfS sentinel for an unskewed (uniform) popularity
+// draw; the zero value picks the default skew of 1.0 instead.
+const ZipfUniform = -1
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = "closed"
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Requests == 0 {
+		o.Requests = 1000
+	}
+	if o.Rate == 0 {
+		o.Rate = 200
+	}
+	switch {
+	case o.ZipfS == 0:
+		o.ZipfS = 1.0
+	case o.ZipfS == ZipfUniform:
+		o.ZipfS = 0
+	}
+	if o.Profile.Name == "" && o.Profile.Schedulers == nil {
+		o.Profile, _ = ProfileByName("mixed")
+	}
+	if o.Cost == nil {
+		o.Cost = DefaultCost(o.Seed)
+	}
+	if o.SLO == 0 {
+		o.SLO = 20 * time.Millisecond
+	}
+	if o.ErrorBudget == 0 {
+		o.ErrorBudget = 0.01
+	}
+	if o.RateMin == 0 {
+		o.RateMin = 10
+	}
+	if o.RateMax == 0 {
+		o.RateMax = 50000
+	}
+	if o.SearchProbes == 0 {
+		o.SearchProbes = 12
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	switch o.Mode {
+	case "closed", "open", "search":
+	default:
+		return fmt.Errorf("load: unknown mode %q (known: closed, open, search)", o.Mode)
+	}
+	if o.Workers < 1 {
+		return fmt.Errorf("load: need workers >= 1, got %d", o.Workers)
+	}
+	if o.Requests < 1 {
+		return fmt.Errorf("load: need requests >= 1, got %d", o.Requests)
+	}
+	if o.Mode == "open" && o.Rate <= 0 {
+		return fmt.Errorf("load: open-loop mode needs rate > 0, got %g", o.Rate)
+	}
+	if o.Mode == "search" {
+		if o.RateMin <= 0 || o.RateMax <= o.RateMin {
+			return fmt.Errorf("load: search needs 0 < rate-min < rate-max, got [%g, %g]", o.RateMin, o.RateMax)
+		}
+		if o.SLO <= 0 {
+			return fmt.Errorf("load: search needs a positive p99 SLO, got %v", o.SLO)
+		}
+	}
+	if o.Think < 0 {
+		return fmt.Errorf("load: think time must be >= 0, got %v", o.Think)
+	}
+	if o.Warmup < 0 {
+		return fmt.Errorf("load: warmup must be >= 0, got %d", o.Warmup)
+	}
+	return nil
+}
+
+// Endpoint indices of the recorder's fixed array; a fixed layout keeps the
+// concurrent hot path free of map hashing and locks.
+const (
+	epSchedule = iota
+	epEvaluate
+	epTune
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{"schedule", "evaluate", "tune"}
+
+func epIndex(name string) int {
+	switch name {
+	case "schedule":
+		return epSchedule
+	case "evaluate":
+		return epEvaluate
+	default:
+		return epTune
+	}
+}
+
+// endpointRec accumulates one endpoint's counters and histograms. Latencies
+// are recorded in nanoseconds.
+type endpointRec struct {
+	requests, ok, rejected, clientErr, serverErr, transportErr uint64
+	hits, misses                                               uint64
+	lat                                                        stats.Histogram // corrected (from intended send)
+	svc                                                        stats.Histogram // uncorrected (from actual send)
+}
+
+// recorder accumulates a run (or one worker's share of it).
+type recorder struct {
+	eps [numEndpoints]endpointRec
+}
+
+func (r *recorder) observe(ep int, res Result, latNs, svcNs int64) {
+	e := &r.eps[ep]
+	e.requests++
+	switch {
+	case res.Err != nil:
+		e.transportErr++
+	case res.Status == 429:
+		e.rejected++
+	case res.Status >= 500:
+		e.serverErr++
+	case res.Status >= 400:
+		e.clientErr++
+	default:
+		e.ok++
+	}
+	switch res.Cache {
+	case "hit":
+		e.hits++
+	case "miss":
+		e.misses++
+	}
+	e.lat.Record(latNs)
+	e.svc.Record(svcNs)
+}
+
+// merge folds o into r; exact, order-independent.
+func (r *recorder) merge(o *recorder) {
+	for i := range r.eps {
+		a, b := &r.eps[i], &o.eps[i]
+		a.requests += b.requests
+		a.ok += b.ok
+		a.rejected += b.rejected
+		a.clientErr += b.clientErr
+		a.serverErr += b.serverErr
+		a.transportErr += b.transportErr
+		a.hits += b.hits
+		a.misses += b.misses
+		a.lat.Merge(&b.lat)
+		a.svc.Merge(&b.svc)
+	}
+}
+
+// total folds every endpoint into one aggregate view.
+func (r *recorder) total() *endpointRec {
+	var t endpointRec
+	for i := range r.eps {
+		e := &r.eps[i]
+		t.requests += e.requests
+		t.ok += e.ok
+		t.rejected += e.rejected
+		t.clientErr += e.clientErr
+		t.serverErr += e.serverErr
+		t.transportErr += e.transportErr
+		t.hits += e.hits
+		t.misses += e.misses
+		t.lat.Merge(&e.lat)
+		t.svc.Merge(&e.svc)
+	}
+	return &t
+}
+
+func (e *endpointRec) report(open bool) *EndpointReport {
+	er := &EndpointReport{
+		Requests:        e.requests,
+		OK:              e.ok,
+		Rejected:        e.rejected,
+		ClientErrors:    e.clientErr,
+		ServerErrors:    e.serverErr,
+		TransportErrors: e.transportErr,
+		CacheHits:       e.hits,
+		CacheMisses:     e.misses,
+		Latency:         summarize(&e.lat),
+	}
+	if e.hits+e.misses > 0 {
+		er.HitRate = float64(e.hits) / float64(e.hits+e.misses)
+	}
+	if open {
+		svc := summarize(&e.svc)
+		er.Service = &svc
+	}
+	return er
+}
+
+// errRate is the fraction of requests that did not get a 2xx/4xx answer —
+// the health signal capacity search budgets (4xx are the client's fault and
+// excluded; a correct profile produces none).
+func (e *endpointRec) errRate() float64 {
+	if e.requests == 0 {
+		return 0
+	}
+	return float64(e.rejected+e.serverErr+e.transportErr) / float64(e.requests)
+}
+
+// Run executes one load run against the target and builds its report.
+func Run(target Target, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	corpus, err := BuildCorpus(opts.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	sy, err := NewSynthesizer(corpus, opts.Profile, opts.ZipfS, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Mode:          opts.Mode,
+		Deterministic: opts.Deterministic,
+		Seed:          opts.Seed,
+		ZipfS:         opts.ZipfS,
+		Corpus:        corpus.Spec(),
+		Profile:       opts.Profile,
+		ThinkMs:       float64(opts.Think) / float64(time.Millisecond),
+		Warmup:        opts.Warmup,
+	}
+	// Warmup: replay the head of the stream unrecorded so the measured run
+	// starts against a primed cache. Sequential like the deterministic
+	// engines, so it perturbs nothing.
+	for i := 0; i < opts.Warmup; i++ {
+		req, err := sy.Request(uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		target.Do(req.Path, req.Body)
+	}
+
+	switch opts.Mode {
+	case "closed":
+		rec := new(recorder)
+		var elapsedNs int64
+		if opts.Deterministic {
+			elapsedNs, err = runClosedVirtual(target, sy, opts, rec)
+		} else {
+			elapsedNs, err = runClosedReal(target, sy, opts, rec)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fillReport(rep, rec, elapsedNs, false)
+	case "open":
+		rep.RatePerSec = opts.Rate
+		rec := new(recorder)
+		var elapsedNs int64
+		if opts.Deterministic {
+			elapsedNs, err = runOpenVirtual(target, sy, opts, opts.Rate, rec)
+		} else {
+			elapsedNs, err = runOpenReal(target, sy, opts, opts.Rate, rec)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fillReport(rep, rec, elapsedNs, true)
+	case "search":
+		if err := runSearch(target, sy, opts, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// fillReport finishes the report from the merged recorder.
+func fillReport(rep *Report, rec *recorder, elapsedNs int64, open bool) {
+	rep.Endpoints = make(map[string]*EndpointReport)
+	for i := range rec.eps {
+		if rec.eps[i].requests > 0 {
+			rep.Endpoints[endpointNames[i]] = rec.eps[i].report(open)
+		}
+	}
+	t := rec.total()
+	rep.Total = *t.report(open)
+	rep.Requests = t.requests
+	rep.ElapsedSeconds = float64(elapsedNs) / 1e9
+	if rep.ElapsedSeconds > 0 {
+		rep.Throughput = float64(t.requests) / rep.ElapsedSeconds
+	}
+}
+
+// runClosedReal is the wall-clock closed loop: Workers goroutines issuing
+// back-to-back requests from the shared index stream, one private recorder
+// each, merged afterwards in worker order.
+func runClosedReal(target Target, sy *Synthesizer, opts Options, out *recorder) (int64, error) {
+	var (
+		next    atomic.Uint64
+		wg      sync.WaitGroup
+		recs    = make([]recorder, opts.Workers)
+		errOnce sync.Once
+		runErr  error
+	)
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := &recs[w]
+			for {
+				i := next.Add(1) - 1
+				if i >= uint64(opts.Requests) {
+					return
+				}
+				req, err := sy.Request(i)
+				if err != nil {
+					errOnce.Do(func() { runErr = err })
+					return
+				}
+				t0 := time.Now()
+				res := target.Do(req.Path, req.Body)
+				d := time.Since(t0).Nanoseconds()
+				rec.observe(epIndex(req.Endpoint), res, d, d)
+				if opts.Think > 0 {
+					time.Sleep(opts.Think)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Nanoseconds()
+	if runErr != nil {
+		return 0, runErr
+	}
+	for w := range recs {
+		out.merge(&recs[w])
+	}
+	return elapsed, nil
+}
+
+// runOpenReal is the wall-clock open loop: every request index has an
+// intended send time start + i/rate; senders sleep until it, and latency is
+// measured from the intended time, so sender backlog (all Workers busy past
+// a request's slot) is charged to the affected requests instead of being
+// silently omitted — the coordinated-omission correction.
+func runOpenReal(target Target, sy *Synthesizer, opts Options, rate float64, out *recorder) (int64, error) {
+	var (
+		next    atomic.Uint64
+		wg      sync.WaitGroup
+		recs    = make([]recorder, opts.Workers)
+		errOnce sync.Once
+		runErr  error
+	)
+	interval := float64(time.Second) / rate
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := &recs[w]
+			for {
+				i := next.Add(1) - 1
+				if i >= uint64(opts.Requests) {
+					return
+				}
+				req, err := sy.Request(i)
+				if err != nil {
+					errOnce.Do(func() { runErr = err })
+					return
+				}
+				intended := start.Add(time.Duration(float64(i) * interval))
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				t0 := time.Now()
+				res := target.Do(req.Path, req.Body)
+				end := time.Now()
+				rec.observe(epIndex(req.Endpoint), res,
+					end.Sub(intended).Nanoseconds(), end.Sub(t0).Nanoseconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Nanoseconds()
+	if runErr != nil {
+		return 0, runErr
+	}
+	for w := range recs {
+		out.merge(&recs[w])
+	}
+	return elapsed, nil
+}
+
+// runSearch binary-searches the highest open-loop arrival rate whose
+// corrected p99 meets the SLO within the error budget, then reruns at that
+// rate so the report's latency section describes the recommended operating
+// point rather than an arbitrary probe.
+func runSearch(target Target, sy *Synthesizer, opts Options, rep *Report) error {
+	capRep := &CapacityReport{
+		SLOP99Ms:    float64(opts.SLO) / float64(time.Millisecond),
+		ErrorBudget: opts.ErrorBudget,
+	}
+	probe := func(rate float64) (*recorder, int64, *CapacityIteration, error) {
+		rec := new(recorder)
+		var elapsedNs int64
+		var err error
+		if opts.Deterministic {
+			elapsedNs, err = runOpenVirtual(target, sy, opts, rate, rec)
+		} else {
+			elapsedNs, err = runOpenReal(target, sy, opts, rate, rec)
+		}
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		t := rec.total()
+		it := &CapacityIteration{
+			RatePerSec: rate,
+			P99Ms:      float64(t.lat.Quantile(0.99)) / float64(time.Millisecond),
+			ErrorRate:  t.errRate(),
+		}
+		it.OK = it.P99Ms <= capRep.SLOP99Ms && it.ErrorRate <= opts.ErrorBudget
+		return rec, elapsedNs, it, nil
+	}
+
+	// Establish the bracket: if even RateMin fails, capacity is 0; if
+	// RateMax passes, it is the answer (the search cannot see past it).
+	lo, hi := opts.RateMin, opts.RateMax
+	_, _, itMin, err := probe(lo)
+	if err != nil {
+		return err
+	}
+	capRep.Iterations = append(capRep.Iterations, *itMin)
+	good := 0.0
+	if itMin.OK {
+		good = lo
+		for i := 1; i < opts.SearchProbes; i++ {
+			mid := (lo + hi) / 2
+			_, _, it, err := probe(mid)
+			if err != nil {
+				return err
+			}
+			capRep.Iterations = append(capRep.Iterations, *it)
+			if it.OK {
+				lo, good = mid, mid
+			} else {
+				hi = mid
+			}
+			if hi-lo < 0.02*hi {
+				break
+			}
+		}
+	}
+	capRep.MaxRatePerSec = good
+
+	// Final run at the recommended rate (or the floor probe if nothing
+	// passed) for the report body.
+	finalRate := good
+	if finalRate == 0 {
+		finalRate = opts.RateMin
+	}
+	rec, elapsedNs, _, err := probe(finalRate)
+	if err != nil {
+		return err
+	}
+	rep.RatePerSec = finalRate
+	fillReport(rep, rec, elapsedNs, true)
+	rep.Capacity = capRep
+	return nil
+}

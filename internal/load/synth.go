@@ -1,0 +1,185 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"ftsched/internal/sim"
+)
+
+// Request is one synthesized API call.
+type Request struct {
+	// Index is the request's position in the global stream; the request is
+	// a pure function of (synthesizer, Index).
+	Index uint64
+	// Endpoint is "schedule", "evaluate" or "tune"; Path is the URL path.
+	Endpoint string
+	Path     string
+	// Rank is the zipf rank of the instance the request targets.
+	Rank int
+	// Body is the JSON request body.
+	Body []byte
+}
+
+// Synthesizer turns a global request index into a fully formed API request:
+// a seeded per-index rng picks the endpoint by profile weight, the instance
+// by zipf rank, and every parameter from the profile's pools. Because the
+// derivation uses only (seed, index), any set of workers consuming indices
+// 0..R-1 issues exactly the same request multiset — the property that makes
+// deterministic reports independent of worker count.
+type Synthesizer struct {
+	corpus    *Corpus
+	profile   Profile
+	zipf      *Zipf
+	seed      int64
+	scenarios []sim.ScenarioSpec // parsed once from profile.EvalScenarios
+	wSchedule float64            // cumulative endpoint weights, normalized
+	wEvaluate float64
+}
+
+// NewSynthesizer validates the profile against the corpus and precomputes
+// the zipf CDF and scenario specs.
+func NewSynthesizer(corpus *Corpus, profile Profile, zipfS float64, seed int64) (*Synthesizer, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	for _, eps := range profile.Epsilons {
+		if eps+1 > corpus.Procs() {
+			return nil, fmt.Errorf("load: profile %q draws epsilon %d, but the corpus platform has only %d processors",
+				profile.Name, eps, corpus.Procs())
+		}
+	}
+	z, err := NewZipf(corpus.Size(), zipfS)
+	if err != nil {
+		return nil, err
+	}
+	sy := &Synthesizer{corpus: corpus, profile: profile, zipf: z, seed: seed}
+	for _, s := range profile.EvalScenarios {
+		sp, err := sim.ParseScenarioSpec(s)
+		if err != nil {
+			return nil, err // unreachable after Validate, kept for safety
+		}
+		sy.scenarios = append(sy.scenarios, sp)
+	}
+	total := profile.Weights.Schedule + profile.Weights.Evaluate + profile.Weights.Tune
+	sy.wSchedule = profile.Weights.Schedule / total
+	sy.wEvaluate = sy.wSchedule + profile.Weights.Evaluate/total
+	return sy, nil
+}
+
+// requestSeed derives the per-index rng seed by FNV-1a over the base seed
+// and the index — the same stable-hash discipline sim.TrialSeed and the
+// campaign engine use.
+func requestSeed(base int64, index uint64) int64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for v, i := uint64(base), 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= prime
+	}
+	for v, i := index, 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= prime
+	}
+	return int64(h &^ (1 << 63))
+}
+
+// Wire shapes of the request bodies. The instance fields are raw pre-
+// marshaled JSON from the corpus; the rest mirrors the service's decode
+// structs field by field, so struct-order marshaling produces bodies the
+// strict decoders (DisallowUnknownFields) accept.
+type scheduleBody struct {
+	Graph     json.RawMessage `json:"graph"`
+	Platform  json.RawMessage `json:"platform"`
+	Costs     json.RawMessage `json:"costs"`
+	Scheduler string          `json:"scheduler"`
+	Epsilon   int             `json:"epsilon"`
+	Seed      int64           `json:"seed,omitempty"`
+}
+
+type evaluateBody struct {
+	scheduleBody
+	Trials   int              `json:"trials"`
+	Scenario sim.ScenarioSpec `json:"scenario"`
+	EvalSeed int64            `json:"eval_seed,omitempty"`
+}
+
+type tuneBody struct {
+	Graph    json.RawMessage  `json:"graph"`
+	Platform json.RawMessage  `json:"platform"`
+	Costs    json.RawMessage  `json:"costs"`
+	Scenario sim.ScenarioSpec `json:"scenario"`
+	Trials   int              `json:"trials"`
+	Target   float64          `json:"target"`
+	Epsilons []int            `json:"epsilons"`
+	EvalSeed int64            `json:"eval_seed,omitempty"`
+}
+
+// Request synthesizes the request at the given stream index.
+func (sy *Synthesizer) Request(index uint64) (*Request, error) {
+	rng := rand.New(rand.NewSource(requestSeed(sy.seed, index)))
+	u := rng.Float64()
+	rank := sy.zipf.Sample(rng)
+	item := &sy.corpus.items[rank]
+	p := &sy.profile
+
+	req := &Request{Index: index, Rank: rank}
+	var body any
+	switch {
+	case u < sy.wSchedule:
+		req.Endpoint, req.Path = "schedule", "/schedule"
+		body = sy.scheduleParams(item, rng)
+	case u < sy.wEvaluate:
+		req.Endpoint, req.Path = "evaluate", "/evaluate"
+		sb := sy.scheduleParams(item, rng)
+		body = &evaluateBody{
+			scheduleBody: *sb,
+			Trials:       p.EvalTrials[rng.Intn(len(p.EvalTrials))],
+			Scenario:     sy.scenarios[rng.Intn(len(sy.scenarios))],
+			EvalSeed:     p.EvalSeeds[rng.Intn(len(p.EvalSeeds))],
+		}
+	default:
+		req.Endpoint, req.Path = "tune", "/tune"
+		body = &tuneBody{
+			Graph:    item.graph,
+			Platform: item.platform,
+			Costs:    item.costs,
+			Scenario: sy.scenarios[rng.Intn(len(sy.scenarios))],
+			Trials:   p.TuneTrials,
+			Target:   p.TuneTarget,
+			Epsilons: p.TuneEpsilons,
+			EvalSeed: p.EvalSeeds[rng.Intn(len(p.EvalSeeds))],
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(body); err != nil {
+		return nil, fmt.Errorf("load: marshaling request %d: %w", index, err)
+	}
+	req.Body = buf.Bytes()
+	return req, nil
+}
+
+// scheduleParams draws the scheduling-parameter block shared by /schedule
+// and /evaluate bodies. Schedulers the registry marks non-fault-tolerant
+// must carry ε = 0; the profile encodes that as the "heft" special case so
+// the synthesizer needs no registry import.
+func (sy *Synthesizer) scheduleParams(item *corpusItem, rng *rand.Rand) *scheduleBody {
+	p := &sy.profile
+	scheduler := p.Schedulers[rng.Intn(len(p.Schedulers))]
+	eps := p.Epsilons[rng.Intn(len(p.Epsilons))]
+	if scheduler == "heft" {
+		eps = 0
+	}
+	return &scheduleBody{
+		Graph:     item.graph,
+		Platform:  item.platform,
+		Costs:     item.costs,
+		Scheduler: scheduler,
+		Epsilon:   eps,
+		Seed:      p.Seeds[rng.Intn(len(p.Seeds))],
+	}
+}

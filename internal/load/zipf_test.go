@@ -1,0 +1,139 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	z, err := NewZipf(64, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		seq := make([]int, 1000)
+		for i := range seq {
+			seq[i] = z.Sample(rng)
+		}
+		return seq
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("equal seeds diverge at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical 1000-draw sequence")
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	z, err := NewZipf(5, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		if r := z.Sample(rng); r < 0 || r >= 5 {
+			t.Fatalf("draw %d: rank %d out of [0,5)", i, r)
+		}
+	}
+	// Boundary uniforms map to valid ranks.
+	if r := z.Rank(0); r != 0 {
+		t.Fatalf("Rank(0) = %d, want 0", r)
+	}
+	if r := z.Rank(math.Nextafter(1, 0)); r > 4 {
+		t.Fatalf("Rank(1-ulp) = %d, want <= 4", r)
+	}
+}
+
+// TestZipfRankFrequencySlope pins the distribution shape: on a log-log
+// rank-frequency plot a zipf(s) stream is a line of slope -s. A least-squares
+// fit over the well-populated head must recover the exponent within
+// statistical tolerance for each skew the load profiles use.
+func TestZipfRankFrequencySlope(t *testing.T) {
+	const (
+		ranks   = 64
+		samples = 200000
+		headLen = 24 // head ranks have enough mass for stable counts
+		tol     = 0.1
+	)
+	for _, s := range []float64{0.8, 1.0, 1.2} {
+		z, err := NewZipf(ranks, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		counts := make([]int, ranks)
+		for i := 0; i < samples; i++ {
+			counts[z.Sample(rng)]++
+		}
+		// Least squares of log(count) against log(rank+1).
+		var sumX, sumY, sumXX, sumXY float64
+		for r := 0; r < headLen; r++ {
+			if counts[r] == 0 {
+				t.Fatalf("s=%g: head rank %d drew no samples", s, r)
+			}
+			x, y := math.Log(float64(r+1)), math.Log(float64(counts[r]))
+			sumX += x
+			sumY += y
+			sumXX += x * x
+			sumXY += x * y
+		}
+		n := float64(headLen)
+		slope := (n*sumXY - sumX*sumY) / (n*sumXX - sumX*sumX)
+		if math.Abs(slope-(-s)) > tol {
+			t.Errorf("s=%g: fitted rank-frequency slope %.3f, want %.3f +/- %.1f", s, slope, -s, tol)
+		}
+		// Monotone head: popularity must decrease with rank.
+		if counts[0] <= counts[headLen-1] {
+			t.Errorf("s=%g: rank 0 drew %d <= rank %d's %d", s, counts[0], headLen-1, counts[headLen-1])
+		}
+	}
+}
+
+// TestZipfUniform checks the s=0 degenerate case really is unskewed.
+func TestZipfUniform(t *testing.T) {
+	z, err := NewZipf(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, 16)
+	const samples = 160000
+	for i := 0; i < samples; i++ {
+		counts[z.Sample(rng)]++
+	}
+	want := samples / 16
+	for r, c := range counts {
+		if math.Abs(float64(c-want)) > 0.1*float64(want) {
+			t.Errorf("rank %d drew %d, want %d +/- 10%%", r, c, want)
+		}
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0, 1) succeeded, want error")
+	}
+	if _, err := NewZipf(4, -0.5); err == nil {
+		t.Error("NewZipf(4, -0.5) succeeded, want error")
+	}
+	if _, err := NewZipf(4, math.NaN()); err == nil {
+		t.Error("NewZipf(4, NaN) succeeded, want error")
+	}
+	if _, err := NewZipf(4, math.Inf(1)); err == nil {
+		t.Error("NewZipf(4, +Inf) succeeded, want error")
+	}
+}

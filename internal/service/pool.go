@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrBusy reports that the worker pool's queue is full. The HTTP layer maps
@@ -25,6 +26,12 @@ type Pool struct {
 	mu      sync.Mutex
 	closed  bool
 	workers int
+	// high is the queue-depth high-water mark: the deepest the pending
+	// queue has ever been observed at admission. Under load the
+	// instantaneous depth is almost always 0 (drained) or the capacity
+	// (rejecting), so capacity reports need the high-water mark to see how
+	// close a run came to the 429 cliff.
+	high atomic.Int64
 }
 
 // NewPool starts workers goroutines (0 means GOMAXPROCS) behind a queue
@@ -62,6 +69,12 @@ func (p *Pool) TrySubmit(job func()) error {
 	}
 	select {
 	case p.jobs <- job:
+		// Record the depth the queue reached on admission. Workers may
+		// have drained concurrently, so this can undercount by a job or
+		// two, never overcount — the mark is a floor on the worst depth.
+		if d := int64(len(p.jobs)); d > p.high.Load() {
+			p.high.Store(d)
+		}
 		return nil
 	default:
 		return ErrBusy
@@ -71,6 +84,12 @@ func (p *Pool) TrySubmit(job func()) error {
 // QueueDepth returns the number of jobs waiting (not yet picked up by a
 // worker).
 func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// QueueHighWater returns the deepest queue depth ever observed at
+// admission — a floor on the worst backlog this pool has seen. Unlike
+// QueueDepth it survives draining, which is what makes it useful in
+// capacity reports.
+func (p *Pool) QueueHighWater() int { return int(p.high.Load()) }
 
 // QueueCapacity returns the queue bound.
 func (p *Pool) QueueCapacity() int { return cap(p.jobs) }

@@ -70,6 +70,40 @@ func TestPoolBackpressure(t *testing.T) {
 	p.Close()
 }
 
+// TestPoolQueueHighWater pins the high-water semantics: the mark records
+// the deepest admission depth and survives draining, while the instantaneous
+// depth falls back to 0 — the distinction that makes capacity reports
+// trustworthy (a drained queue must not read as "never backlogged").
+func TestPoolQueueHighWater(t *testing.T) {
+	p := NewPool(1, 4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.TrySubmit(func() { close(started); <-release }); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started
+	// The first submit may or may not have been observed in the queue
+	// before its worker dequeued it, so the mark is 0 or 1 here — not
+	// asserted. Fill three of the four queue slots behind the blocked
+	// worker; those depths are deterministic.
+	for i := 0; i < 3; i++ {
+		if err := p.TrySubmit(func() { <-release }); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	if hw := p.QueueHighWater(); hw != 3 {
+		t.Fatalf("QueueHighWater = %d with 3 queued jobs, want 3", hw)
+	}
+	close(release)
+	p.Close() // drains the queue
+	if d := p.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth = %d after drain, want 0", d)
+	}
+	if hw := p.QueueHighWater(); hw != 3 {
+		t.Fatalf("QueueHighWater = %d after drain, want 3 (the mark must survive draining)", hw)
+	}
+}
+
 func TestPoolClose(t *testing.T) {
 	p := NewPool(1, 4)
 	var ran atomic.Int64

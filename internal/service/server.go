@@ -550,10 +550,14 @@ type Stats struct {
 	Rejected       uint64 `json:"rejected"`
 	ClientErrors   uint64 `json:"client_errors"`
 	InternalErrors uint64 `json:"internal_errors"`
-	// Queue and worker occupancy at the time of the call.
-	QueueDepth    int `json:"queue_depth"`
-	QueueCapacity int `json:"queue_capacity"`
-	Workers       int `json:"workers"`
+	// Queue and worker occupancy at the time of the call. QueueDepth is
+	// instantaneous — under load it reads almost always 0 (drained) or the
+	// capacity (rejecting) — while QueueHighWater is the deepest admission
+	// depth ever observed, the number a capacity report should quote.
+	QueueDepth     int `json:"queue_depth"`
+	QueueHighWater int `json:"queue_high_water"`
+	QueueCapacity  int `json:"queue_capacity"`
+	Workers        int `json:"workers"`
 	// LatencyMs summarizes recent successful /schedule, /evaluate and /tune
 	// round trips (decode through response write), hits and misses alike.
 	LatencyMs LatencyStats `json:"latency_ms"`
@@ -588,6 +592,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ClientErrors:      s.clientErrors.Load(),
 		InternalErrors:    s.internalErrors.Load(),
 		QueueDepth:        s.pool.QueueDepth(),
+		QueueHighWater:    s.pool.QueueHighWater(),
 		QueueCapacity:     s.pool.QueueCapacity(),
 		Workers:           s.pool.Workers(),
 	}

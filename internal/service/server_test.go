@@ -440,6 +440,16 @@ func TestScheduleBackpressure429(t *testing.T) {
 	if st.Rejected != 1 {
 		t.Fatalf("rejected = %d, want 1", st.Rejected)
 	}
+	// The queue has drained, so the instantaneous depth is 0 again — but
+	// the high-water mark must still show the full backlog this run hit.
+	// Without it a post-run /stats reads as if the server never queued,
+	// which is exactly the misleading capacity signal the mark fixes.
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue_depth = %d after drain, want 0", st.QueueDepth)
+	}
+	if st.QueueHighWater != 1 {
+		t.Fatalf("queue_high_water = %d, want 1 (queue capacity was 1 and it filled)", st.QueueHighWater)
+	}
 }
 
 func waitFor(t *testing.T, cond func() bool) {
