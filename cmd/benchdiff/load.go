@@ -94,6 +94,8 @@ func loadConfigMismatch(base, cur *load.Report) string {
 		return fmt.Sprintf("reports are not comparable: %d requests vs baseline %d", cur.Requests, base.Requests)
 	case base.Warmup != cur.Warmup:
 		return fmt.Sprintf("reports are not comparable: warmup %d vs baseline %d", cur.Warmup, base.Warmup)
+	case base.Shards != cur.Shards:
+		return fmt.Sprintf("reports are not comparable: %d worker shards vs baseline %d", cur.Shards, base.Shards)
 	case base.Corpus != cur.Corpus:
 		return fmt.Sprintf("reports are not comparable: corpus %+v vs baseline %+v", cur.Corpus, base.Corpus)
 	case !sameJSON(base.Profile, cur.Profile):

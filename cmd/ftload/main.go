@@ -9,6 +9,7 @@
 //	ftload -mode open -rate 500             # paced arrivals, CO-corrected p99
 //	ftload -mode search -slo 20ms           # binary-search max sustainable rate
 //	ftload -target http://localhost:8080    # drive a live ftserved
+//	ftload -shards 4                        # in-process coordinator over 4 shards
 //	ftload -profile evaluate -zipf 1.2      # heavier /evaluate mix, more skew
 //	ftload -deterministic=false -workers 8  # wall-clock measurement
 //
@@ -85,9 +86,10 @@ func run(args []string, out io.Writer) error {
 		rateMax   = fs.Float64("rate-max", 50000, "search mode: bracket ceiling, requests/second")
 		probes    = fs.Int("probes", 12, "search mode: maximum binary-search probes")
 
-		srvWorkers = fs.Int("server-workers", 0, "in-process server: scheduling workers (0: one per core)")
-		srvQueue   = fs.Int("server-queue", 0, "in-process server: queue bound (0: 2x workers)")
-		srvCache   = fs.Int("server-cache", 4096, "in-process server: response cache entries")
+		srvWorkers = fs.Int("server-workers", 0, "in-process server: scheduling workers per shard (0: one per core)")
+		srvQueue   = fs.Int("server-queue", 0, "in-process server: queue bound per shard (0: 2x workers)")
+		srvCache   = fs.Int("server-cache", 4096, "in-process server: response cache entries per shard")
+		srvShards  = fs.Int("shards", 1, "in-process worker shards behind a coordinator (1: a bare server)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,17 +153,30 @@ func run(args []string, out io.Writer) error {
 		SearchProbes: *probes,
 	}
 
+	if *srvShards < 1 {
+		return fmt.Errorf("need -shards >= 1, got %d", *srvShards)
+	}
+	if *srvShards > 1 {
+		// A bare server reports shards: 0 ("no deployment in front"), so
+		// pre-sharding baselines stay comparable; a sharded run echoes the
+		// shard count it measured.
+		opts.Shards = *srvShards
+	}
+
 	var tgt load.Target
 	if *target != "" {
+		if *srvShards > 1 {
+			return fmt.Errorf("-shards builds an in-process deployment and cannot combine with -target (point -target at a running coordinator instead)")
+		}
 		tgt = load.URLTarget{Base: *target}
 	} else {
-		svc := service.New(service.Config{
+		sharded, closeTarget := load.ShardedTarget(*srvShards, service.Config{
 			Workers:      *srvWorkers,
 			Queue:        *srvQueue,
 			CacheEntries: *srvCache,
 		})
-		defer svc.Close()
-		tgt = load.HandlerTarget{Handler: svc}
+		defer closeTarget()
+		tgt = sharded
 	}
 
 	rep, err := load.Run(tgt, opts)

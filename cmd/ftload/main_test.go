@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -63,11 +64,52 @@ func TestRunWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// TestRunShardCountInvariant extends the worker-count property to the
+// deployment shape: the same deterministic run against 2 or 4 in-process
+// shards behind a coordinator reports exactly what the bare server reports,
+// except for the shards echo itself. This is the CLI face of the sharding
+// guarantee — disjoint stable cache keyspaces make the deployment
+// behaviorally invisible.
+func TestRunShardCountInvariant(t *testing.T) {
+	normalized := func(shards string) string {
+		var buf bytes.Buffer
+		if err := run(append([]string{"-shards", shards}, loadArgs...), &buf); err != nil {
+			t.Fatalf("shards=%s run: %v", shards, err)
+		}
+		rep, err := load.ReadReport(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if shards != "1" {
+			want, _ = strconv.Atoi(shards)
+		}
+		if rep.Shards != want {
+			t.Fatalf("shards=%s report echoes shards=%d, want %d", shards, rep.Shards, want)
+		}
+		rep.Shards = 0
+		data, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	base := normalized("1")
+	for _, shards := range []string{"2", "4"} {
+		if got := normalized(shards); got != base {
+			t.Fatalf("-shards %s report differs from the bare server:\n--- bare ---\n%s\n--- shards=%s ---\n%s",
+				shards, base, shards, got)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-mode", "sideways"},
 		{"-profile", "nope"},
 		{"-requests", "-1"},
+		{"-shards", "0"},
+		{"-shards", "2", "-target", "http://localhost:1"},
 		{"positional"},
 	}
 	for _, args := range cases {

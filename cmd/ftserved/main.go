@@ -11,6 +11,17 @@
 //	ftserved -max-tasks 5000 -v       # reject huge instances, log requests
 //	ftserved -max-trials 50000        # cap one /evaluate or /tune batch
 //	ftserved -max-candidates 64       # cap one /tune candidate grid
+//	ftserved -coordinator -shards 4   # coordinator over 4 in-process shards
+//	ftserved -coordinator -shard-urls http://w1:8080,http://w2:8080
+//	                                  # coordinator over remote workers
+//
+// In coordinator mode the process fronts N worker shards: each request body
+// is decoded and fingerprinted once at the door (malformed input never
+// reaches a worker) and forwarded to the shard that owns the fingerprint, so
+// every shard keeps a disjoint, stable slice of the cache keyspace and the
+// deployment serves byte-identical responses to a single server. -shards
+// runs the workers in process; -shard-urls points at standalone ftserved
+// workers instead.
 //
 // Endpoints (see docs/API.md for the full reference):
 //
@@ -34,24 +45,32 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"ftsched/internal/coord"
 	"ftsched/internal/service"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "scheduling workers (0: one per core)")
-		queue     = flag.Int("queue", 0, "pending-request queue bound (0: 2x workers); overflow returns 429")
-		cache     = flag.Int("cache", 4096, "response cache capacity in entries")
-		shards    = flag.Int("shards", 16, "response cache shard count")
-		maxTasks  = flag.Int("max-tasks", 0, "reject instances with more tasks (0: unlimited)")
-		maxTrials = flag.Int("max-trials", 0, "reject /evaluate and /tune requests with more trials (0: 100000)")
-		maxCands  = flag.Int("max-candidates", 0, "reject /tune requests deriving more candidates (0: 256)")
-		maxBody   = flag.Int64("max-body", 32<<20, "request body limit in bytes")
-		verbose   = flag.Bool("v", false, "log every /schedule and /evaluate request")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "scheduling workers (0: one per core)")
+		queue       = flag.Int("queue", 0, "pending-request queue bound (0: 2x workers); overflow returns 429")
+		cache       = flag.Int("cache", 4096, "response cache capacity in entries")
+		cacheShards = flag.Int("cache-shards", 16, "response cache shard count (lock striping, not worker shards)")
+		maxTasks    = flag.Int("max-tasks", 0, "reject instances with more tasks (0: unlimited)")
+		maxTrials   = flag.Int("max-trials", 0, "reject /evaluate and /tune requests with more trials (0: 100000)")
+		maxCands    = flag.Int("max-candidates", 0, "reject /tune requests deriving more candidates (0: 256)")
+		maxBatch    = flag.Int("max-batch", 0, "reject /schedule/batch envelopes with more items (0: 256)")
+		maxBody     = flag.Int64("max-body", 32<<20, "request body limit in bytes")
+		verbose     = flag.Bool("v", false, "log every /schedule and /evaluate request")
+
+		coordinator = flag.Bool("coordinator", false, "front worker shards instead of serving directly")
+		shards      = flag.Int("shards", 2, "coordinator: in-process worker shard count")
+		shardURLs   = flag.String("shard-urls", "", "coordinator: comma-separated remote worker base URLs (overrides -shards)")
 	)
 	flag.Parse()
 
@@ -59,21 +78,61 @@ func main() {
 		Workers:       *workers,
 		Queue:         *queue,
 		CacheEntries:  *cache,
-		CacheShards:   *shards,
+		CacheShards:   *cacheShards,
 		MaxTasks:      *maxTasks,
 		MaxTrials:     *maxTrials,
 		MaxCandidates: *maxCands,
+		MaxBatchItems: *maxBatch,
 		MaxBodyBytes:  *maxBody,
 	}
 	logger := log.New(os.Stderr, "ftserved: ", log.LstdFlags)
 	if *verbose {
 		cfg.Log = logger
 	}
-	svc := service.New(cfg)
+
+	var handler http.Handler
+	var closeShards func()
+	switch {
+	case !*coordinator:
+		svc := service.New(cfg)
+		handler = svc
+		closeShards = svc.Close
+	case *shardURLs != "":
+		// Remote workers: each URL is a standalone ftserved this process
+		// routes to. Their pools are theirs to drain.
+		var members []http.Handler
+		for _, base := range strings.Split(*shardURLs, ",") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				fatal(errors.New("-shard-urls contains an empty entry"))
+			}
+			members = append(members, &coord.Proxy{Base: base})
+		}
+		handler = coord.New(members, coord.Options{MaxBodyBytes: *maxBody, MaxTasks: *maxTasks, MaxBatchItems: *maxBatch, Log: cfg.Log})
+		closeShards = func() {}
+	default:
+		if *shards < 1 {
+			fatal(fmt.Errorf("need -shards >= 1, got %d", *shards))
+		}
+		members := make([]http.Handler, *shards)
+		servers := make([]*service.Server, *shards)
+		for i := range members {
+			shardCfg := cfg
+			shardCfg.Shard = strconv.Itoa(i)
+			servers[i] = service.New(shardCfg)
+			members[i] = servers[i]
+		}
+		handler = coord.New(members, coord.Options{MaxBodyBytes: *maxBody, MaxTasks: *maxTasks, MaxBatchItems: *maxBatch, Log: cfg.Log})
+		closeShards = func() {
+			for _, s := range servers {
+				s.Close()
+			}
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -82,8 +141,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d queue=%d cache=%d)",
-		*addr, svc.Workers(), svc.QueueCapacity(), *cache)
+	if c, ok := handler.(*coord.Coordinator); ok {
+		logger.Printf("coordinating %d shards on %s", c.Shards(), *addr)
+	} else {
+		logger.Printf("listening on %s (workers=%d queue=%d cache=%d)",
+			*addr, handler.(*service.Server).Workers(), handler.(*service.Server).QueueCapacity(), *cache)
+	}
 
 	select {
 	case err := <-errCh:
@@ -99,7 +162,7 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		logger.Printf("shutdown: %v", err)
 	}
-	svc.Close()
+	closeShards()
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -1,0 +1,168 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+
+	"ftsched/internal/service"
+)
+
+// handleBatch serves POST /schedule/batch at the coordinator: decode and
+// validate the envelope once at the door, route every item by its request
+// fingerprint, fan the per-shard sub-batches out concurrently, and merge the
+// per-item results back in request order. Because an item's fingerprint — not
+// its batch position — decides its shard, repeated parameter sets land where
+// their cache entry lives, and the merged response carries the same bytes per
+// item as a single-server batch.
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	c.requests.Add(1)
+	c.batchRequests.Add(1)
+	body, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := service.DecodeBatchRequest(bytes.NewReader(body))
+	if err != nil {
+		c.reject(w, http.StatusBadRequest, err)
+		return
+	}
+	if c.opts.MaxTasks > 0 && req.NumTasks() > c.opts.MaxTasks {
+		c.reject(w, http.StatusBadRequest,
+			fmt.Errorf("instance has %d tasks, this deployment accepts at most %d", req.NumTasks(), c.opts.MaxTasks))
+		return
+	}
+	items := req.Items()
+	if len(items) > c.opts.MaxBatchItems {
+		c.reject(w, http.StatusBadRequest,
+			fmt.Errorf("batch carries %d requests, this deployment accepts at most %d",
+				len(items), c.opts.MaxBatchItems))
+		return
+	}
+	groups := make(map[int][]int) // shard -> original item indices, in order
+	for i, it := range items {
+		shard := c.Route(service.RequestFingerprint(it))
+		groups[shard] = append(groups[shard], i)
+	}
+	if c.opts.Log != nil {
+		c.opts.Log.Printf("%s /schedule/batch items=%d shards=%d", r.RemoteAddr, len(items), len(groups))
+	}
+
+	// Whole batch owned by one shard: forward the original bytes, the
+	// response streams straight through.
+	if len(groups) == 1 {
+		for shard := range groups {
+			c.forward(w, r, shard, body)
+		}
+		return
+	}
+
+	// Fan out one sub-batch per owning shard, concurrently. Sub-envelopes
+	// re-marshal the decoded instance; JSON float64 round-tripping is exact,
+	// so a shard decodes (and fingerprints) the same instance either way.
+	type shardReply struct {
+		shard  int
+		idxs   []int
+		status int
+		header http.Header
+		body   []byte
+	}
+	replies := make([]*shardReply, 0, len(groups))
+	for shard, idxs := range groups {
+		replies = append(replies, &shardReply{shard: shard, idxs: idxs})
+	}
+	// Deterministic order: failure relay and merge walk shards ascending.
+	sort.Slice(replies, func(a, b int) bool { return replies[a].shard < replies[b].shard })
+	var wg sync.WaitGroup
+	for _, reply := range replies {
+		wg.Add(1)
+		go func(reply *shardReply) {
+			defer wg.Done()
+			sub := service.BatchRequest{
+				Graph: req.Graph, Platform: req.Platform, Costs: req.Costs,
+				Requests: make([]service.BatchItem, 0, len(reply.idxs)),
+			}
+			for _, i := range reply.idxs {
+				sub.Requests = append(sub.Requests, req.Requests[i])
+			}
+			subBody, err := json.Marshal(&sub)
+			if err != nil { // unreachable: sub re-marshals decoded values
+				reply.status = http.StatusInternalServerError
+				reply.body = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+				return
+			}
+			rec := httptest.NewRecorder()
+			subReq := httptest.NewRequest(http.MethodPost, "/schedule/batch", bytes.NewReader(subBody))
+			subReq.Header.Set("Content-Type", "application/json")
+			c.shards[reply.shard].ServeHTTP(rec, subReq)
+			reply.status = rec.Code
+			reply.header = rec.Header()
+			reply.body = rec.Body.Bytes()
+		}(reply)
+	}
+	wg.Wait()
+
+	// All-or-nothing: any failed sub-batch fails the whole batch with the
+	// lowest failing shard's own response (a 429's Retry-After included).
+	// The successful shards keep their cache entries, so a retry re-serves
+	// those items as hits.
+	for _, reply := range replies {
+		if reply.status != http.StatusOK {
+			if ra := reply.header.Get("Retry-After"); ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(reply.status)
+			w.Write(reply.body)
+			return
+		}
+	}
+
+	// Merge per-item results back into request order.
+	out := service.BatchResponse{Count: len(items), Items: make([]service.BatchItemResult, len(items))}
+	for _, reply := range replies {
+		var sr service.BatchResponse
+		if err := json.Unmarshal(reply.body, &sr); err != nil || len(sr.Items) != len(reply.idxs) {
+			// Unreachable with well-behaved shards; outside the counter
+			// ledger because the shards already accounted their items.
+			http.Error(w, fmt.Sprintf(`{"error":"shard %d returned an unreadable batch response"}`, reply.shard),
+				http.StatusBadGateway)
+			return
+		}
+		out.CacheHits += sr.CacheHits
+		out.CacheMisses += sr.CacheMisses
+		for k, i := range reply.idxs {
+			out.Items[i] = sr.Items[k]
+		}
+	}
+	merged, err := marshalBatchResponse(&out)
+	if err != nil { // unreachable: items are valid JSON from the shards
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	status := "miss"
+	if out.CacheMisses == 0 {
+		status = "hit"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(service.CacheStatusHeader, status)
+	w.Write(merged)
+}
+
+// marshalBatchResponse mirrors the service's deterministic encoding (compact,
+// no HTML escaping, trailing newline), so a merged batch response is
+// byte-identical to the one a single server would produce for the same
+// envelope and cache state.
+func marshalBatchResponse(resp *service.BatchResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,180 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+
+	"ftsched/internal/service"
+)
+
+// Options tunes a Coordinator. The zero value picks the same door limits a
+// zero-value service.Config does.
+type Options struct {
+	// MaxBodyBytes limits a request body at the door (0: 32 MiB).
+	MaxBodyBytes int64
+	// MaxTasks rejects instances with more tasks at the door (0: unlimited).
+	// Set it to the shards' own limit so oversized instances are refused
+	// before they cost a decode on a worker.
+	MaxTasks int
+	// MaxBatchItems rejects /schedule/batch envelopes with more items at the
+	// door (0: 256, the service default). The door must enforce this itself:
+	// splitting an oversized envelope across shards would hand each shard a
+	// sub-batch under its own limit, silently bypassing the guard.
+	MaxBatchItems int
+	// Log, when non-nil, receives one line per routed request.
+	Log *log.Logger
+}
+
+// Coordinator fronts N worker shards. Each POST body is decoded and
+// validated once at the door (malformed input 400s without touching a
+// shard), fingerprinted with the same canonical fingerprint the shards' own
+// caches key on, and forwarded verbatim to the shard RouteFingerprint picks.
+// Responses stream straight from the shard to the client, headers included,
+// so a routed response is byte-identical to what the shard alone would have
+// served.
+type Coordinator struct {
+	shards []http.Handler
+	opts   Options
+	mux    *http.ServeMux
+
+	// Door counters: requests received, and the ones terminated at the door
+	// (malformed or over-limit, all 4xx). Routed requests are counted by the
+	// shard that serves them; the stats merge folds the door rejections back
+	// in so the merged view conserves.
+	requests      atomic.Uint64
+	rejected      atomic.Uint64
+	batchRequests atomic.Uint64
+}
+
+// New creates a Coordinator over the given shard handlers (in-process
+// service.Servers, Proxy handlers for remote workers, or a mix). It panics
+// if shards is empty — a coordinator with nothing to route to is a
+// construction error, not a runtime condition.
+func New(shards []http.Handler, opts Options) *Coordinator {
+	if len(shards) == 0 {
+		panic("coord.New: no shards")
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 32 << 20
+	}
+	if opts.MaxBatchItems <= 0 {
+		opts.MaxBatchItems = 256
+	}
+	c := &Coordinator{shards: shards, opts: opts, mux: http.NewServeMux()}
+	c.mux.HandleFunc("POST /schedule", c.routed(decodeScheduleFP))
+	c.mux.HandleFunc("POST /schedule/batch", c.handleBatch)
+	c.mux.HandleFunc("POST /evaluate", c.routed(decodeEvaluateFP))
+	c.mux.HandleFunc("POST /tune", c.routed(decodeTuneFP))
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /stats", c.handleStats)
+	return c
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Shards reports the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Route exposes the routing decision for a fingerprint; tests and the
+// verbose log use it.
+func (c *Coordinator) Route(fp service.Fingerprint) int {
+	return RouteFingerprint(fp, len(c.shards))
+}
+
+// decode*FP validate one body and derive the routing fingerprint; they are
+// the per-endpoint plugs for the shared routed prologue. The number of tasks
+// is returned for the door's MaxTasks guard.
+func decodeScheduleFP(body []byte) (service.Fingerprint, int, error) {
+	req, err := service.DecodeScheduleRequest(bytes.NewReader(body))
+	if err != nil {
+		return service.Fingerprint{}, 0, err
+	}
+	return service.RequestFingerprint(req), req.Graph.NumTasks(), nil
+}
+
+func decodeEvaluateFP(body []byte) (service.Fingerprint, int, error) {
+	req, err := service.DecodeEvaluateRequest(bytes.NewReader(body))
+	if err != nil {
+		return service.Fingerprint{}, 0, err
+	}
+	return service.EvaluateFingerprint(req), req.Graph.NumTasks(), nil
+}
+
+func decodeTuneFP(body []byte) (service.Fingerprint, int, error) {
+	req, err := service.DecodeTuneRequest(bytes.NewReader(body))
+	if err != nil {
+		return service.Fingerprint{}, 0, err
+	}
+	return service.TuneFingerprint(req), req.Graph.NumTasks(), nil
+}
+
+// routed builds the handler for one single-fingerprint endpoint: buffer the
+// body, decode → fingerprint at the door, and hand the original bytes to
+// the owning shard. The shard decodes again — that duplicate decode is the
+// price of the door guarantee that no malformed (or unroutable) body ever
+// occupies a worker, and it is cheap next to any scheduling computation.
+func (c *Coordinator) routed(decode func([]byte) (service.Fingerprint, int, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.requests.Add(1)
+		body, ok := c.readBody(w, r)
+		if !ok {
+			return
+		}
+		fp, tasks, err := decode(body)
+		if err != nil {
+			c.reject(w, http.StatusBadRequest, err)
+			return
+		}
+		if c.opts.MaxTasks > 0 && tasks > c.opts.MaxTasks {
+			c.reject(w, http.StatusBadRequest,
+				fmt.Errorf("instance has %d tasks, this deployment accepts at most %d", tasks, c.opts.MaxTasks))
+			return
+		}
+		shard := c.Route(fp)
+		if c.opts.Log != nil {
+			c.opts.Log.Printf("%s %s fp=%x shard=%d/%d", r.RemoteAddr, r.URL.Path, fp[:4], shard, len(c.shards))
+		}
+		c.forward(w, r, shard, body)
+	}
+}
+
+// readBody buffers the request body under the door limit. ok is false when
+// an error response was written (413 past the limit, 400 otherwise).
+func (c *Coordinator) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.opts.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		c.reject(w, status, fmt.Errorf("reading request body: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// reject terminates a request at the door with the service's uniform error
+// body.
+func (c *Coordinator) reject(w http.ResponseWriter, status int, err error) {
+	c.rejected.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(service.ErrorResponse{Error: err.Error()})
+}
+
+// forward replays the buffered body against the shard, writing the shard's
+// response (status, headers, body) directly to the client.
+func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, shard int, body []byte) {
+	req := r.Clone(r.Context())
+	req.Body = io.NopCloser(bytes.NewReader(body))
+	req.ContentLength = int64(len(body))
+	c.shards[shard].ServeHTTP(w, req)
+}

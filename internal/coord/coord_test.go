@@ -1,0 +1,479 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ftsched/internal/service"
+)
+
+// diamondInstance is the docs/API.md example instance: 4 tasks, 3 procs.
+const diamondInstance = `"graph": {
+    "name": "diamond",
+    "tasks": 4,
+    "edges": [
+      {"src": 0, "dst": 1, "volume": 1},
+      {"src": 0, "dst": 2, "volume": 2},
+      {"src": 1, "dst": 3, "volume": 1},
+      {"src": 2, "dst": 3, "volume": 0.5}
+    ]
+  },
+  "platform": {
+    "procs": 3,
+    "delay": [[0, 0.5, 0.5], [0.5, 0, 0.5], [0.5, 0.5, 0]]
+  },
+  "costs": {
+    "cost": [[1, 2, 1.5], [2, 1, 1], [1, 1, 2], [2, 1.5, 1]]
+  }`
+
+// scheduleBody builds a /schedule request over the diamond instance.
+func scheduleBody(scheduler string, epsilon int, seed int64) []byte {
+	return []byte(fmt.Sprintf(`{%s, "scheduler": %q, "epsilon": %d, "seed": %d}`,
+		diamondInstance, scheduler, epsilon, seed))
+}
+
+// evaluateBody builds a /evaluate request over the diamond instance.
+func evaluateBody(seed int64, trials int) []byte {
+	return []byte(fmt.Sprintf(`{%s, "scheduler": "ftsa", "epsilon": 1, "seed": %d,
+	  "trials": %d, "scenario": {"kind": "uniform", "crashes": 1}, "eval_seed": 7}`,
+		diamondInstance, seed, trials))
+}
+
+// tuneBody builds a /tune request over the diamond instance.
+func tuneBody(trials int) []byte {
+	return []byte(fmt.Sprintf(`{%s, "trials": %d, "target": 0.9,
+	  "scenario": {"kind": "uniform", "crashes": 1}, "eval_seed": 7}`,
+		diamondInstance, trials))
+}
+
+// batchBody builds a /schedule/batch envelope over the diamond instance.
+func batchBody(items string) []byte {
+	return []byte(fmt.Sprintf(`{%s, "requests": [%s]}`, diamondInstance, items))
+}
+
+// newDeployment builds a coordinator over n in-process shards, all cleaned
+// up with the test.
+func newDeployment(t *testing.T, n int, cfg service.Config) (*Coordinator, []*service.Server) {
+	t.Helper()
+	shards := make([]*service.Server, n)
+	handlers := make([]http.Handler, n)
+	for i := range shards {
+		shardCfg := cfg
+		shardCfg.Shard = fmt.Sprintf("%d", i)
+		shards[i] = service.New(shardCfg)
+		handlers[i] = shards[i]
+		t.Cleanup(shards[i].Close)
+	}
+	return New(handlers, Options{}), shards
+}
+
+// do replays one request against a handler.
+func do(h http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
+	var r *bytes.Reader
+	if body == nil {
+		r = bytes.NewReader(nil)
+	} else {
+		r = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, r)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func coordStats(t *testing.T, c *Coordinator) Stats {
+	t.Helper()
+	rec := do(c, http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /stats: %d %s", rec.Code, rec.Body.String())
+	}
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRoutedPassthroughByteIdentical is the core sharding guarantee: for
+// every POST endpoint, a sharded deployment serves byte-for-byte the
+// responses a single server serves, and the repeat request is a cache hit on
+// both — the shard that owns a fingerprint owns it forever.
+func TestRoutedPassthroughByteIdentical(t *testing.T) {
+	single := service.New(service.Config{})
+	t.Cleanup(single.Close)
+	c, _ := newDeployment(t, 4, service.Config{})
+
+	requests := []struct {
+		path string
+		body []byte
+	}{
+		{"/schedule", scheduleBody("ftsa", 1, 0)},
+		{"/schedule", scheduleBody("mcftsa", 1, 3)},
+		{"/schedule", scheduleBody("heft", 0, 0)},
+		{"/evaluate", evaluateBody(0, 40)},
+		{"/tune", tuneBody(24)},
+	}
+	for _, rq := range requests {
+		for round, wantCache := range []string{"miss", "hit"} {
+			sRec := do(single, http.MethodPost, rq.path, rq.body)
+			cRec := do(c, http.MethodPost, rq.path, rq.body)
+			if sRec.Code != http.StatusOK || cRec.Code != http.StatusOK {
+				t.Fatalf("%s round %d: single=%d coord=%d (%s)", rq.path, round, sRec.Code, cRec.Code, cRec.Body.String())
+			}
+			if !bytes.Equal(sRec.Body.Bytes(), cRec.Body.Bytes()) {
+				t.Fatalf("%s round %d: sharded response differs from single server:\nsingle: %s\ncoord:  %s",
+					rq.path, round, sRec.Body.String(), cRec.Body.String())
+			}
+			for _, rec := range []*httptest.ResponseRecorder{sRec, cRec} {
+				if got := rec.Header().Get(service.CacheStatusHeader); got != wantCache {
+					t.Fatalf("%s round %d: cache status %q, want %q", rq.path, round, got, wantCache)
+				}
+			}
+		}
+	}
+}
+
+// TestDoorRejectsMalformed pins the door contract: a body that cannot be
+// decoded and fingerprinted is refused at the coordinator with the same
+// status a standalone server would use, and NO shard ever sees it.
+func TestDoorRejectsMalformed(t *testing.T) {
+	c, shards := newDeployment(t, 2, service.Config{})
+	cases := []struct {
+		name, path string
+		body       []byte
+		want       int
+	}{
+		{"malformed schedule", "/schedule", []byte(`{"graph": nope`), 400},
+		{"empty evaluate", "/evaluate", []byte(``), 400},
+		{"unknown field", "/tune", []byte(`{"trialz": 1}`), 400},
+		{"unregistered scheduler", "/schedule", scheduleBody("nope", 1, 0), 400},
+		{"empty batch", "/schedule/batch", batchBody(``), 400},
+		{"invalid batch item", "/schedule/batch", batchBody(`{"scheduler": "heft", "epsilon": 2}`), 400},
+	}
+	for _, tc := range cases {
+		rec := do(c, http.MethodPost, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+		var e service.ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: unhelpful error body %q", tc.name, rec.Body.String())
+		}
+	}
+	st := coordStats(t, c)
+	if st.Door.Rejected != uint64(len(cases)) || st.Door.Requests != uint64(len(cases)) {
+		t.Fatalf("door requests=%d rejected=%d, want %d/%d", st.Door.Requests, st.Door.Rejected, len(cases), len(cases))
+	}
+	for i, s := range st.PerShard {
+		if s.Requests != 0 {
+			t.Fatalf("shard %d saw %d requests; malformed traffic must die at the door", i, s.Requests)
+		}
+	}
+	// The shards never served anything, so the merged view is pure door
+	// arithmetic — and it must still conserve.
+	if st.Merged.Requests != uint64(len(cases)) || st.Merged.ClientErrors != uint64(len(cases)) {
+		t.Fatalf("merged requests=%d client_errors=%d, want %d/%d",
+			st.Merged.Requests, st.Merged.ClientErrors, len(cases), len(cases))
+	}
+	_ = shards
+}
+
+// TestDoorBodyLimit: a body past the coordinator's limit 413s at the door.
+func TestDoorBodyLimit(t *testing.T) {
+	srv := service.New(service.Config{})
+	t.Cleanup(srv.Close)
+	c := New([]http.Handler{srv}, Options{MaxBodyBytes: 64})
+	rec := do(c, http.MethodPost, "/schedule", scheduleBody("ftsa", 1, 0))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", rec.Code)
+	}
+	// MaxTasks guard: the diamond has 4 tasks.
+	c2 := New([]http.Handler{srv}, Options{MaxTasks: 2})
+	rec = do(c2, http.MethodPost, "/schedule", scheduleBody("ftsa", 1, 0))
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "at most 2") {
+		t.Fatalf("MaxTasks guard: status %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDoorBatchLimit: the door enforces MaxBatchItems itself. Splitting an
+// oversized envelope across shards would hand every shard a sub-batch under
+// its own limit — the deployment must not accept through division what one
+// server would reject whole.
+func TestDoorBatchLimit(t *testing.T) {
+	shards := make([]http.Handler, 2)
+	for i := range shards {
+		srv := service.New(service.Config{MaxBatchItems: 3})
+		t.Cleanup(srv.Close)
+		shards[i] = srv
+	}
+	c := New(shards, Options{MaxBatchItems: 3})
+	// Four items with distinct seeds: certain to exceed the limit and very
+	// likely to span both shards (the bypass scenario).
+	items := `{"scheduler": "ftsa", "epsilon": 1, "seed": 1},
+	  {"scheduler": "ftsa", "epsilon": 1, "seed": 2},
+	  {"scheduler": "ftsa", "epsilon": 1, "seed": 3},
+	  {"scheduler": "ftsa", "epsilon": 1, "seed": 4}`
+	rec := do(c, http.MethodPost, "/schedule/batch", batchBody(items))
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "at most 3") {
+		t.Fatalf("MaxBatchItems guard: status %d body %s", rec.Code, rec.Body.String())
+	}
+	st := coordStats(t, c)
+	for i, s := range st.PerShard {
+		if s.Requests != 0 {
+			t.Fatalf("shard %d saw %d requests; the oversized batch must die at the door", i, s.Requests)
+		}
+	}
+}
+
+// splitSeeds finds two /schedule parameter sets that route to different
+// shards of an n-shard deployment, so batch tests provably span shards.
+func splitSeeds(t *testing.T, n int) (int64, int64) {
+	t.Helper()
+	fpOf := func(seed int64) service.Fingerprint {
+		req, err := service.DecodeScheduleRequest(bytes.NewReader(scheduleBody("ftsa", 1, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return service.RequestFingerprint(req)
+	}
+	first := RouteFingerprint(fpOf(1), n)
+	for seed := int64(2); seed < 64; seed++ {
+		if RouteFingerprint(fpOf(seed), n) != first {
+			return 1, seed
+		}
+	}
+	t.Fatal("no seed in [2,64) routes away from seed 1; routing is suspiciously unbalanced")
+	return 0, 0
+}
+
+// TestBatchSplitsAcrossShards sends a batch whose items provably live on
+// different shards and checks the merged response: items in request order,
+// each byte-identical to the standalone /schedule response, summary counters
+// summed, and every owning shard's counters showing its sub-batch.
+func TestBatchSplitsAcrossShards(t *testing.T) {
+	const n = 2
+	c, _ := newDeployment(t, n, service.Config{})
+	seedA, seedB := splitSeeds(t, n)
+
+	items := fmt.Sprintf(
+		`{"scheduler": "ftsa", "epsilon": 1, "seed": %d},
+		 {"scheduler": "ftsa", "epsilon": 1, "seed": %d},
+		 {"scheduler": "ftsa", "epsilon": 1, "seed": %d}`, seedA, seedB, seedA)
+	rec := do(c, http.MethodPost, "/schedule/batch", batchBody(items))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body.String())
+	}
+	var out service.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 3 || len(out.Items) != 3 {
+		t.Fatalf("count=%d items=%d, want 3/3", out.Count, len(out.Items))
+	}
+	// Item 2 duplicates item 0: same bytes, served as the in-batch hit.
+	if out.CacheMisses != 2 || out.CacheHits != 1 {
+		t.Fatalf("misses=%d hits=%d, want 2/1", out.CacheMisses, out.CacheHits)
+	}
+	if !bytes.Equal(out.Items[0].Response, out.Items[2].Response) {
+		t.Fatal("duplicate items returned different bytes")
+	}
+	for i, seed := range []int64{seedA, seedB, seedA} {
+		single := do(c, http.MethodPost, "/schedule", scheduleBody("ftsa", 1, seed))
+		if single.Code != http.StatusOK || single.Header().Get(service.CacheStatusHeader) != "hit" {
+			t.Fatalf("standalone item %d after batch: %d cache=%q", i, single.Code, single.Header().Get(service.CacheStatusHeader))
+		}
+		want := bytes.TrimSuffix(single.Body.Bytes(), []byte("\n"))
+		if !bytes.Equal(out.Items[i].Response, want) {
+			t.Fatalf("item %d differs from standalone response", i)
+		}
+	}
+
+	st := coordStats(t, c)
+	var subBatches, batchItems uint64
+	for _, s := range st.PerShard {
+		subBatches += s.BatchRequests
+		batchItems += s.BatchItems
+	}
+	if subBatches != 2 || batchItems != 3 {
+		t.Fatalf("shards saw %d sub-batches with %d items, want 2 sub-batches / 3 items", subBatches, batchItems)
+	}
+	if st.Door.BatchRequests != 1 {
+		t.Fatalf("door batch_requests = %d, want 1", st.Door.BatchRequests)
+	}
+}
+
+// TestStatsConservationMixedSoak drives a mixed request sequence — schedule
+// with repeats, evaluate, tune, cross-shard batches, malformed bodies — and
+// asserts the aggregation arithmetic: merged counters conserve, additive
+// counters equal the per-shard sums plus the door's rejections, and
+// queue_high_water merges as max, not sum.
+func TestStatsConservationMixedSoak(t *testing.T) {
+	const n = 4
+	c, _ := newDeployment(t, n, service.Config{})
+	seedA, seedB := splitSeeds(t, n)
+
+	var sent, wantDoor400 uint64
+	for round := 0; round < 3; round++ {
+		for seed := int64(0); seed < 6; seed++ {
+			do(c, http.MethodPost, "/schedule", scheduleBody("ftsa", 1, seed))
+			sent++
+		}
+		do(c, http.MethodPost, "/evaluate", evaluateBody(int64(round), 30))
+		sent++
+		do(c, http.MethodPost, "/tune", tuneBody(24))
+		sent++
+		rec := do(c, http.MethodPost, "/schedule/batch", batchBody(fmt.Sprintf(
+			`{"scheduler": "ftsa", "epsilon": 1, "seed": %d},
+			 {"scheduler": "mcftsa", "epsilon": 1, "seed": %d}`, seedA, seedB)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("batch round %d: %d %s", round, rec.Code, rec.Body.String())
+		}
+		sent += 2 // two batched logical requests
+		do(c, http.MethodPost, "/schedule", []byte(`{"graph":`))
+		sent++
+		wantDoor400++
+	}
+
+	st := coordStats(t, c)
+	m := st.Merged
+	if m.Requests != sent {
+		t.Fatalf("merged requests = %d, want %d", m.Requests, sent)
+	}
+	if served := m.CacheHits + m.CacheMisses + m.ClientErrors + m.InternalErrors; served != m.Requests {
+		t.Fatalf("merged counters leak: hits %d + misses %d + 4xx %d + 5xx %d = %d, requests %d",
+			m.CacheHits, m.CacheMisses, m.ClientErrors, m.InternalErrors, served, m.Requests)
+	}
+	if m.InternalErrors != 0 {
+		t.Fatalf("internal errors under soak: %d", m.InternalErrors)
+	}
+	if st.Door.Rejected != wantDoor400 || m.ClientErrors != wantDoor400 {
+		t.Fatalf("door rejected=%d merged client_errors=%d, want %d each", st.Door.Rejected, m.ClientErrors, wantDoor400)
+	}
+
+	// Additive counters must equal the per-shard sums (+ door rejections for
+	// the two that fold door traffic in); high-water must be the max.
+	var sum service.Stats
+	maxHW := 0
+	for _, s := range st.PerShard {
+		sum.Requests += s.Requests
+		sum.CacheHits += s.CacheHits
+		sum.CacheMisses += s.CacheMisses
+		sum.ClientErrors += s.ClientErrors
+		sum.InternalErrors += s.InternalErrors
+		sum.BatchItems += s.BatchItems
+		if s.QueueHighWater > maxHW {
+			maxHW = s.QueueHighWater
+		}
+		if served := s.CacheHits + s.CacheMisses + s.ClientErrors + s.InternalErrors; served != s.Requests {
+			t.Fatalf("shard %q leaks: %d served of %d", s.Shard, served, s.Requests)
+		}
+	}
+	if m.Requests != sum.Requests+st.Door.Rejected {
+		t.Fatalf("merged requests %d != shard sum %d + door %d", m.Requests, sum.Requests, st.Door.Rejected)
+	}
+	if m.CacheHits != sum.CacheHits || m.CacheMisses != sum.CacheMisses {
+		t.Fatalf("merged hits/misses %d/%d != shard sums %d/%d", m.CacheHits, m.CacheMisses, sum.CacheHits, sum.CacheMisses)
+	}
+	if m.ClientErrors != sum.ClientErrors+st.Door.Rejected {
+		t.Fatalf("merged client_errors %d != shard sum %d + door %d", m.ClientErrors, sum.ClientErrors, st.Door.Rejected)
+	}
+	if m.BatchItems != sum.BatchItems {
+		t.Fatalf("merged batch_items %d != shard sum %d", m.BatchItems, sum.BatchItems)
+	}
+	if m.QueueHighWater != maxHW {
+		t.Fatalf("merged queue_high_water = %d, want the max %d (a sum of maxima measures nothing)", m.QueueHighWater, maxHW)
+	}
+
+	// Every shard took some traffic: the deterministic diamond workload is
+	// small, but 4 shards × this mix must not leave a shard cold.
+	for i, s := range st.PerShard {
+		if s.Requests == 0 {
+			t.Errorf("shard %d served nothing; routing may be degenerate", i)
+		}
+	}
+
+	// Repeating the identical soak against a single server yields the same
+	// serving outcome: the sharded deployment is behaviorally invisible.
+	single := service.New(service.Config{})
+	t.Cleanup(single.Close)
+	for round := 0; round < 3; round++ {
+		for seed := int64(0); seed < 6; seed++ {
+			do(single, http.MethodPost, "/schedule", scheduleBody("ftsa", 1, seed))
+		}
+		do(single, http.MethodPost, "/evaluate", evaluateBody(int64(round), 30))
+		do(single, http.MethodPost, "/tune", tuneBody(24))
+		do(single, http.MethodPost, "/schedule/batch", batchBody(fmt.Sprintf(
+			`{"scheduler": "ftsa", "epsilon": 1, "seed": %d},
+			 {"scheduler": "mcftsa", "epsilon": 1, "seed": %d}`, seedA, seedB)))
+		do(single, http.MethodPost, "/schedule", []byte(`{"graph":`))
+	}
+	rec := do(single, http.MethodGet, "/stats", nil)
+	var ss service.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &ss); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != ss.Requests || m.CacheHits != ss.CacheHits || m.CacheMisses != ss.CacheMisses ||
+		m.ClientErrors != ss.ClientErrors || m.CacheEntries != ss.CacheEntries {
+		t.Fatalf("merged view diverges from a single server under identical traffic:\nmerged: req=%d hit=%d miss=%d 4xx=%d entries=%d\nsingle: req=%d hit=%d miss=%d 4xx=%d entries=%d",
+			m.Requests, m.CacheHits, m.CacheMisses, m.ClientErrors, m.CacheEntries,
+			ss.Requests, ss.CacheHits, ss.CacheMisses, ss.ClientErrors, ss.CacheEntries)
+	}
+}
+
+// TestHealthzAggregation: healthy shards → ok; any failing shard flips the
+// deployment to 503.
+func TestHealthzAggregation(t *testing.T) {
+	c, _ := newDeployment(t, 2, service.Config{})
+	rec := do(c, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"shards":2`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	bad := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	})
+	srv := service.New(service.Config{})
+	t.Cleanup(srv.Close)
+	degraded := New([]http.Handler{srv, bad}, Options{})
+	rec = do(degraded, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"failing_shard":1`) {
+		t.Fatalf("degraded healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestProxyPassthrough runs a shard behind a real HTTP hop and checks the
+// coordinator cannot tell: responses, headers and stats flow through.
+func TestProxyPassthrough(t *testing.T) {
+	srv := service.New(service.Config{})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	c := New([]http.Handler{&Proxy{Base: ts.URL}}, Options{})
+	body := scheduleBody("ftsa", 1, 0)
+	first := do(c, http.MethodPost, "/schedule", body)
+	second := do(c, http.MethodPost, "/schedule", body)
+	if first.Code != 200 || second.Code != 200 {
+		t.Fatalf("proxied schedule: %d then %d", first.Code, second.Code)
+	}
+	if first.Header().Get(service.CacheStatusHeader) != "miss" ||
+		second.Header().Get(service.CacheStatusHeader) != "hit" {
+		t.Fatalf("proxied cache statuses: %q then %q",
+			first.Header().Get(service.CacheStatusHeader), second.Header().Get(service.CacheStatusHeader))
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("proxied hit returned different bytes")
+	}
+	st := coordStats(t, c)
+	if st.Merged.Requests != 2 || st.Merged.CacheHits != 1 || st.Merged.CacheMisses != 1 {
+		t.Fatalf("proxied stats: %+v", st.Merged)
+	}
+}

@@ -1,0 +1,19 @@
+// Package coord is the coordinator half of sharded ftserved: an http.Handler
+// that fronts N worker shards (in-process service.Servers or remote workers
+// behind Proxy) and routes every request by its canonical 128-bit fingerprint
+// using rendezvous hashing.
+//
+// The routing invariant is what keeps the sharded deployment byte-identical
+// to a single server: a fingerprint always lands on the same shard, so each
+// shard's LRU owns a disjoint, stable keyspace and a repeat request finds its
+// predecessor's cache entry no matter how many requests went elsewhere in
+// between. Malformed bodies are rejected at the coordinator door with the
+// same 400/413 contract as a standalone server — a request that cannot be
+// fingerprinted never reaches a shard.
+//
+// POST /schedule/batch is split per item fingerprint into per-shard
+// sub-batches, fanned out concurrently, and the per-item results are merged
+// back in request order; GET /stats aggregates the per-shard counters into a
+// merged view that preserves the conservation invariant
+// (requests == cache_hits + cache_misses + client_errors + internal_errors).
+package coord

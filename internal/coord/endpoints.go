@@ -1,0 +1,36 @@
+package coord
+
+import (
+	"fmt"
+	"strings"
+)
+
+// endpoint describes one row of the coordinator's HTTP surface for the
+// generated documentation table; the docs drift test compares docs/API.md
+// against EndpointTable, so the documented behavior cannot go stale.
+type endpoint struct {
+	method, path, behavior string
+}
+
+// endpoints lists the coordinator routes in documentation order. Keep it in
+// sync with the mux registrations in New.
+var endpoints = []endpoint{
+	{"POST", "/schedule", "decode + fingerprint at the door, forward verbatim to the owning shard"},
+	{"POST", "/schedule/batch", "decode once, split per item fingerprint, fan out sub-batches, merge items in request order"},
+	{"POST", "/evaluate", "decode + fingerprint at the door, forward verbatim to the owning shard"},
+	{"POST", "/tune", "decode + fingerprint at the door, forward verbatim to the owning shard"},
+	{"GET", "/healthz", "ok only when every shard is ok"},
+	{"GET", "/stats", "door counters + conservation-preserving merged view + raw per-shard stats"},
+}
+
+// EndpointTable renders the coordinator surface as a GitHub-flavored
+// markdown table for docs/API.md's generated-table markers.
+func EndpointTable() string {
+	var b strings.Builder
+	b.WriteString("| Method | Path | Coordinator behavior |\n")
+	b.WriteString("|---|---|---|\n")
+	for _, e := range endpoints {
+		fmt.Fprintf(&b, "| %s | `%s` | %s |\n", e.method, e.path, e.behavior)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package coord
+
+import (
+	"bytes"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"ftsched/internal/service"
+)
+
+// countingShard is a fake worker that records how often it was hit. The fuzz
+// target cares about the door, not about scheduling, so the shard just
+// acknowledges whatever reaches it.
+type countingShard struct {
+	calls atomic.Uint64
+}
+
+func (s *countingShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.calls.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{}\n"))
+}
+
+// fuzzPaths maps the fuzzed selector byte onto the coordinator's POST surface.
+var fuzzPaths = []string{"/schedule", "/evaluate", "/tune", "/schedule/batch"}
+
+// FuzzRouteRequest fuzzes the coordinator door: arbitrary bytes against every
+// POST endpoint of a 3-shard deployment. The invariants under fuzzing:
+//
+//  1. the coordinator never panics;
+//  2. a body the service decoders reject is refused at the door with a 400
+//     and reaches NO shard — malformed input must never occupy a worker;
+//  3. a body that decodes is forwarded, and for the single-fingerprint
+//     endpoints it reaches exactly the shard RouteFingerprint owns.
+func FuzzRouteRequest(f *testing.F) {
+	for i := range fuzzPaths {
+		f.Add(byte(i), []byte(nil))
+		f.Add(byte(i), []byte(`{}`))
+		f.Add(byte(i), []byte(`{"graph": nope`))
+	}
+	f.Add(byte(0), scheduleBody("ftsa", 1, 0))
+	f.Add(byte(0), scheduleBody("heft", 0, 2))
+	f.Add(byte(1), evaluateBody(0, 40))
+	f.Add(byte(2), tuneBody(24))
+	f.Add(byte(3), batchBody(`{"scheduler": "ftsa", "epsilon": 1}, {"scheduler": "mcftsa", "epsilon": 1, "seed": 3}`))
+	f.Add(byte(3), batchBody(``))
+	f.Add(byte(3), []byte(`{"requests": [null]}`))
+	f.Add(byte(0), []byte(`{"graph": {"name": "x", "tasks": 1, "edges": []}, "platform": {"procs": 1, "delay": [[0]]}, "costs": {"cost": [[1]]}, "scheduler": "ftsa", "epsilon": 1}`))
+
+	f.Fuzz(func(t *testing.T, pathIdx byte, body []byte) {
+		path := fuzzPaths[int(pathIdx)%len(fuzzPaths)]
+		shards := []*countingShard{{}, {}, {}}
+		handlers := make([]http.Handler, len(shards))
+		for i := range shards {
+			handlers[i] = shards[i]
+		}
+		c := New(handlers, Options{})
+
+		rec := do(c, http.MethodPost, path, body)
+
+		var reached uint64
+		for _, s := range shards {
+			reached += s.calls.Load()
+		}
+		decodes := func() bool {
+			var err error
+			switch path {
+			case "/schedule":
+				_, err = service.DecodeScheduleRequest(bytes.NewReader(body))
+			case "/evaluate":
+				_, err = service.DecodeEvaluateRequest(bytes.NewReader(body))
+			case "/tune":
+				_, err = service.DecodeTuneRequest(bytes.NewReader(body))
+			case "/schedule/batch":
+				_, err = service.DecodeBatchRequest(bytes.NewReader(body))
+			}
+			return err == nil
+		}()
+
+		if !decodes {
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("%s: undecodable body got %d, want 400 (body %q)", path, rec.Code, body)
+			}
+			if reached != 0 {
+				t.Fatalf("%s: undecodable body reached %d shard calls; the door must stop it", path, reached)
+			}
+			return
+		}
+		if rec.Code == http.StatusBadRequest {
+			t.Fatalf("%s: decodable body rejected 400: %s", path, rec.Body.String())
+		}
+		if path == "/schedule/batch" {
+			return // fan-out may hit several shards; the door invariant is covered above
+		}
+		if reached != 1 {
+			t.Fatalf("%s: decodable body made %d shard calls, want exactly 1", path, reached)
+		}
+		fp, _, err := map[string]func([]byte) (service.Fingerprint, int, error){
+			"/schedule": decodeScheduleFP, "/evaluate": decodeEvaluateFP, "/tune": decodeTuneFP,
+		}[path](body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RouteFingerprint(fp, len(shards))
+		if shards[want].calls.Load() != 1 {
+			t.Fatalf("%s: request did not land on the owning shard %d", path, want)
+		}
+	})
+}

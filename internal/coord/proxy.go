@@ -1,0 +1,48 @@
+package coord
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Proxy adapts a remote worker (a standalone ftserved reachable over HTTP)
+// to the http.Handler interface the Coordinator routes to, so one deployment
+// can mix in-process shards with workers on other machines. The request is
+// replayed verbatim against base+path; status, headers and body stream back
+// unchanged — the coordinator cannot tell a Proxy from a local shard.
+type Proxy struct {
+	// Base is the worker root, e.g. "http://worker-3:8080".
+	Base string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	client := p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimSuffix(p.Base, "/") + r.URL.Path
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := client.Do(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for name, values := range resp.Header {
+		for _, v := range values {
+			w.Header().Add(name, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

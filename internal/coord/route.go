@@ -1,0 +1,41 @@
+package coord
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"ftsched/internal/service"
+)
+
+// RouteFingerprint picks the shard for a fingerprint by rendezvous (highest
+// random weight) hashing: score every shard with fnv64a(shard index ‖ fp)
+// and take the argmax. The choice is deterministic in (fp, shards), spreads
+// fingerprints near-uniformly, and is minimally disruptive when the shard
+// count grows — a key only moves if the new shard wins it, so going from N
+// to N+1 shards reshuffles ~1/(N+1) of the keyspace instead of almost all
+// of it (which naive fp mod N would).
+//
+// The index is absorbed BEFORE the fingerprint, and the order matters: FNV-1a
+// absorbs a byte as (h XOR b) * prime, so two scores whose inputs differ only
+// in the final bytes differ by at most a few multiples of the prime (~2^40) —
+// far too close together mod 2^64 for the argmax to be fair. Feeding the index
+// first pushes the difference through sixteen further rounds, which diffuses
+// it across the whole word; with the index last, odd shard counts see the
+// highest-indexed shard win about half the keyspace.
+func RouteFingerprint(fp service.Fingerprint, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	best, bestScore := 0, uint64(0)
+	var idx [4]byte
+	for i := 0; i < shards; i++ {
+		h := fnv.New64a()
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		h.Write(idx[:])
+		h.Write(fp[:])
+		if score := h.Sum64(); i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

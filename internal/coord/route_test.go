@@ -1,0 +1,99 @@
+package coord
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/service"
+)
+
+// syntheticFingerprints derives n deterministic fingerprints from a seeded
+// PRNG, standing in for the canonical request fingerprints real traffic
+// produces.
+func syntheticFingerprints(n int, seed int64) []service.Fingerprint {
+	rng := rand.New(rand.NewSource(seed))
+	fps := make([]service.Fingerprint, n)
+	for i := range fps {
+		binary.LittleEndian.PutUint64(fps[i][:8], rng.Uint64())
+		binary.LittleEndian.PutUint64(fps[i][8:], rng.Uint64())
+	}
+	return fps
+}
+
+// TestRouteStable pins the property the whole design rests on: the route is a
+// pure function of (fingerprint, shard count). The same fingerprint lands on
+// the same shard on every call, and a single-shard deployment routes
+// everything to shard 0.
+func TestRouteStable(t *testing.T) {
+	for _, fp := range syntheticFingerprints(1000, 11) {
+		if got := RouteFingerprint(fp, 1); got != 0 {
+			t.Fatalf("RouteFingerprint(%x, 1) = %d, want 0", fp, got)
+		}
+		for _, shards := range []int{2, 3, 4, 8} {
+			first := RouteFingerprint(fp, shards)
+			if first < 0 || first >= shards {
+				t.Fatalf("RouteFingerprint(%x, %d) = %d, out of range", fp, shards, first)
+			}
+			if again := RouteFingerprint(fp, shards); again != first {
+				t.Fatalf("RouteFingerprint(%x, %d) unstable: %d then %d", fp, shards, first, again)
+			}
+		}
+	}
+}
+
+// TestRouteBalanced routes 10k synthetic fingerprints and runs a chi-square
+// goodness-of-fit test against the uniform distribution for each shard count.
+// The thresholds are the p=0.001 critical values for shards-1 degrees of
+// freedom — with a deterministic seed this is a regression test, not a flake:
+// the statistic is a fixed number and must stay below the bar.
+func TestRouteBalanced(t *testing.T) {
+	const samples = 10000
+	fps := syntheticFingerprints(samples, 42)
+	// p=0.001 critical values, dof = shards-1. Odd counts matter: the
+	// index-absorbed-last bug this test guards against was invisible at
+	// powers of two and catastrophic at 3 and 5.
+	critical := map[int]float64{2: 10.83, 3: 13.82, 4: 16.27, 5: 18.47, 8: 24.32}
+	for shards, bar := range critical {
+		counts := make([]int, shards)
+		for _, fp := range fps {
+			counts[RouteFingerprint(fp, shards)]++
+		}
+		expected := float64(samples) / float64(shards)
+		var chi2 float64
+		for _, n := range counts {
+			d := float64(n) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > bar {
+			t.Errorf("shards=%d: chi-square %.2f exceeds the p=0.001 bar %.2f (counts %v)", shards, chi2, bar, counts)
+		}
+	}
+}
+
+// TestRouteMinimalReshuffle pins the rendezvous-hashing property that makes
+// scale-out cheap: growing a deployment from N to N+1 shards moves only the
+// keys the new shard wins — every moved key moves TO shard N, never between
+// surviving shards — and the moved fraction is close to the ideal 1/(N+1).
+func TestRouteMinimalReshuffle(t *testing.T) {
+	const samples = 10000
+	fps := syntheticFingerprints(samples, 7)
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		moved := 0
+		for _, fp := range fps {
+			before := RouteFingerprint(fp, n)
+			after := RouteFingerprint(fp, n+1)
+			if before == after {
+				continue
+			}
+			if after != n {
+				t.Fatalf("scale %d->%d moved %x between surviving shards: %d -> %d", n, n+1, fp, before, after)
+			}
+			moved++
+		}
+		ideal := float64(samples) / float64(n+1)
+		if f := float64(moved); f < 0.8*ideal || f > 1.2*ideal {
+			t.Errorf("scale %d->%d moved %d keys, want within 20%% of the ideal %.0f", n, n+1, moved, ideal)
+		}
+	}
+}

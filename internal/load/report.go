@@ -106,6 +106,12 @@ type Report struct {
 	// Warmup echoes the unrecorded cache-priming request count. It shapes
 	// the measured hit pattern, so it is part of comparability.
 	Warmup int `json:"warmup,omitempty"`
+	// Shards echoes the worker-shard count behind the target (0: a plain
+	// unsharded server). A sharded deterministic closed-loop run reports the
+	// same numbers as an unsharded one — that is the sharding guarantee —
+	// but the deployments are different machines, so benchdiff treats the
+	// count as part of comparability.
+	Shards int `json:"shards,omitempty"`
 	// Requests is the total request count across endpoints.
 	Requests uint64 `json:"requests"`
 	// ElapsedSeconds: wall-clock run length in real mode. In deterministic

@@ -59,6 +59,11 @@ type Options struct {
 	Warmup int
 	// Rate is the open-loop arrival rate in requests/second (default 200).
 	Rate float64
+	// Shards echoes how many worker shards serve behind the target (0: a
+	// plain unsharded server). The runner does not build the deployment —
+	// the caller does — but the count is part of a report's comparability:
+	// benchdiff refuses to gate a sharded run against an unsharded baseline.
+	Shards int
 	// Seed drives every random choice; ZipfS is the popularity exponent.
 	// The zero value picks the default skew 1.0; pass ZipfUniform for an
 	// unskewed draw (s = 0).
@@ -162,6 +167,9 @@ func (o Options) validate() error {
 	}
 	if o.Warmup < 0 {
 		return fmt.Errorf("load: warmup must be >= 0, got %d", o.Warmup)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("load: shards must be >= 0, got %d", o.Shards)
 	}
 	return nil
 }
@@ -318,6 +326,7 @@ func Run(target Target, opts Options) (*Report, error) {
 		Profile:       opts.Profile,
 		ThinkMs:       float64(opts.Think) / float64(time.Millisecond),
 		Warmup:        opts.Warmup,
+		Shards:        opts.Shards,
 	}
 	// Warmup: replay the head of the stream unrecorded so the measured run
 	// starts against a primed cache. Sequential like the deterministic

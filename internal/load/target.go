@@ -6,8 +6,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 
+	"ftsched/internal/coord"
 	"ftsched/internal/service"
 )
 
@@ -56,6 +58,34 @@ func (t HandlerTarget) Do(path string, body []byte) Result {
 		Status: rec.Code,
 		Cache:  rec.Header().Get(service.CacheStatusHeader),
 		Body:   rec.Body.Bytes(),
+	}
+}
+
+// ShardedTarget builds the self-contained in-process deployment ftload and
+// the e2e suite drive: n worker shards behind a coordinator for n >= 2, or a
+// bare server for n <= 1 — the same serving code either way, so reports are
+// directly comparable across shard counts. Every shard gets its own worker
+// pool and cache under the given config, labeled "0".."n-1" in /stats. The
+// returned close function drains every shard's pool.
+func ShardedTarget(n int, cfg service.Config) (Target, func()) {
+	if n <= 1 {
+		svc := service.New(cfg)
+		return HandlerTarget{Handler: svc}, svc.Close
+	}
+	shards := make([]http.Handler, n)
+	closers := make([]func(), n)
+	for i := range shards {
+		shardCfg := cfg
+		shardCfg.Shard = strconv.Itoa(i)
+		s := service.New(shardCfg)
+		shards[i] = s
+		closers[i] = s.Close
+	}
+	c := coord.New(shards, coord.Options{})
+	return HandlerTarget{Handler: c}, func() {
+		for _, cl := range closers {
+			cl()
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ftsched/internal/coord"
 	"ftsched/internal/sched"
 	"ftsched/internal/service"
 )
@@ -18,6 +19,9 @@ const (
 
 	beginEndpoints = "<!-- BEGIN ENDPOINT TABLE (generated from internal/service; do not edit by hand) -->"
 	endEndpoints   = "<!-- END ENDPOINT TABLE -->"
+
+	beginCoord = "<!-- BEGIN COORDINATOR ENDPOINT TABLE (generated from internal/coord; do not edit by hand) -->"
+	endCoord   = "<!-- END COORDINATOR ENDPOINT TABLE -->"
 )
 
 // embeddedTable extracts the generated block between two markers in
@@ -63,6 +67,17 @@ func TestAPIDocsEndpointTable(t *testing.T) {
 	want := strings.TrimSpace(service.EndpointTable())
 	if embedded != want {
 		t.Errorf("docs/API.md endpoint table drifted from the serving layer.\n"+
+			"Replace the block between the markers with:\n\n%s\n", want)
+	}
+}
+
+// TestAPIDocsCoordinatorTable holds the coordinator-mode surface to the same
+// standard: the table in docs/API.md must be exactly coord.EndpointTable().
+func TestAPIDocsCoordinatorTable(t *testing.T) {
+	embedded := embeddedTable(t, beginCoord, endCoord)
+	want := strings.TrimSpace(coord.EndpointTable())
+	if embedded != want {
+		t.Errorf("docs/API.md coordinator endpoint table drifted from internal/coord.\n"+
 			"Replace the block between the markers with:\n\n%s\n", want)
 	}
 }

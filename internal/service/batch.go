@@ -1,0 +1,294 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+// BatchRequest is the body of POST /schedule/batch: one instance (graph,
+// platform, costs — the same wire shapes as /schedule) scheduled under many
+// parameter sets. The instance is decoded and validated once, and every
+// cache-missing item is computed inside a single worker job, so the whole
+// batch shares one admission slot and one bottom-level memo entry.
+type BatchRequest struct {
+	Graph    *dag.Graph          `json:"graph"`
+	Platform *platform.Platform  `json:"platform"`
+	Costs    *platform.CostModel `json:"costs"`
+	// Requests is the parameter set per item; each combines with the shared
+	// instance into a full /schedule request. Must be non-empty.
+	Requests []BatchItem `json:"requests"`
+
+	// items is the expansion into full ScheduleRequests, populated by
+	// Validate (all sharing the envelope's instance pointers).
+	items []*ScheduleRequest
+}
+
+// BatchItem is the per-item parameter set of a batch: exactly the
+// /schedule fields that are not part of the instance.
+type BatchItem struct {
+	Scheduler       string  `json:"scheduler"`
+	Epsilon         int     `json:"epsilon"`
+	Policy          string  `json:"policy,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+	Lambda          float64 `json:"lambda,omitempty"`
+	IncludeGantt    bool    `json:"include_gantt,omitempty"`
+	IncludeSchedule bool    `json:"include_schedule,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /schedule/batch. Items
+// appear in request order; each item's response field is byte-identical
+// (modulo JSON re-compaction of the trailing newline) to what a standalone
+// /schedule for the same parameters returns.
+type BatchResponse struct {
+	Count       int               `json:"count"`
+	CacheHits   int               `json:"cache_hits"`
+	CacheMisses int               `json:"cache_misses"`
+	Items       []BatchItemResult `json:"items"`
+}
+
+// BatchItemResult is one item's outcome: how it was served and the full
+// /schedule response body.
+type BatchItemResult struct {
+	Cache    string          `json:"cache"` // "hit" or "miss"
+	Response json.RawMessage `json:"response"`
+}
+
+// DecodeBatchRequest reads and validates one batch body with the same
+// strictness as DecodeScheduleRequest (unknown fields and trailing documents
+// rejected). On success every item has passed full /schedule validation and
+// Items returns the expansion.
+func DecodeBatchRequest(r io.Reader) (*BatchRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("decoding request: unexpected data after the JSON body")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate cross-checks the envelope and expands each item into a full
+// ScheduleRequest, running /schedule's own validation on every one. The
+// first invalid item fails the whole batch — partial results would make the
+// response shape (and the conservation counters) ambiguous.
+func (req *BatchRequest) Validate() error {
+	if len(req.Requests) == 0 {
+		return fmt.Errorf("batch carries no requests")
+	}
+	req.items = make([]*ScheduleRequest, len(req.Requests))
+	for i, it := range req.Requests {
+		sr := &ScheduleRequest{
+			Graph:           req.Graph,
+			Platform:        req.Platform,
+			Costs:           req.Costs,
+			Scheduler:       it.Scheduler,
+			Epsilon:         it.Epsilon,
+			Policy:          it.Policy,
+			Seed:            it.Seed,
+			Lambda:          it.Lambda,
+			IncludeGantt:    it.IncludeGantt,
+			IncludeSchedule: it.IncludeSchedule,
+		}
+		if err := sr.Validate(); err != nil {
+			return fmt.Errorf("requests[%d]: %w", i, err)
+		}
+		req.items[i] = sr
+	}
+	return nil
+}
+
+// NumTasks reports the shared instance's task count (0 before validation
+// succeeds on a well-formed envelope); it feeds the MaxTasks guard.
+func (req *BatchRequest) NumTasks() int {
+	if req.Graph == nil {
+		return 0
+	}
+	return req.Graph.NumTasks()
+}
+
+// Items returns the batch expanded into full /schedule requests, in request
+// order. Populated by Validate (so always set after DecodeBatchRequest).
+func (req *BatchRequest) Items() []*ScheduleRequest { return req.items }
+
+// handleBatch serves POST /schedule/batch. Counter discipline: a malformed
+// or over-limit envelope counts as ONE request ending in one client error;
+// a well-formed envelope counts as len(items) logical requests, every one
+// of which ends in exactly one of cache_hits, cache_misses, client_errors
+// (429 rejections) or internal_errors — so the /stats conservation
+// invariant holds exactly whether traffic is batched or not.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.batchRequests.Add(1)
+	start := time.Now()
+	req, ok := decodeRequest(s, w, r, DecodeBatchRequest,
+		func(req *BatchRequest) int { return req.NumTasks() })
+	if !ok {
+		s.requests.Add(1)
+		return
+	}
+	items := req.Items()
+	if len(items) > s.cfg.MaxBatchItems {
+		s.requests.Add(1)
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch carries %d requests, this server accepts at most %d",
+				len(items), s.cfg.MaxBatchItems))
+		return
+	}
+
+	// The envelope is now len(items) logical requests.
+	s.requests.Add(uint64(len(items)))
+	s.batchItems.Add(uint64(len(items)))
+	seen := make(map[string]bool)
+	for _, it := range items {
+		if name := it.canonicalScheduler(); !seen[name] {
+			seen[name] = true
+			s.countScheduler(name)
+		}
+	}
+
+	// Serve phase 1: resolve what the cache already holds. Misses are
+	// collected per distinct fingerprint so repeated items cost one
+	// computation.
+	fps := make([]Fingerprint, len(items))
+	bodies := make([][]byte, len(items))
+	needed := 0
+	for i, it := range items {
+		fps[i] = RequestFingerprint(it)
+		if v, hit := s.cache.Get(fps[i]); hit {
+			bodies[i] = v.([]byte)
+		} else if _, dup := firstMissIndex(fps, bodies, i); !dup {
+			needed++
+		}
+	}
+
+	// Serve phase 2: compute every distinct missing fingerprint in ONE pool
+	// job — the batch holds one admission slot, and because all items share
+	// one instance, the whole job shares one bottom-level memo entry. The
+	// counters for the batch's requests are committed only on a terminal
+	// outcome, never partially.
+	computed := make(map[Fingerprint][]byte, needed)
+	if needed > 0 {
+		done := make(chan error, 1)
+		submitErr := s.pool.TrySubmit(func() {
+			done <- func() error {
+				for i, it := range items {
+					if bodies[i] != nil || computed[fps[i]] != nil {
+						continue
+					}
+					body, err := s.schedule(it)
+					if err != nil {
+						return fmt.Errorf("requests[%d]: scheduling failed: %w", i, err)
+					}
+					computed[fps[i]] = body
+				}
+				return nil
+			}()
+		})
+		switch submitErr {
+		case nil:
+		case ErrBusy:
+			// All len(items) requests are rejected; writeError adds the final
+			// client error, the other len-1 are added here.
+			s.rejected.Add(uint64(len(items)))
+			s.clientErrors.Add(uint64(len(items)) - 1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, ErrBusy)
+			return
+		default: // ErrClosed during shutdown
+			s.internalErrors.Add(uint64(len(items)) - 1)
+			s.writeError(w, http.StatusServiceUnavailable, submitErr)
+			return
+		}
+		if err := <-done; err != nil {
+			// One failed item fails the batch: all its requests end as
+			// internal errors (writeError adds the last one).
+			s.internalErrors.Add(uint64(len(items)) - 1)
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+
+	// Assemble: the first service of a computed fingerprint is the miss;
+	// repeats within the batch are hits that shared the computation (the
+	// batch-local form of singleflight). Counters commit only after the
+	// response marshals, so the terminal outcome is all-hits-and-misses or
+	// all-internal-errors, never a mix.
+	resp := &BatchResponse{Count: len(items), Items: make([]BatchItemResult, len(items))}
+	counted := make(map[Fingerprint]bool, len(computed))
+	var shared uint64
+	for i := range items {
+		status := "hit"
+		if bodies[i] == nil {
+			bodies[i] = computed[fps[i]]
+			if !counted[fps[i]] {
+				counted[fps[i]] = true
+				status = "miss"
+				resp.CacheMisses++
+			} else {
+				shared++
+				resp.CacheHits++
+			}
+		} else {
+			resp.CacheHits++
+		}
+		resp.Items[i] = BatchItemResult{Cache: status, Response: json.RawMessage(bodies[i])}
+	}
+	body, err := marshalBatchResponse(resp)
+	if err != nil {
+		s.internalErrors.Add(uint64(len(items)) - 1)
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for fp, b := range computed {
+		s.cache.Put(fp, b)
+	}
+	s.hits.Add(uint64(resp.CacheHits))
+	s.misses.Add(uint64(resp.CacheMisses))
+	s.singleflightShared.Add(shared)
+	status := "miss"
+	if resp.CacheMisses == 0 {
+		status = "hit"
+	}
+	s.writeCachedResponse(w, body, status)
+	s.observeLatency(start)
+	s.logRequest(r, "/schedule/batch",
+		fmt.Sprintf("items=%d tasks=%d procs=%d", len(items), req.Graph.NumTasks(), req.Platform.NumProcs()),
+		status, start)
+}
+
+// firstMissIndex reports whether fps[i] already appeared as a miss at an
+// earlier index (bodies[j] == nil marks index j as missing).
+func firstMissIndex(fps []Fingerprint, bodies [][]byte, i int) (int, bool) {
+	for j := 0; j < i; j++ {
+		if bodies[j] == nil && fps[j] == fps[i] {
+			return j, true
+		}
+	}
+	return -1, false
+}
+
+// marshalBatchResponse serializes the batch response with the same
+// determinism discipline as marshalResponse. Embedded RawMessage item bodies
+// are re-compacted by the encoder, which strips their trailing newline — the
+// only byte-level difference from the standalone /schedule bodies.
+func marshalBatchResponse(resp *BatchResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

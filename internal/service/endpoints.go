@@ -22,6 +22,8 @@ type endpoint struct {
 var endpoints = []endpoint{
 	{"POST", "/schedule", "schedule",
 		"schedule an instance; returns latency bounds, metrics, optional reliability bound / Gantt / full schedule"},
+	{"POST", "/schedule/batch", "schedule",
+		"schedule one instance under many parameter sets; decoded once, distinct misses computed in one worker job, items cached individually"},
 	{"POST", "/evaluate", "evaluate",
 		"schedule + Monte-Carlo failure injection; returns success rate (Wilson interval), latency p50/p99, degradation histogram"},
 	{"POST", "/tune", "tune",

@@ -60,6 +60,13 @@ var fuzzSeedBodies = []string{
 	`{"platform": {"procs": 2, "delay": [[0]]}}`,
 	`[[[[[[[[[[]]]]]]]]]]`,
 	`{"graph": null, "platform": null, "costs": null, "scheduler": null}`,
+	// /schedule/batch shapes: a well-formed two-item batch and degenerates.
+	`{"graph": {"name": "d", "tasks": 2, "edges": [{"src": 0, "dst": 1, "volume": 1}]},
+	  "platform": {"procs": 2, "delay": [[0, 1], [1, 0]]},
+	  "costs": {"cost": [[1, 2], [2, 1]]},
+	  "requests": [{"scheduler": "ftsa", "epsilon": 1}, {"scheduler": "heft"}]}`,
+	`{"requests": []}`,
+	`{"requests": [null]}`,
 }
 
 // FuzzDecodePayload proves malformed input never panics either endpoint's
@@ -87,6 +94,17 @@ func FuzzDecodePayload(f *testing.F) {
 				t.Fatalf("validated request carries an unusable scenario: %v", err)
 			}
 		}
+		if req, err := DecodeBatchRequest(bytes.NewReader(body)); err == nil {
+			if req == nil {
+				t.Fatal("DecodeBatchRequest returned nil, nil")
+			}
+			if len(req.Items()) == 0 {
+				t.Fatal("validated batch expands to zero items")
+			}
+			for _, it := range req.Items() {
+				_ = RequestFingerprint(it)
+			}
+		}
 	})
 }
 
@@ -94,10 +112,12 @@ func FuzzDecodePayload(f *testing.F) {
 // well-formed seeds must decode, the malformed ones must error — all without
 // panicking, which is the property the fuzzer then stretches.
 func TestDecodeSeedCorpus(t *testing.T) {
-	wantOK := map[int]string{0: "schedule", 1: "schedule", 2: "evaluate"}
+	wantOK := map[int]string{0: "schedule", 1: "schedule", 2: "evaluate",
+		len(fuzzSeedBodies) - 3: "batch"}
 	for i, seed := range fuzzSeedBodies {
 		_, serr := DecodeScheduleRequest(strings.NewReader(seed))
 		_, eerr := DecodeEvaluateRequest(strings.NewReader(seed))
+		_, berr := DecodeBatchRequest(strings.NewReader(seed))
 		switch wantOK[i] {
 		case "schedule":
 			if serr != nil {
@@ -107,9 +127,13 @@ func TestDecodeSeedCorpus(t *testing.T) {
 			if eerr != nil {
 				t.Errorf("seed %d: evaluate decode failed: %v", i, eerr)
 			}
+		case "batch":
+			if berr != nil {
+				t.Errorf("seed %d: batch decode failed: %v", i, berr)
+			}
 		default:
-			if serr == nil && eerr == nil {
-				t.Errorf("seed %d: malformed body accepted by both decoders", i)
+			if serr == nil && eerr == nil && berr == nil {
+				t.Errorf("seed %d: malformed body accepted by every decoder", i)
 			}
 		}
 	}

@@ -56,6 +56,13 @@ type Config struct {
 	// (0: 256) — a registry × ε-ladder sweep multiplies the trial cost, so
 	// it gets its own guard on top of MaxTrials.
 	MaxCandidates int
+	// MaxBatchItems bounds the item count of one /schedule/batch envelope
+	// (0: 256), so a single batch cannot monopolize a worker.
+	MaxBatchItems int
+	// Shard, when non-empty, labels this server's GET /stats body. The
+	// coordinator sets it to the shard index so per-shard sections of an
+	// aggregated /stats response are self-identifying.
+	Shard string
 	// LatencyWindow is the number of recent /schedule latencies kept for the
 	// p50/p99 report (0: 1024).
 	LatencyWindow int
@@ -80,14 +87,24 @@ type Server struct {
 	evaluate func(*EvaluateRequest) ([]byte, error)
 	tuneFn   func(*TuneRequest) ([]byte, error)
 
-	requests         atomic.Uint64
-	evaluateRequests atomic.Uint64
-	tuneRequests     atomic.Uint64
-	hits             atomic.Uint64
-	misses           atomic.Uint64
-	rejected         atomic.Uint64
-	clientErrors     atomic.Uint64
-	internalErrors   atomic.Uint64
+	requests           atomic.Uint64
+	evaluateRequests   atomic.Uint64
+	tuneRequests       atomic.Uint64
+	batchRequests      atomic.Uint64
+	batchItems         atomic.Uint64
+	hits               atomic.Uint64
+	misses             atomic.Uint64
+	singleflightShared atomic.Uint64
+	rejected           atomic.Uint64
+	clientErrors       atomic.Uint64
+	internalErrors     atomic.Uint64
+
+	// flightMu guards flights, the in-flight cache-miss computations keyed
+	// by fingerprint. Concurrent requests for one fingerprint collapse onto
+	// a single computation (singleflight) instead of each submitting a
+	// duplicate job to the pool.
+	flightMu sync.Mutex
+	flights  map[Fingerprint]*flight
 
 	// schedMu guards schedReqs, the per-scheduler request counts reported
 	// by GET /stats (keyed by canonical registry name; every well-formed
@@ -122,12 +139,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxCandidates <= 0 {
 		cfg.MaxCandidates = 256
 	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 256
+	}
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		pool:      NewPool(cfg.Workers, cfg.Queue),
 		cache:     NewCache(cfg.CacheEntries, cfg.CacheShards),
 		blCache:   NewCache(cfg.BottomLevelEntries, 4),
+		flights:   make(map[Fingerprint]*flight),
 		schedReqs: make(map[string]uint64),
 		lat:       stats.NewWindow(cfg.LatencyWindow),
 	}
@@ -135,6 +156,7 @@ func New(cfg Config) *Server {
 	s.evaluate = s.runEvaluate
 	s.tuneFn = s.runTune
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /schedule/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /tune", s.handleTune)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -282,9 +304,23 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		cacheStatus, start)
 }
 
-// serveCached is the cache → worker-pool → respond flow /schedule and
-// /evaluate share. It reports how the response was served ("hit"/"miss");
-// ok is false when an error response was already written.
+// flight is one in-flight cache-miss computation. The first request for a
+// fingerprint (the leader) creates the flight and computes; concurrent
+// requests for the same fingerprint (followers) wait on done and share the
+// outcome — body on success, the leader's error and HTTP status otherwise.
+type flight struct {
+	done   chan struct{}
+	body   []byte
+	err    error
+	status int // HTTP status of the error outcome; 0 when err is nil
+	// waiters counts followers attached so far; tests use it to release a
+	// blocked leader only once every concurrent request is provably waiting.
+	waiters atomic.Int32
+}
+
+// serveCached is the cache → singleflight → worker-pool → respond flow
+// /schedule, /evaluate and /tune share. It reports how the response was
+// served ("hit"/"miss"); ok is false when an error response was written.
 func (s *Server) serveCached(w http.ResponseWriter, fp Fingerprint, opName string, compute func() ([]byte, error)) (cacheStatus string, ok bool) {
 	if v, hit := s.cache.Get(fp); hit {
 		s.hits.Add(1)
@@ -292,9 +328,63 @@ func (s *Server) serveCached(w http.ResponseWriter, fp Fingerprint, opName strin
 		return "hit", true
 	}
 
-	// Cache miss: compute on the bounded pool. The job sends exactly one
-	// result; the buffered channel keeps the worker from blocking if the
-	// client has gone away.
+	// Singleflight: collapse concurrent misses for one fingerprint onto a
+	// single computation. Under a zipf-skewed burst, M identical expensive
+	// /tune requests cost one pool job, not M.
+	s.flightMu.Lock()
+	if f, inFlight := s.flights[fp]; inFlight {
+		f.waiters.Add(1)
+		s.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			if f.status == http.StatusTooManyRequests {
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+			}
+			s.writeError(w, f.status, f.err)
+			return "", false
+		}
+		// A follower is observably a cache hit: it is served bytes another
+		// request computed. SingleflightShared additionally records that the
+		// hit came from attaching to a live flight rather than the cache.
+		s.hits.Add(1)
+		s.singleflightShared.Add(1)
+		s.writeCachedResponse(w, f.body, "hit")
+		return "hit", true
+	}
+	// Re-check the cache before becoming the leader: a flight that finished
+	// between the miss above and taking flightMu has already published its
+	// bytes (finish puts into the cache before retiring the flight), so this
+	// second look closes the window — absent eviction, one fingerprint can
+	// never be computed twice.
+	if v, hit := s.cache.Get(fp); hit {
+		s.flightMu.Unlock()
+		s.hits.Add(1)
+		s.writeCachedResponse(w, v.([]byte), "hit")
+		return "hit", true
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[fp] = f
+	s.flightMu.Unlock()
+
+	// finish publishes the leader's outcome: fill the flight, on success the
+	// cache, and only then retire the flight — a request that arrives after
+	// the delete finds the bytes in the cache, so there is no window in
+	// which a successful computation is invisible.
+	finish := func(body []byte, err error, status int) {
+		f.body, f.err, f.status = body, err, status
+		if err == nil {
+			s.cache.Put(fp, body)
+		}
+		s.flightMu.Lock()
+		delete(s.flights, fp)
+		s.flightMu.Unlock()
+		close(f.done)
+	}
+
+	// Compute on the bounded pool. The job sends exactly one result; the
+	// buffered channel keeps the worker from blocking if the client has gone
+	// away.
 	type result struct {
 		body []byte
 		err  error
@@ -307,21 +397,25 @@ func (s *Server) serveCached(w http.ResponseWriter, fp Fingerprint, opName strin
 	switch submitErr {
 	case nil:
 	case ErrBusy:
+		finish(nil, ErrBusy, http.StatusTooManyRequests)
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, ErrBusy)
 		return "", false
 	default: // ErrClosed during shutdown
+		finish(nil, submitErr, http.StatusServiceUnavailable)
 		s.writeError(w, http.StatusServiceUnavailable, submitErr)
 		return "", false
 	}
 	res := <-done
 	if res.err != nil {
-		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("%s failed: %w", opName, res.err))
+		err := fmt.Errorf("%s failed: %w", opName, res.err)
+		finish(nil, err, http.StatusInternalServerError)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return "", false
 	}
 	s.misses.Add(1)
-	s.cache.Put(fp, res.body)
+	finish(res.body, nil, 0)
 	s.writeCachedResponse(w, res.body, "miss")
 	return "miss", true
 }
@@ -521,21 +615,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the body of GET /stats.
 type Stats struct {
-	// Requests counts /schedule, /evaluate and /tune requests received,
-	// including rejected and malformed ones; EvaluateRequests and
-	// TuneRequests are the /evaluate and /tune shares of that total. The
-	// counters conserve: every request ends in exactly one of cache_hits,
-	// cache_misses, client_errors or internal_errors (429s count under both
-	// rejected and client_errors).
+	// Shard labels the server when it runs as one worker of a sharded
+	// deployment (Config.Shard); empty for a standalone server.
+	Shard string `json:"shard,omitempty"`
+	// Requests counts logical requests received, including rejected and
+	// malformed ones; EvaluateRequests and TuneRequests are the /evaluate
+	// and /tune shares of that total. A well-formed /schedule/batch envelope
+	// counts as one request per item it carries (a malformed one as a single
+	// request). The counters conserve: every request ends in exactly one of
+	// cache_hits, cache_misses, client_errors or internal_errors (429s count
+	// under both rejected and client_errors).
 	Requests         uint64 `json:"requests"`
 	EvaluateRequests uint64 `json:"evaluate_requests"`
 	TuneRequests     uint64 `json:"tune_requests"`
-	// CacheHits and CacheMisses count served responses by path, both
+	// BatchRequests counts /schedule/batch envelopes received (malformed
+	// ones included); BatchItems counts the logical requests that
+	// well-formed envelopes carried (each also counted under Requests).
+	BatchRequests uint64 `json:"batch_requests"`
+	BatchItems    uint64 `json:"batch_items"`
+	// CacheHits and CacheMisses count served responses by path, all
 	// endpoints together; HitRate is hits/(hits+misses), 0 before any
-	// response is served.
-	CacheHits   uint64  `json:"cache_hits"`
-	CacheMisses uint64  `json:"cache_misses"`
-	HitRate     float64 `json:"hit_rate"`
+	// response is served. SingleflightShared is the subset of CacheHits that
+	// were served by attaching to an in-flight identical computation
+	// (concurrent duplicates collapsed to one pool job, or repeated items
+	// inside one batch).
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	SingleflightShared uint64  `json:"singleflight_shared"`
+	HitRate            float64 `json:"hit_rate"`
 	// CacheEntries is the current response-cache population.
 	CacheEntries int `json:"cache_entries"`
 	// SchedulerRequests counts well-formed requests by canonical registry
@@ -581,20 +688,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.schedMu.Unlock()
 	st := Stats{
-		Requests:          s.requests.Load(),
-		EvaluateRequests:  s.evaluateRequests.Load(),
-		TuneRequests:      s.tuneRequests.Load(),
-		CacheHits:         hits,
-		CacheMisses:       misses,
-		CacheEntries:      s.cache.Len(),
-		SchedulerRequests: bySched,
-		Rejected:          s.rejected.Load(),
-		ClientErrors:      s.clientErrors.Load(),
-		InternalErrors:    s.internalErrors.Load(),
-		QueueDepth:        s.pool.QueueDepth(),
-		QueueHighWater:    s.pool.QueueHighWater(),
-		QueueCapacity:     s.pool.QueueCapacity(),
-		Workers:           s.pool.Workers(),
+		Shard:              s.cfg.Shard,
+		Requests:           s.requests.Load(),
+		EvaluateRequests:   s.evaluateRequests.Load(),
+		TuneRequests:       s.tuneRequests.Load(),
+		BatchRequests:      s.batchRequests.Load(),
+		BatchItems:         s.batchItems.Load(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		SingleflightShared: s.singleflightShared.Load(),
+		CacheEntries:       s.cache.Len(),
+		SchedulerRequests:  bySched,
+		Rejected:           s.rejected.Load(),
+		ClientErrors:       s.clientErrors.Load(),
+		InternalErrors:     s.internalErrors.Load(),
+		QueueDepth:         s.pool.QueueDepth(),
+		QueueHighWater:     s.pool.QueueHighWater(),
+		QueueCapacity:      s.pool.QueueCapacity(),
+		Workers:            s.pool.Workers(),
 	}
 	if hits+misses > 0 {
 		st.HitRate = float64(hits) / float64(hits+misses)

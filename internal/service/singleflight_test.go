@@ -1,0 +1,186 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// flightWaiters reports how many followers are attached to the in-flight
+// computation for fp, or -1 when no flight is registered.
+func (s *Server) flightWaiters(fp Fingerprint) int32 {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if f, ok := s.flights[fp]; ok {
+		return f.waiters.Load()
+	}
+	return -1
+}
+
+// TestSingleflightCollapsesConcurrentTunes is the singleflight contract: M
+// concurrent identical /tune requests cost exactly ONE backend computation,
+// and every caller receives byte-identical bytes. The tune stub blocks until
+// all M-1 followers are provably attached to the leader's flight, so the
+// assertions are exact, not timing-dependent — and the CI race job runs this
+// under -race, which audits the flight map and outcome publication.
+func TestSingleflightCollapsesConcurrentTunes(t *testing.T) {
+	const m = 32
+	srv, ts := startServer(t, Config{Workers: 2, Queue: m})
+
+	var calls atomic.Int32
+	release := make(chan struct{})
+	stub := []byte(`{"stub":"tune"}` + "\n")
+	srv.tuneFn = func(*TuneRequest) ([]byte, error) {
+		calls.Add(1)
+		<-release
+		return stub, nil
+	}
+
+	req := testTuneRequest(t)
+	body := marshalJSON(t, req)
+	fp := TuneFingerprint(req)
+
+	type outcome struct {
+		status int
+		cache  string
+		body   []byte
+	}
+	results := make(chan outcome, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/tune", body)
+			results <- outcome{resp.StatusCode, resp.Header.Get(CacheStatusHeader), data}
+		}()
+	}
+
+	// Release only once the leader is computing AND the other m-1 requests
+	// are all parked on its flight.
+	waitFor(t, func() bool { return calls.Load() == 1 })
+	waitFor(t, func() bool { return srv.flightWaiters(fp) == m-1 })
+	close(release)
+	wg.Wait()
+	close(results)
+
+	var hits, misses int
+	for r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("status %d, want 200", r.status)
+		}
+		if !bytes.Equal(r.body, stub) {
+			t.Fatalf("caller received %q, want the shared stub bytes", r.body)
+		}
+		switch r.cache {
+		case "hit":
+			hits++
+		case "miss":
+			misses++
+		default:
+			t.Fatalf("cache status %q", r.cache)
+		}
+	}
+	if misses != 1 || hits != m-1 {
+		t.Fatalf("headers: %d misses + %d hits, want 1 + %d", misses, hits, m-1)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend computed %d times for %d identical requests, want 1", got, m)
+	}
+
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.CacheMisses != 1 || st.CacheHits != m-1 {
+		t.Fatalf("stats: misses %d hits %d, want 1 and %d", st.CacheMisses, st.CacheHits, m-1)
+	}
+	if st.SingleflightShared != m-1 {
+		t.Fatalf("singleflight_shared = %d, want %d", st.SingleflightShared, m-1)
+	}
+	// The per-scheduler table sees the sweep once per request, hit or miss —
+	// singleflight must not change attribution.
+	var perSched uint64
+	for _, n := range st.SchedulerRequests {
+		perSched += n
+	}
+	if wantAttr := uint64(m * len(st.SchedulerRequests)); perSched != wantAttr {
+		t.Fatalf("scheduler_requests sums to %d, want %d", perSched, wantAttr)
+	}
+	if served := st.CacheHits + st.CacheMisses + st.ClientErrors + st.InternalErrors; served != st.Requests {
+		t.Fatalf("conservation: %d served of %d requests", served, st.Requests)
+	}
+
+	// The flight is retired: a fresh identical request is a plain cache hit.
+	resp, data := postJSON(t, ts.URL+"/tune", body)
+	if resp.StatusCode != 200 || resp.Header.Get(CacheStatusHeader) != "hit" || !bytes.Equal(data, stub) {
+		t.Fatalf("post-flight request: status %d cache %q body %q", resp.StatusCode, resp.Header.Get(CacheStatusHeader), data)
+	}
+}
+
+// TestSingleflightPropagatesErrors pins the failure side of the contract:
+// when the leader's computation fails, every attached follower receives the
+// same 500 (nothing is cached), and a later request retries the computation
+// instead of being served a poisoned entry.
+func TestSingleflightPropagatesErrors(t *testing.T) {
+	const m = 8
+	srv, ts := startServer(t, Config{Workers: 2, Queue: m})
+
+	var calls atomic.Int32
+	release := make(chan struct{})
+	srv.tuneFn = func(*TuneRequest) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			<-release
+			return nil, errors.New("transient tuner failure")
+		}
+		return []byte("{}\n"), nil
+	}
+
+	req := testTuneRequest(t)
+	body := marshalJSON(t, req)
+	fp := TuneFingerprint(req)
+
+	statuses := make(chan int, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/tune", body)
+			statuses <- resp.StatusCode
+		}()
+	}
+	waitFor(t, func() bool { return calls.Load() == 1 })
+	waitFor(t, func() bool { return srv.flightWaiters(fp) == m-1 })
+	close(release)
+	wg.Wait()
+	close(statuses)
+
+	for status := range statuses {
+		if status != http.StatusInternalServerError {
+			t.Fatalf("status %d, want 500 shared by leader and followers", status)
+		}
+	}
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.InternalErrors != m {
+		t.Fatalf("internal_errors = %d, want %d", st.InternalErrors, m)
+	}
+	if st.CacheMisses != 0 || st.CacheHits != 0 || st.CacheEntries != 0 {
+		t.Fatalf("a failed flight must cache nothing: hits %d misses %d entries %d",
+			st.CacheHits, st.CacheMisses, st.CacheEntries)
+	}
+	if served := st.CacheHits + st.CacheMisses + st.ClientErrors + st.InternalErrors; served != st.Requests {
+		t.Fatalf("conservation: %d served of %d requests", served, st.Requests)
+	}
+
+	// The failed flight is retired, not cached: the next request recomputes.
+	resp, _ := postJSON(t, ts.URL+"/tune", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after failed flight: status %d, want 200", resp.StatusCode)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("backend called %d times, want 2 (one failure, one retry)", calls.Load())
+	}
+}

@@ -143,18 +143,21 @@ func TestSoakMixedTraffic(t *testing.T) {
 	if st.ClientErrors != uint64(wantErrors) {
 		t.Fatalf("client_errors = %d, want %d", st.ClientErrors, wantErrors)
 	}
-	// There is no singleflight, so concurrent first-wave requests for one
-	// body may all miss; but once wave one has drained, every later wave
-	// must be served from the cache.
+	// Singleflight makes the miss count exact: concurrent first-wave
+	// requests for one body collapse onto a single computation, so each
+	// distinct well-formed probe misses exactly once and everything else is
+	// a hit (some served by attaching to a live flight).
 	wellFormed := uint64(total - wantErrors)
-	if st.CacheMisses > uint64(parallel) {
-		t.Fatalf("cache misses = %d, want <= %d (wave one at worst)", st.CacheMisses, parallel)
+	distinct := uint64(len(probes) - 1)
+	if st.CacheMisses != distinct {
+		t.Fatalf("cache misses = %d, want exactly %d (one per distinct probe under singleflight)",
+			st.CacheMisses, distinct)
 	}
-	if st.CacheHits < wellFormed-uint64(parallel) {
-		t.Fatalf("cache hits = %d, want >= %d (waves two onward)", st.CacheHits, wellFormed-uint64(parallel))
+	if st.CacheHits != wellFormed-distinct {
+		t.Fatalf("cache hits = %d, want %d", st.CacheHits, wellFormed-distinct)
 	}
-	if st.CacheHits+st.CacheMisses != wellFormed {
-		t.Fatalf("hits %d + misses %d != well-formed %d", st.CacheHits, st.CacheMisses, wellFormed)
+	if st.SingleflightShared > st.CacheHits {
+		t.Fatalf("singleflight_shared = %d exceeds cache hits %d", st.SingleflightShared, st.CacheHits)
 	}
 	if st.EvaluateRequests == 0 || st.EvaluateRequests >= st.Requests {
 		t.Fatalf("evaluate_requests = %d of %d, want a proper mix", st.EvaluateRequests, st.Requests)
