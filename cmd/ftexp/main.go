@@ -57,6 +57,7 @@ import (
 	"strings"
 
 	"ftsched/internal/expt"
+	"ftsched/internal/prof"
 	"ftsched/internal/sched"
 	_ "ftsched/internal/schedulers" // register every built-in scheduler
 	"ftsched/internal/sim"
@@ -92,8 +93,18 @@ func main() {
 		format   = flag.String("format", "ascii", "output format: ascii; csv (campaign, figures, -x4, -x6); json (campaign); svg (campaign, figures)")
 		out      = flag.String("out", ".", "output directory (only used by -format svg)")
 		maxTasks = flag.Int("maxtasks", 5000, "skip -table 1 rows above this task count")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if err := prof.Start(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ftexp:", err)
+		}
+	}()
 	if *listScheds {
 		sched.WriteSchedulerList(os.Stdout)
 		return
@@ -240,6 +251,7 @@ func figureEmitter(format string) (func(io.Writer, *expt.Figure) error, error) {
 }
 
 func fatal(err error) {
+	prof.Stop() // flush any profiles before the hard exit
 	fmt.Fprintln(os.Stderr, "ftexp:", err)
 	os.Exit(1)
 }

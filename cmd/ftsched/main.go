@@ -51,6 +51,7 @@ import (
 	"ftsched/internal/core"
 	"ftsched/internal/dag"
 	"ftsched/internal/platform"
+	"ftsched/internal/prof"
 	"ftsched/internal/sched"
 	_ "ftsched/internal/schedulers" // register every built-in scheduler
 	"ftsched/internal/sim"
@@ -80,8 +81,18 @@ func main() {
 		loadFrm    = flag.String("load", "", "load a schedule from this JSON file instead of computing one (-eps comes from the file)")
 		compare    = flag.Bool("compare", false, "run every registered scheduler side by side and exit")
 		listScheds = flag.Bool("list-schedulers", false, "list the registered schedulers (one per line, with aliases) and exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if err := prof.Start(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ftsched:", err)
+		}
+	}()
 	if *listScheds {
 		sched.WriteSchedulerList(os.Stdout)
 		return
@@ -424,6 +435,7 @@ func load(dir string) (*dag.Graph, *platform.Platform, *platform.CostModel, erro
 }
 
 func fatal(err error) {
+	prof.Stop() // flush any profiles before the hard exit
 	fmt.Fprintln(os.Stderr, "ftsched:", err)
 	os.Exit(1)
 }

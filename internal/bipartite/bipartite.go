@@ -28,6 +28,25 @@ func New(nLeft, nRight int) *Graph {
 	return &Graph{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
 }
 
+// Reset reinitializes g in place for the given part sizes, keeping the edge
+// and adjacency storage of previous uses — the sync.Pool-friendly
+// counterpart of New for callers (MC-FTSA's per-edge matchings) that build
+// many small graphs back to back.
+func (g *Graph) Reset(nLeft, nRight int) {
+	if nLeft < 0 || nRight < 0 {
+		panic(fmt.Sprintf("bipartite: negative part size (%d,%d)", nLeft, nRight))
+	}
+	g.nLeft, g.nRight = nLeft, nRight
+	if cap(g.adj) < nLeft {
+		g.adj = make([][]int, nLeft)
+	}
+	g.adj = g.adj[:nLeft]
+	for l := range g.adj {
+		g.adj[l] = g.adj[l][:0]
+	}
+	g.edges = g.edges[:0]
+}
+
 // NumLeft returns the size of the left part.
 func (g *Graph) NumLeft() int { return g.nLeft }
 

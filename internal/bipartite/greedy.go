@@ -12,11 +12,27 @@ package bipartite
 // edges are vertex-disjoint and the residual graph is complete bipartite),
 // but callers should still check ok.
 func (g *Graph) GreedyOrderedMatching(order []int) (Matching, bool) {
-	matchL := make(Matching, g.nLeft)
+	return g.GreedyOrderedMatchingInto(order, nil, nil)
+}
+
+// GreedyOrderedMatchingInto is GreedyOrderedMatching writing into caller
+// scratch: matchL and usedR are reused when they have the capacity (their
+// contents need not be initialized) and reallocated otherwise. MC-FTSA runs
+// one matching per precedence edge of every task — the scratch variant keeps
+// that loop allocation-free.
+func (g *Graph) GreedyOrderedMatchingInto(order []int, matchL Matching, usedR []bool) (Matching, bool) {
+	if cap(matchL) < g.nLeft {
+		matchL = make(Matching, g.nLeft)
+	}
+	matchL = matchL[:g.nLeft]
 	for i := range matchL {
 		matchL[i] = -1
 	}
-	usedR := make([]bool, g.nRight)
+	if cap(usedR) < g.nRight {
+		usedR = make([]bool, g.nRight)
+	}
+	usedR = usedR[:g.nRight]
+	clear(usedR)
 	for _, ei := range order {
 		e := g.edges[ei]
 		if matchL[e.L] == -1 && !usedR[e.R] {

@@ -92,8 +92,13 @@ func (c *Coordinator) Route(fp service.Fingerprint) int {
 // the per-endpoint plugs for the shared routed prologue. The number of tasks
 // is returned for the door's MaxTasks guard.
 func decodeScheduleFP(body []byte) (service.Fingerprint, int, error) {
-	req, err := service.DecodeScheduleRequest(bytes.NewReader(body))
-	if err != nil {
+	// The door decodes every request once just to route it; pooling the
+	// request keeps that decode from re-allocating the graph arena on the
+	// coordinator's hot path. The fingerprint is a value, so nothing escapes
+	// the pooled request.
+	req := service.AcquireScheduleRequest()
+	defer service.ReleaseScheduleRequest(req)
+	if err := service.DecodeScheduleRequestInto(req, bytes.NewReader(body)); err != nil {
 		return service.Fingerprint{}, 0, err
 	}
 	return service.RequestFingerprint(req), req.Graph.NumTasks(), nil

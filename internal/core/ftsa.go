@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sync"
 
+	"ftsched/internal/bipartite"
 	"ftsched/internal/dag"
 	"ftsched/internal/kernel"
 	"ftsched/internal/platform"
@@ -80,11 +81,11 @@ func runFTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Opt
 	defer st.release()
 	for st.free.Len() > 0 {
 		t := st.pop()
-		win, err := st.placeBestEFT(t)
+		reps, err := st.placeBestEFT(t)
 		if err != nil {
 			return nil, err
 		}
-		if err := st.commit(t, win, nil); err != nil {
+		if err := st.commit(t, reps, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -94,6 +95,7 @@ func runFTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Opt
 // state carries the incremental data of one scheduling run.
 type state struct {
 	g   *dag.Graph
+	f   *dag.Flat // frozen CSR view of g; all adjacency walks go through it
 	p   *platform.Platform
 	cm  *platform.CostModel
 	opt Options
@@ -136,6 +138,16 @@ type scratch struct {
 	maxFrom      []float64
 	cands        []candidate
 	reps         []sched.Replica
+
+	// MC-FTSA matching scratch: the per-task processor→copy index, the
+	// per-edge bipartite graph (rebuilt in place), its greedy order and
+	// internal-edge flags, and the matching output buffers.
+	procCopy []int32
+	bg       bipartite.Graph
+	order    []int
+	internal []bool
+	matchL   bipartite.Matching
+	usedR    []bool
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -159,18 +171,16 @@ func (st *state) release() {
 	scratchPool.Put(ws)
 }
 
-// placement describes the ε+1 processors selected for a task with their
-// computed windows, before ready times are committed.
-type placement struct {
-	reps []sched.Replica
-}
-
 func newState(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options, pattern sched.Pattern, algo string, insertion bool) (*state, error) {
 	if opt.Epsilon < 0 || opt.Epsilon+1 > p.NumProcs() {
 		return nil, fmt.Errorf("%w: ε=%d, m=%d", ErrTooManyFailures, opt.Epsilon, p.NumProcs())
 	}
 	if opt.Deadlines != nil && len(opt.Deadlines) != g.NumTasks() {
 		return nil, fmt.Errorf("core: %d deadlines for %d tasks", len(opt.Deadlines), g.NumTasks())
+	}
+	f, err := g.Freeze()
+	if err != nil {
+		return nil, err
 	}
 	s, err := sched.New(g, p, cm, opt.Epsilon, pattern, algo)
 	if err != nil {
@@ -184,7 +194,7 @@ func newState(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 	v := g.NumTasks()
 	ws := scratchPool.Get().(*scratch)
 	st := &state{
-		g: g, p: p, cm: cm, opt: opt, s: s,
+		g: g, f: f, p: p, cm: cm, opt: opt, s: s,
 		bl:           bl,
 		tl:           kernel.GrowZero(ws.tl, v),
 		unschedPreds: kernel.Grow(ws.unschedPreds, v),
@@ -199,7 +209,7 @@ func newState(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 		st.maxFrom[j] = p.MaxDelayFrom(platform.ProcID(j))
 	}
 	for t := 0; t < v; t++ {
-		st.unschedPreds[t] = g.InDegree(dag.TaskID(t))
+		st.unschedPreds[t] = f.InDegree(dag.TaskID(t))
 		if st.unschedPreds[t] == 0 {
 			st.push(dag.TaskID(t))
 		}
@@ -229,8 +239,11 @@ func (st *state) pop() dag.TaskID {
 // finish time. Arrival windows and start times come from the shared kernel
 // board; under insertion the optimistic start is the earliest fitting gap of
 // the processor's timeline instead of max(arrival, ready).
-func (st *state) placeBestEFT(t dag.TaskID) (*placement, error) {
-	st.board.Arrivals(st.g, st.p, st.s, t)
+//
+// The returned slice is the state's scratch — valid until the next
+// placeBestEFT; commit (via sched.Place) copies it into the schedule.
+func (st *state) placeBestEFT(t dag.TaskID) ([]sched.Replica, error) {
+	st.board.Arrivals(st.f, st.p, st.s, t)
 	st.cands = st.cands[:0]
 	for j := 0; j < st.p.NumProcs(); j++ {
 		pj := platform.ProcID(j)
@@ -261,16 +274,16 @@ func (st *state) placeBestEFT(t dag.TaskID) (*placement, error) {
 		})
 	}
 	st.reps = reps
-	return &placement{reps: reps}, nil
+	return reps, nil
 }
 
 // commit checks the deadline (Section 4.3), records the replicas (and the
 // matched sources under PatternMatched), advances processor ready times and
 // releases newly free successors.
-func (st *state) commit(t dag.TaskID, win *placement, matched [][]int) error {
+func (st *state) commit(t dag.TaskID, reps []sched.Replica, matched [][]int) error {
 	if st.opt.Deadlines != nil {
 		worst := 0.0
-		for _, r := range win.reps {
+		for _, r := range reps {
 			if r.FinishMin > worst {
 				worst = r.FinishMin
 			}
@@ -280,7 +293,7 @@ func (st *state) commit(t dag.TaskID, win *placement, matched [][]int) error {
 				ErrDeadline, t, worst, st.opt.Deadlines[t])
 		}
 	}
-	if err := st.s.Place(t, win.reps); err != nil {
+	if err := st.s.Place(t, reps); err != nil {
 		return err
 	}
 	if matched != nil {
@@ -288,25 +301,28 @@ func (st *state) commit(t dag.TaskID, win *placement, matched [][]int) error {
 			return err
 		}
 	}
-	st.board.Commit(win.reps)
+	st.board.Commit(reps)
 	// Update the dynamic top level of successors (Section 4.1, adapted to
 	// replication: the data of t is available once its earliest replica
 	// finishes, and we charge the worst-case outgoing delay from that
 	// replica's processor since the successor's mapping is unknown).
-	for _, se := range st.g.Succs(t) {
+	succs := st.f.SuccIDs(t)
+	vols := st.f.SuccVolumes(t)
+	for i, sRaw := range succs {
+		se := dag.TaskID(sRaw)
 		contrib := math.Inf(1)
-		for _, r := range win.reps {
-			c := r.FinishMin + se.Volume*st.maxFrom[r.Proc]
+		for _, r := range reps {
+			c := r.FinishMin + vols[i]*st.maxFrom[r.Proc]
 			if c < contrib {
 				contrib = c
 			}
 		}
-		if contrib > st.tl[se.To] {
-			st.tl[se.To] = contrib
+		if contrib > st.tl[se] {
+			st.tl[se] = contrib
 		}
-		st.unschedPreds[se.To]--
-		if st.unschedPreds[se.To] == 0 {
-			st.push(se.To)
+		st.unschedPreds[se]--
+		if st.unschedPreds[se] == 0 {
+			st.push(se)
 		}
 	}
 	return nil

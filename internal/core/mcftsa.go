@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"ftsched/internal/bipartite"
 	"ftsched/internal/dag"
+	"ftsched/internal/kernel"
 	"ftsched/internal/platform"
 	"ftsched/internal/sched"
 )
@@ -77,16 +77,16 @@ func MCFTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt MCFT
 	defer st.release()
 	for st.free.Len() > 0 {
 		t := st.pop()
-		win, err := st.placeBestEFT(t) // A(t) per equation (1), as in FTSA
+		reps, err := st.placeBestEFT(t) // A(t) per equation (1), as in FTSA
 		if err != nil {
 			return nil, err
 		}
-		matched, err := st.matchCommunications(t, win, opt.Policy)
+		matched, err := st.matchCommunications(t, reps, opt.Policy)
 		if err != nil {
 			return nil, err
 		}
-		recomputeMatchedWindows(st, t, win, matched)
-		if err := st.commit(t, win, matched); err != nil {
+		recomputeMatchedWindows(st, t, reps, matched)
+		if err := st.commit(t, reps, matched); err != nil {
 			return nil, err
 		}
 	}
@@ -96,28 +96,39 @@ func MCFTSA(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt MCFT
 // matchCommunications builds, for every predecessor of t, the bipartite
 // replica graph of Section 4.2 and extracts a robust perfect matching under
 // the requested policy. The result is receiver-indexed:
-// matched[copy][predIdx] = predecessor copy feeding that replica.
-func (st *state) matchCommunications(t dag.TaskID, win *placement, policy MatchPolicy) ([][]int, error) {
-	k := len(win.reps)
-	preds := st.g.Preds(t)
-	matched := make([][]int, k)
-	for c := range matched {
-		matched[c] = make([]int, len(preds))
+// matched[copy][predIdx] = predecessor copy feeding that replica. The matrix
+// is carved from the schedule's matched arena and every per-edge structure
+// (the bipartite graph, the greedy order, the matching buffers) lives in the
+// run's pooled scratch, so the steady-state matching loop does not allocate.
+func (st *state) matchCommunications(t dag.TaskID, reps []sched.Replica, policy MatchPolicy) ([][]int, error) {
+	k := len(reps)
+	preds := st.f.PredIDs(t)
+	vols := st.f.PredVolumes(t)
+	matched, err := st.s.AllocMatched(k, len(preds))
+	if err != nil {
+		return nil, err
 	}
 	// Processor -> right (replica of t) index, for the forced internal edges.
-	procToCopy := make(map[platform.ProcID]int, k)
-	for c, r := range win.reps {
-		procToCopy[r.Proc] = c
+	procCopy := kernel.Grow(st.ws.procCopy, st.p.NumProcs())
+	for j := range procCopy {
+		procCopy[j] = -1
 	}
-	for predIdx, pe := range preds {
-		srcReps := st.s.Replicas(pe.To)
-		bg := bipartite.New(len(srcReps), k)
-		internal := make([]bool, 0, len(srcReps)*k)
+	for c, r := range reps {
+		procCopy[r.Proc] = int32(c)
+	}
+	st.ws.procCopy = procCopy
+	bg := &st.ws.bg
+	for predIdx, predRaw := range preds {
+		pred := dag.TaskID(predRaw)
+		vol := vols[predIdx]
+		srcReps := st.s.Replicas(pred)
+		bg.Reset(len(srcReps), k)
+		internal := st.ws.internal[:0]
 		for i, sr := range srcReps {
-			if c, ok := procToCopy[sr.Proc]; ok {
+			if c := procCopy[sr.Proc]; c >= 0 {
 				// Case (i): Pi ∈ A(t) — single internal edge.
-				w := st.edgeWeight(t, sr, pe.Volume, win.reps[c].Proc)
-				if err := bg.AddEdge(i, c, w); err != nil {
+				w := st.edgeWeight(t, sr, vol, reps[c].Proc)
+				if err := bg.AddEdge(i, int(c), w); err != nil {
 					return nil, err
 				}
 				internal = append(internal, true)
@@ -125,33 +136,37 @@ func (st *state) matchCommunications(t dag.TaskID, win *placement, policy MatchP
 			}
 			// Case (ii): edges to every replica of t.
 			for c := 0; c < k; c++ {
-				w := st.edgeWeight(t, sr, pe.Volume, win.reps[c].Proc)
+				w := st.edgeWeight(t, sr, vol, reps[c].Proc)
 				if err := bg.AddEdge(i, c, w); err != nil {
 					return nil, err
 				}
 				internal = append(internal, false)
 			}
 		}
+		st.ws.internal = internal
 		var m bipartite.Matching
 		switch policy {
 		case MatchGreedy:
-			order := greedyOrder(bg, internal)
+			order := greedyOrder(bg, internal, st.ws.order)
+			st.ws.order = order
+			st.ws.usedR = kernel.Grow(st.ws.usedR, k)
 			var ok bool
-			m, ok = bg.GreedyOrderedMatching(order)
+			m, ok = bg.GreedyOrderedMatchingInto(order, st.ws.matchL, st.ws.usedR)
+			st.ws.matchL = m
 			if !ok {
 				// The greedy order cannot dead-end on these graphs, but
 				// fall back to the exact method defensively.
 				var bok bool
 				m, _, bok = bg.BottleneckPerfectMatching()
 				if !bok {
-					return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNoRobustMatching, pe.To, t)
+					return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNoRobustMatching, pred, t)
 				}
 			}
 		case MatchBottleneck:
 			var ok bool
 			m, _, ok = bg.BottleneckPerfectMatching()
 			if !ok {
-				return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNoRobustMatching, pe.To, t)
+				return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNoRobustMatching, pred, t)
 			}
 		default:
 			return nil, fmt.Errorf("core: unknown match policy %v", policy)
@@ -159,7 +174,7 @@ func (st *state) matchCommunications(t dag.TaskID, win *placement, policy MatchP
 		// Invert: m maps left (src copy) -> right (dst copy).
 		for i, c := range m {
 			if c < 0 {
-				return nil, fmt.Errorf("%w: unmatched source copy %d on edge (%d,%d)", ErrNoRobustMatching, i, pe.To, t)
+				return nil, fmt.Errorf("%w: unmatched source copy %d on edge (%d,%d)", ErrNoRobustMatching, i, pred, t)
 			}
 			matched[c][predIdx] = i
 		}
@@ -175,19 +190,32 @@ func (st *state) edgeWeight(t dag.TaskID, sr sched.Replica, volume float64, pj p
 }
 
 // greedyOrder returns edge indices with internal edges first, then the rest
-// by non-decreasing weight (ties by insertion order for determinism).
-func greedyOrder(bg *bipartite.Graph, internal []bool) []int {
-	order := make([]int, bg.NumEdges())
+// by non-decreasing weight (ties by insertion order for determinism),
+// reusing buf's storage. The stable insertion sort produces the same
+// permutation sort.SliceStable did (stable-sort output is unique for a given
+// comparator) without allocating the closure or the reflection shim; the
+// replica graphs have at most (ε+1)² edges, so quadratic is fine.
+func greedyOrder(bg *bipartite.Graph, internal []bool, buf []int) []int {
+	ne := bg.NumEdges()
+	if cap(buf) < ne {
+		buf = make([]int, ne)
+	}
+	order := buf[:ne]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ia, ib := internal[order[a]], internal[order[b]]
+	less := func(a, b int) bool {
+		ia, ib := internal[a], internal[b]
 		if ia != ib {
 			return ia
 		}
-		return bg.Edge(order[a]).W < bg.Edge(order[b]).W
-	})
+		return bg.Edge(a).W < bg.Edge(b).W
+	}
+	for i := 1; i < ne; i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 	return order
 }
 
@@ -196,18 +224,19 @@ func greedyOrder(bg *bipartite.Graph, internal []bool) []int {
 // one message per predecessor, so its optimistic window uses the matched
 // source's optimistic finish and its pessimistic window the same source's
 // pessimistic finish.
-func recomputeMatchedWindows(st *state, t dag.TaskID, win *placement, matched [][]int) {
-	preds := st.g.Preds(t)
-	for c := range win.reps {
-		r := &win.reps[c]
+func recomputeMatchedWindows(st *state, t dag.TaskID, reps []sched.Replica, matched [][]int) {
+	preds := st.f.PredIDs(t)
+	vols := st.f.PredVolumes(t)
+	for c := range reps {
+		r := &reps[c]
 		arrMin, arrMax := 0.0, 0.0
-		for predIdx, pe := range preds {
-			sr := st.s.Replicas(pe.To)[matched[c][predIdx]]
+		for predIdx, predRaw := range preds {
+			sr := st.s.Replicas(dag.TaskID(predRaw))[matched[c][predIdx]]
 			d := st.p.Delay(sr.Proc, r.Proc)
-			if a := sr.FinishMin + pe.Volume*d; a > arrMin {
+			if a := sr.FinishMin + vols[predIdx]*d; a > arrMin {
 				arrMin = a
 			}
-			if a := sr.FinishMax + pe.Volume*d; a > arrMax {
+			if a := sr.FinishMax + vols[predIdx]*d; a > arrMax {
 				arrMax = a
 			}
 		}

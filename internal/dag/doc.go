@@ -2,13 +2,29 @@
 // throughout the scheduler: tasks (nodes), precedence constraints (edges) and
 // the data volume V(ti,tj) attached to every edge.
 //
-// The representation is index-based: tasks are identified by dense integer
-// IDs in [0, NumTasks). Both successor and predecessor adjacency lists are
-// maintained so that schedulers can walk the graph in either direction in
-// O(degree).
+// The graph lives in two representations:
 //
-// Beyond the core Graph type the package provides topological ordering,
-// longest-path and width computations, DOT export for visualization, and a
-// validating JSON wire format (graph.json) shared by the daggen, ftsched and
-// ftserved tools.
+//   - Graph is the mutable build/wire form. Tasks are dense integer IDs in
+//     [0, NumTasks); successor and predecessor adjacency rows are both
+//     maintained so either direction walks in O(degree). JSON decoding
+//     rebuilds into a per-graph arena, so a pooled graph decodes repeated
+//     same-shaped payloads without adjacency allocations.
+//
+//   - Flat is the frozen compute form, obtained from Graph.Freeze: a CSR
+//     (compressed sparse row) view with int32 successor/predecessor arrays,
+//     contiguous edge volumes in edge-ID order, and the topological order,
+//     its reverse, per-task positions and entry/exit lists memoized at
+//     freeze time. Freeze is memoized on the graph and invalidated by every
+//     mutation; schedulers and the simulator walk Flat on their hot paths.
+//
+// Longest-path traversals exist in both forms: the closure-based
+// Graph.BottomLevels/TopLevels, and the allocation-free
+// Flat.BottomLevels/TopLevels over precomputed per-task and per-edge-ID cost
+// slices — bit-for-bit equal to the closure form. Flat.NewBottomLevelUpdater
+// repairs bottom levels incrementally after cost perturbations, touching
+// only the ancestor cone that actually changes.
+//
+// Beyond the core types the package provides width computation, DOT export
+// for visualization, and a validating JSON wire format (graph.json) shared
+// by the daggen, ftsched and ftserved tools.
 package dag

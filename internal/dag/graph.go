@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // TaskID identifies a task (node) of a Graph. IDs are dense integers assigned
@@ -34,6 +35,15 @@ type Graph struct {
 	succs [][]Adj
 	preds [][]Adj
 	e     int
+
+	// flat memoizes the frozen CSR view (Freeze). Mutators clear it; the
+	// atomic makes lazy freezing safe under concurrent readers. Note the
+	// atomic makes Graph non-copyable as a value — use Clone.
+	flat atomic.Pointer[Flat]
+
+	// arena is the reusable decode storage carved by rebuild; nil until the
+	// graph is first decoded into. See arena.go.
+	arena *graphArena
 }
 
 // Common construction and lookup errors.
@@ -72,6 +82,7 @@ func (g *Graph) NumEdges() int { return g.e }
 
 // AddTask appends a new task and returns its ID.
 func (g *Graph) AddTask() TaskID {
+	g.flat.Store(nil)
 	g.succs = append(g.succs, nil)
 	g.preds = append(g.preds, nil)
 	return TaskID(len(g.succs) - 1)
@@ -98,6 +109,7 @@ func (g *Graph) AddEdge(src, dst TaskID, volume float64) error {
 			return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, src, dst)
 		}
 	}
+	g.flat.Store(nil)
 	g.succs[src] = append(g.succs[src], Adj{To: dst, Volume: volume})
 	g.preds[dst] = append(g.preds[dst], Adj{To: src, Volume: volume})
 	g.e++
@@ -146,6 +158,7 @@ func (g *Graph) SetVolume(src, dst TaskID, volume float64) error {
 	}
 	for i, a := range g.succs[src] {
 		if a.To == dst {
+			g.flat.Store(nil)
 			g.succs[src][i].Volume = volume
 			for j, b := range g.preds[dst] {
 				if b.To == src {
@@ -164,6 +177,7 @@ func (g *Graph) ScaleVolumes(factor float64) error {
 	if factor < 0 {
 		return fmt.Errorf("%w: scale factor %g", ErrNegVolume, factor)
 	}
+	g.flat.Store(nil)
 	for t := range g.succs {
 		for i := range g.succs[t] {
 			g.succs[t][i].Volume *= factor

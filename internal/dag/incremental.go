@@ -1,0 +1,122 @@
+package dag
+
+// BottomLevelUpdater performs incremental bottom-level recomputation on a
+// frozen graph: given bottom levels that were exact before a set of tasks
+// changed their node cost or an outgoing edge cost, Update repairs bl by
+// walking only the affected ancestor cone instead of re-running the full
+// O(V+E) pass — the primitive the tuner's ε-ladder probes and online
+// re-scheduling (recompute priorities for the surviving suffix) both need.
+//
+// The updater owns reusable scratch (a worklist heap and an in-heap bitmap);
+// create one per goroutine and reuse it across Update calls. It is not safe
+// for concurrent use.
+type BottomLevelUpdater struct {
+	f *Flat
+
+	heap   []int32 // binary max-heap of task IDs ordered by topo position
+	inHeap []bool  // task -> currently queued
+}
+
+// NewBottomLevelUpdater returns an updater bound to the frozen view.
+func (f *Flat) NewBottomLevelUpdater() *BottomLevelUpdater {
+	return &BottomLevelUpdater{
+		f:      f,
+		heap:   make([]int32, 0, 64),
+		inHeap: make([]bool, f.n),
+	}
+}
+
+// Update repairs bl in place after the node costs of the dirty tasks or the
+// costs of their outgoing edges changed (node and edge are the *current*
+// cost slices, in the conventions of Flat.BottomLevels). Every dirty task is
+// recomputed; ancestors are recomputed only while values keep changing, so
+// the work is O(cone · (log cone + deg)) where cone is the affected ancestor
+// set — o(V+E) for small dirty sets on wide graphs. It returns the number of
+// tasks recomputed.
+//
+// Exactness: tasks are processed in strictly decreasing topological position,
+// so every successor's bottom level is final when a task recomputes, and the
+// recomputation applies the same max recurrence in the same operand order as
+// a from-scratch Flat.BottomLevels — repaired and recomputed levels agree bit
+// for bit (property-tested).
+func (u *BottomLevelUpdater) Update(bl, node, edge []float64, dirty []TaskID) int {
+	f := u.f
+	f.checkCosts(node, edge)
+	if len(bl) != f.n {
+		panic("dag: bottom-level slice does not match the frozen graph")
+	}
+	for _, t := range dirty {
+		u.push(int32(t))
+	}
+	touched := 0
+	for len(u.heap) > 0 {
+		t := u.pop()
+		touched++
+		lo, hi := f.succOff[t], f.succOff[t+1]
+		var nb float64
+		if lo == hi {
+			nb = node[t]
+		} else {
+			for i := lo; i < hi; i++ {
+				v := node[t] + edge[i] + bl[f.succTo[i]]
+				if v > nb {
+					nb = v
+				}
+			}
+		}
+		if nb == bl[t] {
+			continue
+		}
+		bl[t] = nb
+		for _, p := range f.PredIDs(TaskID(t)) {
+			u.push(p)
+		}
+	}
+	return touched
+}
+
+// push queues t unless it is already queued.
+func (u *BottomLevelUpdater) push(t int32) {
+	if u.inHeap[t] {
+		return
+	}
+	u.inHeap[t] = true
+	u.heap = append(u.heap, t)
+	pos := u.f.topoPos
+	i := len(u.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if pos[u.heap[parent]] >= pos[u.heap[i]] {
+			break
+		}
+		u.heap[parent], u.heap[i] = u.heap[i], u.heap[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the queued task with the largest topo position.
+func (u *BottomLevelUpdater) pop() int32 {
+	pos := u.f.topoPos
+	top := u.heap[0]
+	last := len(u.heap) - 1
+	u.heap[0] = u.heap[last]
+	u.heap = u.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && pos[u.heap[l]] > pos[u.heap[big]] {
+			big = l
+		}
+		if r < last && pos[u.heap[r]] > pos[u.heap[big]] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		u.heap[i], u.heap[big] = u.heap[big], u.heap[i]
+		i = big
+	}
+	u.inHeap[top] = false
+	return top
+}

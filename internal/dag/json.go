@@ -32,26 +32,25 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON implements json.Unmarshaler and validates the decoded graph.
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded graph
+// (dense endpoints, no self loops or duplicate edges, non-negative volumes,
+// acyclic — the same invariants AddEdge + Validate enforce).
+//
+// Decoding reuses the receiver's arena storage: a pooled request object that
+// is decoded into repeatedly (the serving layer's door) performs no
+// graph-shaped heap allocations once warm. On error the receiver is reset to
+// the empty graph; its previous contents are not preserved.
 func (g *Graph) UnmarshalJSON(data []byte) error {
-	var in graphJSON
-	if err := json.Unmarshal(data, &in); err != nil {
+	in := graphScratchPool.Get().(*graphJSON)
+	defer func() {
+		in.Name, in.Tasks, in.Edges = "", 0, in.Edges[:0]
+		graphScratchPool.Put(in)
+	}()
+	in.Name, in.Tasks, in.Edges = "", 0, in.Edges[:0]
+	if err := json.Unmarshal(data, in); err != nil {
 		return fmt.Errorf("dag: decoding graph: %w", err)
 	}
-	if in.Tasks < 0 {
-		return fmt.Errorf("dag: negative task count %d", in.Tasks)
-	}
-	ng := NewWithTasks(in.Name, in.Tasks)
-	for _, e := range in.Edges {
-		if err := ng.AddEdge(e.Src, e.Dst, e.Volume); err != nil {
-			return err
-		}
-	}
-	if err := ng.Validate(); err != nil {
-		return err
-	}
-	*g = *ng
-	return nil
+	return g.rebuild(in.Name, in.Tasks, in.Edges)
 }
 
 // WriteTo serializes g as indented JSON.

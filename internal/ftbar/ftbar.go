@@ -38,6 +38,10 @@ func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 	if opt.Npf < 0 || opt.Npf+1 > m {
 		return nil, fmt.Errorf("ftbar: Npf=%d needs %d processors, platform has %d", opt.Npf, opt.Npf+1, m)
 	}
+	f, err := g.Freeze()
+	if err != nil {
+		return nil, err
+	}
 	s, err := sched.New(g, p, cm, opt.Npf, sched.PatternAll, "FTBAR")
 	if err != nil {
 		return nil, err
@@ -50,14 +54,14 @@ func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 		return nil, err
 	}
 	st := &state{
-		g: g, p: p, cm: cm, opt: opt, s: s,
+		f: f, p: p, cm: cm, opt: opt, s: s,
 		bl:      bl,
 		board:   kernel.NewBoard(m, false),
 		unsched: make([]int, g.NumTasks()),
 	}
 	defer st.board.Release()
 	for t := 0; t < g.NumTasks(); t++ {
-		st.unsched[t] = g.InDegree(dag.TaskID(t))
+		st.unsched[t] = f.InDegree(dag.TaskID(t))
 		if st.unsched[t] == 0 {
 			st.free.Add(dag.TaskID(t))
 		}
@@ -74,7 +78,7 @@ func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 }
 
 type state struct {
-	g   *dag.Graph
+	f   *dag.Flat // frozen CSR view; all adjacency walks go through it
 	p   *platform.Platform
 	cm  *platform.CostModel
 	opt Options
@@ -108,7 +112,7 @@ func (st *state) step() error {
 	m := st.p.NumProcs()
 	evals := make([]taskEval, 0, st.free.Len())
 	for _, t := range st.free.Tasks() {
-		st.board.Arrivals(st.g, st.p, st.s, t)
+		st.board.Arrivals(st.f, st.p, st.s, t)
 		choices := make([]procChoice, 0, m)
 		for j := 0; j < m; j++ {
 			pj := platform.ProcID(j)
@@ -150,7 +154,7 @@ func (st *state) step() error {
 	}
 
 	// Recompute arrivals after any duplication and place the replicas.
-	st.board.Arrivals(st.g, st.p, st.s, t)
+	st.board.Arrivals(st.f, st.p, st.s, t)
 	reps := make([]sched.Replica, 0, k)
 	for i, c := range sel.chosen {
 		pj := c.proc
@@ -174,10 +178,11 @@ func (st *state) step() error {
 	}
 	// Release successors and remove t from the free list.
 	st.free.Remove(t)
-	for _, se := range st.g.Succs(t) {
-		st.unsched[se.To]--
-		if st.unsched[se.To] == 0 {
-			st.free.Add(se.To)
+	for _, sRaw := range st.f.SuccIDs(t) {
+		se := dag.TaskID(sRaw)
+		st.unsched[se]--
+		if st.unsched[se] == 0 {
+			st.free.Add(se)
 		}
 	}
 	return nil
@@ -205,15 +210,18 @@ func (st *state) reduceArrival(t dag.TaskID, proc platform.ProcID, depth int) {
 	if depth <= 0 {
 		return
 	}
-	for iter := 0; iter < len(st.g.Preds(t)); iter++ {
+	preds := st.f.PredIDs(t)
+	vols := st.f.PredVolumes(t)
+	for iter := 0; iter < len(preds); iter++ {
 		// Find the predecessor whose message determines t's arrival on proc.
 		critical := dag.TaskID(-1)
 		criticalArr := 0.0
-		for _, pe := range st.g.Preds(t) {
-			eMin, _ := sched.ArrivalWindow(st.p, st.s.Replicas(pe.To), pe.Volume, proc)
+		for i, predRaw := range preds {
+			pe := dag.TaskID(predRaw)
+			eMin, _ := sched.ArrivalWindow(st.p, st.s.Replicas(pe), vols[i], proc)
 			if eMin > criticalArr {
 				criticalArr = eMin
-				critical = pe.To
+				critical = pe
 			}
 		}
 		if critical < 0 {
@@ -235,8 +243,10 @@ func (st *state) reduceArrival(t dag.TaskID, proc platform.ProcID, depth int) {
 		st.reduceArrival(critical, proc, depth-1)
 		// Earliest the duplicate itself could run on proc.
 		dupArrMin, dupArrMax := 0.0, 0.0
-		for _, ppe := range st.g.Preds(critical) {
-			eMin, eMax := sched.ArrivalWindow(st.p, st.s.Replicas(ppe.To), ppe.Volume, proc)
+		cPreds := st.f.PredIDs(critical)
+		cVols := st.f.PredVolumes(critical)
+		for i, ppRaw := range cPreds {
+			eMin, eMax := sched.ArrivalWindow(st.p, st.s.Replicas(dag.TaskID(ppRaw)), cVols[i], proc)
 			if eMin > dupArrMin {
 				dupArrMin = eMin
 			}

@@ -26,6 +26,10 @@ type Options struct {
 // the shared kernel: per-processor busy timelines with insertion-based
 // earliest-slot search (or append-only under NoInsertion).
 func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Options) (*sched.Schedule, error) {
+	f, err := g.Freeze()
+	if err != nil {
+		return nil, err
+	}
 	s, err := sched.New(g, p, cm, 0, sched.PatternAll, "HEFT")
 	if err != nil {
 		return nil, err
@@ -52,7 +56,7 @@ func Schedule(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, opt Op
 	defer b.Release()
 
 	for _, t := range order {
-		b.Arrivals(g, p, s, t)
+		b.Arrivals(f, p, s, t)
 		bestProc := platform.ProcID(-1)
 		bestStart, bestFinish := 0.0, 0.0
 		for j := 0; j < m; j++ {

@@ -64,16 +64,20 @@ func (b *Board) Release() {
 
 // Arrivals fills ArrMin/ArrMax with, for every processor Pj, the earliest
 // (equation 1) and latest (equation 3) time the data of every predecessor of
-// t can be available on Pj, given the replicas already placed in s.
-func (b *Board) Arrivals(g *dag.Graph, p *platform.Platform, s *sched.Schedule, t dag.TaskID) {
+// t can be available on Pj, given the replicas already placed in s. It walks
+// the frozen CSR ranges — the innermost loop of every list scheduler — so
+// the caller freezes the graph once per run and shares the view.
+func (b *Board) Arrivals(f *dag.Flat, p *platform.Platform, s *sched.Schedule, t dag.TaskID) {
 	for j := range b.ArrMin {
 		b.ArrMin[j], b.ArrMax[j] = 0, 0
 	}
 	m := p.NumProcs()
-	for _, pe := range g.Preds(t) {
-		srcReps := s.Replicas(pe.To)
+	preds := f.PredIDs(t)
+	vols := f.PredVolumes(t)
+	for i, pt := range preds {
+		srcReps := s.Replicas(dag.TaskID(pt))
 		for j := 0; j < m; j++ {
-			eMin, eMax := sched.ArrivalWindow(p, srcReps, pe.Volume, platform.ProcID(j))
+			eMin, eMax := sched.ArrivalWindow(p, srcReps, vols[i], platform.ProcID(j))
 			if eMin > b.ArrMin[j] {
 				b.ArrMin[j] = eMin
 			}

@@ -31,4 +31,10 @@
 // the kernel guarantees is that the shared arithmetic — arrival windows,
 // ready-time advancement, slot search — is computed once, the same way, with
 // pooled storage, for every scheduler in the registry.
+//
+// Board.Arrivals walks the frozen CSR view (dag.Flat): callers freeze the
+// graph once per run and every per-task step indexes flat int32/float64
+// predecessor arrays instead of chasing adjacency headers. The package also
+// exports the Grow/GrowZero generics the schedulers use for their own pooled
+// scratch.
 package kernel

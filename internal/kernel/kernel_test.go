@@ -36,12 +36,16 @@ func TestBoardArrivalsMatchesDirect(t *testing.T) {
 	// Place every task greedily on the processor with minimum finish time,
 	// checking the board's arrival windows against the direct computation as
 	// we go.
+	f, err := g.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
 	order, err := g.TopologicalOrder()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, task := range order {
-		b.Arrivals(g, p, s, task)
+		b.Arrivals(f, p, s, task)
 		for j := 0; j < p.NumProcs(); j++ {
 			wantMin, wantMax := 0.0, 0.0
 			for _, pe := range g.Preds(task) {

@@ -195,19 +195,36 @@ func (cm *CostModel) MarshalJSON() ([]byte, error) {
 	}{Cost: cm.cost})
 }
 
-// UnmarshalJSON implements json.Unmarshaler with validation.
+// UnmarshalJSON implements json.Unmarshaler with validation. Like
+// Platform.UnmarshalJSON it decodes into the receiver's existing matrix
+// storage, so a pooled model decoding same-shaped payloads allocates nothing;
+// on any error the receiver is left empty.
 func (cm *CostModel) UnmarshalJSON(data []byte) error {
-	var in struct {
+	in := struct {
 		Cost [][]float64 `json:"cost"`
-	}
+	}{Cost: cm.cost[:0]}
+	cm.cost = nil
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("platform: decoding cost model: %w", err)
 	}
-	n, err := NewCostModelFromMatrix(in.Cost)
-	if err != nil {
-		return err
+	if len(in.Cost) == 0 {
+		return fmt.Errorf("platform: empty cost matrix")
 	}
-	*cm = *n
+	m := len(in.Cost[0])
+	if m == 0 {
+		return fmt.Errorf("platform: cost matrix has no processors")
+	}
+	for t := range in.Cost {
+		if len(in.Cost[t]) != m {
+			return fmt.Errorf("%w: cost row %d has %d entries, want %d", ErrDimension, t, len(in.Cost[t]), m)
+		}
+		for k, c := range in.Cost[t] {
+			if c < 0 {
+				return fmt.Errorf("platform: negative cost E(%d,P%d)=%g", t, k, c)
+			}
+		}
+	}
+	cm.cost = in.Cost
 	return nil
 }
 

@@ -188,20 +188,37 @@ func (p *Platform) MarshalJSON() ([]byte, error) {
 	return json.Marshal(platformJSON{Procs: p.m, Delay: p.delay})
 }
 
-// UnmarshalJSON implements json.Unmarshaler with validation.
+// UnmarshalJSON implements json.Unmarshaler with validation. It decodes into
+// the receiver's existing matrix storage (rows and backing are reused when
+// capacities suffice), so a pooled platform decoding same-sized payloads back
+// to back stops allocating. On any error the receiver is left empty.
 func (p *Platform) UnmarshalJSON(data []byte) error {
-	var in platformJSON
+	in := platformJSON{Delay: p.delay[:0]}
+	p.m, p.delay = 0, nil
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("platform: decoding: %w", err)
 	}
-	np, err := NewFromDelays(in.Delay)
-	if err != nil {
-		return err
+	m := len(in.Delay)
+	if m == 0 {
+		return ErrBadSize
 	}
-	if in.Procs != np.m {
-		return fmt.Errorf("%w: procs=%d but delay matrix is %dx%d", ErrDimension, in.Procs, np.m, np.m)
+	for k := range in.Delay {
+		if len(in.Delay[k]) != m {
+			return fmt.Errorf("%w: row %d has %d entries, want %d", ErrDimension, k, len(in.Delay[k]), m)
+		}
+		for h, d := range in.Delay[k] {
+			if d < 0 {
+				return fmt.Errorf("%w: d(P%d,P%d)=%g", ErrBadDelay, k, h, d)
+			}
+			if h == k && d != 0 {
+				return fmt.Errorf("%w: d(P%d,P%d)=%g, diagonal must be 0", ErrBadDelay, k, h, d)
+			}
+		}
 	}
-	*p = *np
+	if in.Procs != m {
+		return fmt.Errorf("%w: procs=%d but delay matrix is %dx%d", ErrDimension, in.Procs, m, m)
+	}
+	p.m, p.delay = m, in.Delay
 	return nil
 }
 

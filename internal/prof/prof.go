@@ -1,0 +1,75 @@
+// Package prof wires -cpuprofile / -memprofile flags into the CLIs.
+//
+// Start begins collection and Stop finishes it; Stop is idempotent and safe
+// to call on both the normal defer path and the fatal-error path, so a run
+// that dies with an error still leaves usable profiles behind. The files are
+// standard runtime/pprof output, ready for go tool pprof.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+var (
+	mu      sync.Mutex
+	cpuOut  *os.File
+	memPath string
+)
+
+// Start begins CPU profiling to cpuFile and arranges for Stop to write a heap
+// profile to memFile. Either (or both) may be empty to skip that profile.
+func Start(cpuFile, memFile string) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+		cpuOut = f
+	}
+	memPath = memFile
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile Start was asked
+// for. Repeated calls after the first are no-ops.
+func Stop() error {
+	mu.Lock()
+	defer mu.Unlock()
+	var firstErr error
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		if err := cpuOut.Close(); err != nil {
+			firstErr = fmt.Errorf("prof: %w", err)
+		}
+		cpuOut = nil
+	}
+	if memPath != "" {
+		path := memPath
+		memPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+		} else {
+			runtime.GC() // get up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+		}
+	}
+	return firstErr
+}

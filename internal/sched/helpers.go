@@ -52,12 +52,37 @@ func (s *Schedule) AddDuplicate(t dag.TaskID, r Replica) error {
 // AvgBottomLevels computes the static bottom levels bℓ(t) of Section 4.1:
 // node costs are the platform-average execution times E̅(t) and edge costs
 // the average communication costs W̅(ti,tj) = V(ti,tj)·d̅.
+//
+// It runs on the graph's frozen CSR view (Graph.Freeze — memoized, so every
+// scheduler, the replay engine and the tuner probing one instance share a
+// single topological sort) with the costs materialized once into flat slices
+// instead of dispatching closures per edge. The result is bit-for-bit the
+// closure-based g.BottomLevels under the same averaging (property-tested).
 func AvgBottomLevels(g *dag.Graph, cm *platform.CostModel, p *platform.Platform) ([]float64, error) {
+	f, err := g.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	node, edge := AvgCosts(f, cm, p)
+	return f.BottomLevels(node, edge, nil), nil
+}
+
+// AvgCosts materializes the paper's average cost model for a frozen graph:
+// node[t] = E̅(t) and edge[i] = V(e_i)·d̅ indexed by flat edge ID — the cost
+// slices Flat.BottomLevels/TopLevels and the incremental updater consume.
+func AvgCosts(f *dag.Flat, cm *platform.CostModel, p *platform.Platform) (node, edge []float64) {
 	meanD := p.MeanDelay()
-	return g.BottomLevels(
-		func(t dag.TaskID) float64 { return cm.Mean(t) },
-		func(_, _ dag.TaskID, v float64) float64 { return v * meanD },
-	)
+	v := f.NumTasks()
+	node = make([]float64, v)
+	edge = make([]float64, f.NumEdges())
+	for t := 0; t < v; t++ {
+		node[t] = cm.Mean(dag.TaskID(t))
+		lo := f.SuccEdgeLo(dag.TaskID(t))
+		for i, vol := range f.SuccVolumes(dag.TaskID(t)) {
+			edge[lo+int32(i)] = vol * meanD
+		}
+	}
+	return node, edge
 }
 
 // ResolveBottomLevels returns bl when it was supplied (validating its
@@ -83,20 +108,22 @@ func ResolveBottomLevels(g *dag.Graph, cm *platform.CostModel, p *platform.Platf
 // where E̅(tj) is the average execution time of tj on the ε+1 fastest
 // processors and W̅ uses the average delay of the ε+1 fastest links.
 func Deadlines(g *dag.Graph, cm *platform.CostModel, p *platform.Platform, epsilon int, latency float64) ([]float64, error) {
-	rev, err := g.ReverseTopologicalOrder()
+	f, err := g.Freeze()
 	if err != nil {
 		return nil, err
 	}
 	fastD := p.MeanDelayFastestLinks(epsilon + 1)
-	d := make([]float64, g.NumTasks())
-	for _, t := range rev {
-		if g.OutDegree(t) == 0 {
+	d := make([]float64, f.NumTasks())
+	for _, t := range f.ReverseTopologicalOrder() {
+		succs := f.SuccIDs(t)
+		if len(succs) == 0 {
 			d[t] = latency
 			continue
 		}
 		best := math.Inf(1)
-		for _, se := range g.Succs(t) {
-			v := d[se.To] - cm.MeanFastest(se.To, epsilon+1) - se.Volume*fastD
+		vols := f.SuccVolumes(t)
+		for i, s := range succs {
+			v := d[s] - cm.MeanFastest(dag.TaskID(s), epsilon+1) - vols[i]*fastD
 			if v < best {
 				best = v
 			}

@@ -78,6 +78,17 @@ type Schedule struct {
 	// index of predecessor Graph.Preds(t)[predIdx] whose message this
 	// replica consumes. nil under PatternAll.
 	matchedFrom [][][]int
+
+	// repArena is the contiguous backing store Place carves per-task replica
+	// rows from, presized at New to the ε+1 replicas every task is expected
+	// to carry. Rows are carved with exact capacity, so AddDuplicate's
+	// appends copy-on-grow and never clobber a neighbor. One schedule is one
+	// arena allocation instead of one per task.
+	repArena []Replica
+	// matchedRows/matchedInts are the arenas AllocMatched carves
+	// receiver-indexed matching matrices from (PatternMatched only).
+	matchedRows [][]int
+	matchedInts []int
 }
 
 // Schedule construction and validation errors.
@@ -109,9 +120,13 @@ func New(g *dag.Graph, p *platform.Platform, cm *platform.CostModel, epsilon int
 		CommPattern: pattern,
 		Algorithm:   algorithm,
 		replicas:    make([][]Replica, g.NumTasks()),
+		repArena:    make([]Replica, 0, g.NumTasks()*(epsilon+1)),
 	}
+	s.mappingOrder = make([]dag.TaskID, 0, g.NumTasks())
 	if pattern == PatternMatched {
 		s.matchedFrom = make([][][]int, g.NumTasks())
+		s.matchedRows = make([][]int, 0, g.NumTasks()*(epsilon+1))
+		s.matchedInts = make([]int, 0, (epsilon+1)*g.NumEdges())
 	}
 	return s, nil
 }
@@ -137,7 +152,16 @@ func (s *Schedule) Place(t dag.TaskID, replicas []Replica) error {
 			return fmt.Errorf("sched: replica %d of task %d on invalid processor %d", i, t, r.Proc)
 		}
 	}
-	s.replicas[t] = append([]Replica(nil), replicas...)
+	off := len(s.repArena)
+	if off+len(replicas) <= cap(s.repArena) {
+		s.repArena = append(s.repArena, replicas...)
+		s.replicas[t] = s.repArena[off : off+len(replicas) : off+len(replicas)]
+	} else {
+		// Replica counts past the presized ε+1 per task (FTBAR's duplication
+		// can exceed it when Place sees pre-duplicated inputs) fall back to a
+		// private row; rows already carved stay valid either way.
+		s.replicas[t] = append([]Replica(nil), replicas...)
+	}
 	s.mappingOrder = append(s.mappingOrder, t)
 	return nil
 }
@@ -181,6 +205,45 @@ func (s *Schedule) MatchedSource(t dag.TaskID, c, predIdx int) (int, error) {
 // MappingOrder returns the order in which tasks were mapped.
 func (s *Schedule) MappingOrder() []dag.TaskID {
 	return append([]dag.TaskID(nil), s.mappingOrder...)
+}
+
+// AppendMappingOrder appends the mapping order to buf and returns it — the
+// allocation-free variant of MappingOrder for callers recycling scratch (the
+// replay engine binds a pooled replayer per Evaluate worker).
+func (s *Schedule) AppendMappingOrder(buf []dag.TaskID) []dag.TaskID {
+	return append(buf, s.mappingOrder...)
+}
+
+// AllocMatched carves a k×npreds receiver-indexed matching matrix from the
+// schedule's arena, zeroed, for the caller to fill and hand back through
+// SetMatchedSources. Valid only under PatternMatched. The matrix shares the
+// schedule's lifetime; MC-FTSA allocates one per task instead of k+1 heap
+// objects per task.
+func (s *Schedule) AllocMatched(k, npreds int) ([][]int, error) {
+	if s.CommPattern != PatternMatched {
+		return nil, fmt.Errorf("%w: schedule pattern is %v", ErrMatching, s.CommPattern)
+	}
+	rOff := len(s.matchedRows)
+	if rOff+k > cap(s.matchedRows) {
+		// Overflow block: rows already carved keep the old backing alive.
+		s.matchedRows = make([][]int, 0, max(4*k, 2*cap(s.matchedRows)))
+		rOff = 0
+	}
+	s.matchedRows = s.matchedRows[:rOff+k]
+	rows := s.matchedRows[rOff : rOff+k : rOff+k]
+	need := k * npreds
+	iOff := len(s.matchedInts)
+	if iOff+need > cap(s.matchedInts) {
+		s.matchedInts = make([]int, 0, max(4*need, 2*cap(s.matchedInts)))
+		iOff = 0
+	}
+	s.matchedInts = s.matchedInts[:iOff+need]
+	ints := s.matchedInts[iOff : iOff+need]
+	clear(ints)
+	for c := 0; c < k; c++ {
+		rows[c] = ints[c*npreds : (c+1)*npreds : (c+1)*npreds]
+	}
+	return rows, nil
 }
 
 // Complete reports whether every task has been placed.

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+)
+
+// The decode pool recycles the request struct together with its payload
+// storage: the graph's adjacency arena (dag.Graph.UnmarshalJSON rebuilds in
+// place) and the platform and cost-model matrices (their UnmarshalJSON
+// decodes into existing rows). A warm decode of a same-shaped request
+// performs no payload-sized allocations.
+var scheduleRequestPool = sync.Pool{New: func() any { return new(ScheduleRequest) }}
+
+// AcquireScheduleRequest returns a pooled request for use with
+// DecodeScheduleRequestInto. Pass it to ReleaseScheduleRequest once the
+// request — and everything aliasing its graph, platform or costs: schedules,
+// frozen views, responses under construction — is no longer referenced.
+func AcquireScheduleRequest() *ScheduleRequest {
+	req := scheduleRequestPool.Get().(*ScheduleRequest)
+	if req.Graph == nil {
+		req.Graph = new(dag.Graph)
+	}
+	if req.Platform == nil {
+		req.Platform = new(platform.Platform)
+	}
+	if req.Costs == nil {
+		req.Costs = new(platform.CostModel)
+	}
+	return req
+}
+
+// ReleaseScheduleRequest recycles a request obtained from
+// AcquireScheduleRequest, keeping its payload storage for the next decode.
+// Safe only once nothing aliases the request's sub-objects.
+func ReleaseScheduleRequest(req *ScheduleRequest) {
+	if req == nil {
+		return
+	}
+	g, p, cm := req.Graph, req.Platform, req.Costs
+	*req = ScheduleRequest{Graph: g, Platform: p, Costs: cm}
+	scheduleRequestPool.Put(req)
+}
+
+// presentField decodes a JSON value into a caller-supplied destination while
+// distinguishing "present" from "absent or null". json.Unmarshal leaves
+// absent fields untouched and writes nil through pointer fields on null; with
+// recycled destinations both cases must surface as a nil pointer (Validate's
+// "missing field" error), never as the previous request's data.
+type presentField[T any] struct {
+	v   *T
+	set bool
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *presentField[T]) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		f.set = false
+		return nil
+	}
+	f.set = true
+	// The outer decoder has already syntax-checked b, so a destination with
+	// its own UnmarshalJSON can take the bytes directly; going through
+	// json.Unmarshal would scan the value a second time just to rediscover
+	// the Unmarshaler.
+	if u, ok := any(f.v).(json.Unmarshaler); ok {
+		return u.UnmarshalJSON(b)
+	}
+	return json.Unmarshal(b, f.v)
+}
+
+// scheduleWire mirrors ScheduleRequest field for field on the wire; it exists
+// so DisallowUnknownFields sees the exact same field set while the instance
+// payloads decode into recycled storage with presence tracking.
+type scheduleWire struct {
+	Graph           presentField[dag.Graph]          `json:"graph"`
+	Platform        presentField[platform.Platform]  `json:"platform"`
+	Costs           presentField[platform.CostModel] `json:"costs"`
+	Scheduler       string                           `json:"scheduler"`
+	Epsilon         int                              `json:"epsilon"`
+	Policy          string                           `json:"policy,omitempty"`
+	Seed            int64                            `json:"seed,omitempty"`
+	Lambda          float64                          `json:"lambda,omitempty"`
+	IncludeGantt    bool                             `json:"include_gantt,omitempty"`
+	IncludeSchedule bool                             `json:"include_schedule,omitempty"`
+}
+
+// DecodeScheduleRequestInto is DecodeScheduleRequest decoding into req's
+// existing graph, platform and cost-model storage — with a request from
+// AcquireScheduleRequest, the graph decodes through its adjacency arena and
+// the warm path stops allocating for adjacency. Accepts and rejects exactly
+// the bodies DecodeScheduleRequest does.
+func DecodeScheduleRequestInto(req *ScheduleRequest, r io.Reader) error {
+	if req.Graph == nil {
+		req.Graph = new(dag.Graph)
+	}
+	if req.Platform == nil {
+		req.Platform = new(platform.Platform)
+	}
+	if req.Costs == nil {
+		req.Costs = new(platform.CostModel)
+	}
+	w := scheduleWire{
+		Graph:    presentField[dag.Graph]{v: req.Graph},
+		Platform: presentField[platform.Platform]{v: req.Platform},
+		Costs:    presentField[platform.CostModel]{v: req.Costs},
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("decoding request: unexpected data after the JSON body")
+	}
+	g, p, cm := req.Graph, req.Platform, req.Costs
+	*req = ScheduleRequest{
+		Scheduler:       w.Scheduler,
+		Epsilon:         w.Epsilon,
+		Policy:          w.Policy,
+		Seed:            w.Seed,
+		Lambda:          w.Lambda,
+		IncludeGantt:    w.IncludeGantt,
+		IncludeSchedule: w.IncludeSchedule,
+	}
+	if w.Graph.set {
+		req.Graph = g
+	}
+	if w.Platform.set {
+		req.Platform = p
+	}
+	if w.Costs.set {
+		req.Costs = cm
+	}
+	return req.Validate()
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ftsched/internal/workload"
+)
+
+// TestDecodeIntoMatchesDecode pins the pooled decoder to the plain one: the
+// same request struct is reused across every body, and each body must be
+// accepted or rejected exactly as DecodeScheduleRequest does — in particular,
+// a body missing a field must not inherit that field from the previous decode.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	valid, err := json.Marshal(testRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(map[string]any)) string {
+		var b map[string]any
+		if err := json.Unmarshal(valid, &b); err != nil {
+			t.Fatal(err)
+		}
+		f(b)
+		s, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(s)
+	}
+	bodies := []string{
+		string(valid),
+		"{",
+		string(valid) + "{}",
+		mutate(func(b map[string]any) { b["epsilom"] = 3 }),
+		mutate(func(b map[string]any) { delete(b, "graph") }),
+		mutate(func(b map[string]any) { b["graph"] = nil }),
+		mutate(func(b map[string]any) { delete(b, "platform") }),
+		mutate(func(b map[string]any) { b["platform"] = nil }),
+		mutate(func(b map[string]any) { delete(b, "costs") }),
+		mutate(func(b map[string]any) { delete(b, "scheduler") }),
+		mutate(func(b map[string]any) { b["scheduler"] = "slurm" }),
+		mutate(func(b map[string]any) { b["epsilon"] = -1 }),
+		string(valid), // valid again after a parade of rejects
+	}
+	req := AcquireScheduleRequest()
+	defer ReleaseScheduleRequest(req)
+	for i, body := range bodies {
+		want, wantErr := DecodeScheduleRequest(strings.NewReader(body))
+		gotErr := DecodeScheduleRequestInto(req, strings.NewReader(body))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("body %d: fresh decode err %v, pooled decode err %v", i, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("body %d: fresh error %q, pooled error %q", i, wantErr, gotErr)
+			}
+			continue
+		}
+		if RequestFingerprint(req) != RequestFingerprint(want) {
+			t.Fatalf("body %d: pooled decode changed the request fingerprint", i)
+		}
+	}
+}
+
+// TestReleaseScheduleRequestZeroes guards the pool against state leaks: a
+// released and reacquired request must look factory-fresh.
+func TestReleaseScheduleRequestZeroes(t *testing.T) {
+	req := AcquireScheduleRequest()
+	data, err := json.Marshal(testRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeScheduleRequestInto(req, bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	ReleaseScheduleRequest(req)
+	req2 := AcquireScheduleRequest()
+	defer ReleaseScheduleRequest(req2)
+	if req2.Scheduler != "" || req2.Epsilon != 0 || req2.Policy != "" || req2.Seed != 0 ||
+		req2.Lambda != 0 || req2.IncludeGantt || req2.IncludeSchedule {
+		t.Fatalf("reacquired request carries scalar state: %+v", req2)
+	}
+	if req2.Graph == nil || req2.Platform == nil || req2.Costs == nil {
+		t.Fatal("reacquired request missing payload storage")
+	}
+}
+
+// benchBody builds a paper-sized request body once for the decode benchmarks.
+func benchBody(b *testing.B) []byte {
+	b.Helper()
+	inst, err := workload.NewInstance(rand.New(rand.NewSource(5)), workload.DefaultPaperConfig(1.0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &ScheduleRequest{
+		Graph: inst.Graph, Platform: inst.Platform, Costs: inst.Costs,
+		Scheduler: "ftsa", Epsilon: 1,
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// BenchmarkDecodeSchedule contrasts the per-request decode the service ran
+// before pooling (fresh allocations per body) with the pooled warm path the
+// handlers and the coordinator door use now.
+func BenchmarkDecodeSchedule(b *testing.B) {
+	body := benchBody(b)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeScheduleRequest(bytes.NewReader(body)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		req := AcquireScheduleRequest()
+		defer ReleaseScheduleRequest(req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := DecodeScheduleRequestInto(req, bytes.NewReader(body)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

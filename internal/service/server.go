@@ -218,7 +218,20 @@ func decodeRequest[T any](s *Server, w http.ResponseWriter, r *http.Request,
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	start := time.Now()
-	req, ok := decodeRequest(s, w, r, DecodeScheduleRequest,
+	// Decode into a pooled request: the graph lands in a recycled adjacency
+	// arena, so the warm decode path allocates nothing proportional to the
+	// instance. Nothing built from the request outlives the handler (the
+	// response cache stores bytes, the bottom-level memo float slices), so
+	// releasing on return is safe.
+	req := AcquireScheduleRequest()
+	defer ReleaseScheduleRequest(req)
+	req, ok := decodeRequest(s, w, r,
+		func(body io.Reader) (*ScheduleRequest, error) {
+			if err := DecodeScheduleRequestInto(req, body); err != nil {
+				return nil, err
+			}
+			return req, nil
+		},
 		func(req *ScheduleRequest) int { return req.Graph.NumTasks() })
 	if !ok {
 		return

@@ -24,4 +24,9 @@
 //
 // ScenarioSpec is the serializable description of a generator shared by the
 // /evaluate service endpoint, the ftexp campaign axis and ftsched -scenario.
+//
+// The replay core freezes the schedule's graph once (dag.Flat) and walks the
+// CSR predecessor arrays per replica; combined with pooled replayer scratch,
+// a warm replay allocates nothing (BenchmarkReplay), which is what keeps
+// Evaluate O(1) in trials.
 package sim

@@ -28,11 +28,12 @@ type msgIn struct {
 // each Evaluate worker binds its own, so no synchronization is needed inside.
 type replayer struct {
 	s       *sched.Schedule
+	f       *dag.Flat // frozen CSR view of the schedule's graph
 	model   CommModel
 	reroute bool
 
-	order      []dag.TaskID // mapping order, cloned once at bind time
-	exits      []dag.TaskID // exit tasks, computed once at bind time
+	order      []dag.TaskID // mapping order, copied into pooled scratch at bind time
+	exits      []dag.TaskID // exit tasks, aliasing the frozen view
 	finishFlat []float64    // replica finish backing store, tasks concatenated
 	finish     [][]float64  // per-task views into finishFlat
 	complFlat  []bool       // replica completion backing store
@@ -48,20 +49,25 @@ var replayerPool = sync.Pool{New: func() any { return new(replayer) }}
 // incomplete schedule; scenario shape is checked per replay.
 func newReplayer(s *sched.Schedule, opt Options) (*replayer, error) {
 	v := s.Graph.NumTasks()
-	order := s.MappingOrder()
-	if len(order) != v {
-		return nil, fmt.Errorf("sim: incomplete schedule (%d of %d tasks mapped)", len(order), v)
+	f, err := s.Graph.Freeze()
+	if err != nil {
+		return nil, err
 	}
 	model := opt.Model
 	if model == nil {
 		model = ContentionFree{}
 	}
 	r := replayerPool.Get().(*replayer)
+	r.order = s.AppendMappingOrder(r.order[:0])
+	if len(r.order) != v {
+		replayerPool.Put(r)
+		return nil, fmt.Errorf("sim: incomplete schedule (%d of %d tasks mapped)", len(r.order), v)
+	}
 	r.s = s
+	r.f = f
 	r.model = model
 	r.reroute = !opt.StrictMatched
-	r.order = order
-	r.exits = s.Graph.Exits()
+	r.exits = f.Exits()
 
 	total := 0
 	for t := 0; t < v; t++ {
@@ -89,7 +95,9 @@ func (r *replayer) release() {
 	if r == nil {
 		return
 	}
-	r.s, r.model = nil, nil
+	// exits aliases the frozen view (not pooled scratch); drop it so the
+	// pool does not pin a dead graph.
+	r.s, r.f, r.model, r.exits = nil, nil, nil, nil
 	replayerPool.Put(r)
 }
 
@@ -181,13 +189,17 @@ func (r *replayer) arrivalTime(t dag.TaskID, c int) (ready float64, ok bool, del
 	s := r.s
 	dst := s.Replicas(t)[c]
 	incoming := r.incoming[:0]
-	for predIdx, pe := range s.Graph.Preds(t) {
-		srcReps := s.Replicas(pe.To)
+	preds := r.f.PredIDs(t)
+	vols := r.f.PredVolumes(t)
+	for predIdx, predRaw := range preds {
+		pe := dag.TaskID(predRaw)
+		vol := vols[predIdx]
+		srcReps := s.Replicas(pe)
 		useAny := s.CommPattern != sched.PatternMatched
 		if s.CommPattern == sched.PatternMatched {
 			k, err := s.MatchedSource(t, c, predIdx)
-			if err == nil && !math.IsInf(r.finish[pe.To][k], 1) {
-				incoming = append(incoming, msgIn{send: r.finish[pe.To][k], src: int(srcReps[k].Proc), volume: pe.Volume})
+			if err == nil && !math.IsInf(r.finish[pe][k], 1) {
+				incoming = append(incoming, msgIn{send: r.finish[pe][k], src: int(srcReps[k].Proc), volume: vol})
 				continue
 			}
 			// The retained link is dead. Under strict semantics the
@@ -204,21 +216,21 @@ func (r *replayer) arrivalTime(t dag.TaskID, c int) (ready float64, ok bool, del
 			bestSend := 0.0
 			bestSrc := -1
 			for k, sr := range srcReps {
-				if math.IsInf(r.finish[pe.To][k], 1) {
+				if math.IsInf(r.finish[pe][k], 1) {
 					continue
 				}
 				// Estimate with the stateless delay; stateful models are
 				// charged once per consumed message below.
-				arr := r.finish[pe.To][k] + pe.Volume*s.Platform.Delay(sr.Proc, dst.Proc)
+				arr := r.finish[pe][k] + vol*s.Platform.Delay(sr.Proc, dst.Proc)
 				if arr < bestArr {
-					bestArr, bestSend, bestSrc = arr, r.finish[pe.To][k], int(sr.Proc)
+					bestArr, bestSend, bestSrc = arr, r.finish[pe][k], int(sr.Proc)
 				}
 			}
 			if bestSrc < 0 {
 				r.incoming = incoming
 				return 0, false, 0
 			}
-			incoming = append(incoming, msgIn{send: bestSend, src: bestSrc, volume: pe.Volume})
+			incoming = append(incoming, msgIn{send: bestSend, src: bestSrc, volume: vol})
 		}
 	}
 	// Charge the communication model in non-decreasing send order, which is
