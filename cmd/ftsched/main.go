@@ -21,6 +21,7 @@
 //	ftsched -dir work -eps 2 -evaluate -trials 10000            # batch MC eval
 //	ftsched -dir work -eps 2 -evaluate -scenario exp:0.0001     # failure law
 //	ftsched -dir work -load s.json -evaluate -scenario group:4:0.001
+//	ftsched -dir work -eps 1 -evaluate -policies static,reschedule # online vs offline
 //	ftsched -dir work -tune -target 0.99 -scenario exp:0.0001   # auto-tune
 //
 // -evaluate runs the batch fault-injection engine (sim.Evaluate) against the
@@ -28,7 +29,11 @@
 // (uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA,
 // burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON), reporting the success rate
 // with its Wilson interval, latency mean/p50/p99 and the
-// degradation-vs-failure-count histogram.
+// degradation-vs-failure-count histogram. -policies additionally scores
+// mission execution policies on the SAME scenario draws: "static" rides the
+// schedule out unchanged (bit-identical to the plain evaluation), while
+// "reschedule" re-plans the surviving suffix of the DAG after every crash
+// (internal/mission) — the printed comparison is the offline-vs-online gap.
 //
 // -tune answers "which configuration should I run?": it searches the
 // scheduler-registry × ε × policy grid (internal/tune), scoring every
@@ -46,10 +51,12 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"ftsched/internal/core"
 	"ftsched/internal/dag"
+	"ftsched/internal/mission"
 	"ftsched/internal/platform"
 	"ftsched/internal/prof"
 	"ftsched/internal/sched"
@@ -68,6 +75,7 @@ func main() {
 		trials     = flag.Int("trials", 1, "crash simulation trials (-crash), or batch size for -evaluate")
 		evaluate   = flag.Bool("evaluate", false, "run the batch fault-injection evaluation (sim.Evaluate) on the schedule")
 		scenario   = flag.String("scenario", "", "evaluation scenario spec (default uniform:ε), e.g. uniform:2, exp:0.001, weibull:1.5:2000, group:4:0.001, burst:3:0.001:50, staggered:2:1000")
+		policies   = flag.String("policies", "", "comma-separated mission policies to score side by side under -evaluate (static,reschedule): static rides out failures, reschedule re-plans the surviving DAG suffix after every crash")
 		latency    = flag.Float64("latency", 0, "latency budget: deadline-checked scheduling, or the budget for -maxeps")
 		policy     = flag.String("policy", "", "scheduler-specific policy (e.g. mcftsa: greedy|bottleneck, heft: noinsertion)")
 		maxEps     = flag.Bool("maxeps", false, "maximize ε under the -latency budget (uses FTSA)")
@@ -110,15 +118,17 @@ func main() {
 	}
 	switch {
 	case *maxEps:
-		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy", "evaluate", "scenario", "tune", "target")
+		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy", "evaluate", "scenario", "policies", "tune", "target")
 	case *compare:
-		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate", "scenario", "tune", "target")
+		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate", "scenario", "policies", "tune", "target")
 	case *tuneMode:
 		// The tuner schedules every registry candidate itself; all
 		// single-schedule flags are meaningless.
-		rejectWith("-tune", "algo", "eps", "latency", "crash", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate")
+		rejectWith("-tune", "algo", "eps", "latency", "crash", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate", "policies")
 	case *loadFrm != "":
-		rejectWith("-load", "algo", "eps", "latency", "save", "policy", "tune", "target")
+		// The policy comparison re-plans through the registry, so it needs
+		// the instance flags, not a frozen schedule file.
+		rejectWith("-load", "algo", "eps", "latency", "save", "policy", "policies", "tune", "target")
 	default:
 		rejectWith("this", "target")
 	}
@@ -135,6 +145,9 @@ func main() {
 	} else {
 		if set["scenario"] {
 			fatal(fmt.Errorf("-scenario only applies to -evaluate; pass it as well"))
+		}
+		if set["policies"] {
+			fatal(fmt.Errorf("-policies only applies to -evaluate; pass it as well"))
 		}
 		if *crash < 0 {
 			for _, name := range []string{"trials", "trace"} {
@@ -256,6 +269,11 @@ func main() {
 		if err := runEvaluate(s, *scenario, *eps, *trials, set["trials"], *seed); err != nil {
 			fatal(err)
 		}
+		if *policies != "" {
+			if err := runPolicyComparison(g, p, cm, *policies, *scenario, *eps, *trials, set["trials"], *seed, *algo, *policy); err != nil {
+				fatal(err)
+			}
+		}
 		return
 	}
 
@@ -348,6 +366,54 @@ func runEvaluate(s *sched.Schedule, scenario string, eps, trials int, trialsSet 
 	for _, b := range res.ByFailures {
 		fmt.Printf("    %9d %8d %7.1f%% %13.4g %+11.1f%%\n",
 			b.Failures, b.Trials, 100*b.SuccessRate, b.MeanLatency, 100*b.MeanDegradation)
+	}
+	return nil
+}
+
+// runPolicyComparison scores the requested mission policies on the same
+// scenario draws the plain evaluation used, printing offline (static) and
+// online (re-scheduling) execution side by side.
+func runPolicyComparison(g *dag.Graph, p *platform.Platform, cm *platform.CostModel,
+	policiesStr, scenario string, eps, trials int, trialsSet bool,
+	seed int64, algo, schedPolicy string) error {
+	if scenario == "" {
+		scenario = fmt.Sprintf("uniform:%d", eps)
+	}
+	sp, err := sim.ParseScenarioSpec(scenario)
+	if err != nil {
+		return err
+	}
+	gen, err := sp.Generator()
+	if err != nil {
+		return err
+	}
+	if !trialsSet {
+		trials = 1000
+	}
+	spec := mission.Spec{
+		Graph:       g,
+		Platform:    p,
+		Costs:       cm,
+		Scheduler:   algo,
+		Epsilon:     eps,
+		SchedPolicy: schedPolicy,
+		Seed:        seed,
+	}
+	fmt.Printf("  mission policies on the same draws (%s, %d trials):\n", sp.String(), trials)
+	fmt.Printf("    %-11s %8s %19s %13s %10s\n", "policy", "success", "95% Wilson", "mean latency", "p99")
+	for _, name := range strings.Split(policiesStr, ",") {
+		pol, err := mission.ParsePolicy(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		spec.Policy = pol
+		res, err := mission.EvaluatePolicy(spec, gen, trials, sim.EvalOptions{Seed: seed})
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", pol, err)
+		}
+		fmt.Printf("    %-11s %7.1f%% [%7.4f, %7.4f] %13.4g %10.4g\n",
+			pol, 100*res.SuccessRate, res.SuccessLow, res.SuccessHigh,
+			res.Latency.Mean, res.Latency.P99)
 	}
 	return nil
 }

@@ -30,6 +30,10 @@
 //	                 (Wilson interval), latency p50/p99, degradation histogram
 //	POST /tune       auto-tune: Pareto frontier over the scheduler registry
 //	                 × ε × policy grid, with a recommended operating point
+//	POST /missions   async online mission (202 + id): execute the schedule
+//	                 against a failure scenario, re-planning after crashes
+//	GET  /missions/{id}         poll state / the final deterministic report
+//	GET  /missions/{id}/events  stream the ordered event log as JSONL
 //	GET  /healthz    liveness probe
 //	GET  /stats      cache hit rate, queue depth, p50/p99 latency
 //
@@ -65,6 +69,7 @@ func main() {
 		maxTrials   = flag.Int("max-trials", 0, "reject /evaluate and /tune requests with more trials (0: 100000)")
 		maxCands    = flag.Int("max-candidates", 0, "reject /tune requests deriving more candidates (0: 256)")
 		maxBatch    = flag.Int("max-batch", 0, "reject /schedule/batch envelopes with more items (0: 256)")
+		maxMissions = flag.Int("max-missions", 0, "retained missions per worker; when all are running, new /missions return 429 (0: 1024)")
 		maxBody     = flag.Int64("max-body", 32<<20, "request body limit in bytes")
 		verbose     = flag.Bool("v", false, "log every /schedule and /evaluate request")
 
@@ -83,6 +88,7 @@ func main() {
 		MaxTrials:     *maxTrials,
 		MaxCandidates: *maxCands,
 		MaxBatchItems: *maxBatch,
+		MaxMissions:   *maxMissions,
 		MaxBodyBytes:  *maxBody,
 	}
 	logger := log.New(os.Stderr, "ftserved: ", log.LstdFlags)

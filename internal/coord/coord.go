@@ -71,6 +71,9 @@ func New(shards []http.Handler, opts Options) *Coordinator {
 	c.mux.HandleFunc("POST /schedule/batch", c.handleBatch)
 	c.mux.HandleFunc("POST /evaluate", c.routed(decodeEvaluateFP))
 	c.mux.HandleFunc("POST /tune", c.routed(decodeTuneFP))
+	c.mux.HandleFunc("POST /missions", c.routed(decodeMissionFP))
+	c.mux.HandleFunc("GET /missions/{id}", c.missionByID)
+	c.mux.HandleFunc("GET /missions/{id}/events", c.missionByID)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /stats", c.handleStats)
 	return c
@@ -118,6 +121,36 @@ func decodeTuneFP(body []byte) (service.Fingerprint, int, error) {
 		return service.Fingerprint{}, 0, err
 	}
 	return service.TuneFingerprint(req), req.Graph.NumTasks(), nil
+}
+
+func decodeMissionFP(body []byte) (service.Fingerprint, int, error) {
+	req, err := service.DecodeMissionRequest(bytes.NewReader(body))
+	if err != nil {
+		return service.Fingerprint{}, 0, err
+	}
+	return service.MissionFingerprint(req), req.Graph.NumTasks(), nil
+}
+
+// missionByID routes the mission read endpoints. A mission id IS the hex of
+// its routing fingerprint, so the owner of an id is recomputed from the id
+// alone — no shared state, and the GET lands on the same shard the POST
+// created the mission on at any shard count. Like the shards themselves,
+// the door keeps mission reads out of the request counters (they are polls,
+// not work), so a malformed id is refused with a bare 400 here rather than
+// through reject.
+func (c *Coordinator) missionByID(w http.ResponseWriter, r *http.Request) {
+	fp, err := service.ParseMissionID(r.PathValue("id"))
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(service.ErrorResponse{Error: err.Error()})
+		return
+	}
+	shard := c.Route(fp)
+	if c.opts.Log != nil {
+		c.opts.Log.Printf("%s %s fp=%x shard=%d/%d", r.RemoteAddr, r.URL.Path, fp[:4], shard, len(c.shards))
+	}
+	c.forward(w, r, shard, nil)
 }
 
 // routed builds the handler for one single-fingerprint endpoint: buffer the

@@ -56,6 +56,17 @@ func batchBody(items string) []byte {
 	return []byte(fmt.Sprintf(`{%s, "requests": [%s]}`, diamondInstance, items))
 }
 
+// missionBody builds a /missions request over the diamond instance.
+func missionBody(scheduler string, epsilon int, policy string) []byte {
+	p := ""
+	if policy != "" {
+		p = fmt.Sprintf(`, "mission_policy": %q`, policy)
+	}
+	return []byte(fmt.Sprintf(`{%s, "scheduler": %q, "epsilon": %d, "seed": 7,
+	  "scenario": {"kind": "uniform", "crashes": 1}, "scenario_seed": 5%s}`,
+		diamondInstance, scheduler, epsilon, p))
+}
+
 // newDeployment builds a coordinator over n in-process shards, all cleaned
 // up with the test.
 func newDeployment(t *testing.T, n int, cfg service.Config) (*Coordinator, []*service.Server) {

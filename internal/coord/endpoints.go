@@ -19,6 +19,9 @@ var endpoints = []endpoint{
 	{"POST", "/schedule/batch", "decode once, split per item fingerprint, fan out sub-batches, merge items in request order"},
 	{"POST", "/evaluate", "decode + fingerprint at the door, forward verbatim to the owning shard"},
 	{"POST", "/tune", "decode + fingerprint at the door, forward verbatim to the owning shard"},
+	{"POST", "/missions", "decode + fingerprint at the door, forward verbatim to the owning shard (the mission id is the fingerprint, so reads route themselves)"},
+	{"GET", "/missions/{id}", "parse the id as a fingerprint, forward to the shard that owns the mission"},
+	{"GET", "/missions/{id}/events", "parse the id as a fingerprint, forward to the shard that owns the mission"},
 	{"GET", "/healthz", "ok only when every shard is ok"},
 	{"GET", "/stats", "door counters + conservation-preserving merged view + raw per-shard stats"},
 }

@@ -3,6 +3,7 @@ package coord
 import (
 	"bytes"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -105,6 +106,95 @@ func FuzzRouteRequest(f *testing.F) {
 		want := RouteFingerprint(fp, len(shards))
 		if shards[want].calls.Load() != 1 {
 			t.Fatalf("%s: request did not land on the owning shard %d", path, want)
+		}
+	})
+}
+
+// FuzzRouteMission extends the door contract to the mission surface:
+// arbitrary bytes against POST /missions and arbitrary ids against
+// GET /missions/{id}. The same invariants hold — never panic, undecodable
+// input is a 400 that reaches NO shard, decodable input reaches exactly the
+// owning shard — plus the mission-specific one: a GET with a well-formed id
+// routes to the same shard as the POST whose fingerprint spelled that id.
+func FuzzRouteMission(f *testing.F) {
+	f.Add([]byte(nil), "")
+	f.Add([]byte(`{}`), "not-an-id")
+	f.Add([]byte(`{"graph": nope`), "0123456789abcdef0123456789abcdef")
+	f.Add(missionBody("mcftsa", 1, "reschedule"), "0123456789ABCDEF0123456789abcdef")
+	f.Add(missionBody("heft", 0, "static"), "0123456789abcdef0123456789abcde")
+	f.Add(missionBody("ftsa", 1, ""), "g123456789abcdef0123456789abcdef")
+
+	f.Fuzz(func(t *testing.T, body []byte, id string) {
+		shards := []*countingShard{{}, {}, {}}
+		handlers := make([]http.Handler, len(shards))
+		for i := range shards {
+			handlers[i] = shards[i]
+		}
+		c := New(handlers, Options{})
+
+		rec := do(c, http.MethodPost, "/missions", body)
+		reached := func() (n uint64) {
+			for _, s := range shards {
+				n += s.calls.Load()
+			}
+			return n
+		}
+		req, decodeErr := service.DecodeMissionRequest(bytes.NewReader(body))
+		if decodeErr != nil {
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("POST /missions: undecodable body got %d, want 400 (body %q)", rec.Code, body)
+			}
+			if reached() != 0 {
+				t.Fatalf("POST /missions: undecodable body reached %d shard calls; the door must stop it", reached())
+			}
+		} else {
+			if rec.Code == http.StatusBadRequest {
+				t.Fatalf("POST /missions: decodable body rejected 400: %s", rec.Body.String())
+			}
+			fp := service.MissionFingerprint(req)
+			want := RouteFingerprint(fp, len(shards))
+			if shards[want].calls.Load() != 1 || reached() != 1 {
+				t.Fatalf("POST /missions: %d shard calls, owner %d got %d; want exactly the owner",
+					reached(), want, shards[want].calls.Load())
+			}
+			// The id the POST minted must route its GET to the same shard.
+			before := reached()
+			rec = do(c, http.MethodGet, "/missions/"+service.MissionID(fp), nil)
+			if rec.Code == http.StatusBadRequest {
+				t.Fatalf("GET /missions/{id}: minted id rejected: %s", rec.Body.String())
+			}
+			if shards[want].calls.Load() != 2 || reached() != before+1 {
+				t.Fatalf("GET /missions/{id} did not land on the owning shard %d", want)
+			}
+		}
+
+		// Fuzzed id against the read endpoints: malformed ids must die at the
+		// door without a shard call; well-formed ids route deterministically.
+		// Only printable-ASCII single-segment ids are addressable through
+		// httptest.NewRequest; anything else cannot reach the door anyway.
+		if strings.ContainsAny(id, "/?#% ") {
+			return
+		}
+		for i := 0; i < len(id); i++ {
+			if id[i] <= 0x20 || id[i] >= 0x7f {
+				return
+			}
+		}
+		fp, idErr := service.ParseMissionID(id)
+		owner := RouteFingerprint(fp, len(shards))
+		before, ownerBefore := reached(), shards[owner].calls.Load()
+		rec = do(c, http.MethodGet, "/missions/"+id, nil)
+		if idErr != nil {
+			if rec.Code != http.StatusBadRequest && rec.Code != http.StatusNotFound && rec.Code != http.StatusMovedPermanently {
+				t.Fatalf("GET /missions/%q: malformed id got %d, want 4xx", id, rec.Code)
+			}
+			if reached() != before {
+				t.Fatalf("GET /missions/%q: malformed id reached a shard", id)
+			}
+			return
+		}
+		if reached() != before+1 || shards[owner].calls.Load() != ownerBefore+1 {
+			t.Fatalf("GET /missions/%q did not land on exactly the owning shard %d", id, owner)
 		}
 	})
 }

@@ -50,8 +50,10 @@ func MergeShardStats(per []service.Stats) service.Stats {
 		m.Requests += s.Requests
 		m.EvaluateRequests += s.EvaluateRequests
 		m.TuneRequests += s.TuneRequests
+		m.MissionRequests += s.MissionRequests
 		m.BatchRequests += s.BatchRequests
 		m.BatchItems += s.BatchItems
+		m.Missions += s.Missions
 		m.CacheHits += s.CacheHits
 		m.CacheMisses += s.CacheMisses
 		m.SingleflightShared += s.SingleflightShared
@@ -59,6 +61,7 @@ func MergeShardStats(per []service.Stats) service.Stats {
 		m.Rejected += s.Rejected
 		m.ClientErrors += s.ClientErrors
 		m.InternalErrors += s.InternalErrors
+		m.CancelledRequests += s.CancelledRequests
 		m.QueueDepth += s.QueueDepth
 		m.QueueCapacity += s.QueueCapacity
 		m.Workers += s.Workers
@@ -103,8 +106,8 @@ func (c *Coordinator) shardGet(shard int, path string, out any) error {
 // folds the door's rejections back in — a request refused at the door never
 // reached a shard, but it is still a request that ended in a client error —
 // so merged.requests == merged.cache_hits + merged.cache_misses +
-// merged.client_errors + merged.internal_errors holds for the deployment
-// exactly as it does for a standalone server.
+// merged.client_errors + merged.internal_errors + merged.cancelled_requests
+// holds for the deployment exactly as it does for a standalone server.
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := Stats{
 		Shards: len(c.shards),

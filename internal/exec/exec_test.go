@@ -12,6 +12,7 @@ import (
 	"ftsched/internal/dag"
 	"ftsched/internal/platform"
 	"ftsched/internal/sched"
+	"ftsched/internal/sim"
 	"ftsched/internal/workload"
 )
 
@@ -264,5 +265,98 @@ func TestExecutorAllProcessorsDead(t *testing.T) {
 	crash := map[platform.ProcID]int{0: 0, 1: 0, 2: 0}
 	if _, err := Run(s, sumTasks(inst.Graph), Config{CrashAfter: crash}); !errors.Is(err, ErrIncomplete) {
 		t.Errorf("all-dead execution: %v", err)
+	}
+}
+
+// TestExecutorCrashEveryPrefix is Theorem 4.1 as an exhaustive executable
+// property: for EVERY processor and EVERY crash point in its queue (after
+// 0, 1, ..., all of its replicas), alone and paired with a second processor
+// dead from the start (total failures = ε), every task still produces the
+// sequential reference output. The mission controller's replay banks the
+// replicas a processor completed before its crash; this test is the
+// concurrent ground truth that banking is sound at every possible prefix.
+func TestExecutorCrashEveryPrefix(t *testing.T) {
+	inst := buildInstance(t, 9, 5)
+	const m, eps = 5, 2
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := sumTasks(inst.Graph)
+	queueLen := make([]int, m)
+	for tsk := 0; tsk < inst.Graph.NumTasks(); tsk++ {
+		for _, r := range s.Replicas(dag.TaskID(tsk)) {
+			queueLen[r.Proc]++
+		}
+	}
+	for p := 0; p < m; p++ {
+		for k := 0; k <= queueLen[p]; k++ {
+			rep, err := Run(s, fns, Config{CrashAfter: map[platform.ProcID]int{
+				platform.ProcID(p): k,
+			}})
+			if err != nil {
+				t.Fatalf("P%d crash after %d replicas: %v", p, k, err)
+			}
+			checkOutputs(t, inst.Graph, rep)
+
+			q := (p + 2) % m
+			rep, err = Run(s, fns, Config{CrashAfter: map[platform.ProcID]int{
+				platform.ProcID(p): k,
+				platform.ProcID(q): 0,
+			}})
+			if err != nil {
+				t.Fatalf("P%d crash after %d + P%d dead: %v", p, k, q, err)
+			}
+			checkOutputs(t, inst.Graph, rep)
+		}
+	}
+}
+
+// TestExecutorAgreesWithSimReplay cross-checks the two failure models the
+// repository has: the concurrent executor (this package) and the
+// deterministic replay engine the mission controller and /evaluate run on.
+// For every crash-at-start subset up to ε+1 processors the two must agree
+// on survivability, and within ε both must succeed — the shared oracle that
+// lets mission replay stand in for real message-passing execution.
+func TestExecutorAgreesWithSimReplay(t *testing.T) {
+	inst := buildInstance(t, 10, 5)
+	const m, eps = 5, 1
+	s, err := core.FTSA(inst.Graph, inst.Platform, inst.Costs, core.Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := sumTasks(inst.Graph)
+	var subsets [][]int
+	for a := 0; a < m; a++ {
+		subsets = append(subsets, []int{a})
+		for b := a + 1; b < m; b++ {
+			subsets = append(subsets, []int{a, b})
+		}
+	}
+	for _, procs := range subsets {
+		crash := make(map[platform.ProcID]int, len(procs))
+		sc := sim.NoFailures(m)
+		for _, p := range procs {
+			crash[platform.ProcID(p)] = 0
+			sc.CrashTime[p] = 0 // dead from the start in both models
+		}
+		rep, execErr := Run(s, fns, Config{CrashAfter: crash})
+		if execErr != nil && !errors.Is(execErr, ErrIncomplete) {
+			t.Fatalf("crash %v: %v", procs, execErr)
+		}
+		_, _, simOK, err := sim.ReplayTaskFinishes(s, sc, sim.Options{}, nil)
+		if err != nil {
+			t.Fatalf("replay %v: %v", procs, err)
+		}
+		execOK := execErr == nil
+		if execOK != simOK {
+			t.Fatalf("crash %v: executor ok=%v, replay ok=%v — the models disagree", procs, execOK, simOK)
+		}
+		if len(procs) <= eps && !execOK {
+			t.Fatalf("crash %v within ε=%d not tolerated", procs, eps)
+		}
+		if execOK {
+			checkOutputs(t, inst.Graph, rep)
+		}
 	}
 }

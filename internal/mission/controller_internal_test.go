@@ -1,0 +1,111 @@
+package mission
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftsched/internal/dag"
+	"ftsched/internal/platform"
+	"ftsched/internal/sched"
+	_ "ftsched/internal/schedulers"
+	"ftsched/internal/sim"
+	"ftsched/internal/workload"
+)
+
+// TestReplanBottomLevelsExact pins the claim the incremental repair rides
+// on: after a replan, the repaired full-graph bottom levels restricted to
+// the surviving suffix are bit-for-bit what sched.AvgBottomLevels computes
+// for the standalone sub-instance. (The suffix is successor-closed and the
+// repaired costs use the sub-instance's exact operation order, so equality
+// is exact, not approximate.)
+func TestReplanBottomLevelsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := workload.DefaultPaperConfig(1.0)
+	cfg.Procs = 6
+	cfg.DAG.MinTasks, cfg.DAG.MaxTasks = 30, 40
+	inst, err := workload.NewInstance(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(Spec{
+		Graph: inst.Graph, Platform: inst.Platform, Costs: inst.Costs,
+		Scheduler: "mcftsa", Epsilon: 2, Seed: 5, Policy: PolicyReschedule,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash two processors mid-flight so the mission replans at least once.
+	sc := sim.NoFailures(6)
+	sc.CrashTime[0] = 0.3 * c.plan0.LowerBound()
+	sc.CrashTime[3] = 0.6 * c.plan0.LowerBound()
+	out, err := c.Run(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Replans == 0 {
+		t.Fatal("scenario caused no replan; test exercises nothing")
+	}
+
+	// The controller's scratch still holds the last segment's sub-instance.
+	// Rebuild it independently and compare bottom levels bit for bit.
+	if len(c.subTasks) == 0 || len(c.subTasks) == c.f.NumTasks() {
+		t.Fatalf("last segment has %d of %d tasks; want a strict suffix", len(c.subTasks), c.f.NumTasks())
+	}
+	subG := dag.NewWithTasks("check", len(c.subTasks))
+	rows := make([][]float64, len(c.subTasks))
+	for i, task := range c.subTasks {
+		row := make([]float64, len(c.subProcs))
+		for j, p := range c.subProcs {
+			row[j] = inst.Costs.Cost(task, p)
+		}
+		rows[i] = row
+		vols := c.f.SuccVolumes(task)
+		for k, s := range c.f.SuccIDs(task) {
+			subG.MustAddEdge(dag.TaskID(i), dag.TaskID(c.origToSub[s]), vols[k])
+		}
+	}
+	subCM, err := platform.NewCostModelFromMatrix(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := make([][]float64, len(c.subProcs))
+	for i, pi := range c.subProcs {
+		drow := make([]float64, len(c.subProcs))
+		for j, pj := range c.subProcs {
+			drow[j] = inst.Platform.Delay(pi, pj)
+		}
+		delays[i] = drow
+	}
+	subP, err := platform.NewFromDelays(delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sched.AvgBottomLevels(subG, subCM, subP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := c.subBL[i]; got != want[i] || math.IsNaN(got) {
+			t.Fatalf("sub task %d (orig %d): repaired bl %v, from-scratch %v", i, c.subTasks[i], got, want[i])
+		}
+	}
+	if out.BLTouched == 0 {
+		t.Fatal("BLTouched = 0 across a replanning mission; repair reported no work")
+	}
+}
+
+// TestRngSeg0MatchesSchedule pins the seeding identity that makes a
+// static-policy mission agree with the serving layer's /schedule: segment 0
+// draws from rand.NewSource(Seed) directly, not from a derived stream.
+func TestRngSeg0MatchesSchedule(t *testing.T) {
+	c := &Controller{spec: Spec{Seed: 1234}}
+	got := c.rngFor(0).Int63()
+	want := rand.New(rand.NewSource(1234)).Int63()
+	if got != want {
+		t.Fatalf("segment-0 rng draw %d, want %d (rand.NewSource(Seed))", got, want)
+	}
+	if c.rngFor(1).Int63() == want {
+		t.Fatal("segment-1 rng must derive a distinct stream")
+	}
+}

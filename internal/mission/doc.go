@@ -1,0 +1,49 @@
+// Package mission executes schedules online against a virtual-clock
+// simulated cluster, reacting to processor failures as they are observed.
+//
+// The offline pipeline (ROADMAP item 3 before this package) freezes a plan
+// and scores it against sampled futures; a mission instead runs the plan,
+// watches crashes land, and re-schedules the surviving suffix of the DAG —
+// the pipelined overlap of execution and (re)scheduling that Octopus-style
+// systems use, applied to the paper's fault-tolerance model. That turns
+// "how good is this schedule?" into the strictly richer question the paper
+// never measures: "how good is this *policy*?" — compare PolicyStatic
+// (plan once, ride out the failures on replication alone) against
+// PolicyReschedule (replicate and re-plan) on identical failure draws.
+//
+// # Execution model
+//
+// A mission is a sequence of segments. Segment 0 runs the initial schedule
+// from virtual time 0. When the earliest crash among the segment's
+// processors lands at time c before the segment finishes, the controller
+// stops the world at c: work that completed at or before c is banked
+// (first-completed-replica-wins, exactly the replay semantics of
+// sim.RunWithOptions), in-flight work is lost, and the un-completed suffix
+// of the DAG is re-scheduled from scratch on the surviving processors as a
+// fresh sub-instance — dense task and processor renumbering, survivor-only
+// cost averages, ε clamped to survivors−1. Completed tasks' outputs are
+// assumed durable (re-fetchable by the new plan's entry tasks at zero
+// cost); the suffix is successor-closed, so the sub-instance is a valid
+// standalone problem.
+//
+// Re-planning does not recompute priorities from scratch: the controller
+// keeps the full graph's average bottom levels and repairs them with
+// dag.BottomLevelUpdater, marking dirty only the tasks whose survivor-mean
+// node or edge costs actually changed. Because the suffix is
+// successor-closed and the repaired costs are computed with the exact
+// operation order CostModel.Mean and Platform.MeanDelay would apply to the
+// sub-instance, the repaired levels restricted to the suffix are
+// bit-for-bit what sched.AvgBottomLevels would return for it (pinned by
+// test), and the scheduler consumes them via RunOptions.BottomLevels.
+//
+// # Determinism
+//
+// A mission outcome — the ordered event log and the final report — is a
+// pure function of (Spec, Scenario). Scheduler tie-breaking for segment 0
+// is seeded with Spec.Seed exactly as the serving layer seeds /schedule,
+// so a static-policy mission agrees with the offline pipeline bit for bit;
+// segment k>0 derives its stream with sim.TrialSeed(Seed, k). Event lines
+// are canonical compact JSON in a fixed order (ties broken by time, then
+// kind, then ID), so equal inputs yield byte-identical logs at any worker
+// or shard count.
+package mission

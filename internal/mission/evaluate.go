@@ -1,0 +1,41 @@
+package mission
+
+import (
+	"ftsched/internal/sim"
+)
+
+// EvaluatePolicy scores a mission policy by Monte-Carlo fault injection:
+// one mission per trial, scenarios drawn exactly as sim.Evaluate draws them
+// (same generator, same per-trial seeds), aggregated by the same engine.
+// Two calls that differ only in Spec.Policy therefore face identical
+// failure draws trial for trial — the paired comparison /evaluate's policy
+// mode reports. The failure-count buckets use the initial plan's upper
+// bound as the mission window, again matching sim.Evaluate, so static and
+// re-scheduling bucket identically.
+//
+// With Spec.Policy == PolicyStatic the result is bit-identical to
+// sim.Evaluate of the initial plan (pinned by test): a static mission is a
+// replay, and both run the same replay kernel.
+func EvaluatePolicy(spec Spec, gen sim.ScenarioGenerator, trials int, opt sim.EvalOptions) (*sim.EvalResult, error) {
+	probe, err := NewController(spec)
+	if err != nil {
+		return nil, err
+	}
+	window := probe.plan0.UpperBound()
+	baseline := probe.plan0.LowerBound()
+	newRunner := func() (sim.TrialFunc, func(), error) {
+		ctl, err := NewController(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		run := func(_ int, sc sim.Scenario) (bool, float64, error) {
+			out, err := ctl.Run(sc, nil)
+			if err != nil {
+				return false, 0, err
+			}
+			return out.Success, out.Latency, nil
+		}
+		return run, nil, nil
+	}
+	return sim.EvaluateScenarios(spec.Platform.NumProcs(), window, baseline, gen, trials, opt, newRunner)
+}

@@ -1,0 +1,126 @@
+package mission
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// Event kinds, in the order they can appear in a log: a plan (or replan)
+// opens each segment, task completions and crashes interleave by virtual
+// time, and exactly one complete/abort closes the log.
+const (
+	EventPlan     = "plan"
+	EventReplan   = "replan"
+	EventTask     = "task"
+	EventCrash    = "crash"
+	EventComplete = "complete"
+	EventAbort    = "abort"
+)
+
+// evPlan opens a segment: the controller committed to a schedule at virtual
+// time T. Kind is "plan" for segment 0 and "replan" afterwards. Lower/Upper
+// are the segment plan's bounds shifted to absolute time; BLTouched counts
+// the bottom-level entries the incremental repair recomputed for this
+// replan (0 on the initial plan).
+type evPlan struct {
+	Seq       int     `json:"seq"`
+	T         float64 `json:"t"`
+	Kind      string  `json:"kind"`
+	Scheduler string  `json:"scheduler"`
+	Epsilon   int     `json:"epsilon"`
+	Tasks     int     `json:"tasks"`
+	Procs     int     `json:"procs"`
+	Lower     float64 `json:"lower"`
+	Upper     float64 `json:"upper"`
+	BLTouched int     `json:"bl_touched,omitempty"`
+}
+
+// evTask records a task's earliest completed replica finishing (emitted only
+// when Spec.TaskEvents is set — V events per mission is too chatty for the
+// evaluator's inner loop).
+type evTask struct {
+	Seq  int     `json:"seq"`
+	T    float64 `json:"t"`
+	Kind string  `json:"kind"`
+	Task int     `json:"task"`
+}
+
+// evCrash records an observed processor failure.
+type evCrash struct {
+	Seq  int     `json:"seq"`
+	T    float64 `json:"t"`
+	Kind string  `json:"kind"`
+	Proc int     `json:"proc"`
+}
+
+// evEnd closes the log: "complete" with the mission latency, or "abort"
+// with a reason. Crashes/Replans echo the final counters so the last line
+// alone summarizes the mission.
+type evEnd struct {
+	Seq     int     `json:"seq"`
+	T       float64 `json:"t"`
+	Kind    string  `json:"kind"`
+	Success bool    `json:"success"`
+	Latency float64 `json:"latency"`
+	Crashes int     `json:"crashes"`
+	Replans int     `json:"replans"`
+	Reason  string  `json:"reason,omitempty"`
+}
+
+// eventWriter emits canonical compact JSON lines (one per event) through a
+// caller-supplied sink, assigning sequence numbers. A nil sink still counts
+// events, which is what lets the batch evaluator run missions without
+// materializing logs. Errors are sticky and surfaced once by err().
+type eventWriter struct {
+	seq  int
+	emit func(line []byte)
+	buf  bytes.Buffer
+	enc  *json.Encoder
+	fail error
+}
+
+func newEventWriter(emit func(line []byte)) *eventWriter {
+	w := &eventWriter{emit: emit}
+	w.enc = json.NewEncoder(&w.buf)
+	w.enc.SetEscapeHTML(false)
+	return w
+}
+
+// write assigns the next sequence number to the event and emits it. The
+// caller passes a pointer so write can stamp the Seq field uniformly.
+func (w *eventWriter) write(seq *int, v any) {
+	*seq = w.seq
+	w.seq++
+	if w.emit == nil || w.fail != nil {
+		return
+	}
+	w.buf.Reset()
+	if err := w.enc.Encode(v); err != nil {
+		w.fail = err
+		return
+	}
+	// Encode appends a trailing newline; the sink owns line framing.
+	line := make([]byte, w.buf.Len()-1)
+	copy(line, w.buf.Bytes())
+	w.emit(line)
+}
+
+func (w *eventWriter) plan(e evPlan) { w.write(&e.Seq, &e) }
+func (w *eventWriter) task(t float64, task int) {
+	e := evTask{T: t, Kind: EventTask, Task: task}
+	w.write(&e.Seq, &e)
+}
+func (w *eventWriter) crash(t float64, proc int) {
+	e := evCrash{T: t, Kind: EventCrash, Proc: proc}
+	w.write(&e.Seq, &e)
+}
+func (w *eventWriter) end(t float64, success bool, latency float64, crashes, replans int, reason string) {
+	kind := EventComplete
+	if !success {
+		kind = EventAbort
+	}
+	e := evEnd{T: t, Kind: kind, Success: success, Latency: latency, Crashes: crashes, Replans: replans, Reason: reason}
+	w.write(&e.Seq, &e)
+}
+
+func (w *eventWriter) err() error { return w.fail }

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// occupyWorkers parks every pool worker in a fake flight so queued jobs
+// cannot start until the returned release func is called. release also waits
+// for the blocking requests to finish, so after it returns the blockers have
+// contributed exactly Workers() cache misses and nothing is in flight but
+// the test's own traffic.
+func occupyWorkers(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	n := s.Workers()
+	started := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		fp := Fingerprint{0xff, byte(i)}
+		rec := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/x", nil)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveCached(rec, r, fp, "blocking", func() ([]byte, error) {
+				started <- struct{}{}
+				<-block
+				return []byte(`{}`), nil
+			}, nil)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("pool workers did not start the blocking jobs")
+		}
+	}
+	return func() {
+		close(block)
+		wg.Wait()
+	}
+}
+
+// awaitFlight polls until a flight for fp is registered.
+func awaitFlight(t *testing.T, s *Server, fp Fingerprint) *flight {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.flightMu.Lock()
+		f := s.flights[fp]
+		s.flightMu.Unlock()
+		if f != nil {
+			return f
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight %x never registered", fp[:4])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// awaitWaiters polls until the flight's waiter count reaches n.
+func awaitWaiters(t *testing.T, f *flight, n int32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.waiters.Load() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("flight waiters = %d, want %d", f.waiters.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// awaitNoFlight polls until no flight for fp exists (its job ran or was
+// skipped and the flight retired).
+func awaitNoFlight(t *testing.T, s *Server, fp Fingerprint) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.flightMu.Lock()
+		_, inFlight := s.flights[fp]
+		s.flightMu.Unlock()
+		if !inFlight {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight %x never retired", fp[:4])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A queued request whose client disconnected, with nobody else waiting on
+// the flight, must be skipped: the compute func never runs, no worker time
+// is spent, the pooled-request cleanup still fires exactly once, and the
+// request terminates in cancelled_requests.
+func TestCancelledLeaderNoWaitersSkipsCompute(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: 16})
+	t.Cleanup(s.Close)
+	release := occupyWorkers(t, s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the job can start
+	r := httptest.NewRequest(http.MethodPost, "/x", nil).WithContext(ctx)
+	fp := Fingerprint{1}
+	var computed, cleanups atomic.Int64
+	status, ok := s.serveCached(httptest.NewRecorder(), r, fp, "op",
+		func() ([]byte, error) { computed.Add(1); return []byte(`{}`), nil },
+		func() { cleanups.Add(1) })
+	if ok || status != "" {
+		t.Fatalf("cancelled leader returned (%q, %v), want (\"\", false)", status, ok)
+	}
+	if got := s.cancelled.Load(); got != 1 {
+		t.Fatalf("cancelled_requests = %d, want 1", got)
+	}
+
+	release()
+	awaitNoFlight(t, s, fp)
+	if computed.Load() != 0 {
+		t.Fatal("compute ran for a request nobody was waiting on")
+	}
+	if cleanups.Load() != 1 {
+		t.Fatalf("cleanup ran %d times, want exactly 1", cleanups.Load())
+	}
+	if _, hit := s.cache.Get(fp); hit {
+		t.Fatal("skipped request populated the cache")
+	}
+
+	// The fingerprint is not poisoned: the next request computes normally.
+	live := httptest.NewRequest(http.MethodPost, "/x", nil)
+	status, ok = s.serveCached(httptest.NewRecorder(), live, fp, "op",
+		func() ([]byte, error) { computed.Add(1); return []byte(`{}`), nil }, nil)
+	if !ok || status != "miss" || computed.Load() != 1 {
+		t.Fatalf("retry after skip: (%q, %v), computes %d; want a fresh miss", status, ok, computed.Load())
+	}
+}
+
+// A cancelled leader with a live follower must NOT be skipped: the job still
+// computes, the follower is served the bytes, and the result reaches the
+// cache. The leader alone terminates in cancelled_requests.
+func TestCancelledLeaderWithFollowerStillComputes(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: 16})
+	t.Cleanup(s.Close)
+	release := occupyWorkers(t, s)
+
+	fp := Fingerprint{2}
+	var computed atomic.Int64
+	compute := func() ([]byte, error) { computed.Add(1); return []byte(`{"x":1}` + "\n"), nil }
+
+	ctxL, cancelL := context.WithCancel(context.Background())
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		r := httptest.NewRequest(http.MethodPost, "/x", nil).WithContext(ctxL)
+		s.serveCached(httptest.NewRecorder(), r, fp, "op", compute, nil)
+	}()
+	// Wait for the leader to register the flight, then attach a follower.
+	f := awaitFlight(t, s, fp)
+	followerRec := httptest.NewRecorder()
+	followerDone := make(chan struct{})
+	var followerStatus string
+	var followerOK bool
+	go func() {
+		defer close(followerDone)
+		r := httptest.NewRequest(http.MethodPost, "/x", nil)
+		followerStatus, followerOK = s.serveCached(followerRec, r, fp, "op", compute, nil)
+	}()
+	awaitWaiters(t, f, 1)
+
+	// Now the client behind the leader disconnects — and only then does a
+	// worker become free.
+	cancelL()
+	<-leaderDone
+	release()
+	<-followerDone
+
+	if !followerOK || followerStatus != "hit" {
+		t.Fatalf("follower got (%q, %v), want a singleflight hit", followerStatus, followerOK)
+	}
+	if followerRec.Body.String() != `{"x":1}`+"\n" {
+		t.Fatalf("follower body %q", followerRec.Body.String())
+	}
+	if computed.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1 (skipping would starve the follower)", computed.Load())
+	}
+	if _, hit := s.cache.Get(fp); !hit {
+		t.Fatal("computed result did not reach the cache")
+	}
+	if got := s.cancelled.Load(); got != 1 {
+		t.Fatalf("cancelled_requests = %d, want 1 (the leader)", got)
+	}
+	// One hit (the follower); the only miss is the blocker's — the cancelled
+	// leader terminates in cancelled_requests, not in misses.
+	if s.hits.Load() != 1 || s.misses.Load() != 1 {
+		t.Fatalf("hits %d misses %d, want 1 and 1 (follower hit; only the blocker missed)",
+			s.hits.Load(), s.misses.Load())
+	}
+}
+
+// A follower whose client disconnects while the flight is still computing
+// detaches (so the skip check sees one waiter fewer) and terminates in
+// cancelled_requests; the flight itself is unaffected.
+func TestCancelledFollowerDetaches(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: 16})
+	t.Cleanup(s.Close)
+	release := occupyWorkers(t, s)
+
+	fp := Fingerprint{3}
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		r := httptest.NewRequest(http.MethodPost, "/x", nil)
+		s.serveCached(httptest.NewRecorder(), r, fp, "op",
+			func() ([]byte, error) { return []byte(`{}`), nil }, nil)
+	}()
+	f := awaitFlight(t, s, fp)
+
+	ctxF, cancelF := context.WithCancel(context.Background())
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		r := httptest.NewRequest(http.MethodPost, "/x", nil).WithContext(ctxF)
+		s.serveCached(httptest.NewRecorder(), r, fp, "op", nil, nil)
+	}()
+	awaitWaiters(t, f, 1)
+	cancelF()
+	<-followerDone
+	if f.waiters.Load() != 0 {
+		t.Fatalf("waiters = %d after follower cancel, want 0", f.waiters.Load())
+	}
+	if s.cancelled.Load() != 1 {
+		t.Fatalf("cancelled_requests = %d, want 1", s.cancelled.Load())
+	}
+
+	release()
+	<-leaderDone
+	// Two misses: the blocker's and the (uncancelled) leader's.
+	if s.misses.Load() != 2 {
+		t.Fatalf("misses = %d, want 2 (blocker + leader)", s.misses.Load())
+	}
+}
+
+// TestSoakCancellationConservation drives real HTTP traffic with a mix of
+// patient clients and clients that disconnect at random moments, then checks
+// the /stats conservation invariant the cancellation counter extends:
+// requests == cache_hits + cache_misses + client_errors + internal_errors +
+// cancelled_requests. Runs under -race in CI.
+func TestSoakCancellationConservation(t *testing.T) {
+	srv, ts := startServer(t, Config{Workers: 2, Queue: 512})
+
+	// 6 distinct schedule bodies plus one malformed; tiny client deadlines
+	// force a spread of cancellation points (before send, mid-queue, after
+	// completion).
+	var bodies [][]byte
+	for i := 0; i < 6; i++ {
+		req := testRequest(t)
+		req.Seed = int64(i)
+		req.Epsilon = i%2 + 1
+		bodies = append(bodies, marshalRequest(t, req))
+	}
+	bodies = append(bodies, []byte(`{"epsilon": "many"}`))
+
+	const parallel, perG = 16, 24
+	var wg sync.WaitGroup
+	for g := 0; g < parallel; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				body := bodies[rng.Intn(len(bodies))]
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if rng.Intn(2) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(2000))*time.Microsecond)
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/schedule", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					cancel()
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every handler has returned (the client observed a response or an
+	// error), so the counters are final even if skipped jobs still drain.
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	terminal := st.CacheHits + st.CacheMisses + st.ClientErrors + st.InternalErrors + st.CancelledRequests
+	if terminal != st.Requests {
+		t.Fatalf("counters leak: hits %d + misses %d + 4xx %d + 5xx %d + cancelled %d = %d, requests %d",
+			st.CacheHits, st.CacheMisses, st.ClientErrors, st.InternalErrors, st.CancelledRequests,
+			terminal, st.Requests)
+	}
+	if st.InternalErrors != 0 {
+		t.Fatalf("internal errors under soak: %d", st.InternalErrors)
+	}
+	// Sanity on the mix: the distinct well-formed bodies can miss at most a
+	// handful of times each (a cancelled+skipped body may recompute later).
+	if st.CacheMisses == 0 {
+		t.Fatal("soak computed nothing")
+	}
+	_ = srv
+}

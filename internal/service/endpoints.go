@@ -28,6 +28,10 @@ var endpoints = []endpoint{
 		"schedule + Monte-Carlo failure injection; returns success rate (Wilson interval), latency p50/p99, degradation histogram"},
 	{"POST", "/tune", "tune",
 		"search the registry × ε × policy grid; returns the (latency, success) Pareto frontier and a recommended point for a reliability target"},
+	{"POST", "/missions", "mission",
+		"create an online mission (async, 202 + id): execute the schedule against one failure scenario, re-planning the surviving suffix per policy"},
+	{"GET", "/missions/{id}", "—", "poll mission state; once finished, the byte-deterministic final report"},
+	{"GET", "/missions/{id}/events", "—", "stream the mission's ordered event log as chunked JSONL (plan/replan, task, crash, complete/abort)"},
 	{"GET", "/healthz", "—", "liveness probe"},
 	{"GET", "/stats", "—", "cache hit rate, per-endpoint and per-scheduler counters, queue depth, latency quantiles"},
 }

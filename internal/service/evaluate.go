@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"ftsched/internal/mission"
 	"ftsched/internal/sim"
 )
 
@@ -25,6 +26,19 @@ type EvaluateRequest struct {
 	// EvalSeed is the base seed of the per-trial scenario draws; equal
 	// seeds reproduce the evaluation bit for bit at any worker count.
 	EvalSeed int64 `json:"eval_seed,omitempty"`
+	// Policies, when non-empty, additionally scores each listed mission
+	// policy ("static", "reschedule") on the same scenario draws, so the
+	// response reports offline-vs-online success and latency side by side.
+	// "static" reproduces Eval exactly (a static mission is a replay);
+	// "reschedule" re-plans the surviving suffix after every crash.
+	Policies []string `json:"policies,omitempty"`
+}
+
+// PolicyEvalResult is one mission policy's score inside an /evaluate
+// response.
+type PolicyEvalResult struct {
+	Policy string         `json:"policy"`
+	Eval   sim.EvalResult `json:"eval"`
 }
 
 // EvaluateResponse is the body of a successful POST /evaluate.
@@ -45,6 +59,9 @@ type EvaluateResponse struct {
 	// Eval is the aggregated fault-injection result: success rate with its
 	// Wilson interval, latency summary, degradation histogram.
 	Eval sim.EvalResult `json:"eval"`
+	// PolicyEval, present when the request listed policies, scores each
+	// mission policy on the same scenario draws as Eval, in request order.
+	PolicyEval []PolicyEvalResult `json:"policy_eval,omitempty"`
 }
 
 // DecodeEvaluateRequest reads and validates one /evaluate request body, with
@@ -93,6 +110,17 @@ func (req *EvaluateRequest) Validate() error {
 	if err := gen.Check(req.Platform.NumProcs()); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	seen := make(map[string]bool, len(req.Policies))
+	for _, p := range req.Policies {
+		if p != string(mission.PolicyStatic) && p != string(mission.PolicyReschedule) {
+			return fmt.Errorf("policies: unknown policy %q (want %q or %q)",
+				p, mission.PolicyStatic, mission.PolicyReschedule)
+		}
+		if seen[p] {
+			return fmt.Errorf("policies: %q listed twice", p)
+		}
+		seen[p] = true
+	}
 	return nil
 }
 
@@ -113,6 +141,16 @@ func EvaluateFingerprint(req *EvaluateRequest) Fingerprint {
 	f.i64(int64(req.Trials))
 	f.str(req.Scenario.String())
 	f.i64(req.EvalSeed)
+	// Only a non-empty policy list contributes, so every pre-existing
+	// /evaluate request keeps its fingerprint (cache keys are stable across
+	// releases).
+	if len(req.Policies) > 0 {
+		f.str("policies")
+		f.i64(int64(len(req.Policies)))
+		for _, p := range req.Policies {
+			f.str(p)
+		}
+	}
 	return f.sum()
 }
 

@@ -67,6 +67,14 @@ var fuzzSeedBodies = []string{
 	  "requests": [{"scheduler": "ftsa", "epsilon": 1}, {"scheduler": "heft"}]}`,
 	`{"requests": []}`,
 	`{"requests": [null]}`,
+	// /missions shapes: a well-formed mission and a policy-only degenerate.
+	`{"graph": {"name": "d", "tasks": 2, "edges": [{"src": 0, "dst": 1, "volume": 1}]},
+	  "platform": {"procs": 2, "delay": [[0, 1], [1, 0]]},
+	  "costs": {"cost": [[1, 2], [2, 1]]},
+	  "scheduler": "ftsa", "epsilon": 1, "seed": 7,
+	  "scenario": {"kind": "uniform", "crashes": 1}, "scenario_seed": 5,
+	  "mission_policy": "reschedule"}`,
+	`{"mission_policy": "optimistic"}`,
 }
 
 // FuzzDecodePayload proves malformed input never panics either endpoint's
@@ -105,6 +113,20 @@ func FuzzDecodePayload(f *testing.F) {
 				_ = RequestFingerprint(it)
 			}
 		}
+		if req, err := DecodeMissionRequest(bytes.NewReader(body)); err == nil {
+			if req == nil {
+				t.Fatal("DecodeMissionRequest returned nil, nil")
+			}
+			// The fingerprint is the mission id, and the scenario drives the
+			// controller — both must be usable for any accepted request.
+			fp := MissionFingerprint(req)
+			if _, err := ParseMissionID(MissionID(fp)); err != nil {
+				t.Fatalf("mission id does not round-trip: %v", err)
+			}
+			if _, err := req.Scenario.Generator(); err != nil {
+				t.Fatalf("validated request carries an unusable scenario: %v", err)
+			}
+		}
 	})
 }
 
@@ -113,11 +135,12 @@ func FuzzDecodePayload(f *testing.F) {
 // panicking, which is the property the fuzzer then stretches.
 func TestDecodeSeedCorpus(t *testing.T) {
 	wantOK := map[int]string{0: "schedule", 1: "schedule", 2: "evaluate",
-		len(fuzzSeedBodies) - 3: "batch"}
+		len(fuzzSeedBodies) - 5: "batch", len(fuzzSeedBodies) - 2: "mission"}
 	for i, seed := range fuzzSeedBodies {
 		_, serr := DecodeScheduleRequest(strings.NewReader(seed))
 		_, eerr := DecodeEvaluateRequest(strings.NewReader(seed))
 		_, berr := DecodeBatchRequest(strings.NewReader(seed))
+		_, merr := DecodeMissionRequest(strings.NewReader(seed))
 		switch wantOK[i] {
 		case "schedule":
 			if serr != nil {
@@ -131,8 +154,12 @@ func TestDecodeSeedCorpus(t *testing.T) {
 			if berr != nil {
 				t.Errorf("seed %d: batch decode failed: %v", i, berr)
 			}
+		case "mission":
+			if merr != nil {
+				t.Errorf("seed %d: mission decode failed: %v", i, merr)
+			}
 		default:
-			if serr == nil && eerr == nil && berr == nil {
+			if serr == nil && eerr == nil && berr == nil && merr == nil {
 				t.Errorf("seed %d: malformed body accepted by every decoder", i)
 			}
 		}

@@ -1,0 +1,443 @@
+package service
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+
+	"ftsched/internal/mission"
+	"ftsched/internal/sim"
+)
+
+// MissionRequest is the body of POST /missions: a full scheduling request
+// plus one failure scenario to execute the mission against and the reaction
+// policy. A mission is a single online execution (one scenario draw), not a
+// Monte-Carlo batch — /evaluate's policies field is the batch form.
+type MissionRequest struct {
+	ScheduleRequest
+	// Scenario selects the failure-scenario generator the mission draws its
+	// one scenario from.
+	Scenario sim.ScenarioSpec `json:"scenario"`
+	// ScenarioSeed seeds the draw: the mission faces exactly the scenario
+	// trial 0 of an /evaluate with eval_seed == scenario_seed would face.
+	ScenarioSeed int64 `json:"scenario_seed,omitempty"`
+	// MissionPolicy is "static" or "reschedule" (default "reschedule").
+	MissionPolicy string `json:"mission_policy,omitempty"`
+	// TaskEvents adds one event per task completion to the event log.
+	TaskEvents bool `json:"task_events,omitempty"`
+}
+
+// DecodeMissionRequest reads and validates one /missions request body, with
+// the same strictness as DecodeScheduleRequest (unknown fields rejected,
+// one JSON document only).
+func DecodeMissionRequest(r io.Reader) (*MissionRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req MissionRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("decoding request: unexpected data after the JSON body")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate cross-checks the decoded request: the scheduling part first, then
+// the mission parameters.
+func (req *MissionRequest) Validate() error {
+	if err := req.ScheduleRequest.Validate(); err != nil {
+		return err
+	}
+	if req.IncludeGantt {
+		return fmt.Errorf("include_gantt is not supported by /missions")
+	}
+	if req.IncludeSchedule {
+		return fmt.Errorf("include_schedule is not supported by /missions")
+	}
+	if req.Lambda != 0 {
+		return fmt.Errorf("lambda is not supported by /missions; pick a scenario kind (e.g. %q) instead", "exp")
+	}
+	if _, err := mission.ParsePolicy(req.MissionPolicy); err != nil {
+		return err
+	}
+	gen, err := req.Scenario.Generator()
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := gen.Check(req.Platform.NumProcs()); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// MissionFingerprint digests everything a mission's event log and final
+// report depend on. The "mission" domain tag keeps the keyspace disjoint
+// from the other endpoints; the policy is canonicalized so an omitted
+// mission_policy and an explicit "reschedule" name one mission.
+func MissionFingerprint(req *MissionRequest) Fingerprint {
+	f := newFingerprinter()
+	f.instance(req.Graph, req.Platform, req.Costs)
+	f.str("mission")
+	f.str(req.canonicalScheduler())
+	f.i64(int64(req.Epsilon))
+	policy, seed := req.canonicalPolicySeed()
+	f.str(policy)
+	f.i64(seed)
+	mp, _ := mission.ParsePolicy(req.MissionPolicy) // validated at decode
+	f.str(string(mp))
+	f.str(req.Scenario.String())
+	f.i64(req.ScenarioSeed)
+	if req.TaskEvents {
+		f.i64(1)
+	} else {
+		f.i64(0)
+	}
+	return f.sum()
+}
+
+// MissionID renders a mission fingerprint as the 32-hex-digit identifier
+// used in /missions/{id} paths. Deriving the id from the fingerprint makes
+// POST /missions idempotent and lets the coordinator route GETs to the
+// owning shard without shared state.
+func MissionID(fp Fingerprint) string { return hex.EncodeToString(fp[:]) }
+
+// ParseMissionID inverts MissionID; it rejects anything that is not exactly
+// 32 hex digits.
+func ParseMissionID(id string) (Fingerprint, error) {
+	var fp Fingerprint
+	if len(id) != 2*len(fp) {
+		return fp, fmt.Errorf("mission id must be %d hex digits, got %d bytes", 2*len(fp), len(id))
+	}
+	if _, err := hex.Decode(fp[:], []byte(id)); err != nil {
+		return fp, fmt.Errorf("mission id: %w", err)
+	}
+	return fp, nil
+}
+
+// Mission lifecycle states as reported by GET /missions/{id}.
+const (
+	MissionRunning = "running"
+	MissionDone    = "done"
+	MissionFailed  = "failed"
+)
+
+// MissionReport is the final body of GET /missions/{id} once the mission
+// finished. It is a pure function of the request — byte-identical across
+// runs, worker counts and shard counts.
+type MissionReport struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Scheduler is the algorithm's display name; MissionPolicy the resolved
+	// reaction policy.
+	Scheduler     string `json:"scheduler"`
+	Epsilon       int    `json:"epsilon"`
+	MissionPolicy string `json:"mission_policy"`
+	Tasks         int    `json:"tasks"`
+	Procs         int    `json:"procs"`
+	Scenario      string `json:"scenario"`
+	ScenarioSeed  int64  `json:"scenario_seed"`
+	// LowerBound and UpperBound are the initial plan's latency bounds — the
+	// frame Outcome.Latency lives in.
+	LowerBound float64 `json:"lower_bound,omitempty"`
+	UpperBound float64 `json:"upper_bound,omitempty"`
+	// Outcome is the mission's final report; absent when State is "failed".
+	Outcome *mission.Outcome `json:"outcome,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// missionState is one retained mission: an append-only event log plus the
+// final report. notify is closed and replaced on every append, so any
+// number of streaming readers can wait for "more than N lines" without the
+// writer tracking them.
+type missionState struct {
+	id string
+
+	mu     sync.Mutex
+	state  string // MissionRunning/MissionDone/MissionFailed
+	lines  [][]byte
+	report []byte // final GET body; nil while running
+	notify chan struct{}
+}
+
+func newMissionState(id string) *missionState {
+	return &missionState{id: id, state: MissionRunning, notify: make(chan struct{})}
+}
+
+// appendLine records one event-log line (already a complete JSON document).
+func (st *missionState) appendLine(line []byte) {
+	st.mu.Lock()
+	st.lines = append(st.lines, line)
+	close(st.notify)
+	st.notify = make(chan struct{})
+	st.mu.Unlock()
+}
+
+// finishMission publishes the final report and wakes streaming readers.
+func (st *missionState) finish(state string, report []byte) {
+	st.mu.Lock()
+	st.state = state
+	st.report = report
+	close(st.notify)
+	st.notify = make(chan struct{})
+	st.mu.Unlock()
+}
+
+// snapshot returns the lines at or past from, the current state, and the
+// channel that signals further appends. Lines are immutable once appended,
+// so the caller may write them after releasing the lock.
+func (st *missionState) snapshot(from int) (lines [][]byte, state string, notify chan struct{}) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lines[from:], st.state, st.notify
+}
+
+// missionAcceptedBody is the fixed POST /missions response: deterministic
+// whether the mission was just created or already existed (the cache-status
+// header tells them apart).
+func missionAcceptedBody(id string) []byte {
+	return []byte(`{"id":"` + id + `","state":"accepted"}` + "\n")
+}
+
+func (s *Server) handleMissionCreate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.missionRequests.Add(1)
+	req, ok := decodeRequest(s, w, r, DecodeMissionRequest,
+		func(req *MissionRequest) int { return req.Graph.NumTasks() })
+	if !ok {
+		return
+	}
+	s.countScheduler(req.canonicalScheduler())
+	id := MissionID(MissionFingerprint(req))
+
+	s.missionMu.Lock()
+	if _, exists := s.missions[id]; exists {
+		s.missionMu.Unlock()
+		// The mission id is a pure function of the request, so an existing
+		// state IS the response — an idempotent re-POST is a cache hit.
+		s.hits.Add(1)
+		s.writeMissionAccepted(w, id, "hit")
+		return
+	}
+	if len(s.missions) >= s.cfg.MaxMissions && !s.evictOldestFinishedLocked() {
+		s.missionMu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("all %d retained missions are still running", s.cfg.MaxMissions))
+		return
+	}
+	st := newMissionState(id)
+	// Submit before inserting: a failed submit must not leave a phantom
+	// mission that would make a retry a no-op "hit". missionMu spans both,
+	// and TrySubmit never blocks, so the hold is brief.
+	switch err := s.pool.TrySubmit(func() { s.runMission(req, st) }); err {
+	case nil:
+	case ErrBusy:
+		s.missionMu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, ErrBusy)
+		return
+	default: // ErrClosed during shutdown
+		s.missionMu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.missions[id] = st
+	s.missionOrder = append(s.missionOrder, id)
+	s.missionMu.Unlock()
+	s.misses.Add(1)
+	s.writeMissionAccepted(w, id, "miss")
+}
+
+func (s *Server) writeMissionAccepted(w http.ResponseWriter, id, cacheStatus string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(CacheStatusHeader, cacheStatus)
+	w.WriteHeader(http.StatusAccepted)
+	w.Write(missionAcceptedBody(id))
+}
+
+// evictOldestFinishedLocked drops the oldest non-running mission, returning
+// false when every retained mission is still running. Caller holds
+// missionMu.
+func (s *Server) evictOldestFinishedLocked() bool {
+	for i, id := range s.missionOrder {
+		st := s.missions[id]
+		st.mu.Lock()
+		finished := st.state != MissionRunning
+		st.mu.Unlock()
+		if finished {
+			delete(s.missions, id)
+			s.missionOrder = append(s.missionOrder[:i], s.missionOrder[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// runMission executes one mission on a pool worker, streaming events into
+// the state as they happen.
+func (s *Server) runMission(req *MissionRequest, st *missionState) {
+	report := MissionReport{
+		ID:            st.id,
+		Tasks:         req.Graph.NumTasks(),
+		Procs:         req.Platform.NumProcs(),
+		Scenario:      req.Scenario.String(),
+		ScenarioSeed:  req.ScenarioSeed,
+		Epsilon:       req.Epsilon,
+		MissionPolicy: req.MissionPolicy,
+	}
+	pol, err := mission.ParsePolicy(req.MissionPolicy)
+	if err == nil {
+		report.MissionPolicy = string(pol)
+	}
+	out, ctl, err := s.executeMission(req, pol, st)
+	if err != nil {
+		report.State = MissionFailed
+		report.Error = err.Error()
+	} else {
+		report.State = MissionDone
+		report.Scheduler = ctl.InitialPlan().Algorithm
+		report.LowerBound = ctl.InitialPlan().LowerBound()
+		report.UpperBound = ctl.InitialPlan().UpperBound()
+		report.Outcome = &out
+	}
+	body, merr := marshalCompact(&report)
+	if merr != nil {
+		// A flat struct of numbers and strings cannot fail to encode; keep
+		// the mission observable anyway.
+		body = []byte(`{"id":"` + st.id + `","state":"failed","error":"encoding report"}` + "\n")
+		report.State = MissionFailed
+	}
+	st.finish(report.State, body)
+}
+
+// executeMission draws the scenario and runs the controller.
+func (s *Server) executeMission(req *MissionRequest, pol mission.Policy, st *missionState) (mission.Outcome, *mission.Controller, error) {
+	gen, err := req.Scenario.Generator()
+	if err != nil {
+		return mission.Outcome{}, nil, err
+	}
+	m := req.Platform.NumProcs()
+	sc := sim.NewScenario(m)
+	var scratch sim.ScenarioScratch
+	rng := rand.New(rand.NewSource(sim.TrialSeed(req.ScenarioSeed, 0)))
+	if err := gen.FillScenario(rng, &sc, &scratch); err != nil {
+		return mission.Outcome{}, nil, err
+	}
+	bl, err := s.bottomLevels(req.Graph, req.Platform, req.Costs)
+	if err != nil {
+		return mission.Outcome{}, nil, err
+	}
+	ctl, err := mission.NewController(mission.Spec{
+		Graph:        req.Graph,
+		Platform:     req.Platform,
+		Costs:        req.Costs,
+		Scheduler:    req.Scheduler,
+		Epsilon:      req.Epsilon,
+		SchedPolicy:  req.Policy,
+		Seed:         req.Seed,
+		Policy:       pol,
+		BottomLevels: bl,
+		TaskEvents:   req.TaskEvents,
+	})
+	if err != nil {
+		return mission.Outcome{}, nil, err
+	}
+	out, err := ctl.Run(sc, st.appendLine)
+	if err != nil {
+		return mission.Outcome{}, nil, err
+	}
+	return out, ctl, nil
+}
+
+// marshalCompact serializes deterministically (compact JSON, struct field
+// order, trailing newline) — the same canonical form every cached response
+// body uses.
+func marshalCompact(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// lookupMission resolves {id}, writing an uncounted 404/400 when absent
+// (mission GETs do not count toward Requests, so their errors must not
+// count either — see the Stats conservation invariant).
+func (s *Server) lookupMission(w http.ResponseWriter, r *http.Request) *missionState {
+	id := r.PathValue("id")
+	if _, err := ParseMissionID(id); err != nil {
+		writeErrorBody(w, http.StatusBadRequest, err)
+		return nil
+	}
+	s.missionMu.Lock()
+	st := s.missions[id]
+	s.missionMu.Unlock()
+	if st == nil {
+		writeErrorBody(w, http.StatusNotFound, fmt.Errorf("no mission %s", id))
+		return nil
+	}
+	return st
+}
+
+func (s *Server) handleMissionGet(w http.ResponseWriter, r *http.Request) {
+	st := s.lookupMission(w, r)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	state, report, events := st.state, st.report, len(st.lines)
+	st.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if state == MissionRunning {
+		fmt.Fprintf(w, `{"id":"%s","state":"running","events":%d}%s`, st.id, events, "\n")
+		return
+	}
+	w.Write(report)
+}
+
+// handleMissionEvents streams the mission's event log as chunked JSONL:
+// every line already emitted, then new lines as they land, until the
+// mission finishes or the client disconnects. The bytes (headers aside) are
+// exactly the controller's event log — byte-identical for equal requests no
+// matter when the stream was opened.
+func (s *Server) handleMissionEvents(w http.ResponseWriter, r *http.Request) {
+	st := s.lookupMission(w, r)
+	if st == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		lines, state, notify := st.snapshot(sent)
+		for _, line := range lines {
+			w.Write(line)
+			io.WriteString(w, "\n")
+			sent++
+		}
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if state != MissionRunning {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

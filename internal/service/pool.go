@@ -20,12 +20,25 @@ var ErrClosed = errors.New("service: worker pool is closed")
 // cores only adds context switching; the bounded queue in front absorbs
 // short bursts and turns sustained overload into ErrBusy instead of
 // unbounded goroutine growth.
+//
+// Admission is lock-free: TrySubmit is the door hot path (every /schedule,
+// /evaluate, /tune and /missions request passes through it), so it must not
+// serialize concurrent requests on a global mutex. Close coordinates with
+// in-flight submitters through the closed flag and the sending counter
+// instead.
 type Pool struct {
 	jobs    chan func()
 	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
 	workers int
+	// closed refuses new submissions once Close has begun.
+	closed atomic.Bool
+	// sending counts TrySubmit calls that have passed the closed check but
+	// not yet finished their channel send. Close waits for it to reach zero
+	// after setting closed, so close(jobs) can never race a send: a
+	// submitter either decrements before the close (its send completed) or
+	// observes closed and never sends.
+	sending   atomic.Int64
+	closeOnce sync.Once
 	// high is the queue-depth high-water mark: the deepest the pending
 	// queue has ever been observed at admission. Under load the
 	// instantaneous depth is almost always 0 (drained) or the capacity
@@ -59,24 +72,31 @@ func NewPool(workers, queue int) *Pool {
 // TrySubmit enqueues job without blocking. It returns ErrBusy when the
 // queue is full and ErrClosed after Close.
 func (p *Pool) TrySubmit(job func()) error {
-	// The lock serializes submission against Close: sending on a closed
-	// channel panics, and a lost race here would crash the server instead of
-	// rejecting one request during shutdown.
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	// Publish intent before checking closed: if the check reads false, the
+	// increment is already visible to Close's drain loop, so the channel
+	// stays open until the send below completes.
+	p.sending.Add(1)
+	if p.closed.Load() {
+		p.sending.Add(-1)
 		return ErrClosed
 	}
 	select {
 	case p.jobs <- job:
-		// Record the depth the queue reached on admission. Workers may
-		// have drained concurrently, so this can undercount by a job or
-		// two, never overcount — the mark is a floor on the worst depth.
-		if d := int64(len(p.jobs)); d > p.high.Load() {
-			p.high.Store(d)
+		p.sending.Add(-1)
+		// Record the depth the queue reached on admission with a CAS max.
+		// Workers may have drained concurrently, so this can undercount by
+		// a job or two, never overcount — the mark is a floor on the worst
+		// depth.
+		d := int64(len(p.jobs))
+		for {
+			cur := p.high.Load()
+			if d <= cur || p.high.CompareAndSwap(cur, d) {
+				break
+			}
 		}
 		return nil
 	default:
+		p.sending.Add(-1)
 		return ErrBusy
 	}
 }
@@ -98,15 +118,19 @@ func (p *Pool) QueueCapacity() int { return cap(p.jobs) }
 func (p *Pool) Workers() int { return p.workers }
 
 // Close stops accepting jobs and waits for queued and running jobs to
-// finish. It is idempotent.
+// finish. It is idempotent, and safe against concurrent TrySubmit calls:
+// submissions that lost the race complete their send before the channel
+// closes, later ones get ErrClosed.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	close(p.jobs)
-	p.mu.Unlock()
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		// Drain in-flight submitters. Any TrySubmit that read closed==false
+		// incremented sending first, so this loop observes it and spins
+		// until its send resolves; every later TrySubmit sees closed==true.
+		for p.sending.Load() != 0 {
+			runtime.Gosched()
+		}
+		close(p.jobs)
+	})
 	p.wg.Wait()
 }

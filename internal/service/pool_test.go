@@ -2,6 +2,8 @@ package service
 
 import (
 	"errors"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -122,6 +124,51 @@ func TestPoolClose(t *testing.T) {
 	p.Close() // idempotent
 }
 
+// TestPoolCloseUnderConcurrentSubmit races many submitters against Close.
+// Admission is lock-free, so the only thing standing between a late
+// TrySubmit and a send-on-closed-channel panic is the closed/sending
+// handshake — this test (run under -race in CI) is its pin. Every job that
+// was accepted must also have run by the time Close returns.
+func TestPoolCloseUnderConcurrentSubmit(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		p := NewPool(2, 64)
+		var accepted, ran atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					err := p.TrySubmit(func() { ran.Add(1) })
+					switch {
+					case err == nil:
+						accepted.Add(1)
+					case errors.Is(err, ErrClosed):
+						return
+					case errors.Is(err, ErrBusy):
+						// Overload is a valid outcome; keep hammering.
+					default:
+						panic(err)
+					}
+				}
+			}()
+		}
+		runtime.Gosched()
+		p.Close()
+		close(stop)
+		wg.Wait()
+		if a, r := accepted.Load(), ran.Load(); a != r {
+			t.Fatalf("round %d: accepted %d jobs but ran %d — Close dropped queued work", round, a, r)
+		}
+	}
+}
+
 func TestPoolDefaults(t *testing.T) {
 	p := NewPool(0, 0)
 	defer p.Close()
@@ -131,4 +178,25 @@ func TestPoolDefaults(t *testing.T) {
 	if p.QueueCapacity() != 2*p.Workers() {
 		t.Fatalf("QueueCapacity = %d, want %d", p.QueueCapacity(), 2*p.Workers())
 	}
+}
+
+// BenchmarkPoolTrySubmit measures parallel admission — the door hot path
+// every request crosses. It is part of the pinned benchdiff set: admission
+// must stay allocation-free, and the lock-free fast path must not regress
+// back to a global mutex. Workers drain no-op jobs so the benchmark
+// exercises both the accept path and the ErrBusy shed path under
+// contention.
+func BenchmarkPoolTrySubmit(b *testing.B) {
+	p := NewPool(2, 1024)
+	defer p.Close()
+	job := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := p.TrySubmit(job); err != nil && !errors.Is(err, ErrBusy) {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"ftsched/internal/dag"
+	"ftsched/internal/mission"
 	"ftsched/internal/platform"
 	"ftsched/internal/reliability"
 	"ftsched/internal/sched"
@@ -59,6 +61,10 @@ type Config struct {
 	// MaxBatchItems bounds the item count of one /schedule/batch envelope
 	// (0: 256), so a single batch cannot monopolize a worker.
 	MaxBatchItems int
+	// MaxMissions bounds the retained mission states (0: 1024). At the
+	// bound, creating a mission evicts the oldest finished one; if every
+	// retained mission is still running, the create is rejected with 429.
+	MaxMissions int
 	// Shard, when non-empty, labels this server's GET /stats body. The
 	// coordinator sets it to the shard index so per-shard sections of an
 	// aggregated /stats response are self-identifying.
@@ -92,12 +98,23 @@ type Server struct {
 	tuneRequests       atomic.Uint64
 	batchRequests      atomic.Uint64
 	batchItems         atomic.Uint64
+	missionRequests    atomic.Uint64
 	hits               atomic.Uint64
 	misses             atomic.Uint64
 	singleflightShared atomic.Uint64
 	rejected           atomic.Uint64
 	clientErrors       atomic.Uint64
 	internalErrors     atomic.Uint64
+	cancelled          atomic.Uint64
+
+	// missionMu guards missions (by id) and missionOrder (ids in admission
+	// order, the eviction scan order). Mission GETs are uncounted reads;
+	// POST /missions holds the mutex across existence check, pool
+	// submission and insertion so a failed submit never leaves a phantom
+	// mission.
+	missionMu    sync.Mutex
+	missions     map[string]*missionState
+	missionOrder []string
 
 	// flightMu guards flights, the in-flight cache-miss computations keyed
 	// by fingerprint. Concurrent requests for one fingerprint collapse onto
@@ -142,6 +159,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchItems <= 0 {
 		cfg.MaxBatchItems = 256
 	}
+	if cfg.MaxMissions <= 0 {
+		cfg.MaxMissions = 1024
+	}
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
@@ -149,6 +169,7 @@ func New(cfg Config) *Server {
 		cache:     NewCache(cfg.CacheEntries, cfg.CacheShards),
 		blCache:   NewCache(cfg.BottomLevelEntries, 4),
 		flights:   make(map[Fingerprint]*flight),
+		missions:  make(map[string]*missionState),
 		schedReqs: make(map[string]uint64),
 		lat:       stats.NewWindow(cfg.LatencyWindow),
 	}
@@ -159,6 +180,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /schedule/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /tune", s.handleTune)
+	s.mux.HandleFunc("POST /missions", s.handleMissionCreate)
+	s.mux.HandleFunc("GET /missions/{id}", s.handleMissionGet)
+	s.mux.HandleFunc("GET /missions/{id}/events", s.handleMissionEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -177,13 +201,22 @@ func (s *Server) Workers() int { return s.pool.Workers() }
 // QueueCapacity returns the effective request-queue bound after defaulting.
 func (s *Server) QueueCapacity() int { return s.pool.QueueCapacity() }
 
-// writeError emits the uniform JSON error body.
+// writeError emits the uniform JSON error body and counts it toward the
+// conservation invariant's error buckets.
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	if status >= 500 {
 		s.internalErrors.Add(1)
 	} else {
 		s.clientErrors.Add(1)
 	}
+	writeErrorBody(w, status, err)
+}
+
+// writeErrorBody emits the uniform JSON error body without touching any
+// counter. Read-only endpoints that do not count toward Requests (the
+// mission GETs, like /stats and /healthz) use it directly, so their 404s
+// cannot unbalance the requests == hits+misses+errors+cancelled invariant.
+func writeErrorBody(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	// Encoding a flat struct with a string cannot fail; ignore the error.
@@ -220,11 +253,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	// Decode into a pooled request: the graph lands in a recycled adjacency
 	// arena, so the warm decode path allocates nothing proportional to the
-	// instance. Nothing built from the request outlives the handler (the
-	// response cache stores bytes, the bottom-level memo float slices), so
-	// releasing on return is safe.
+	// instance. Nothing built from the request outlives its compute (the
+	// response cache stores bytes, the bottom-level memo float slices), but
+	// the compute itself may outlive this handler when the client
+	// disconnects — serveCached owns the release via its cleanup hook once
+	// decoding has succeeded.
 	req := AcquireScheduleRequest()
-	defer ReleaseScheduleRequest(req)
 	req, ok := decodeRequest(s, w, r,
 		func(body io.Reader) (*ScheduleRequest, error) {
 			if err := DecodeScheduleRequestInto(req, body); err != nil {
@@ -234,17 +268,23 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		},
 		func(req *ScheduleRequest) int { return req.Graph.NumTasks() })
 	if !ok {
+		ReleaseScheduleRequest(req)
 		return
 	}
 	s.countScheduler(req.canonicalScheduler())
+	desc := ""
+	if s.cfg.Log != nil {
+		desc = req.describe() // before serveCached: the cleanup hook may release req
+	}
 
-	cacheStatus, ok := s.serveCached(w, RequestFingerprint(req), "scheduling",
-		func() ([]byte, error) { return s.schedule(req) })
+	cacheStatus, ok := s.serveCached(w, r, RequestFingerprint(req), "scheduling",
+		func() ([]byte, error) { return s.schedule(req) },
+		func() { ReleaseScheduleRequest(req) })
 	if !ok {
 		return
 	}
 	s.observeLatency(start)
-	s.logRequest(r, "/schedule", req.describe(), cacheStatus, start)
+	s.logRequest(r, "/schedule", desc, cacheStatus, start)
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -263,8 +303,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.countScheduler(req.canonicalScheduler())
 
-	cacheStatus, ok := s.serveCached(w, EvaluateFingerprint(req), "evaluation",
-		func() ([]byte, error) { return s.evaluate(req) })
+	cacheStatus, ok := s.serveCached(w, r, EvaluateFingerprint(req), "evaluation",
+		func() ([]byte, error) { return s.evaluate(req) }, nil)
 	if !ok {
 		return
 	}
@@ -305,8 +345,8 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	cacheStatus, ok := s.serveCached(w, TuneFingerprint(req), "tuning",
-		func() ([]byte, error) { return s.tuneFn(req) })
+	cacheStatus, ok := s.serveCached(w, r, TuneFingerprint(req), "tuning",
+		func() ([]byte, error) { return s.tuneFn(req) }, nil)
 	if !ok {
 		return
 	}
@@ -326,20 +366,47 @@ type flight struct {
 	body   []byte
 	err    error
 	status int // HTTP status of the error outcome; 0 when err is nil
-	// waiters counts followers attached so far; tests use it to release a
-	// blocked leader only once every concurrent request is provably waiting.
+	// ctx is the leader's request context. A dequeued job whose leader is
+	// gone and whose flight has no waiters computes for nobody — the pool
+	// skips it.
+	ctx context.Context
+	// waiters counts followers attached and still waiting; tests use it to
+	// release a blocked leader only once every concurrent request is
+	// provably waiting, and the skip check uses it to keep a computation
+	// other requests depend on. A follower that gives up (client gone)
+	// decrements.
 	waiters atomic.Int32
 }
 
+// errCancelled marks a flight whose computation was skipped because the
+// leader's client disconnected with nobody else waiting. It never reaches a
+// response writer: followers can only exist when waiters > 0, which
+// prevents the skip.
+var errCancelled = errors.New("service: request cancelled before compute")
+
 // serveCached is the cache → singleflight → worker-pool → respond flow
 // /schedule, /evaluate and /tune share. It reports how the response was
-// served ("hit"/"miss"); ok is false when an error response was written.
-func (s *Server) serveCached(w http.ResponseWriter, fp Fingerprint, opName string, compute func() ([]byte, error)) (cacheStatus string, ok bool) {
+// served ("hit"/"miss"); ok is false when an error response was written (or
+// the client was gone, in which case nothing is written).
+//
+// cleanup, when non-nil, is called exactly once — on every path — as soon
+// as compute can no longer run; handlers use it to return pooled request
+// storage whose compute job may outlive the handler (a cancelled leader
+// returns early, but its queued job still runs for followers and the
+// cache).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, fp Fingerprint, opName string, compute func() ([]byte, error), cleanup func()) (cacheStatus string, ok bool) {
+	release := func() {
+		if cleanup != nil {
+			cleanup()
+		}
+	}
 	if v, hit := s.cache.Get(fp); hit {
+		release()
 		s.hits.Add(1)
 		s.writeCachedResponse(w, v.([]byte), "hit")
 		return "hit", true
 	}
+	ctx := r.Context()
 
 	// Singleflight: collapse concurrent misses for one fingerprint onto a
 	// single computation. Under a zipf-skewed burst, M identical expensive
@@ -348,7 +415,17 @@ func (s *Server) serveCached(w http.ResponseWriter, fp Fingerprint, opName strin
 	if f, inFlight := s.flights[fp]; inFlight {
 		f.waiters.Add(1)
 		s.flightMu.Unlock()
-		<-f.done
+		release()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			// The client is gone; stop waiting and let the skip check see
+			// one waiter fewer. The computation itself keeps running — its
+			// result still feeds the cache and any remaining waiters.
+			f.waiters.Add(-1)
+			s.cancelled.Add(1)
+			return "", false
+		}
 		if f.err != nil {
 			if f.status == http.StatusTooManyRequests {
 				s.rejected.Add(1)
@@ -372,15 +449,16 @@ func (s *Server) serveCached(w http.ResponseWriter, fp Fingerprint, opName strin
 	// never be computed twice.
 	if v, hit := s.cache.Get(fp); hit {
 		s.flightMu.Unlock()
+		release()
 		s.hits.Add(1)
 		s.writeCachedResponse(w, v.([]byte), "hit")
 		return "hit", true
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), ctx: ctx}
 	s.flights[fp] = f
 	s.flightMu.Unlock()
 
-	// finish publishes the leader's outcome: fill the flight, on success the
+	// finish publishes the job's outcome: fill the flight, on success the
 	// cache, and only then retire the flight — a request that arrives after
 	// the delete finds the bytes in the cache, so there is no window in
 	// which a successful computation is invisible.
@@ -395,41 +473,66 @@ func (s *Server) serveCached(w http.ResponseWriter, fp Fingerprint, opName strin
 		close(f.done)
 	}
 
-	// Compute on the bounded pool. The job sends exactly one result; the
-	// buffered channel keeps the worker from blocking if the client has gone
-	// away.
-	type result struct {
-		body []byte
-		err  error
-	}
-	done := make(chan result, 1)
+	// Compute on the bounded pool. The job owns finish: it runs even when
+	// the leader's handler has already returned, so followers and the cache
+	// always get the outcome. The leader observes it through f.done like a
+	// follower would.
 	submitErr := s.pool.TrySubmit(func() {
+		defer release()
+		// Skip a request nobody wants: the leader's client is gone and no
+		// follower attached. The check holds flightMu so no follower can
+		// attach between the decision and the flight's retirement.
+		s.flightMu.Lock()
+		if f.ctx.Err() != nil && f.waiters.Load() == 0 {
+			delete(s.flights, fp)
+			s.flightMu.Unlock()
+			f.err, f.status = errCancelled, http.StatusServiceUnavailable
+			close(f.done)
+			return
+		}
+		s.flightMu.Unlock()
 		body, err := compute()
-		done <- result{body: body, err: err}
+		if err != nil {
+			finish(nil, fmt.Errorf("%s failed: %w", opName, err), http.StatusInternalServerError)
+			return
+		}
+		finish(body, nil, 0)
 	})
 	switch submitErr {
 	case nil:
 	case ErrBusy:
+		release()
 		finish(nil, ErrBusy, http.StatusTooManyRequests)
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, ErrBusy)
 		return "", false
 	default: // ErrClosed during shutdown
+		release()
 		finish(nil, submitErr, http.StatusServiceUnavailable)
 		s.writeError(w, http.StatusServiceUnavailable, submitErr)
 		return "", false
 	}
-	res := <-done
-	if res.err != nil {
-		err := fmt.Errorf("%s failed: %w", opName, res.err)
-		finish(nil, err, http.StatusInternalServerError)
-		s.writeError(w, http.StatusInternalServerError, err)
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		// The client is gone. The queued job still runs (or skips itself);
+		// this handler just stops pinning a goroutine on it.
+		s.cancelled.Add(1)
+		return "", false
+	}
+	if errors.Is(f.err, errCancelled) {
+		// The job observed the dead context before this handler could; the
+		// request is cancelled either way.
+		s.cancelled.Add(1)
+		return "", false
+	}
+	if f.err != nil {
+		s.writeError(w, f.status, f.err)
 		return "", false
 	}
 	s.misses.Add(1)
-	finish(res.body, nil, 0)
-	s.writeCachedResponse(w, res.body, "miss")
+	s.writeCachedResponse(w, f.body, "miss")
 	return "miss", true
 }
 
@@ -539,7 +642,7 @@ func (s *Server) runEvaluate(req *EvaluateRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return marshalEvaluateResponse(&EvaluateResponse{
+	resp := &EvaluateResponse{
 		Scheduler:  schedule.Algorithm,
 		Epsilon:    schedule.Epsilon,
 		Tasks:      req.Graph.NumTasks(),
@@ -549,7 +652,39 @@ func (s *Server) runEvaluate(req *EvaluateRequest) ([]byte, error) {
 		UpperBound: schedule.UpperBound(),
 		Scenario:   req.Scenario.String(),
 		Eval:       *res,
-	})
+	}
+	// Policy mode: score each requested mission policy on the same scenario
+	// draws (same generator, same per-trial seeds), so static and
+	// re-scheduling are compared trial for trial.
+	if len(req.Policies) > 0 {
+		bl, err := s.bottomLevels(req.Graph, req.Platform, req.Costs)
+		if err != nil {
+			return nil, err
+		}
+		spec := mission.Spec{
+			Graph:        req.Graph,
+			Platform:     req.Platform,
+			Costs:        req.Costs,
+			Scheduler:    req.Scheduler,
+			Epsilon:      req.Epsilon,
+			SchedPolicy:  req.Policy,
+			Seed:         req.Seed,
+			BottomLevels: bl,
+		}
+		resp.PolicyEval = make([]PolicyEvalResult, 0, len(req.Policies))
+		for _, p := range req.Policies {
+			spec.Policy = mission.Policy(p)
+			pres, err := mission.EvaluatePolicy(spec, gen, req.Trials, sim.EvalOptions{
+				Seed:    req.EvalSeed,
+				Workers: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resp.PolicyEval = append(resp.PolicyEval, PolicyEvalResult{Policy: p, Eval: *pres})
+		}
+	}
+	return marshalEvaluateResponse(resp)
 }
 
 // buildResponse turns a validated schedule into the serialized response.
@@ -632,15 +767,18 @@ type Stats struct {
 	// deployment (Config.Shard); empty for a standalone server.
 	Shard string `json:"shard,omitempty"`
 	// Requests counts logical requests received, including rejected and
-	// malformed ones; EvaluateRequests and TuneRequests are the /evaluate
-	// and /tune shares of that total. A well-formed /schedule/batch envelope
-	// counts as one request per item it carries (a malformed one as a single
-	// request). The counters conserve: every request ends in exactly one of
-	// cache_hits, cache_misses, client_errors or internal_errors (429s count
-	// under both rejected and client_errors).
+	// malformed ones; EvaluateRequests, TuneRequests and MissionRequests
+	// are the /evaluate, /tune and POST /missions shares of that total. A
+	// well-formed /schedule/batch envelope counts as one request per item
+	// it carries (a malformed one as a single request). The counters
+	// conserve: every request ends in exactly one of cache_hits,
+	// cache_misses, client_errors, internal_errors or cancelled_requests
+	// (429s count under both rejected and client_errors). Mission GETs are
+	// uncounted reads, like /stats itself.
 	Requests         uint64 `json:"requests"`
 	EvaluateRequests uint64 `json:"evaluate_requests"`
 	TuneRequests     uint64 `json:"tune_requests"`
+	MissionRequests  uint64 `json:"mission_requests"`
 	// BatchRequests counts /schedule/batch envelopes received (malformed
 	// ones included); BatchItems counts the logical requests that
 	// well-formed envelopes carried (each also counted under Requests).
@@ -667,9 +805,16 @@ type Stats struct {
 	SchedulerRequests map[string]uint64 `json:"scheduler_requests"`
 	// Rejected counts 429s (queue full); ClientErrors counts 4xx;
 	// InternalErrors counts all 5xx, including 503s during shutdown.
-	Rejected       uint64 `json:"rejected"`
-	ClientErrors   uint64 `json:"client_errors"`
-	InternalErrors uint64 `json:"internal_errors"`
+	// CancelledRequests counts requests whose client disconnected before a
+	// response was computed — they end in no hit, miss or error bucket, so
+	// the conservation invariant carries them as their own term.
+	Rejected          uint64 `json:"rejected"`
+	ClientErrors      uint64 `json:"client_errors"`
+	InternalErrors    uint64 `json:"internal_errors"`
+	CancelledRequests uint64 `json:"cancelled_requests"`
+	// Missions is the retained mission-state population (running and
+	// finished), bounded by Config.MaxMissions.
+	Missions int `json:"missions"`
 	// Queue and worker occupancy at the time of the call. QueueDepth is
 	// instantaneous — under load it reads almost always 0 (drained) or the
 	// capacity (rejecting) — while QueueHighWater is the deepest admission
@@ -700,11 +845,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		bySched[name] = n
 	}
 	s.schedMu.Unlock()
+	s.missionMu.Lock()
+	missionCount := len(s.missions)
+	s.missionMu.Unlock()
 	st := Stats{
 		Shard:              s.cfg.Shard,
 		Requests:           s.requests.Load(),
 		EvaluateRequests:   s.evaluateRequests.Load(),
 		TuneRequests:       s.tuneRequests.Load(),
+		MissionRequests:    s.missionRequests.Load(),
 		BatchRequests:      s.batchRequests.Load(),
 		BatchItems:         s.batchItems.Load(),
 		CacheHits:          hits,
@@ -715,6 +864,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:           s.rejected.Load(),
 		ClientErrors:       s.clientErrors.Load(),
 		InternalErrors:     s.internalErrors.Load(),
+		CancelledRequests:  s.cancelled.Load(),
+		Missions:           missionCount,
 		QueueDepth:         s.pool.QueueDepth(),
 		QueueHighWater:     s.pool.QueueHighWater(),
 		QueueCapacity:      s.pool.QueueCapacity(),

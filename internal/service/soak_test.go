@@ -18,8 +18,9 @@ import (
 //   - every response for one request body is byte-identical, cache hits and
 //     misses alike;
 //   - the /stats counters conserve: requests = cache_hits + cache_misses +
-//     client_errors + internal_errors (every accepted request is served,
-//     every rejected one accounted), and the per-scheduler table accounts
+//     client_errors + internal_errors + cancelled_requests (every accepted
+//     request is served, every rejected one accounted; no client disconnects
+//     here, so cancelled must stay 0), and the per-scheduler table accounts
 //     for every well-formed request (a /tune sweep once per registered
 //     scheduler);
 //   - after wave one, repeat bodies hit the cache.
@@ -133,9 +134,14 @@ func TestSoakMixedTraffic(t *testing.T) {
 		t.Fatalf("requests = %d, want %d", st.Requests, total)
 	}
 	// Conservation: every request ends in exactly one terminal counter.
-	if served := st.CacheHits + st.CacheMisses + st.ClientErrors + st.InternalErrors; served != st.Requests {
-		t.Fatalf("counters leak: hits %d + misses %d + 4xx %d + 5xx %d = %d, requests %d",
-			st.CacheHits, st.CacheMisses, st.ClientErrors, st.InternalErrors, served, st.Requests)
+	served := st.CacheHits + st.CacheMisses + st.ClientErrors + st.InternalErrors + st.CancelledRequests
+	if served != st.Requests {
+		t.Fatalf("counters leak: hits %d + misses %d + 4xx %d + 5xx %d + cancelled %d = %d, requests %d",
+			st.CacheHits, st.CacheMisses, st.ClientErrors, st.InternalErrors, st.CancelledRequests,
+			served, st.Requests)
+	}
+	if st.CancelledRequests != 0 {
+		t.Fatalf("cancelled_requests = %d with no disconnecting clients", st.CancelledRequests)
 	}
 	if st.InternalErrors != 0 {
 		t.Fatalf("internal errors under soak: %d", st.InternalErrors)

@@ -142,6 +142,12 @@ type evalOutcome struct {
 	err     error
 }
 
+// TrialFunc executes one trial against a drawn scenario, reporting whether
+// the mission succeeded and, when it did, its latency. The scenario is
+// worker-owned scratch refilled per trial; implementations must not retain
+// it past the call.
+type TrialFunc func(trial int, sc Scenario) (ok bool, latency float64, err error)
+
 // Evaluate replays the schedule under `trials` failure scenarios drawn from
 // gen and streams the outcomes into an EvalResult. Trials are sharded over a
 // worker pool; each worker owns one pooled replayer (scratch reused across
@@ -155,27 +161,63 @@ type evalOutcome struct {
 // (ErrNotTolerated) counts as a failure; any other error aborts the
 // evaluation deterministically (first error in trial order wins).
 func Evaluate(s *sched.Schedule, gen ScenarioGenerator, trials int, opt EvalOptions) (*EvalResult, error) {
+	newModel := opt.NewModel
+	if newModel == nil {
+		newModel = func() CommModel { return ContentionFree{} }
+	}
+	newRunner := func() (TrialFunc, func(), error) {
+		rp, err := newReplayer(s, Options{Model: newModel(), StrictMatched: opt.StrictMatched})
+		if err != nil {
+			return nil, nil, err
+		}
+		run := func(trial int, sc Scenario) (bool, float64, error) {
+			lat, _, badExit, err := rp.replay(sc, nil)
+			if err != nil {
+				return false, 0, err
+			}
+			// A not-tolerated trial (badExit >= 0) is a failure sample, not
+			// an evaluation error.
+			return badExit < 0, lat, nil
+		}
+		return run, rp.release, nil
+	}
+	return EvaluateScenarios(s.Platform.NumProcs(), s.UpperBound(), s.LowerBound(),
+		gen, trials, opt, newRunner)
+}
+
+// EvaluateScenarios is the generator → trial → ordered-aggregation engine
+// behind Evaluate, generalized over what one trial executes: Evaluate plugs
+// in a static-schedule replay, the mission controller plugs in a full online
+// re-scheduling run, and both inherit the same determinism contract (the
+// result is a pure function of the inputs and opt.Seed, independent of
+// opt.Workers). newRunner is called once per worker and returns the worker's
+// TrialFunc plus a close function releasing its scratch (may be nil).
+//
+// m is the platform size the scenarios cover; missionWindow is the failure-
+// counting window of the degradation histogram (crashes at or past it cannot
+// affect the execution); baseline is the no-failure latency degradation is
+// measured against.
+func EvaluateScenarios(m int, missionWindow, baseline float64, gen ScenarioGenerator, trials int,
+	opt EvalOptions, newRunner func() (TrialFunc, func(), error)) (*EvalResult, error) {
 	if gen == nil {
 		return nil, fmt.Errorf("sim: Evaluate needs a scenario generator")
 	}
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: need at least one trial, got %d", trials)
 	}
-	m := s.Platform.NumProcs()
 	if err := gen.Check(m); err != nil {
 		return nil, err
 	}
-	newModel := opt.NewModel
-	if newModel == nil {
-		newModel = func() CommModel { return ContentionFree{} }
-	}
-	// Fail fast on schedule problems before spawning workers; binding is
-	// deterministic, so worker binds can only fail the same way.
-	probe, err := newReplayer(s, Options{Model: newModel(), StrictMatched: opt.StrictMatched})
+	// Fail fast on runner problems before spawning workers; construction is
+	// deterministic, so worker runners can only fail the same way.
+	probe, probeClose, err := newRunner()
 	if err != nil {
 		return nil, err
 	}
-	probe.release()
+	_ = probe
+	if probeClose != nil {
+		probeClose()
+	}
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -191,9 +233,6 @@ func Evaluate(s *sched.Schedule, gen ScenarioGenerator, trials int, opt EvalOpti
 	if wcap > trials {
 		wcap = trials
 	}
-	// mission is the histogram's failure-counting window: crashes at or
-	// past the guaranteed upper bound cannot affect the execution.
-	mission := s.UpperBound()
 
 	// tokens bounds the trials in flight (issued but not yet consumed in
 	// order), which bounds the reorder buffer regardless of how unevenly
@@ -212,9 +251,9 @@ func Evaluate(s *sched.Schedule, gen ScenarioGenerator, trials int, opt EvalOpti
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rp, rerr := newReplayer(s, Options{Model: newModel(), StrictMatched: opt.StrictMatched})
-			if rerr == nil {
-				defer rp.release()
+			run, closeRunner, rerr := newRunner()
+			if rerr == nil && closeRunner != nil {
+				defer closeRunner()
 			}
 			src := rand.NewSource(0)
 			rng := rand.New(src)
@@ -227,17 +266,8 @@ func Evaluate(s *sched.Schedule, gen ScenarioGenerator, trials int, opt EvalOpti
 					o.err = gen.FillScenario(rng, &sc, &scratch)
 				}
 				if o.err == nil {
-					o.failed = sc.NumFailedBefore(mission)
-					lat, _, badExit, err := rp.replay(sc, nil)
-					switch {
-					case err != nil:
-						o.err = err
-					case badExit < 0:
-						o.ok, o.latency = true, lat
-					default:
-						// Not-tolerated trial: a failure sample, not an
-						// evaluation error.
-					}
+					o.failed = sc.NumFailedBefore(missionWindow)
+					o.ok, o.latency, o.err = run(i, sc)
 				}
 				select {
 				case outCh <- o:
@@ -275,7 +305,6 @@ func Evaluate(s *sched.Schedule, gen ScenarioGenerator, trials int, opt EvalOpti
 		latAcc   stats.Accumulator
 		window   = stats.NewWindow(wcap)
 		buckets  = make([]failureAcc, m+1)
-		baseline = s.LowerBound()
 		firstErr error
 	)
 	consume := func(o evalOutcome) bool {

@@ -182,6 +182,30 @@ func (r *replayer) replay(sc Scenario, trace *Trace) (latency float64, delivered
 	return latency, delivered, badExit, nil
 }
 
+// ReplayTaskFinishes replays s under sc and returns every task's earliest
+// completed finish time (+Inf for tasks with no surviving replica), reusing
+// out's storage when it has the capacity. ok reports whether the schedule
+// survived the scenario (every exit task delivered); latency is the makespan
+// when it did. Unlike Run, a not-tolerated scenario is not an error — the
+// partial finish times are still returned, which is what lets the mission
+// controller observe exactly which work completed before a crash it reacts
+// to. The replay semantics are RunWithOptions' own, so the mission
+// controller's static policy and the batch evaluator agree by construction.
+func ReplayTaskFinishes(s *sched.Schedule, sc Scenario, opt Options, out []float64) (finishes []float64, latency float64, ok bool, err error) {
+	r, err := newReplayer(s, opt)
+	if err != nil {
+		return out, 0, false, err
+	}
+	defer r.release()
+	lat, _, badExit, err := r.replay(sc, nil)
+	if err != nil {
+		return out, 0, false, err
+	}
+	finishes = kernel.Grow(out, len(r.taskFinish))
+	copy(finishes, r.taskFinish)
+	return finishes, lat, badExit < 0, nil
+}
+
 // arrivalTime computes when all inputs of copy c of task t are available on
 // its processor, counting delivered inter-processor messages. ok is false
 // when some predecessor has no completed source this copy may consume.
