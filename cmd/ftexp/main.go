@@ -19,21 +19,29 @@
 // The -evaluate flag adds a failure-scenario dimension to a custom campaign:
 // each cell runs a Monte-Carlo fault-injection batch (-trials scenarios via
 // sim.Evaluate) instead of the single-crash replay, and the aggregate gains
-// success-rate and p99 columns:
+// success-rate and p99 columns. Any registered scenario kind works,
+// including trace:FILE[:xSCALE][:resample] replay of recorded failure
+// traces:
 //
 //	ftexp -campaign custom -eps 2 -instances 20 -gran 1 \
 //	      -evaluate uniform:2,exp:0.001,group:4:0.001 -trials 500
+//	ftexp -campaign custom -eps 2 -instances 20 -gran 1 \
+//	      -evaluate trace:prod.jsonl:resample -trials 500
 //
 // The tune campaign searches the scheduler registry instead of sweeping it:
 // for every (family, granularity) point it runs the auto-tuner
 // (internal/tune) over the registry × -eps × policy grid under one scoring
 // scenario, and emits the (latency, success) Pareto frontier plus the
-// recommendation for the -target success probability:
+// recommendation for the -target success probability. -worst-case K adds a
+// budgeted adversarial search column per candidate, and -robust makes the
+// recommendation optimize that worst case:
 //
 //	ftexp -campaign tune -gran 0.5,1,2 -eps 1,2,5 -procs 20 \
 //	      -evaluate exp:0.0002 -trials 1000 -target 0.99
 //	ftexp -campaign tune -families random,fft -gran 1 \
 //	      -evaluate uniform:2 -format csv
+//	ftexp -campaign tune -gran 1 -eps 1,2 -evaluate exp:0.0002 \
+//	      -worst-case 1 -robust
 //
 // Legacy paper modes:
 //
@@ -79,9 +87,11 @@ func main() {
 		instances  = flag.Int("instances", 60, "campaign instances per grid point")
 		procs      = flag.Int("procs", 20, "campaign platform size")
 		tasks      = flag.String("tasks", "100:150", "campaign random-family task range 'min:max'")
-		evaluate   = flag.String("evaluate", "", "campaign scenario dimension: comma list of specs (uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA, burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON); exactly one spec in -campaign tune")
+		evaluate   = flag.String("evaluate", "", "campaign scenario dimension: comma list of specs (uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA, burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON, trace:FILE[:xSCALE][:resample]); exactly one spec in -campaign tune")
 		trials     = flag.Int("trials", 0, "fault-injection trials per cell/candidate (requires -evaluate; default 1000)")
 		target     = flag.Float64("target", 0.99, "success-probability target of the -campaign tune recommendation")
+		worstCase  = flag.Int("worst-case", -1, "-campaign tune: adversarial worst-case column, searching the most damaging K-crash pattern per candidate (-1: off)")
+		robust     = flag.Bool("robust", false, "-campaign tune: recommend by adversarial worst case instead of the Monte-Carlo mean (requires -worst-case)")
 
 		fig      = flag.Int("fig", 0, "paper figure to regenerate (1-4)")
 		table    = flag.Int("table", 0, "paper table to regenerate (1)")
@@ -116,7 +126,7 @@ func main() {
 		// them instead of silently ignoring a sweep the user thinks ran.
 		for _, name := range []string{"parallel", "checkpoint", "resume", "progress",
 			"schedulers", "eps", "gran", "families", "instances", "procs", "tasks",
-			"evaluate", "trials", "target"} {
+			"evaluate", "trials", "target", "worst-case", "robust"} {
 			if setFlags[name] {
 				fatal(fmt.Errorf("-%s only applies to -campaign mode", name))
 			}
@@ -138,13 +148,21 @@ func main() {
 			set: setFlags,
 		}
 		if *campaign == "tune" {
-			if err := runTuneCampaign(cfg, *target, *parallel, *format); err != nil {
+			var adv *sim.AdversarySpec
+			if *worstCase >= 0 {
+				adv = &sim.AdversarySpec{Crashes: *worstCase}
+			} else if *robust {
+				fatal(fmt.Errorf("-robust requires -worst-case"))
+			}
+			if err := runTuneCampaign(cfg, *target, *parallel, *format, adv, *robust); err != nil {
 				fatal(err)
 			}
 			return
 		}
-		if setFlags["target"] {
-			fatal(fmt.Errorf("-target only applies to -campaign tune"))
+		for _, name := range []string{"target", "worst-case", "robust"} {
+			if setFlags[name] {
+				fatal(fmt.Errorf("-%s only applies to -campaign tune", name))
+			}
 		}
 		eng := expt.EngineOptions{
 			Workers:    *parallel,
@@ -261,8 +279,11 @@ func fatal(err error) {
 // (expt.BuildInstance, index 0) and runs the auto-tuner over the registry ×
 // -eps × policy grid, emitting one frontier section per point. The -eps list
 // doubles as the tuner's ε ladder and -evaluate carries the single scoring
-// scenario; -parallel sets the tuner's candidate-level worker pool.
-func runTuneCampaign(cfg campaignFlags, target float64, workers int, format string) error {
+// scenario; -parallel sets the tuner's candidate-level worker pool. A
+// non-nil worstCase adds the adversarial column, and robust flips the
+// recommendation to optimize it.
+func runTuneCampaign(cfg campaignFlags, target float64, workers int, format string,
+	worstCase *sim.AdversarySpec, robust bool) error {
 	for _, name := range []string{"schedulers", "instances", "checkpoint", "resume", "progress", "graphs"} {
 		if cfg.set[name] {
 			return fmt.Errorf("-%s does not apply to -campaign tune (the candidate grid comes from the scheduler registry)", name)
@@ -319,15 +340,17 @@ func runTuneCampaign(cfg campaignFlags, target float64, workers int, format stri
 				return err
 			}
 			res, err := tune.Run(tune.Spec{
-				Graph:    inst.Graph,
-				Platform: inst.Platform,
-				Costs:    inst.Costs,
-				Epsilons: ladder,
-				Scenario: sp,
-				Trials:   trials,
-				Target:   target,
-				Seed:     cfg.seed,
-				Workers:  workers,
+				Graph:     inst.Graph,
+				Platform:  inst.Platform,
+				Costs:     inst.Costs,
+				Epsilons:  ladder,
+				Scenario:  sp,
+				Trials:    trials,
+				Target:    target,
+				Seed:      cfg.seed,
+				Workers:   workers,
+				WorstCase: worstCase,
+				Robust:    robust,
 			})
 			if err != nil {
 				return fmt.Errorf("tune family=%s gran=%g: %w", fam, g, err)

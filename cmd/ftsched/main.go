@@ -20,26 +20,38 @@
 //	ftsched -dir work -load s.json -crash 1      # replay a saved schedule
 //	ftsched -dir work -eps 2 -evaluate -trials 10000            # batch MC eval
 //	ftsched -dir work -eps 2 -evaluate -scenario exp:0.0001     # failure law
+//	ftsched -dir work -eps 2 -evaluate -scenario trace:prod.jsonl:x0.5:resample
 //	ftsched -dir work -load s.json -evaluate -scenario group:4:0.001
 //	ftsched -dir work -eps 1 -evaluate -policies static,reschedule # online vs offline
+//	ftsched -dir work -eps 2 -evaluate -worst-case 2            # + adversarial search
 //	ftsched -dir work -tune -target 0.99 -scenario exp:0.0001   # auto-tune
+//	ftsched -dir work -tune -target 0.99 -scenario exp:0.0001 \
+//	        -worst-case 1 -robust                               # robust tuning
 //
 // -evaluate runs the batch fault-injection engine (sim.Evaluate) against the
-// computed or loaded schedule: -trials scenarios drawn from -scenario
-// (uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA,
-// burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON), reporting the success rate
-// with its Wilson interval, latency mean/p50/p99 and the
-// degradation-vs-failure-count histogram. -policies additionally scores
-// mission execution policies on the SAME scenario draws: "static" rides the
-// schedule out unchanged (bit-identical to the plain evaluation), while
-// "reschedule" re-plans the surviving suffix of the DAG after every crash
-// (internal/mission) — the printed comparison is the offline-vs-online gap.
+// computed or loaded schedule: -trials scenarios drawn from -scenario (any
+// registered kind — run a server's GET /scenarios or see docs/SCENARIOS.md;
+// e.g. uniform:N, exp:LAMBDA, weibull:SHAPE:SCALE, group:SIZE:LAMBDA,
+// burst:N:LAMBDA[:SPREAD], staggered:N:HORIZON, and
+// trace:FILE[:xSCALE][:resample] replaying a recorded JSONL failure trace),
+// reporting the success rate with its Wilson interval, latency mean/p50/p99
+// and the degradation-vs-failure-count histogram. -policies additionally
+// scores mission execution policies on the SAME scenario draws: "static"
+// rides the schedule out unchanged (bit-identical to the plain evaluation),
+// while "reschedule" re-plans the surviving suffix of the DAG after every
+// crash (internal/mission) — the printed comparison is the offline-vs-online
+// gap. -worst-case K adds a deterministic adversarial search (sim.WorstCase)
+// next to the Monte-Carlo mean: the most damaging K-crash pattern a budgeted
+// search can find against the schedule.
 //
 // -tune answers "which configuration should I run?": it searches the
 // scheduler-registry × ε × policy grid (internal/tune), scoring every
 // candidate under -scenario with successive-halving pruning, and prints the
 // Pareto frontier of (expected latency, success probability) plus the
-// cheapest point meeting the -target success probability.
+// cheapest point meeting the -target success probability. With -worst-case K
+// every surviving candidate also gets an adversarial worst-case column, and
+// -robust makes the recommendation optimize that worst case instead of the
+// Monte-Carlo mean.
 //
 // The modes are exclusive: -maxeps, -compare, -tune and -load each reject
 // flags they would otherwise silently ignore.
@@ -74,13 +86,16 @@ func main() {
 		crash      = flag.Int("crash", -1, "simulate this many uniform crashes (-1: no simulation)")
 		trials     = flag.Int("trials", 1, "crash simulation trials (-crash), or batch size for -evaluate")
 		evaluate   = flag.Bool("evaluate", false, "run the batch fault-injection evaluation (sim.Evaluate) on the schedule")
-		scenario   = flag.String("scenario", "", "evaluation scenario spec (default uniform:ε), e.g. uniform:2, exp:0.001, weibull:1.5:2000, group:4:0.001, burst:3:0.001:50, staggered:2:1000")
+		scenario   = flag.String("scenario", "", "evaluation scenario spec (default uniform:ε), e.g. uniform:2, exp:0.001, weibull:1.5:2000, group:4:0.001, burst:3:0.001:50, staggered:2:1000, trace:FILE[:xSCALE][:resample]")
 		policies   = flag.String("policies", "", "comma-separated mission policies to score side by side under -evaluate (static,reschedule): static rides out failures, reschedule re-plans the surviving DAG suffix after every crash")
 		latency    = flag.Float64("latency", 0, "latency budget: deadline-checked scheduling, or the budget for -maxeps")
 		policy     = flag.String("policy", "", "scheduler-specific policy (e.g. mcftsa: greedy|bottleneck, heft: noinsertion)")
 		maxEps     = flag.Bool("maxeps", false, "maximize ε under the -latency budget (uses FTSA)")
 		tuneMode   = flag.Bool("tune", false, "auto-tune: search the registry × ε × policy grid for the (latency, success) Pareto frontier")
 		target     = flag.Float64("target", 0.99, "success-probability target of the -tune recommendation")
+		worstCase  = flag.Int("worst-case", -1, "adversarial search: report the most damaging K-crash pattern a budgeted search finds (-evaluate and -tune modes; -1: off)")
+		worstEvals = flag.Int("worst-evals", 0, "adversarial search replay budget (0: default 4096; requires -worst-case)")
+		robust     = flag.Bool("robust", false, "make the -tune recommendation optimize the adversarial worst case (requires -worst-case)")
 		verbose    = flag.Bool("v", false, "print the full placement")
 		gantt      = flag.Bool("gantt", false, "render an ASCII Gantt chart")
 		metrics    = flag.Bool("metrics", false, "print schedule metrics (utilization, comm volume)")
@@ -118,9 +133,9 @@ func main() {
 	}
 	switch {
 	case *maxEps:
-		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy", "evaluate", "scenario", "policies", "tune", "target")
+		rejectWith("-maxeps", "algo", "eps", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "compare", "policy", "evaluate", "scenario", "policies", "tune", "target", "worst-case", "worst-evals", "robust")
 	case *compare:
-		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate", "scenario", "policies", "tune", "target")
+		rejectWith("-compare", "algo", "latency", "crash", "trials", "v", "gantt", "metrics", "trace", "save", "load", "policy", "evaluate", "scenario", "policies", "tune", "target", "worst-case", "worst-evals", "robust")
 	case *tuneMode:
 		// The tuner schedules every registry candidate itself; all
 		// single-schedule flags are meaningless.
@@ -128,9 +143,26 @@ func main() {
 	case *loadFrm != "":
 		// The policy comparison re-plans through the registry, so it needs
 		// the instance flags, not a frozen schedule file.
-		rejectWith("-load", "algo", "eps", "latency", "save", "policy", "policies", "tune", "target")
+		rejectWith("-load", "algo", "eps", "latency", "save", "policy", "policies", "tune", "target", "robust")
 	default:
 		rejectWith("this", "target")
+	}
+	// The adversarial knobs ride on -evaluate and -tune only, and -robust
+	// changes what -tune recommends, so each is rejected outside its mode
+	// instead of silently doing nothing.
+	if *worstCase >= 0 && !*evaluate && !*tuneMode {
+		fatal(fmt.Errorf("-worst-case only applies to -evaluate or -tune; pass one as well"))
+	}
+	if *worstCase < 0 {
+		if set["worst-evals"] {
+			fatal(fmt.Errorf("-worst-evals requires -worst-case"))
+		}
+		if *robust {
+			fatal(fmt.Errorf("-robust requires -worst-case"))
+		}
+	}
+	if *robust && !*tuneMode {
+		fatal(fmt.Errorf("-robust only applies to -tune"))
 	}
 	if *tuneMode {
 		// -scenario and -trials parameterize the tuner's scoring batches.
@@ -186,7 +218,8 @@ func main() {
 	}
 
 	if *tuneMode {
-		if err := runTune(g, p, cm, *scenario, *target, *trials, set["trials"], *seed); err != nil {
+		if err := runTune(g, p, cm, *scenario, *target, *trials, set["trials"], *seed,
+			adversary(*worstCase, *worstEvals), *robust); err != nil {
 			fatal(err)
 		}
 		return
@@ -269,6 +302,11 @@ func main() {
 		if err := runEvaluate(s, *scenario, *eps, *trials, set["trials"], *seed); err != nil {
 			fatal(err)
 		}
+		if spec := adversary(*worstCase, *worstEvals); spec != nil {
+			if err := runWorstCase(s, *spec); err != nil {
+				fatal(err)
+			}
+		}
 		if *policies != "" {
 			if err := runPolicyComparison(g, p, cm, *policies, *scenario, *eps, *trials, set["trials"], *seed, *algo, *policy); err != nil {
 				fatal(err)
@@ -302,11 +340,21 @@ func main() {
 	}
 }
 
+// adversary maps the -worst-case/-worst-evals flags to a search spec; a
+// negative crash budget means the search is off.
+func adversary(crashes, evals int) *sim.AdversarySpec {
+	if crashes < 0 {
+		return nil
+	}
+	return &sim.AdversarySpec{Crashes: crashes, MaxEvals: evals}
+}
+
 // runTune searches the registry × ε × policy grid for the Pareto frontier
 // of (expected latency, success probability) under the given scenario and
 // prints the frontier plus the recommendation for the -target success rate.
 func runTune(g *dag.Graph, p *platform.Platform, cm *platform.CostModel,
-	scenario string, target float64, trials int, trialsSet bool, seed int64) error {
+	scenario string, target float64, trials int, trialsSet bool, seed int64,
+	worstCase *sim.AdversarySpec, robust bool) error {
 	if scenario == "" {
 		return fmt.Errorf("-tune needs -scenario (the failure law candidates are scored under), e.g. -scenario exp:0.001")
 	}
@@ -318,18 +366,46 @@ func runTune(g *dag.Graph, p *platform.Platform, cm *platform.CostModel,
 		trials = 1000
 	}
 	res, err := tune.Run(tune.Spec{
-		Graph:    g,
-		Platform: p,
-		Costs:    cm,
-		Scenario: sp,
-		Trials:   trials,
-		Target:   target,
-		Seed:     seed,
+		Graph:     g,
+		Platform:  p,
+		Costs:     cm,
+		Scenario:  sp,
+		Trials:    trials,
+		Target:    target,
+		Seed:      seed,
+		WorstCase: worstCase,
+		Robust:    robust,
 	})
 	if err != nil {
 		return err
 	}
 	return tune.WriteASCII(os.Stdout, res)
+}
+
+// runWorstCase runs the budgeted adversarial search against the schedule and
+// prints the most damaging pattern found next to the Monte-Carlo aggregate.
+func runWorstCase(s *sched.Schedule, spec sim.AdversarySpec) error {
+	wc, err := sim.WorstCase(s, spec, sim.Options{})
+	if err != nil {
+		return err
+	}
+	certainty := "greedy search"
+	if wc.Exhaustive {
+		certainty = "exhaustive over crash-at-zero patterns"
+	}
+	fmt.Printf("  worst case (%s, %d evals, %s):\n", wc.Spec, wc.Evals, certainty)
+	if wc.Missed {
+		fmt.Printf("    MISSED — the pattern starves an exit task\n")
+	} else {
+		fmt.Printf("    latency %.4g (%+.1f%% vs no-failure baseline)\n",
+			wc.Latency, 100*wc.Degradation)
+	}
+	fmt.Printf("    pattern:")
+	for _, c := range wc.Crashes {
+		fmt.Printf("  P%d@%.4g", c.Proc, c.Time)
+	}
+	fmt.Println()
+	return nil
 }
 
 // runEvaluate runs the batch fault-injection engine on the schedule and

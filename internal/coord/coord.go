@@ -74,6 +74,9 @@ func New(shards []http.Handler, opts Options) *Coordinator {
 	c.mux.HandleFunc("POST /missions", c.routed(decodeMissionFP))
 	c.mux.HandleFunc("GET /missions/{id}", c.missionByID)
 	c.mux.HandleFunc("GET /missions/{id}/events", c.missionByID)
+	// /scenarios is generated from the process-global scenario-kind registry,
+	// identical on every shard, so the door answers it without a shard hop.
+	c.mux.HandleFunc("GET /scenarios", service.ScenariosHandler)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /stats", c.handleStats)
 	return c

@@ -1,0 +1,83 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"ftsched/internal/service"
+)
+
+// adversarialEvaluateBody builds an /evaluate request that exercises both PR
+// additions at once: an inline trace scenario and a worst_case search.
+func adversarialEvaluateBody() []byte {
+	return []byte(fmt.Sprintf(`{%s, "scheduler": "ftsa", "epsilon": 1,
+	  "trials": 40,
+	  "scenario": {"kind": "trace", "trace": {
+	    "events": [{"proc": 0, "time": 0}, {"proc": 2, "time": 1, "group": "rack"}],
+	    "resample": true}},
+	  "eval_seed": 7, "worst_case": {"crashes": 1}}`, diamondInstance))
+}
+
+// The acceptance criterion of the trace + worst_case additions: the response
+// bytes are invariant across 1, 2 and 4 shards (and equal to a single
+// server's), hits and misses alike.
+func TestTraceWorstCaseShardCountInvariant(t *testing.T) {
+	single := service.New(service.Config{})
+	t.Cleanup(single.Close)
+	body := adversarialEvaluateBody()
+	want := do(single, http.MethodPost, "/evaluate", body)
+	if want.Code != http.StatusOK {
+		t.Fatalf("single server: %d %s", want.Code, want.Body.String())
+	}
+	for _, n := range []int{1, 2, 4} {
+		c, _ := newDeployment(t, n, service.Config{})
+		miss := do(c, http.MethodPost, "/evaluate", body)
+		if miss.Code != http.StatusOK {
+			t.Fatalf("%d shards: %d %s", n, miss.Code, miss.Body.String())
+		}
+		if !bytes.Equal(miss.Body.Bytes(), want.Body.Bytes()) {
+			t.Fatalf("%d shards disagree with a single server:\n%s\nvs\n%s",
+				n, miss.Body.String(), want.Body.String())
+		}
+		hit := do(c, http.MethodPost, "/evaluate", body)
+		if got := hit.Header().Get(service.CacheStatusHeader); got != "hit" {
+			t.Fatalf("%d shards: repeat request cache status %q, want hit", n, got)
+		}
+		if !bytes.Equal(hit.Body.Bytes(), want.Body.Bytes()) {
+			t.Fatalf("%d shards: hit bytes differ from miss bytes", n)
+		}
+	}
+}
+
+// /scenarios is answered at the door, byte-identical to any shard's own
+// response, without costing a shard request.
+func TestScenariosServedAtTheDoor(t *testing.T) {
+	single := service.New(service.Config{})
+	t.Cleanup(single.Close)
+	want := do(single, http.MethodGet, "/scenarios", nil)
+	if want.Code != http.StatusOK {
+		t.Fatalf("single server /scenarios: %d", want.Code)
+	}
+	c, shards := newDeployment(t, 3, service.Config{})
+	got := do(c, http.MethodGet, "/scenarios", nil)
+	if got.Code != http.StatusOK {
+		t.Fatalf("coordinator /scenarios: %d %s", got.Code, got.Body.String())
+	}
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatalf("door response differs from a shard's:\n%s\nvs\n%s",
+			got.Body.String(), want.Body.String())
+	}
+	for i, sh := range shards {
+		rec := do(sh, http.MethodGet, "/stats", nil)
+		var st service.Stats
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Requests != 0 {
+			t.Fatalf("shard %d saw %d requests; /scenarios must not hop to a shard", i, st.Requests)
+		}
+	}
+}

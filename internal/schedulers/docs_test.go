@@ -22,6 +22,9 @@ const (
 
 	beginCoord = "<!-- BEGIN COORDINATOR ENDPOINT TABLE (generated from internal/coord; do not edit by hand) -->"
 	endCoord   = "<!-- END COORDINATOR ENDPOINT TABLE -->"
+
+	beginScenarios = "<!-- BEGIN SCENARIO KIND TABLE (generated from the scenario-kind registry; do not edit by hand) -->"
+	endScenarios   = "<!-- END SCENARIO KIND TABLE -->"
 )
 
 // embeddedTable extracts the generated block between two markers in
@@ -78,6 +81,19 @@ func TestAPIDocsCoordinatorTable(t *testing.T) {
 	want := strings.TrimSpace(coord.EndpointTable())
 	if embedded != want {
 		t.Errorf("docs/API.md coordinator endpoint table drifted from internal/coord.\n"+
+			"Replace the block between the markers with:\n\n%s\n", want)
+	}
+}
+
+// TestAPIDocsScenarioKindTable pins the documented scenario-kind list to the
+// scenario-kind registry (service.ScenarioKindTable): registering a new kind,
+// renaming a parameter or rewording a summary without regenerating docs/API.md
+// fails the build.
+func TestAPIDocsScenarioKindTable(t *testing.T) {
+	embedded := embeddedTable(t, beginScenarios, endScenarios)
+	want := strings.TrimSpace(service.ScenarioKindTable())
+	if embedded != want {
+		t.Errorf("docs/API.md scenario-kind table drifted from the registry.\n"+
 			"Replace the block between the markers with:\n\n%s\n", want)
 	}
 }

@@ -32,6 +32,8 @@ var endpoints = []endpoint{
 		"create an online mission (async, 202 + id): execute the schedule against one failure scenario, re-planning the surviving suffix per policy"},
 	{"GET", "/missions/{id}", "—", "poll mission state; once finished, the byte-deterministic final report"},
 	{"GET", "/missions/{id}/events", "—", "stream the mission's ordered event log as chunked JSONL (plan/replan, task, crash, complete/abort)"},
+	{"GET", "/scenarios", "—",
+		"scenario-kind discovery: every registered failure-scenario kind with its flag form, parameters and docs"},
 	{"GET", "/healthz", "—", "liveness probe"},
 	{"GET", "/stats", "—", "cache hit rate, per-endpoint and per-scheduler counters, queue depth, latency quantiles"},
 }

@@ -32,6 +32,11 @@ type EvaluateRequest struct {
 	// "static" reproduces Eval exactly (a static mission is a replay);
 	// "reschedule" re-plans the surviving suffix after every crash.
 	Policies []string `json:"policies,omitempty"`
+	// WorstCase, when present, additionally runs a budgeted adversarial
+	// search over crash patterns and reports the most damaging one found —
+	// a deterministic worst-case column next to Eval's Monte-Carlo mean.
+	// See sim.AdversarySpec for the budget knobs.
+	WorstCase *sim.AdversarySpec `json:"worst_case,omitempty"`
 }
 
 // PolicyEvalResult is one mission policy's score inside an /evaluate
@@ -62,6 +67,9 @@ type EvaluateResponse struct {
 	// PolicyEval, present when the request listed policies, scores each
 	// mission policy on the same scenario draws as Eval, in request order.
 	PolicyEval []PolicyEvalResult `json:"policy_eval,omitempty"`
+	// WorstCase, present when the request asked for it, is the adversarial
+	// search's result: the most damaging crash pattern found within budget.
+	WorstCase *sim.WorstCaseResult `json:"worst_case,omitempty"`
 }
 
 // DecodeEvaluateRequest reads and validates one /evaluate request body, with
@@ -89,16 +97,8 @@ func (req *EvaluateRequest) Validate() error {
 	if err := req.ScheduleRequest.Validate(); err != nil {
 		return err
 	}
-	// The evaluation response has no Gantt or schedule section; reject the
-	// flags instead of silently dropping them.
-	if req.IncludeGantt {
-		return fmt.Errorf("include_gantt is not supported by /evaluate")
-	}
-	if req.IncludeSchedule {
-		return fmt.Errorf("include_schedule is not supported by /evaluate")
-	}
-	if req.Lambda != 0 {
-		return fmt.Errorf("lambda is not supported by /evaluate; pick a scenario kind (e.g. %q) instead", "exp")
+	if err := req.rejectScheduleOnlyFields("/evaluate"); err != nil {
+		return err
 	}
 	if req.Trials < 1 {
 		return fmt.Errorf("need trials >= 1, got %d", req.Trials)
@@ -120,6 +120,17 @@ func (req *EvaluateRequest) Validate() error {
 			return fmt.Errorf("policies: %q listed twice", p)
 		}
 		seen[p] = true
+	}
+	if req.WorstCase != nil {
+		// The adversarial search replays the static schedule; combining it
+		// with mission-policy scoring would silently report a worst case the
+		// policies never face, so the combination is rejected outright.
+		if len(req.Policies) > 0 {
+			return fmt.Errorf("worst_case cannot be combined with policies")
+		}
+		if err := req.WorstCase.Validate(); err != nil {
+			return fmt.Errorf("worst_case: %w", err)
+		}
 	}
 	return nil
 }
@@ -150,6 +161,13 @@ func EvaluateFingerprint(req *EvaluateRequest) Fingerprint {
 		for _, p := range req.Policies {
 			f.str(p)
 		}
+	}
+	// Same pattern for the adversarial search: only a present worst_case
+	// contributes, and its String() is the normalized form, so an omitted
+	// knob and its explicit default share one cache entry.
+	if req.WorstCase != nil {
+		f.str("worst_case")
+		f.str(req.WorstCase.String())
 	}
 	return f.sum()
 }

@@ -57,14 +57,8 @@ func (req *MissionRequest) Validate() error {
 	if err := req.ScheduleRequest.Validate(); err != nil {
 		return err
 	}
-	if req.IncludeGantt {
-		return fmt.Errorf("include_gantt is not supported by /missions")
-	}
-	if req.IncludeSchedule {
-		return fmt.Errorf("include_schedule is not supported by /missions")
-	}
-	if req.Lambda != 0 {
-		return fmt.Errorf("lambda is not supported by /missions; pick a scenario kind (e.g. %q) instead", "exp")
+	if err := req.rejectScheduleOnlyFields("/missions"); err != nil {
+		return err
 	}
 	if _, err := mission.ParsePolicy(req.MissionPolicy); err != nil {
 		return err

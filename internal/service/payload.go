@@ -190,6 +190,24 @@ func (req *ScheduleRequest) Validate() error {
 	return nil
 }
 
+// rejectScheduleOnlyFields rejects the request fields only /schedule serves
+// (Gantt chart, embedded schedule, reliability bound). Endpoints that embed a
+// ScheduleRequest but render none of those sections call this from their
+// Validate so every endpoint reports the unsupported field the same way
+// instead of silently dropping it.
+func (req *ScheduleRequest) rejectScheduleOnlyFields(endpoint string) error {
+	if req.IncludeGantt {
+		return fmt.Errorf("include_gantt is not supported by %s", endpoint)
+	}
+	if req.IncludeSchedule {
+		return fmt.Errorf("include_schedule is not supported by %s", endpoint)
+	}
+	if req.Lambda != 0 {
+		return fmt.Errorf("lambda is not supported by %s; pick a scenario kind (e.g. %q) instead", endpoint, "exp")
+	}
+	return nil
+}
+
 // canonicalScheduler resolves the request's scheduler (name or alias, any
 // case) to its canonical registry name, falling back to plain lower-casing
 // for requests that never passed validation.

@@ -183,6 +183,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /missions", s.handleMissionCreate)
 	s.mux.HandleFunc("GET /missions/{id}", s.handleMissionGet)
 	s.mux.HandleFunc("GET /missions/{id}/events", s.handleMissionEvents)
+	s.mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -683,6 +684,16 @@ func (s *Server) runEvaluate(req *EvaluateRequest) ([]byte, error) {
 			}
 			resp.PolicyEval = append(resp.PolicyEval, PolicyEvalResult{Policy: p, Eval: *pres})
 		}
+	}
+	// Adversarial mode: a deterministic worst-case column next to the
+	// Monte-Carlo mean. The search is single-threaded and seeds nothing,
+	// so the response stays byte-identical at any worker or shard count.
+	if req.WorstCase != nil {
+		wc, err := sim.WorstCase(schedule, *req.WorstCase, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		resp.WorstCase = wc
 	}
 	return marshalEvaluateResponse(resp)
 }

@@ -42,6 +42,13 @@ type TuneRequest struct {
 	// EvalSeed is the base seed of the search; equal seeds reproduce the
 	// tuning run bit for bit at any worker count.
 	EvalSeed int64 `json:"eval_seed,omitempty"`
+	// WorstCase, when present, additionally runs a budgeted adversarial
+	// search on every candidate that reaches the full pass, reporting the
+	// worst crash pattern found next to each Monte-Carlo score.
+	WorstCase *sim.AdversarySpec `json:"worst_case,omitempty"`
+	// Robust makes the recommendation optimize the adversarial worst case
+	// instead of the Monte-Carlo mean; it requires worst_case.
+	Robust bool `json:"robust,omitempty"`
 
 	// cands memoizes the derived candidate grid: the guard, the per-scheduler
 	// counters, the fingerprint and the search itself all need it, and one
@@ -129,6 +136,13 @@ func (req *TuneRequest) Validate() error {
 	if err := gen.Check(m); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	if req.WorstCase != nil {
+		if err := req.WorstCase.Validate(); err != nil {
+			return fmt.Errorf("worst_case: %w", err)
+		}
+	} else if req.Robust {
+		return fmt.Errorf("robust requires worst_case")
+	}
 	return nil
 }
 
@@ -163,6 +177,15 @@ func TuneFingerprint(req *TuneRequest) Fingerprint {
 	f.i64(int64(req.ScreenTrials))
 	f.f64(req.Target)
 	f.i64(req.EvalSeed)
+	// Only a present worst_case (and an enabled robust switch) contribute,
+	// so every pre-existing /tune request keeps its cache key.
+	if req.WorstCase != nil {
+		f.str("worst_case")
+		f.str(req.WorstCase.String())
+	}
+	if req.Robust {
+		f.str("robust")
+	}
 	return f.sum()
 }
 
@@ -188,6 +211,8 @@ func (s *Server) runTune(req *TuneRequest) ([]byte, error) {
 		Seed:         req.EvalSeed,
 		Workers:      1,
 		BottomLevels: bl,
+		WorstCase:    req.WorstCase,
+		Robust:       req.Robust,
 	})
 	if err != nil {
 		return nil, err

@@ -168,6 +168,64 @@ func TestTuneRejections(t *testing.T) {
 	}
 }
 
+// The worst_case knob flows end to end: per-candidate worst cases in the
+// response, a distinct cache key, and robust-mode validation at the door.
+func TestTuneWorstCase(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	req := testTuneRequest(t)
+	req.WorstCase = &sim.AdversarySpec{Crashes: 1, MaxEvals: 64}
+	req.Robust = true
+	resp, data := postTune(t, ts.URL, marshalJSON(t, req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("robust tune: %d %s", resp.StatusCode, data)
+	}
+	var out TuneResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.WorstCase != req.WorstCase.String() || !out.Result.Robust {
+		t.Fatalf("result does not echo the adversarial setup: %+v", out.Result)
+	}
+	seen := false
+	for _, c := range out.Result.Candidates {
+		if c.Full != nil && c.WorstCase == nil {
+			t.Fatalf("full-pass candidate %s has no worst case", c.Candidate)
+		}
+		seen = seen || c.WorstCase != nil
+	}
+	if !seen {
+		t.Fatal("no candidate carries a worst case")
+	}
+
+	// Distinct cache keys: plain, adversarial, and robust requests all differ.
+	plain := TuneFingerprint(testTuneRequest(t))
+	advReq := testTuneRequest(t)
+	advReq.WorstCase = &sim.AdversarySpec{Crashes: 1, MaxEvals: 64}
+	adv := TuneFingerprint(advReq)
+	advReq.Robust = true
+	robust := TuneFingerprint(advReq)
+	if plain == adv || adv == robust || plain == robust {
+		t.Fatalf("fingerprints collide: plain=%x adv=%x robust=%x", plain, adv, robust)
+	}
+
+	// Robust without a budget and a broken budget are wire-level 400s.
+	for _, c := range []struct {
+		name   string
+		mutate func(*TuneRequest)
+		substr string
+	}{
+		{"robust alone", func(r *TuneRequest) { r.Robust = true }, "robust requires worst_case"},
+		{"neg crashes", func(r *TuneRequest) { r.WorstCase = &sim.AdversarySpec{Crashes: -1} }, "worst_case"},
+	} {
+		bad := testTuneRequest(t)
+		c.mutate(bad)
+		resp, data := postTune(t, ts.URL, marshalJSON(t, bad))
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), c.substr) {
+			t.Errorf("%s: got %d %s, want 400 mentioning %q", c.name, resp.StatusCode, data, c.substr)
+		}
+	}
+}
+
 func TestEndpointTableCoversMux(t *testing.T) {
 	table := EndpointTable()
 	for _, path := range []string{"/schedule", "/evaluate", "/tune", "/healthz", "/stats"} {

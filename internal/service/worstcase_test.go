@@ -1,0 +1,107 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ftsched/internal/sim"
+)
+
+// /evaluate's worst_case mode: the adversarial column rides next to the
+// Monte-Carlo mean, deterministically.
+func TestEvaluateWorstCase(t *testing.T) {
+	_, ts1 := startServer(t, Config{})
+	_, ts2 := startServer(t, Config{})
+	req := testEvaluateRequest(t)
+	req.WorstCase = &sim.AdversarySpec{Crashes: 1}
+	body := marshalJSON(t, req)
+
+	resp, data1 := postEvaluate(t, ts1.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data1)
+	}
+	var out EvaluateResponse
+	if err := json.Unmarshal(data1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.WorstCase == nil {
+		t.Fatalf("response has no worst_case section: %s", data1)
+	}
+	// ε=1 guarantees any single crash: the adversary must not find a miss,
+	// and C(3,1)=3 subsets fit the default budget, so the crash-at-zero
+	// space is covered exhaustively.
+	if out.WorstCase.Missed || !out.WorstCase.Exhaustive {
+		t.Fatalf("worst case %+v, want a survived, exhaustive search", out.WorstCase)
+	}
+	if out.WorstCase.Spec != req.WorstCase.String() {
+		t.Fatalf("spec echoed as %q, want %q", out.WorstCase.Spec, req.WorstCase.String())
+	}
+	// The worst case bounds the Monte-Carlo draws of the same shape from
+	// above (uniform:1 here — same crash count, crash-at-zero support).
+	if out.Eval.Latency.Max > out.WorstCase.Latency+1e-9 {
+		t.Fatalf("Monte-Carlo max %g beats the adversarial worst %g",
+			out.Eval.Latency.Max, out.WorstCase.Latency)
+	}
+
+	_, data2 := postEvaluate(t, ts2.URL, body)
+	if !bytes.Equal(data1, data2) {
+		t.Fatalf("two fresh servers disagree on worst_case:\n%s\nvs\n%s", data1, data2)
+	}
+
+	// Without the field the response must not carry the section (and the
+	// bytes must match the legacy shape).
+	plain := testEvaluateRequest(t)
+	_, dataPlain := postEvaluate(t, ts1.URL, marshalJSON(t, plain))
+	if bytes.Contains(dataPlain, []byte("worst_case")) {
+		t.Fatalf("legacy request grew a worst_case section: %s", dataPlain)
+	}
+}
+
+func TestEvaluateWorstCaseRejects(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	cases := map[string]func(*EvaluateRequest){
+		"with policies": func(r *EvaluateRequest) {
+			r.Policies = []string{"static"}
+			r.WorstCase = &sim.AdversarySpec{Crashes: 1}
+		},
+		"negative crashes": func(r *EvaluateRequest) {
+			r.WorstCase = &sim.AdversarySpec{Crashes: -1}
+		},
+		"over-cap budget": func(r *EvaluateRequest) {
+			r.WorstCase = &sim.AdversarySpec{Crashes: 1, MaxEvals: 1 << 21}
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			req := testEvaluateRequest(t)
+			mutate(req)
+			resp, data := postEvaluate(t, ts.URL, marshalJSON(t, req))
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (body %s)", resp.StatusCode, data)
+			}
+		})
+	}
+}
+
+// An omitted knob and its explicit default are one cache entry; any
+// substantive knob change is a different one.
+func TestEvaluateWorstCaseFingerprint(t *testing.T) {
+	plain := testEvaluateRequest(t)
+	withWC := testEvaluateRequest(t)
+	withWC.WorstCase = &sim.AdversarySpec{Crashes: 2}
+	if EvaluateFingerprint(plain) == EvaluateFingerprint(withWC) {
+		t.Fatal("worst_case does not contribute to the fingerprint")
+	}
+	explicit := testEvaluateRequest(t)
+	explicit.WorstCase = &sim.AdversarySpec{Crashes: 2, GroupSize: 1, TimeGrid: 8, MaxEvals: 4096}
+	if EvaluateFingerprint(withWC) != EvaluateFingerprint(explicit) {
+		t.Fatal("explicit defaults fingerprint differently from omitted knobs")
+	}
+	budget := testEvaluateRequest(t)
+	budget.WorstCase = &sim.AdversarySpec{Crashes: 2, MaxEvals: 99}
+	if EvaluateFingerprint(withWC) == EvaluateFingerprint(budget) {
+		t.Fatal("budget change did not change the fingerprint")
+	}
+}

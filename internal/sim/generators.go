@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strconv"
 	"strings"
 )
 
@@ -295,10 +294,12 @@ func (g StaggeredGen) Spec() ScenarioSpec {
 // ScenarioSpec is the wire/flag description of a scenario generator — the
 // shape the /evaluate endpoint, the ftexp campaign axis and ftsched
 // -scenario share. Only the fields the Kind uses are meaningful; Generator
-// rejects inconsistent specs.
+// rejects inconsistent specs. Kind dispatch (parsing, canonical rendering,
+// materialization) delegates to the scenario-kind registry, so new kinds
+// plug in via RegisterScenarioKind without touching this type's methods.
 type ScenarioSpec struct {
-	// Kind selects the generator: "uniform", "exp", "weibull", "group",
-	// "burst" or "staggered".
+	// Kind selects the generator by registry name: "uniform", "exp",
+	// "weibull", "group", "burst", "staggered" or "trace".
 	Kind string `json:"kind"`
 	// Crashes is the crash count of "uniform", "burst" and "staggered".
 	Crashes int `json:"crashes,omitempty"`
@@ -313,192 +314,51 @@ type ScenarioSpec struct {
 	Horizon float64 `json:"horizon,omitempty"`
 	// Spread is the per-crash jitter width of "burst".
 	Spread float64 `json:"spread,omitempty"`
+	// Trace carries the recorded failure log of "trace"; nil for the
+	// synthetic kinds, so legacy wire forms are byte-unchanged.
+	Trace *TraceSpec `json:"trace,omitempty"`
 }
 
 // Generator materializes the spec, validating its platform-independent
 // parameters (counts are validated against m by the generator's Check).
 func (sp ScenarioSpec) Generator() (ScenarioGenerator, error) {
-	switch strings.ToLower(sp.Kind) {
-	case "uniform":
-		if sp.Crashes < 0 {
-			return nil, fmt.Errorf("sim: uniform scenario needs crashes >= 0, got %d", sp.Crashes)
-		}
-		return UniformGen{N: sp.Crashes}, nil
-	case "exp", "exponential":
-		g := ExponentialGen{Lambda: sp.Lambda}
-		if err := g.Check(0); err != nil {
-			return nil, err
-		}
-		return g, nil
-	case "weibull":
-		g := WeibullGen{Shape: sp.Shape, Scale: sp.Scale}
-		if err := g.Check(0); err != nil {
-			return nil, err
-		}
-		return g, nil
-	case "group":
-		if sp.GroupSize < 1 {
-			return nil, fmt.Errorf("sim: group scenario needs group_size >= 1, got %d", sp.GroupSize)
-		}
-		if sp.Lambda <= 0 {
-			return nil, fmt.Errorf("sim: non-positive failure rate %g", sp.Lambda)
-		}
-		return GroupGen{Size: sp.GroupSize, Lambda: sp.Lambda}, nil
-	case "burst":
-		g := BurstGen{N: sp.Crashes, Lambda: sp.Lambda, Spread: sp.Spread}
-		if sp.Crashes < 0 {
-			return nil, fmt.Errorf("sim: burst scenario needs crashes >= 0, got %d", sp.Crashes)
-		}
-		if sp.Lambda <= 0 {
-			return nil, fmt.Errorf("sim: non-positive failure rate %g", sp.Lambda)
-		}
-		if sp.Spread < 0 {
-			return nil, fmt.Errorf("sim: negative burst spread %g", sp.Spread)
-		}
-		return g, nil
-	case "staggered":
-		if sp.Crashes < 0 {
-			return nil, fmt.Errorf("sim: staggered scenario needs crashes >= 0, got %d", sp.Crashes)
-		}
-		if sp.Horizon <= 0 && sp.Crashes > 0 {
-			return nil, fmt.Errorf("sim: non-positive horizon %g", sp.Horizon)
-		}
-		return StaggeredGen{N: sp.Crashes, Horizon: sp.Horizon}, nil
-	case "":
+	if sp.Kind == "" {
 		return nil, fmt.Errorf("sim: scenario spec missing kind (known: %s)", strings.Join(ScenarioKinds(), ", "))
-	default:
-		return nil, fmt.Errorf("sim: unknown scenario kind %q (known: %s)", sp.Kind, strings.Join(ScenarioKinds(), ", "))
 	}
+	k, ok := LookupScenarioKind(sp.Kind)
+	if !ok {
+		return nil, unknownScenarioKind(sp.Kind)
+	}
+	return k.Build(sp)
 }
 
-// ScenarioKinds lists the recognized scenario kinds with their flag syntax.
-func ScenarioKinds() []string {
-	return []string{
-		"uniform:N", "exp:LAMBDA", "weibull:SHAPE:SCALE",
-		"group:SIZE:LAMBDA", "burst:N:LAMBDA[:SPREAD]", "staggered:N:HORIZON",
-	}
-}
-
-// String renders the spec in the colon-separated form ParseScenarioSpec
-// reads, with shortest-exact float formatting so equal specs render
-// identically (the property the response cache keys on).
+// String renders the spec in the kind's canonical colon-separated form, with
+// shortest-exact float formatting so equal specs render identically (the
+// property the response cache keys on). An unknown kind renders as its bare
+// name.
 func (sp ScenarioSpec) String() string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	switch strings.ToLower(sp.Kind) {
-	case "uniform":
-		return fmt.Sprintf("uniform:%d", sp.Crashes)
-	case "exp", "exponential":
-		return "exp:" + f(sp.Lambda)
-	case "weibull":
-		return "weibull:" + f(sp.Shape) + ":" + f(sp.Scale)
-	case "group":
-		return fmt.Sprintf("group:%d:%s", sp.GroupSize, f(sp.Lambda))
-	case "burst":
-		return fmt.Sprintf("burst:%d:%s:%s", sp.Crashes, f(sp.Lambda), f(sp.Spread))
-	case "staggered":
-		return fmt.Sprintf("staggered:%d:%s", sp.Crashes, f(sp.Horizon))
-	default:
+	k, ok := LookupScenarioKind(sp.Kind)
+	if !ok {
 		return sp.Kind
 	}
+	return k.Format(sp)
 }
 
 // ParseScenarioSpec reads the colon-separated flag form of a spec, e.g.
 // "uniform:2", "exp:0.001", "weibull:1.5:2000", "group:4:0.001",
-// "burst:3:0.001:50" or "staggered:2:1000". The parsed spec is validated by
-// Generator.
+// "burst:3:0.001:50", "staggered:2:1000" or "trace:failures.jsonl". The kind
+// dispatches through the registry and the parsed spec is validated by
+// Generator, so a parsed spec is always materializable.
 func ParseScenarioSpec(s string) (ScenarioSpec, error) {
 	parts := strings.Split(strings.TrimSpace(s), ":")
 	kind := strings.ToLower(strings.TrimSpace(parts[0]))
-	args := parts[1:]
-	atoi := func(i int) (int, error) {
-		v, err := strconv.Atoi(strings.TrimSpace(args[i]))
-		if err != nil {
-			return 0, fmt.Errorf("sim: scenario %q: bad integer %q", s, args[i])
-		}
-		return v, nil
+	k, ok := LookupScenarioKind(kind)
+	if !ok {
+		return ScenarioSpec{}, unknownScenarioKind(kind)
 	}
-	atof := func(i int) (float64, error) {
-		v, err := strconv.ParseFloat(strings.TrimSpace(args[i]), 64)
-		if err != nil {
-			return 0, fmt.Errorf("sim: scenario %q: bad number %q", s, args[i])
-		}
-		return v, nil
-	}
-	wrong := func() (ScenarioSpec, error) {
-		return ScenarioSpec{}, fmt.Errorf("sim: scenario %q has the wrong arity (known: %s)",
-			s, strings.Join(ScenarioKinds(), ", "))
-	}
-	var sp ScenarioSpec
-	var err error
-	switch kind {
-	case "uniform":
-		if len(args) != 1 {
-			return wrong()
-		}
-		sp.Kind = "uniform"
-		if sp.Crashes, err = atoi(0); err != nil {
-			return ScenarioSpec{}, err
-		}
-	case "exp", "exponential":
-		if len(args) != 1 {
-			return wrong()
-		}
-		sp.Kind = "exp"
-		if sp.Lambda, err = atof(0); err != nil {
-			return ScenarioSpec{}, err
-		}
-	case "weibull":
-		if len(args) != 2 {
-			return wrong()
-		}
-		sp.Kind = "weibull"
-		if sp.Shape, err = atof(0); err != nil {
-			return ScenarioSpec{}, err
-		}
-		if sp.Scale, err = atof(1); err != nil {
-			return ScenarioSpec{}, err
-		}
-	case "group":
-		if len(args) != 2 {
-			return wrong()
-		}
-		sp.Kind = "group"
-		if sp.GroupSize, err = atoi(0); err != nil {
-			return ScenarioSpec{}, err
-		}
-		if sp.Lambda, err = atof(1); err != nil {
-			return ScenarioSpec{}, err
-		}
-	case "burst":
-		if len(args) != 2 && len(args) != 3 {
-			return wrong()
-		}
-		sp.Kind = "burst"
-		if sp.Crashes, err = atoi(0); err != nil {
-			return ScenarioSpec{}, err
-		}
-		if sp.Lambda, err = atof(1); err != nil {
-			return ScenarioSpec{}, err
-		}
-		if len(args) == 3 {
-			if sp.Spread, err = atof(2); err != nil {
-				return ScenarioSpec{}, err
-			}
-		}
-	case "staggered":
-		if len(args) != 2 {
-			return wrong()
-		}
-		sp.Kind = "staggered"
-		if sp.Crashes, err = atoi(0); err != nil {
-			return ScenarioSpec{}, err
-		}
-		if sp.Horizon, err = atof(1); err != nil {
-			return ScenarioSpec{}, err
-		}
-	default:
-		return ScenarioSpec{}, fmt.Errorf("sim: unknown scenario kind %q (known: %s)",
-			kind, strings.Join(ScenarioKinds(), ", "))
+	sp, err := k.Parse(s, parts[1:])
+	if err != nil {
+		return ScenarioSpec{}, err
 	}
 	// Round-trip through Generator so a parsed spec is always materializable.
 	if _, err := sp.Generator(); err != nil {

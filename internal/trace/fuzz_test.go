@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace asserts the parser's contract on arbitrary input: it never
+// panics, it only ever returns validated events, and a trace it accepts
+// round-trips exactly through Write.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("{\"proc\":3,\"time\":1250.5}\n{\"proc\":4,\"time\":1250.5,\"group\":\"rack-2\"}\n")
+	f.Add("# comment\n\n{\"proc\":0,\"time\":0}\n")
+	f.Add("{\"proc\":-1,\"time\":2}\n")
+	f.Add("{\"proc\":1,\"time\":1e308}\n{\"proc\":1,\"time\":-0}\n")
+	f.Add("{\"proc\":1,\"time\":2,\"host\":\"x\"}\n")
+	f.Add("[{\"proc\":1,\"time\":2}]")
+	f.Add("{\"proc\":1,\"time\":null}")
+	f.Fuzz(func(t *testing.T, in string) {
+		events, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := Check(events); err != nil {
+			t.Fatalf("Parse returned an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, events); err != nil {
+			t.Fatalf("Write failed on parsed events: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, events) {
+			t.Fatalf("round trip changed events: %+v -> %+v", events, again)
+		}
+	})
+}

@@ -19,12 +19,19 @@ func policyLabel(p string) string {
 // recommendation with its rationale.
 func WriteASCII(w io.Writer, res *Result) error {
 	naive := res.ScreenTrials >= res.Trials
+	// adv adds the worst-case column; without a search the legacy layout is
+	// reproduced byte for byte.
+	adv := res.WorstCase != ""
 	if _, err := fmt.Fprintf(w, "# tune: %d candidates, scenario %s, trials %d (screen %d), %d trials evaluated\n",
 		len(res.Candidates), res.Scenario, res.Trials, res.ScreenTrials, res.EvaluatedTrials); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%-10s %4s %-14s %8s %17s %12s %12s %10s %s\n",
-		"scheduler", "eps", "policy", "success", "[95% wilson]", "latency", "p99", "upper", "mark"); err != nil {
+	worstHeader := ""
+	if adv {
+		worstHeader = fmt.Sprintf(" %10s", "worst")
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %4s %-14s %8s %17s %12s %12s %10s%s %s\n",
+		"scheduler", "eps", "policy", "success", "[95% wilson]", "latency", "p99", "upper", worstHeader, "mark"); err != nil {
 		return err
 	}
 	for i := range res.Candidates {
@@ -45,10 +52,30 @@ func WriteASCII(w io.Writer, res *Result) error {
 			e = c.Screen
 			suffix = "*"
 		}
-		if _, err := fmt.Fprintf(w, "%-10s %4d %-14s %7.4f%s [%.4f, %.4f] %12.4g %12.4g %10.4g %s\n",
+		worst := ""
+		if adv {
+			switch {
+			case c.WorstCase == nil: // pruned before the search
+				worst = fmt.Sprintf(" %10s", "-")
+			case c.WorstCase.Missed:
+				worst = fmt.Sprintf(" %10s", "MISS")
+			default:
+				worst = fmt.Sprintf(" %10.4g", c.WorstCase.Latency)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %4d %-14s %7.4f%s [%.4f, %.4f] %12.4g %12.4g %10.4g%s %s\n",
 			c.Scheduler, c.Epsilon, policyLabel(c.Policy),
 			e.SuccessRate, suffix, e.SuccessLow, e.SuccessHigh,
-			e.LatencyMean, e.LatencyP99, c.UpperBound, mark); err != nil {
+			e.LatencyMean, e.LatencyP99, c.UpperBound, worst, mark); err != nil {
+			return err
+		}
+	}
+	if adv {
+		note := ""
+		if res.Robust {
+			note = "; recommendation optimizes the worst case"
+		}
+		if _, err := fmt.Fprintf(w, "(worst case %s%s)\n", res.WorstCase, note); err != nil {
 			return err
 		}
 	}
@@ -88,8 +115,14 @@ func WriteASCII(w io.Writer, res *Result) error {
 // screening estimate with pruned=1 and trials=screen budget, so every row's
 // statistics are labeled by the budget that produced them.
 func WriteCSV(w io.Writer, res *Result) error {
-	if _, err := fmt.Fprintln(w,
-		"scheduler,epsilon,policy,trials,success,success_low,success_high,latency_mean,latency_p99,lower_bound,upper_bound,pruned,frontier,recommended"); err != nil {
+	// Worst-case columns appear only when a search ran, so legacy runs keep
+	// their exact header and row bytes.
+	adv := res.WorstCase != ""
+	header := "scheduler,epsilon,policy,trials,success,success_low,success_high,latency_mean,latency_p99,lower_bound,upper_bound,pruned,frontier,recommended"
+	if adv {
+		header += ",worst_missed,worst_latency"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -105,11 +138,19 @@ func WriteCSV(w io.Writer, res *Result) error {
 		if e == nil {
 			e = c.Screen
 		}
-		if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+		worst := ""
+		if adv {
+			if c.WorstCase == nil {
+				worst = ",," // pruned before the search: both cells empty
+			} else {
+				worst = "," + b(c.WorstCase.Missed) + "," + f(c.WorstCase.Latency)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s%s\n",
 			c.Scheduler, c.Epsilon, c.Policy, e.Trials,
 			f(e.SuccessRate), f(e.SuccessLow), f(e.SuccessHigh),
 			f(e.LatencyMean), f(e.LatencyP99), f(c.LowerBound), f(c.UpperBound),
-			b(c.Pruned), b(c.Frontier), b(i == res.Recommended)); err != nil {
+			b(c.Pruned), b(c.Frontier), b(i == res.Recommended), worst); err != nil {
 			return err
 		}
 	}

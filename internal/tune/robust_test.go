@@ -1,0 +1,149 @@
+package tune_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ftsched/internal/sim"
+	"ftsched/internal/tune"
+)
+
+// The worst-case column: present exactly on candidates that reached the full
+// pass, echoed in the result header, deterministic across worker counts.
+func TestWorstCaseColumn(t *testing.T) {
+	spec := tuneSpec(t, tuneInstance(t, 42, 1.0))
+	spec.WorstCase = &sim.AdversarySpec{Crashes: 1, MaxEvals: 64}
+	var want []byte
+	for _, workers := range []int{1, 8} {
+		spec.Workers = workers
+		res, err := tune.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WorstCase != spec.WorstCase.String() {
+			t.Fatalf("result echoes worst case %q, want %q", res.WorstCase, spec.WorstCase.String())
+		}
+		for i := range res.Candidates {
+			c := &res.Candidates[i]
+			if (c.Full != nil) != (c.WorstCase != nil) {
+				t.Fatalf("candidate %s: full=%v but worst_case=%v — the search must cover exactly the survivors",
+					c.Candidate, c.Full != nil, c.WorstCase != nil)
+			}
+			if c.WorstCase != nil && c.WorstCase.Evals > spec.WorstCase.MaxEvals {
+				t.Fatalf("candidate %s spent %d evals over the budget", c.Candidate, c.WorstCase.Evals)
+			}
+		}
+		blob := marshal(t, res)
+		if want == nil {
+			want = blob
+		} else if !bytes.Equal(want, blob) {
+			t.Fatalf("workers=%d changed the adversarial result JSON", workers)
+		}
+	}
+
+	// The adversarial replays are accounted for in the scoreboard.
+	plain := spec
+	plain.WorstCase = nil
+	plain.Workers = 1
+	base, err := tune.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adv tune.Result
+	if err := json.Unmarshal(want, &adv); err != nil {
+		t.Fatal(err)
+	}
+	if adv.EvaluatedTrials <= base.EvaluatedTrials {
+		t.Fatalf("adversarial run reports %d trials, plain run %d — the searches are unaccounted",
+			adv.EvaluatedTrials, base.EvaluatedTrials)
+	}
+}
+
+// Robust mode recommends by worst case: among candidates meeting the target
+// with a survived worst case, nothing has a strictly lower worst latency than
+// the recommendation.
+func TestRobustRecommendation(t *testing.T) {
+	spec := tuneSpec(t, tuneInstance(t, 7, 1.0))
+	spec.Target = 0.5
+	spec.WorstCase = &sim.AdversarySpec{Crashes: 2, MaxEvals: 128}
+	spec.Robust = true
+	res, err := tune.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Robust || res.Recommended < 0 {
+		t.Fatalf("robust run did not recommend: %+v", res)
+	}
+	best := res.Best()
+	if best.WorstCase == nil {
+		t.Fatal("robust recommendation has no worst case")
+	}
+	if res.TargetMet {
+		if best.WorstCase.Missed || best.Full.SuccessRate < res.Target {
+			t.Fatalf("target_met but recommendation is %+v", best)
+		}
+		for i := range res.Candidates {
+			c := &res.Candidates[i]
+			if c.Full == nil || c.WorstCase == nil || c.WorstCase.Missed ||
+				c.Full.SuccessRate < res.Target {
+				continue
+			}
+			if c.WorstCase.Latency < best.WorstCase.Latency {
+				t.Fatalf("candidate %s has worst latency %g, beating the recommendation's %g",
+					c.Candidate, c.WorstCase.Latency, best.WorstCase.Latency)
+			}
+		}
+	}
+
+	// Robust without a budget is a spec error, not a silent fallback.
+	bad := spec
+	bad.WorstCase = nil
+	if _, err := tune.Run(bad); err == nil {
+		t.Fatal("robust mode without a worst-case budget was accepted")
+	}
+	// And a broken budget is rejected up front.
+	bad = spec
+	bad.WorstCase = &sim.AdversarySpec{Crashes: -1}
+	if _, err := tune.Run(bad); err == nil {
+		t.Fatal("negative crash budget was accepted")
+	}
+}
+
+// The emitters grow worst-case columns only when a search ran.
+func TestEmitWorstCaseColumns(t *testing.T) {
+	spec := tuneSpec(t, tuneInstance(t, 42, 1.0))
+	spec.Trials = 64
+	plain, err := tune.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.WorstCase = &sim.AdversarySpec{Crashes: 1, MaxEvals: 32}
+	adv, err := tune.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pa, pc, aa, ac bytes.Buffer
+	if err := tune.WriteASCII(&pa, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := tune.WriteCSV(&pc, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := tune.WriteASCII(&aa, adv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tune.WriteCSV(&ac, adv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pa.String(), "worst") || strings.Contains(pc.String(), "worst_missed") {
+		t.Fatal("legacy emitters grew a worst-case column without a search")
+	}
+	if !strings.Contains(aa.String(), "worst") || !strings.Contains(aa.String(), adv.WorstCase) {
+		t.Fatalf("ASCII table is missing the worst-case column:\n%s", aa.String())
+	}
+	if !strings.HasPrefix(ac.String(), "scheduler,") || !strings.Contains(ac.String(), ",worst_missed,worst_latency") {
+		t.Fatalf("CSV is missing the worst-case columns:\n%s", ac.String())
+	}
+}

@@ -67,6 +67,16 @@ type Spec struct {
 	// instance memo. Nil computes them once per Run; either way all
 	// candidates share one slice.
 	BottomLevels []float64
+	// WorstCase, when non-nil, additionally runs a budgeted adversarial
+	// search (sim.WorstCase) on every candidate that survives to the full
+	// pass, reporting a deterministic worst-case column next to the
+	// Monte-Carlo mean.
+	WorstCase *sim.AdversarySpec
+	// Robust switches the recommendation to worst-case optimization: among
+	// candidates meeting Target, pick the one whose adversarial worst case
+	// is mildest (survived beats missed, then lowest worst latency) instead
+	// of the one with the best Monte-Carlo mean. Requires WorstCase.
+	Robust bool
 }
 
 // Eval is the tuner's summary of one sim.Evaluate batch: the success
@@ -117,6 +127,10 @@ type CandidateResult struct {
 	// Frontier marks membership in the Pareto frontier of
 	// (expected latency, success probability) over the full evaluations.
 	Frontier bool `json:"frontier,omitempty"`
+	// WorstCase is the candidate's adversarial search result, present
+	// exactly when the spec asked for one and the candidate reached the
+	// full pass (pruned candidates are not searched).
+	WorstCase *sim.WorstCaseResult `json:"worst_case,omitempty"`
 }
 
 // Result is a completed tuning run. Serialized with encoding/json it is
@@ -142,8 +156,13 @@ type Result struct {
 	TargetMet   bool `json:"target_met"`
 	// EvaluatedTrials counts the simulation trials actually run — the
 	// successive-halving scoreboard (the naive sweep costs
-	// len(Candidates) × Trials).
+	// len(Candidates) × Trials). Adversarial replays count too when a
+	// worst-case search ran.
 	EvaluatedTrials int `json:"evaluated_trials"`
+	// WorstCase echoes the normalized adversarial budget when one ran;
+	// Robust reports that the recommendation optimized the worst case.
+	WorstCase string `json:"worst_case,omitempty"`
+	Robust    bool   `json:"robust,omitempty"`
 }
 
 // Best returns the recommended candidate result, or nil when Recommended is
@@ -209,6 +228,13 @@ func (s Spec) check() ([]Candidate, error) {
 	if err := gen.Check(m); err != nil {
 		return nil, err
 	}
+	if s.WorstCase != nil {
+		if err := s.WorstCase.Validate(); err != nil {
+			return nil, err
+		}
+	} else if s.Robust {
+		return nil, fmt.Errorf("tune: robust mode needs a worst-case budget (set WorstCase)")
+	}
 	cands := s.Candidates
 	if len(cands) == 0 {
 		cands = DeriveCandidates(m, s.Epsilons)
@@ -225,6 +251,7 @@ type candState struct {
 	schedule *sched.Schedule
 	screen   *sim.EvalResult
 	full     *sim.EvalResult
+	wc       *sim.WorstCaseResult
 	// screenOK and screenLat record the screening pass trial by trial.
 	// Every candidate's trial t ran the identical failure scenario (shared
 	// evaluation seed), so these align across candidates and support the
@@ -368,6 +395,35 @@ func Run(spec Spec) (*Result, error) {
 		evaluated += len(survivors) * spec.Trials
 	}
 
+	// Adversarial pass: search the worst case of every candidate that made
+	// it to the full evaluation. The search itself is single-threaded and
+	// deterministic; running candidates on the pool keeps wall-clock down
+	// without touching the result, and the replay count is summed in grid
+	// order so EvaluatedTrials is deterministic too.
+	if spec.WorstCase != nil {
+		var full []int
+		for i := range states {
+			if states[i].full != nil {
+				full = append(full, i)
+			}
+		}
+		forEach(spec.Workers, full, func(i int) {
+			st := &states[i]
+			wc, err := sim.WorstCase(st.schedule, *spec.WorstCase, sim.Options{})
+			if err != nil {
+				st.err = err
+				return
+			}
+			st.wc = wc
+		})
+		for _, i := range full {
+			if states[i].err != nil {
+				return nil, fmt.Errorf("tune: candidate %s: %w", cands[i], states[i].err)
+			}
+			evaluated += states[i].wc.Evals
+		}
+	}
+
 	res := &Result{
 		Scenario:        spec.Scenario.String(),
 		Trials:          spec.Trials,
@@ -378,6 +434,10 @@ func Run(spec Spec) (*Result, error) {
 		Frontier:        []int{},
 		Recommended:     -1,
 		EvaluatedTrials: evaluated,
+		Robust:          spec.Robust,
+	}
+	if spec.WorstCase != nil {
+		res.WorstCase = spec.WorstCase.String()
 	}
 	for i, st := range states {
 		cr := CandidateResult{
@@ -396,10 +456,15 @@ func Run(spec Spec) (*Result, error) {
 			e := newEval(st.full)
 			cr.Full = &e
 		}
+		cr.WorstCase = st.wc
 		res.Candidates[i] = cr
 	}
 	markFrontier(res)
-	recommend(res)
+	if spec.Robust {
+		recommendRobust(res)
+	} else {
+		recommend(res)
+	}
 	return res, nil
 }
 
@@ -583,6 +648,57 @@ func recommend(res *Result) {
 		if best < 0 || better(i) {
 			best = i
 			bestMeets = res.Candidates[i].Full.SuccessRate >= res.Target
+		}
+	}
+	res.Recommended = best
+	res.TargetMet = best >= 0 && bestMeets
+}
+
+// recommendRobust is the worst-case counterpart of recommend: a candidate
+// "meets" only when its Monte-Carlo success clears Target AND the adversary
+// found no miss within budget. Preference order inside each class: survived
+// worst case beats missed, then lower worst-case latency, then higher
+// success rate, then lower mean latency, then grid order — deterministic,
+// like everything the cache serves.
+func recommendRobust(res *Result) {
+	meets := func(i int) bool {
+		cr := &res.Candidates[i]
+		return cr.Full.SuccessRate >= res.Target && cr.WorstCase != nil && !cr.WorstCase.Missed
+	}
+	// Rank the worst case: survived sorts below missed, by worst latency.
+	rank := func(i int) (missed bool, lat float64) {
+		wc := res.Candidates[i].WorstCase
+		if wc == nil || wc.Missed {
+			return true, math.Inf(1)
+		}
+		return false, wc.Latency
+	}
+	best, bestMeets := -1, false
+	better := func(i int) bool {
+		if m := meets(i); m != bestMeets {
+			return m
+		}
+		iMiss, iLat := rank(i)
+		bMiss, bLat := rank(best)
+		if iMiss != bMiss {
+			return bMiss
+		}
+		if iLat != bLat {
+			return iLat < bLat
+		}
+		fi, fb := res.Candidates[i].Full, res.Candidates[best].Full
+		if fi.SuccessRate != fb.SuccessRate {
+			return fi.SuccessRate > fb.SuccessRate
+		}
+		return fi.LatencyMean < fb.LatencyMean
+	}
+	for i := range res.Candidates {
+		if !eligible(&res.Candidates[i]) {
+			continue
+		}
+		if best < 0 || better(i) {
+			best = i
+			bestMeets = meets(i)
 		}
 	}
 	res.Recommended = best
